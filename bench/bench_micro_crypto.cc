@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of every crypto primitive — raw
+ * latency/throughput numbers complementing the table reproductions.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common.hh"
+#include "crypto/aes.hh"
+#include "crypto/cipher.hh"
+#include "crypto/des.hh"
+#include "crypto/hmac.hh"
+#include "crypto/md5.hh"
+#include "crypto/rc4.hh"
+#include "crypto/rsa.hh"
+#include "crypto/sha1.hh"
+#include "ssl/kdf.hh"
+#include "ssl/record.hh"
+
+using namespace ssla;
+using namespace ssla::crypto;
+
+namespace
+{
+
+void
+BM_Md5(benchmark::State &state)
+{
+    Bytes data = bench::benchPayload(state.range(0));
+    Md5 md;
+    uint8_t out[16];
+    for (auto _ : state) {
+        md.init();
+        md.update(data.data(), data.size());
+        md.final(out);
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Md5)->Arg(64)->Arg(1024)->Arg(16384);
+
+void
+BM_Sha1(benchmark::State &state)
+{
+    Bytes data = bench::benchPayload(state.range(0));
+    Sha1 sha;
+    uint8_t out[20];
+    for (auto _ : state) {
+        sha.init();
+        sha.update(data.data(), data.size());
+        sha.final(out);
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha1)->Arg(64)->Arg(1024)->Arg(16384);
+
+void
+BM_HmacSha1(benchmark::State &state)
+{
+    Bytes key = bench::benchPayload(20, 1);
+    Bytes data = bench::benchPayload(state.range(0));
+    for (auto _ : state) {
+        Bytes tag = Hmac::compute(DigestAlg::SHA1, key, data);
+        benchmark::DoNotOptimize(tag);
+    }
+    state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HmacSha1)->Arg(1024);
+
+void
+BM_AesBlock(benchmark::State &state)
+{
+    Aes aes(bench::benchPayload(state.range(0) / 8, 2));
+    uint8_t block[16] = {};
+    for (auto _ : state) {
+        aes.encryptBlock(block, block);
+        benchmark::DoNotOptimize(block);
+    }
+    state.SetBytesProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_AesBlock)->Arg(128)->Arg(192)->Arg(256);
+
+void
+BM_AesKeySetup(benchmark::State &state)
+{
+    Bytes key = bench::benchPayload(16, 3);
+    AesKey ks;
+    for (auto _ : state) {
+        aesSetEncryptKey(key.data(), 128, ks);
+        benchmark::DoNotOptimize(ks);
+    }
+}
+BENCHMARK(BM_AesKeySetup);
+
+void
+BM_DesBlock(benchmark::State &state)
+{
+    Des des(bench::benchPayload(8, 4));
+    uint8_t block[8] = {};
+    for (auto _ : state) {
+        des.encryptBlock(block, block);
+        benchmark::DoNotOptimize(block);
+    }
+    state.SetBytesProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_DesBlock);
+
+void
+BM_TripleDesBlock(benchmark::State &state)
+{
+    TripleDes tdes(bench::benchPayload(24, 5));
+    uint8_t block[8] = {};
+    for (auto _ : state) {
+        tdes.encryptBlock(block, block);
+        benchmark::DoNotOptimize(block);
+    }
+    state.SetBytesProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_TripleDesBlock);
+
+void
+BM_CbcBulk(benchmark::State &state)
+{
+    auto alg = static_cast<CipherAlg>(state.range(0));
+    const auto &info = cipherInfo(alg);
+    Bytes key = bench::benchPayload(info.keyLen, 6);
+    Bytes iv = bench::benchPayload(info.ivLen, 7);
+    Bytes data = bench::benchPayload(16384, 8);
+    auto cipher = Cipher::create(alg, key, iv, true);
+    for (auto _ : state) {
+        cipher->process(data.data(), data.data(), data.size());
+        benchmark::DoNotOptimize(data.data());
+    }
+    state.SetBytesProcessed(state.iterations() * data.size());
+    state.SetLabel(info.name);
+}
+BENCHMARK(BM_CbcBulk)
+    ->Arg(static_cast<int>(CipherAlg::Rc4_128))
+    ->Arg(static_cast<int>(CipherAlg::DesCbc))
+    ->Arg(static_cast<int>(CipherAlg::Des3Cbc))
+    ->Arg(static_cast<int>(CipherAlg::Aes128Cbc))
+    ->Arg(static_cast<int>(CipherAlg::Aes256Cbc));
+
+void
+BM_Rc4KeySetup(benchmark::State &state)
+{
+    Bytes key = bench::benchPayload(16, 9);
+    for (auto _ : state) {
+        Rc4 rc4(key);
+        benchmark::DoNotOptimize(&rc4);
+    }
+}
+BENCHMARK(BM_Rc4KeySetup);
+
+void
+BM_RsaPrivateDecrypt(benchmark::State &state)
+{
+    const auto &kp = bench::benchKey(state.range(0));
+    RandomPool pool(Bytes{1});
+    Bytes cipher = rsaPublicEncrypt(kp.pub, Bytes(48, 2), pool);
+    for (auto _ : state) {
+        Bytes out = rsaPrivateDecrypt(*kp.priv, cipher);
+        benchmark::DoNotOptimize(out);
+    }
+}
+BENCHMARK(BM_RsaPrivateDecrypt)->Arg(512)->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
+
+void
+BM_RsaPublicEncrypt(benchmark::State &state)
+{
+    const auto &kp = bench::benchKey(state.range(0));
+    RandomPool pool(Bytes{2});
+    for (auto _ : state) {
+        Bytes out = rsaPublicEncrypt(kp.pub, Bytes(48, 2), pool);
+        benchmark::DoNotOptimize(out);
+    }
+}
+BENCHMARK(BM_RsaPublicEncrypt)->Arg(512)->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
+
+void
+BM_Ssl3MasterSecret(benchmark::State &state)
+{
+    Bytes pre(48, 1), cr(32, 2), sr(32, 3);
+    for (auto _ : state) {
+        Bytes master = ssl::ssl3MasterSecret(pre, cr, sr);
+        benchmark::DoNotOptimize(master);
+    }
+}
+BENCHMARK(BM_Ssl3MasterSecret);
+
+void
+BM_Ssl3Mac(benchmark::State &state)
+{
+    Bytes secret(20, 1);
+    Bytes data = bench::benchPayload(state.range(0), 10);
+    for (auto _ : state) {
+        Bytes mac = ssl::ssl3Mac(DigestAlg::SHA1, secret, 0, 23,
+                                 data.data(), data.size());
+        benchmark::DoNotOptimize(mac);
+    }
+    state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Ssl3Mac)->Arg(1024)->Arg(16384);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the SSL protocol layer: full
+ * and resumed handshakes, record-layer bulk throughput and complete
+ * HTTPS transactions.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common.hh"
+#include "ssl/client.hh"
+#include "ssl/server.hh"
+#include "web/httpsim.hh"
+
+using namespace ssla;
+using namespace ssla::ssl;
+
+namespace
+{
+
+struct Fixture
+{
+    crypto::RsaKeyPair key = bench::benchKey(1024);
+    pki::Certificate cert;
+    SessionCache cache;
+
+    Fixture()
+    {
+        pki::CertificateInfo info;
+        info.serial = 1;
+        info.issuer = "Bench CA";
+        info.subject = "bench.server";
+        info.notBefore = 0;
+        info.notAfter = ~uint64_t(0);
+        info.publicKey = key.pub;
+        cert = pki::Certificate::issue(info, *key.priv);
+    }
+
+    ServerConfig
+    serverConfig()
+    {
+        ServerConfig cfg;
+        cfg.certificate = cert;
+        cfg.privateKey = key.priv;
+        cfg.sessionCache = &cache;
+        return cfg;
+    }
+};
+
+Fixture &
+fixture()
+{
+    static Fixture f;
+    return f;
+}
+
+void
+BM_FullHandshake(benchmark::State &state)
+{
+    Fixture &f = fixture();
+    for (auto _ : state) {
+        BioPair wires;
+        SslServer server(f.serverConfig(), wires.serverEnd());
+        SslClient client(ClientConfig{}, wires.clientEnd());
+        runLockstep(client, server);
+        benchmark::DoNotOptimize(client.session().id.data());
+    }
+}
+BENCHMARK(BM_FullHandshake)->Unit(benchmark::kMicrosecond);
+
+void
+BM_ResumedHandshake(benchmark::State &state)
+{
+    Fixture &f = fixture();
+    // Establish a session to resume.
+    Session sess;
+    {
+        BioPair wires;
+        SslServer server(f.serverConfig(), wires.serverEnd());
+        SslClient client(ClientConfig{}, wires.clientEnd());
+        runLockstep(client, server);
+        sess = client.session();
+    }
+    for (auto _ : state) {
+        BioPair wires;
+        SslServer server(f.serverConfig(), wires.serverEnd());
+        ClientConfig ccfg;
+        ccfg.resumeSession = sess;
+        SslClient client(ccfg, wires.clientEnd());
+        runLockstep(client, server);
+        if (!client.resumed())
+            state.SkipWithError("session was not resumed");
+        sess = client.session();
+    }
+}
+BENCHMARK(BM_ResumedHandshake)->Unit(benchmark::kMicrosecond);
+
+void
+BM_RecordThroughput(benchmark::State &state)
+{
+    Fixture &f = fixture();
+    BioPair wires;
+    SslServer server(f.serverConfig(), wires.serverEnd());
+    SslClient client(ClientConfig{}, wires.clientEnd());
+    runLockstep(client, server);
+
+    Bytes chunk = bench::benchPayload(state.range(0), 11);
+    for (auto _ : state) {
+        server.writeApplicationData(chunk);
+        size_t got = 0;
+        while (got < chunk.size()) {
+            auto data = client.readApplicationData();
+            if (!data)
+                break;
+            got += data->size();
+        }
+        benchmark::DoNotOptimize(got);
+    }
+    state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RecordThroughput)->Arg(1024)->Arg(16384)->Arg(65536);
+
+void
+BM_HttpsTransaction(benchmark::State &state)
+{
+    static web::WebSimulator sim{web::WebSimConfig{}};
+    sim.runTransaction(1024); // warm-up
+    bool resume = state.range(1) != 0;
+    for (auto _ : state) {
+        auto stats = sim.runTransaction(state.range(0), resume);
+        benchmark::DoNotOptimize(stats.sslTotal);
+    }
+}
+BENCHMARK(BM_HttpsTransaction)
+    ->Args({1024, 0})
+    ->Args({1024, 1})
+    ->Args({32768, 0})
+    ->Unit(benchmark::kMicrosecond);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

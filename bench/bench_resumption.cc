@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Quantifies the paper's Section 4.1 claim that session resumption
+ * "can avoid the public key encryption, therefore greatly reduces the
+ * handshake overhead": full vs abbreviated handshake cost, and the
+ * effect of resumption ratio on a mixed workload.
+ */
+
+#include <cstdio>
+
+#include "perf/report.hh"
+#include "web/httpsim.hh"
+
+using namespace ssla;
+using namespace ssla::web;
+using perf::TablePrinter;
+
+int
+main()
+{
+    WebSimConfig cfg;
+    WebSimulator sim(cfg);
+    sim.runTransaction(1024); // warm-up + seeds the session cache
+
+    constexpr int runs = 20;
+    TransactionStats full, resumed;
+    for (int i = 0; i < runs; ++i) {
+        full.merge(sim.runTransaction(1024, false));
+        resumed.merge(sim.runTransaction(1024, true));
+    }
+
+    TablePrinter table("Session resumption: full vs abbreviated "
+                       "handshake (1KB transaction, avg cycles)");
+    table.setHeader({"metric", "full", "resumed", "ratio"});
+    auto row = [&](const char *name, double f, double r) {
+        std::string ratio =
+            r > 0 ? perf::fmt("%.1fx", f / r) : "eliminated";
+        table.addRow({name, perf::fmtCount(static_cast<uint64_t>(f)),
+                      perf::fmtCount(static_cast<uint64_t>(r)),
+                      ratio});
+    };
+    row("server SSL cycles", full.sslTotal / runs,
+        resumed.sslTotal / runs);
+    row("public key cycles", full.cryptoPublic / runs,
+        resumed.cryptoPublic / runs);
+    row("hash cycles", full.cryptoHash / runs,
+        resumed.cryptoHash / runs);
+    row("wire bytes", full.wireBytes / runs, resumed.wireBytes / runs);
+    table.print();
+
+    TablePrinter mixed("Mixed workload: transaction cost vs resumption "
+                       "ratio (1KB pages, 30 transactions each)");
+    mixed.setHeader({"resumed fraction", "avg Mcycles/transaction",
+                     "resumed handshakes"});
+    for (double frac : {0.0, 0.25, 0.5, 0.75, 0.95}) {
+        TransactionStats w = sim.runWorkload(30, 1024, frac);
+        mixed.addRow(
+            {perf::fmtPct(100 * frac, 0),
+             perf::fmtF(w.total() / w.transactions / 1e6, 2),
+             perf::fmt("%llu", static_cast<unsigned long long>(
+                                   w.resumedHandshakes))});
+    }
+    mixed.print();
+    return 0;
+}

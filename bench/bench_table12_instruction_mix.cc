@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Reproduces Table 12: the top-ten instruction mix of each crypto
+ * operation, from the metered kernels' x86-32-projected op counts.
+ */
+
+#include <cstdio>
+
+#include "opmix.hh"
+#include "perf/report.hh"
+
+using namespace ssla;
+using namespace ssla::bench;
+using perf::TablePrinter;
+
+int
+main()
+{
+    struct Col
+    {
+        const char *name;
+        OpMix mix;
+        const char *paper_top;
+    };
+
+    Col cols[] = {
+        {"AES", aesMix(), "movl 37.75"},
+        {"DES", desMix(1024, false), "xorl 41.11"},
+        {"3DES", desMix(1024, true), "xorl 39.80"},
+        {"RC4", rc4Mix(), "movl 38.06"},
+        {"RSA", rsaMix(), "movl 37.17"},
+        {"MD5", md5Mix(), "movl 22.11"},
+        {"SHA-1", sha1Mix(), "movl 27.81"},
+    };
+
+    for (const auto &c : cols) {
+        TablePrinter table(perf::fmt(
+            "Table 12 (%s): top ten ops (paper's top: %s)", c.name,
+            c.paper_top));
+        table.setHeader({"op", "%"});
+        double covered = 0;
+        for (const auto &[op, share] : c.mix.hist.topOps(10)) {
+            table.addRow({op, perf::fmtF(share, 2)});
+            covered += share;
+        }
+        table.addRule();
+        table.addRow({"top-10 coverage", perf::fmtPct(covered, 2)});
+        table.print();
+    }
+
+    std::printf("\npaper coverage band: the top ten instructions are "
+                "89.78%%-98.53%% of all executed instructions.\n");
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Reproduces Table 1: execution-time breakdown of a 1 KB HTTPS web
+ * transaction across server "modules" (libcrypto / libssl / httpd /
+ * vmlinux / other).
+ *
+ * SSL and crypto cycles are measured on real handshakes + transfers;
+ * the kernel/httpd/other rows come from the calibrated model
+ * (see src/web/kernelmodel.hh and DESIGN.md).
+ */
+
+#include <cstdio>
+
+#include "perf/report.hh"
+#include "web/httpsim.hh"
+
+using namespace ssla;
+using namespace ssla::web;
+using perf::TablePrinter;
+
+int
+main()
+{
+    WebSimConfig cfg;
+    WebSimulator sim(cfg);
+
+    constexpr size_t file_size = 1024;
+    constexpr size_t transactions = 30;
+
+    // Warm-up transaction (key setup, table generation).
+    sim.runTransaction(file_size);
+    TransactionStats stats = sim.runWorkload(transactions, file_size);
+
+    double total = stats.total();
+    auto pct = [&](double v) { return 100.0 * v / total; };
+
+    TablePrinter table(
+        "Table 1: Execution time breakdown in web server "
+        "(1KB page, DES-CBC3-SHA, RSA-1024)");
+    table.setHeader({"Components", "Functionality", "%", "paper %"});
+    table.addRow({"libcrypto", "crypto library (measured)",
+                  perf::fmtPct(pct(stats.cryptoTotal)), "70.83"});
+    table.addRow({"libssl", "SSL functions (measured)",
+                  perf::fmtPct(pct(stats.libssl())), "0.82"});
+    table.addRow({"httpd", "web server (modeled)",
+                  perf::fmtPct(pct(stats.httpdCycles)), "1.84"});
+    table.addRow({"vmlinux", "kernel TCP stack (modeled)",
+                  perf::fmtPct(pct(stats.kernelCycles)), "17.51"});
+    table.addRow({"other", "libc/threads (modeled)",
+                  perf::fmtPct(pct(stats.otherCycles)), "9.00"});
+    table.addRule();
+    table.addRow({"total", perf::fmt("%.1f Mcycles/transaction",
+                                     total / transactions / 1e6),
+                  "100%", "100%"});
+    table.print();
+
+    std::printf("\nSSL processing share: %.1f%% (paper: 71.6%%)\n",
+                pct(static_cast<double>(stats.sslTotal)));
+    std::printf("wire bytes/transaction: %.0f\n",
+                static_cast<double>(stats.wireBytes) / transactions);
+    return 0;
+}

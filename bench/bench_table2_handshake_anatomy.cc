@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Reproduces Table 2: the ten-step anatomy of the server-side SSL
+ * handshake with per-step latencies and the latencies of the crypto
+ * functions each step calls.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "common.hh"
+#include "perf/probe.hh"
+#include "perf/report.hh"
+#include "ssl/client.hh"
+#include "ssl/server.hh"
+#include "util/bytes.hh"
+
+using namespace ssla;
+using namespace ssla::ssl;
+using perf::TablePrinter;
+
+namespace
+{
+
+/** Run @p n instrumented handshakes, merging server-side counters. */
+perf::PerfContext
+profileHandshakes(int n)
+{
+    perf::PerfContext ctx;
+
+    const auto &key = bench::benchKey(1024);
+    pki::CertificateInfo info;
+    info.serial = 1;
+    info.issuer = "Bench CA";
+    info.subject = "bench.server";
+    info.notBefore = 0;
+    info.notAfter = ~uint64_t(0);
+    info.publicKey = key.pub;
+    pki::Certificate cert = pki::Certificate::issue(info, *key.priv);
+
+    for (int i = 0; i < n; ++i) {
+        BioPair wires;
+        ServerConfig scfg;
+        scfg.certificate = cert;
+        scfg.privateKey = key.priv;
+
+        std::unique_ptr<SslServer> server;
+        {
+            perf::ContextScope scope(&ctx);
+            server =
+                std::make_unique<SslServer>(scfg, wires.serverEnd());
+        }
+        SslClient client(ClientConfig{}, wires.clientEnd());
+        while (!client.handshakeDone() || !server->handshakeDone()) {
+            bool progress = client.advance();
+            {
+                perf::ContextScope scope(&ctx);
+                progress |= server->advance();
+            }
+            if (!progress)
+                throw std::runtime_error("handshake deadlock");
+        }
+    }
+    return ctx;
+}
+
+struct StepRow
+{
+    const char *step;
+    const char *functionality;
+    const char *probe;
+    const char *crypto_called;
+    double paper_kcycles;
+};
+
+} // anonymous namespace
+
+int
+main()
+{
+    constexpr int runs = 50;
+    // Warm-up pass so lazy tables/keys are built outside the profile.
+    profileHandshakes(2);
+    perf::PerfContext ctx = profileHandshakes(runs);
+
+    auto kc = [&](const char *name) {
+        return static_cast<double>(ctx.cyclesFor(name)) / runs / 1e3;
+    };
+
+    const StepRow steps[] = {
+        {"0", "Init", "step0_init", "init_finished_mac", 348},
+        {"1", "get_client_hello", "step1_get_client_hello",
+         "rand_pseudo_bytes, finish_mac", 198},
+        {"2", "send_server_hello", "step2_send_server_hello",
+         "rand_pseudo_bytes, finish_mac", 61},
+        {"3", "send_server_cert", "step3_send_server_cert",
+         "X509 functions, finish_mac", 239},
+        {"4", "send_server_done", "step4_send_server_done",
+         "finish_mac, BIO_flush", 4.5},
+        {"5", "get_client_kx", "step5_get_client_kx",
+         "rsa_private_decryption, gen_master_secret", 18941},
+        {"6", "get_finished", "step6_get_finished",
+         "gen_key_block, final_finish_mac, pri_decryption, mac", 287},
+        {"7", "send_cipher_spec", "step7_send_cipher_spec", "", 0.74},
+        {"8", "send_finished", "step8_send_finished",
+         "final_finish_mac, mac, pri_encryption", 114},
+        {"9", "server_flush; end", "step9_flush", "BIO_flush", 2.5},
+    };
+
+    TablePrinter table(
+        "Table 2: Execution time breakdown in SSL handshake "
+        "(server side, RSA-1024, DES-CBC3-SHA; kcycles, avg of 50)");
+    table.setHeader({"Step", "Functionality", "kcycles",
+                     "paper kcycles", "Crypto functions called"});
+    double total = 0;
+    for (const auto &s : steps) {
+        double v = kc(s.probe);
+        total += v;
+        table.addRow({s.step, s.functionality, perf::fmtF(v, 1),
+                      perf::fmtF(s.paper_kcycles, 1), s.crypto_called});
+    }
+    table.addRule();
+    table.addRow({"", "Total", perf::fmtF(total, 1), "20540", ""});
+    table.print();
+
+    TablePrinter crypto_table(
+        "Table 2 (crypto function latencies, kcycles per handshake)");
+    crypto_table.setHeader({"Crypto function", "kcycles", "calls"});
+    const char *funcs[] = {
+        "init_finished_mac", "rand_pseudo_bytes", "finish_mac",
+        "x509_issue", "rsa_private_decryption", "gen_master_secret",
+        "gen_key_block", "final_finish_mac", "pri_decryption", "mac",
+        "pri_encryption", "BIO_flush", "rsa_computation", "blinding",
+    };
+    for (const char *f : funcs) {
+        auto it = ctx.counters().find(f);
+        if (it == ctx.counters().end())
+            continue;
+        crypto_table.addRow(
+            {f, perf::fmtF(static_cast<double>(it->second.inclusive) /
+                           runs / 1e3, 1),
+             perf::fmt("%.1f", static_cast<double>(it->second.calls) /
+                       runs)});
+    }
+    crypto_table.print();
+    return 0;
+}

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Reproduces Table 3: crypto operations during the SSL handshake,
+ * grouped into public key / private key / hash / other, with their
+ * share of total SSL handshake processing.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "common.hh"
+#include "perf/probe.hh"
+#include "perf/report.hh"
+#include "ssl/client.hh"
+#include "ssl/server.hh"
+
+using namespace ssla;
+using namespace ssla::ssl;
+using perf::TablePrinter;
+
+int
+main()
+{
+    constexpr int runs = 50;
+
+    const auto &key = bench::benchKey(1024);
+    pki::CertificateInfo info;
+    info.serial = 1;
+    info.issuer = "Bench CA";
+    info.subject = "bench.server";
+    info.notBefore = 0;
+    info.notAfter = ~uint64_t(0);
+    info.publicKey = key.pub;
+    pki::Certificate cert = pki::Certificate::issue(info, *key.priv);
+
+    perf::PerfContext ctx;
+    uint64_t handshake_cycles = 0;
+
+    for (int i = 0; i < runs + 2; ++i) {
+        if (i == 2) { // first two runs are warm-up
+            ctx.clear();
+            handshake_cycles = 0;
+        }
+        BioPair wires;
+        ServerConfig scfg;
+        scfg.certificate = cert;
+        scfg.privateKey = key.priv;
+
+        std::unique_ptr<SslServer> server;
+        {
+            perf::ContextScope scope(&ctx);
+            uint64_t t0 = rdcycles();
+            server =
+                std::make_unique<SslServer>(scfg, wires.serverEnd());
+            handshake_cycles += rdcycles() - t0;
+        }
+        SslClient client(ClientConfig{}, wires.clientEnd());
+        while (!client.handshakeDone() || !server->handshakeDone()) {
+            bool progress = client.advance();
+            {
+                perf::ContextScope scope(&ctx);
+                uint64_t t0 = rdcycles();
+                progress |= server->advance();
+                handshake_cycles += rdcycles() - t0;
+            }
+            if (!progress)
+                throw std::runtime_error("handshake deadlock");
+        }
+    }
+
+    auto sum = [&](std::vector<std::string> names) {
+        return static_cast<double>(ctx.cyclesFor(names)) / runs;
+    };
+    double pub = sum({"rsa_private_decryption"});
+    double priv = sum({"pri_encryption", "pri_decryption"});
+    double hash = sum({"init_finished_mac", "finish_mac",
+                       "final_finish_mac", "gen_master_secret",
+                       "gen_key_block", "mac", "cert_verify_mac"});
+    double other = sum({"rand_pseudo_bytes"});
+    double crypto_total = pub + priv + hash + other;
+    double ssl_total =
+        static_cast<double>(handshake_cycles) / runs;
+
+    TablePrinter table(
+        "Table 3: Crypto operations during SSL handshake "
+        "(server side, RSA-1024, DES-CBC3-SHA)");
+    table.setHeader({"Functionality", "cycles", "%", "paper %"});
+    auto pct = [&](double v) {
+        return perf::fmtPct(100.0 * v / ssl_total);
+    };
+    table.addRow({"Public key encryption",
+                  perf::fmtCount(static_cast<uint64_t>(pub)), pct(pub),
+                  "90.4"});
+    table.addRow({"Private key encryption",
+                  perf::fmtCount(static_cast<uint64_t>(priv)),
+                  pct(priv), "0.1"});
+    table.addRow({"Hash functions",
+                  perf::fmtCount(static_cast<uint64_t>(hash)),
+                  pct(hash), "2.8"});
+    table.addRow({"Other functions",
+                  perf::fmtCount(static_cast<uint64_t>(other)),
+                  pct(other), "1.7"});
+    table.addRule();
+    table.addRow({"Total crypto operations",
+                  perf::fmtCount(static_cast<uint64_t>(crypto_total)),
+                  pct(crypto_total), "95.0"});
+    table.addRow({"Total SSL processing",
+                  perf::fmtCount(static_cast<uint64_t>(ssl_total)),
+                  "100%", "100"});
+    table.print();
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Reproduces Table 6: DES and 3DES block-operation breakdown into
+ * initial permutation / substitution rounds / final permutation.
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+#include "crypto/des.hh"
+#include "perf/report.hh"
+#include "util/endian.hh"
+
+using namespace ssla;
+using namespace ssla::crypto;
+using perf::TablePrinter;
+
+int
+main()
+{
+    constexpr int iters = 50000;
+    Bytes key = bench::benchPayload(24, 3);
+    DesKeySchedule k1, k2, k3;
+    desSetKey(key.data(), k1);
+    desSetKey(key.data() + 8, k2, true);
+    desSetKey(key.data() + 16, k3);
+
+    perf::NullMeter m;
+    uint64_t block = load64be(bench::benchPayload(8, 4).data());
+
+    bench::warmUpCpu();
+    // Dependency-chained batches: each result feeds the next input.
+    double ip = bench::cyclesPerCall(
+        [&] { block = desInitialPerm(block, m); }, iters);
+    double rounds1 = bench::cyclesPerCall(
+        [&] { block = desRounds(block, k1, m); }, iters);
+    double rounds3 = bench::cyclesPerCall(
+        [&] {
+            block = desRounds(block, k1, m);
+            block = desRounds(block, k2, m);
+            block = desRounds(block, k3, m);
+        },
+        iters);
+    double fp = bench::cyclesPerCall(
+        [&] { block = desFinalPerm(block, m); }, iters);
+
+    // 3DES shares one IP and one FP around three round sets in spirit;
+    // our implementation (like OpenSSL's) permutes per DES invocation,
+    // so report the measured composition both ways.
+    double des_total = ip + rounds1 + fp;
+    double tdes_total = ip + rounds3 + fp;
+
+    TablePrinter table(
+        "Table 6: DES/3DES execution time breakdown "
+        "(cycles per block op)");
+    table.setHeader({"Step", "Functionality", "DES cyc", "DES %",
+                     "paper %", "3DES cyc", "3DES %", "paper %"});
+    table.addRow({"1", "IP", perf::fmtF(ip, 1),
+                  perf::fmtPct(100 * ip / des_total), "13.15",
+                  perf::fmtF(ip, 1),
+                  perf::fmtPct(100 * ip / tdes_total), "5.3"});
+    table.addRow({"2", "Substitution", perf::fmtF(rounds1, 1),
+                  perf::fmtPct(100 * rounds1 / des_total), "74.74",
+                  perf::fmtF(rounds3, 1),
+                  perf::fmtPct(100 * rounds3 / tdes_total), "89.1"});
+    table.addRow({"3", "FP", perf::fmtF(fp, 1),
+                  perf::fmtPct(100 * fp / des_total), "12.11",
+                  perf::fmtF(fp, 1),
+                  perf::fmtPct(100 * fp / tdes_total), "5.6"});
+    table.addRule();
+    table.addRow({"", "Total", perf::fmtF(des_total, 1), "100%", "100",
+                  perf::fmtF(tdes_total, 1), "100%", "100"});
+    table.print();
+
+    std::printf("\npaper totals: 382 cycles (DES), 1027 cycles (3DES)\n");
+    // Keep the measurement chains live (defeats dead-code elimination).
+    std::printf("(checksum %016llx)\n",
+                static_cast<unsigned long long>(block));
+    return 0;
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Reproduces Table 7: RSA decryption broken into its six steps
+ * (init, string->bignum, blinding, computation, bignum->string,
+ * block parsing) for 512-bit and 1024-bit keys.
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+#include "crypto/pkcs1.hh"
+#include "perf/probe.hh"
+#include "perf/report.hh"
+#include "perf/report.hh"
+
+using namespace ssla;
+using namespace ssla::crypto;
+using perf::TablePrinter;
+
+namespace
+{
+
+struct StepShare
+{
+    const char *name;
+    const char *probe;
+    double paper512, paper1024;
+};
+
+const StepShare steps[] = {
+    {"Init", "rsa_init", 0.07, 0.02},
+    {"data_to_bn", "data_to_bn", 0.07, 0.02},
+    {"blinding", "blinding", 1.20, 0.66},
+    {"computation", "rsa_computation", 97.01, 98.85},
+    {"bn_to_data", "bn_to_data", 0.05, 0.02},
+    {"block_parsing", "block_parsing", 1.60, 0.43},
+};
+
+perf::PerfContext
+profile(size_t bits, int runs)
+{
+    const auto &kp = bench::benchKey(bits);
+    RandomPool pool(Bytes{1, 2, 3});
+    Bytes cipher = rsaPublicEncrypt(kp.pub, Bytes(48, 0x42), pool);
+
+    // Warm-up (blinding setup, Montgomery contexts).
+    rsaPrivateDecrypt(*kp.priv, cipher);
+
+    perf::PerfContext ctx;
+    {
+        perf::ContextScope scope(&ctx);
+        for (int i = 0; i < runs; ++i)
+            rsaPrivateDecrypt(*kp.priv, cipher);
+    }
+    return ctx;
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    constexpr int runs = 100;
+    perf::PerfContext ctx512 = profile(512, runs);
+    perf::PerfContext ctx1024 = profile(1024, runs);
+
+    auto cycles = [&](perf::PerfContext &ctx, const char *probe) {
+        return static_cast<double>(ctx.cyclesFor(probe)) / runs;
+    };
+    double total512 =
+        cycles(ctx512, "rsa_private_decryption");
+    double total1024 =
+        cycles(ctx1024, "rsa_private_decryption");
+
+    TablePrinter table(
+        "Table 7: Execution time breakdown for RSA decryption "
+        "(cycles per op, avg of 100)");
+    table.setHeader({"Step", "Functionality", "512b cyc", "512b %",
+                     "paper %", "1024b cyc", "1024b %", "paper %"});
+    int step_no = 1;
+    for (const auto &s : steps) {
+        double c512 = cycles(ctx512, s.probe);
+        double c1024 = cycles(ctx1024, s.probe);
+        table.addRow({perf::fmt("%d", step_no++), s.name,
+                      perf::fmtCount(static_cast<uint64_t>(c512)),
+                      perf::fmtPct(100 * c512 / total512, 2),
+                      perf::fmtF(s.paper512, 2),
+                      perf::fmtCount(static_cast<uint64_t>(c1024)),
+                      perf::fmtPct(100 * c1024 / total1024, 2),
+                      perf::fmtF(s.paper1024, 2)});
+    }
+    table.addRule();
+    table.addRow({"", "Total",
+                  perf::fmtCount(static_cast<uint64_t>(total512)),
+                  "100%", "100",
+                  perf::fmtCount(static_cast<uint64_t>(total1024)),
+                  "100%", "100"});
+    table.print();
+
+    std::printf("\npaper totals: 1,195,290 cycles (512b), "
+                "6,041,353 cycles (1024b)\n");
+    return 0;
+}

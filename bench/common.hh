@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Shared helpers for the table/figure reproduction benches: cycle
+ * timing with repetition, fixtures (keys, certificates) and common
+ * formatting.
+ */
+
+#ifndef SSLA_BENCH_COMMON_HH
+#define SSLA_BENCH_COMMON_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "crypto/rsa.hh"
+#include "pki/cert.hh"
+#include "util/cycles.hh"
+#include "util/rng.hh"
+
+namespace ssla::bench
+{
+
+/**
+ * Spin for ~100ms so the core reaches its sustained frequency before
+ * cycle measurements start (TSC ticks at constant rate, so work done
+ * at a ramping clock reads as inflated cycle counts).
+ */
+inline void
+warmUpCpu()
+{
+    uint64_t t0 = rdcycles();
+    uint64_t budget = static_cast<uint64_t>(cycleHz() * 0.1);
+    volatile uint64_t sink = 0;
+    while (rdcycles() - t0 < budget)
+        sink = sink * 31 + 7;
+}
+
+/** Median of per-call cycle measurements over @p reps runs. */
+template <class F>
+uint64_t
+medianCycles(F &&fn, int reps = 15)
+{
+    std::vector<uint64_t> samples;
+    samples.reserve(reps);
+    for (int i = 0; i < reps; ++i) {
+        uint64_t t0 = rdcycles();
+        fn();
+        samples.push_back(rdcycles() - t0);
+    }
+    std::sort(samples.begin(), samples.end());
+    return samples[samples.size() / 2];
+}
+
+/** Average cycles per call over a timed batch of @p iters calls. */
+template <class F>
+double
+cyclesPerCall(F &&fn, int iters)
+{
+    // Warm up caches and branch predictors.
+    fn();
+    uint64_t t0 = rdcycles();
+    for (int i = 0; i < iters; ++i)
+        fn();
+    return static_cast<double>(rdcycles() - t0) / iters;
+}
+
+/** Throughput in MB/s for a kernel processing @p bytes per call. */
+template <class F>
+double
+throughputMBps(F &&fn, size_t bytes, int iters)
+{
+    double cycles = cyclesPerCall(fn, iters);
+    double seconds = cycles / cycleHz();
+    return (static_cast<double>(bytes) / 1e6) / seconds;
+}
+
+/** A deterministic RSA key of @p bits (cached per size). */
+inline const crypto::RsaKeyPair &
+benchKey(size_t bits)
+{
+    static crypto::RsaKeyPair k512 =
+        crypto::rsaGenerateKey(512, [](uint8_t *o, size_t l) {
+            static Xoshiro256 rng(0xb512);
+            rng.fill(o, l);
+        });
+    static crypto::RsaKeyPair k1024 =
+        crypto::rsaGenerateKey(1024, [](uint8_t *o, size_t l) {
+            static Xoshiro256 rng(0xb1024);
+            rng.fill(o, l);
+        });
+    return bits == 512 ? k512 : k1024;
+}
+
+/** Deterministic pseudo-random payload of @p len bytes. */
+inline Bytes
+benchPayload(size_t len, uint64_t seed = 0xda7a)
+{
+    Xoshiro256 rng(seed);
+    return rng.bytes(len);
+}
+
+} // namespace ssla::bench
+
+#endif // SSLA_BENCH_COMMON_HH

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Builds per-algorithm op-mix histograms from the metered kernels —
+ * the shared input of the Table 11 (CPI / path length) and Table 12
+ * (instruction mix) reproductions.
+ */
+
+#ifndef SSLA_BENCH_OPMIX_HH
+#define SSLA_BENCH_OPMIX_HH
+
+#include "bn/kernels.hh"
+#include "common.hh"
+#include "crypto/aes.hh"
+#include "crypto/des.hh"
+#include "crypto/md5.hh"
+#include "crypto/pkcs1.hh"
+#include "crypto/rc4.hh"
+#include "crypto/sha1.hh"
+#include "perf/probe.hh"
+#include "util/endian.hh"
+
+namespace ssla::bench
+{
+
+/** An algorithm's op histogram plus the bytes it covers. */
+struct OpMix
+{
+    perf::OpHistogram hist;
+    size_t bytes = 0;
+
+    double
+    pathLength() const
+    {
+        return static_cast<double>(hist.total()) / bytes;
+    }
+};
+
+inline OpMix
+aesMix(size_t data_len = 1024)
+{
+    OpMix mix;
+    mix.bytes = data_len;
+    Bytes key = benchPayload(16, 1);
+    crypto::AesKey ks;
+    crypto::aesSetEncryptKey(key.data(), 128, ks);
+    Bytes data = benchPayload(data_len, 2);
+    Bytes out(data_len);
+    perf::CountingMeter m;
+    for (size_t off = 0; off < data_len; off += 16)
+        crypto::aesEncryptBlockT(ks, data.data() + off,
+                                 out.data() + off, m);
+    mix.hist = m.hist;
+    return mix;
+}
+
+inline OpMix
+desMix(size_t data_len = 1024, bool triple = false)
+{
+    OpMix mix;
+    mix.bytes = data_len;
+    Bytes key = benchPayload(24, 3);
+    crypto::DesKeySchedule k1, k2, k3;
+    crypto::desSetKey(key.data(), k1);
+    crypto::desSetKey(key.data() + 8, k2, true);
+    crypto::desSetKey(key.data() + 16, k3);
+    Bytes data = benchPayload(data_len, 4);
+    perf::CountingMeter m;
+    for (size_t off = 0; off < data_len; off += 8) {
+        uint64_t b = load64be(data.data() + off);
+        b = crypto::desProcessBlockT(b, k1, m);
+        if (triple) {
+            b = crypto::desProcessBlockT(b, k2, m);
+            b = crypto::desProcessBlockT(b, k3, m);
+        }
+    }
+    mix.hist = m.hist;
+    return mix;
+}
+
+inline OpMix
+rc4Mix(size_t data_len = 1024)
+{
+    OpMix mix;
+    mix.bytes = data_len;
+    crypto::Rc4 rc4(benchPayload(16, 5));
+    Bytes data = benchPayload(data_len, 6);
+    Bytes out(data_len);
+    perf::CountingMeter m;
+    rc4.processT(data.data(), out.data(), data_len, m);
+    mix.hist = m.hist;
+    return mix;
+}
+
+inline OpMix
+md5Mix(size_t data_len = 1024)
+{
+    OpMix mix;
+    mix.bytes = data_len;
+    Bytes data = benchPayload(data_len, 7);
+    crypto::Md5State st{0x67452301u, 0xefcdab89u, 0x98badcfeu,
+                        0x10325476u};
+    perf::CountingMeter m;
+    for (size_t off = 0; off + 64 <= data_len; off += 64)
+        crypto::md5BlockT(st, data.data() + off, m);
+    mix.hist = m.hist;
+    return mix;
+}
+
+inline OpMix
+sha1Mix(size_t data_len = 1024)
+{
+    OpMix mix;
+    mix.bytes = data_len;
+    Bytes data = benchPayload(data_len, 8);
+    crypto::Sha1State st{{0x67452301u, 0xefcdab89u, 0x98badcfeu,
+                          0x10325476u, 0xc3d2e1f0u}};
+    perf::CountingMeter m;
+    for (size_t off = 0; off + 64 <= data_len; off += 64)
+        crypto::sha1BlockT(st, data.data() + off, m);
+    mix.hist = m.hist;
+    return mix;
+}
+
+/**
+ * RSA-1024 decryption op mix: the bignum-kernel call counts come from
+ * a fine-grained cycle profile of a real decrypt; each call is then
+ * expanded with the metered kernel's per-call op mix at the CRT
+ * operand width (16 limbs). Bytes basis: the 128-byte modulus block,
+ * as the paper's Table 11 uses.
+ */
+inline OpMix
+rsaMix()
+{
+    OpMix mix;
+    const auto &kp = benchKey(1024);
+    mix.bytes = kp.pub.blockLen();
+
+    crypto::RandomPool pool(Bytes{0x11});
+    Bytes cipher =
+        crypto::rsaPublicEncrypt(kp.pub, Bytes(48, 0x55), pool);
+    crypto::rsaPrivateDecrypt(*kp.priv, cipher); // warm-up
+
+    perf::PerfContext ctx(true);
+    {
+        perf::ContextScope scope(&ctx);
+        crypto::rsaPrivateDecrypt(*kp.priv, cipher);
+    }
+
+    auto calls = [&](const char *name) -> uint64_t {
+        auto it = ctx.counters().find(name);
+        return it == ctx.counters().end() ? 0 : it->second.calls;
+    };
+
+    constexpr size_t limbs = 16; // 512-bit CRT halves
+    bn::Limb r[2 * limbs + 1] = {};
+    bn::Limb a[limbs];
+    bn::Limb b[limbs];
+    for (size_t i = 0; i < limbs; ++i) {
+        a[i] = static_cast<bn::Limb>(0x12345u * (i + 3));
+        b[i] = static_cast<bn::Limb>(0x54321u * (i + 7));
+    }
+
+    perf::CountingMeter muladd, mul, add, sub;
+    bn::bnMulAddWordsT(r, a, limbs, 0x7f4a7c15u, muladd);
+    bn::bnMulWordsT(r, a, limbs, 0x7f4a7c15u, mul);
+    bn::bnAddWordsT(r, a, b, limbs, add);
+    bn::bnSubWordsT(r, a, b, limbs, sub);
+
+    auto scaled = [](perf::OpHistogram h, uint64_t n) {
+        h.scale(n);
+        return h;
+    };
+    mix.hist.merge(scaled(muladd.hist, calls("bn_mul_add_words")));
+    mix.hist.merge(scaled(mul.hist, calls("bn_mul_words")));
+    mix.hist.merge(scaled(add.hist, calls("bn_add_words")));
+    mix.hist.merge(scaled(sub.hist, calls("bn_sub_words")));
+
+    // Surrounding BN bookkeeping (copies, compares, carry fixups in
+    // BN_from_montgomery, push/pop call overhead) — modelled as a
+    // per-kernel-call constant, dominated by stack traffic.
+    uint64_t total_calls =
+        calls("bn_mul_add_words") + calls("bn_mul_words") +
+        calls("bn_add_words") + calls("bn_sub_words");
+    mix.hist.add(perf::OpClass::MovL, total_calls * 6);
+    mix.hist.add(perf::OpClass::Push, total_calls * 2);
+    mix.hist.add(perf::OpClass::Pop, total_calls * 2);
+    mix.hist.add(perf::OpClass::CmpL, total_calls * 2);
+    mix.hist.add(perf::OpClass::Jcc, total_calls);
+    mix.hist.add(perf::OpClass::SubL, total_calls * 2);
+    mix.hist.add(perf::OpClass::XorL, total_calls);
+    return mix;
+}
+
+} // namespace ssla::bench
+
+#endif // SSLA_BENCH_OPMIX_HH

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * An `openssl speed`-style tool over this library's crypto: throughput
+ * of every digest and cipher at several buffer sizes, plus RSA
+ * sign/verify/encrypt/decrypt operation rates.
+ *
+ *   ./crypto_speed
+ */
+
+#include <cstdio>
+
+#include "crypto/cipher.hh"
+#include "crypto/md5.hh"
+#include "crypto/rsa.hh"
+#include "crypto/sha1.hh"
+#include "perf/report.hh"
+#include "util/cycles.hh"
+#include "util/rng.hh"
+
+using namespace ssla;
+using namespace ssla::crypto;
+
+namespace
+{
+
+Bytes
+payload(size_t len)
+{
+    Xoshiro256 rng(len);
+    return rng.bytes(len);
+}
+
+template <class F>
+double
+mbPerSecond(F &&fn, size_t bytes)
+{
+    // Run for ~20ms of cycles.
+    fn();
+    uint64_t budget = static_cast<uint64_t>(cycleHz() * 0.02);
+    uint64_t t0 = rdcycles();
+    uint64_t iters = 0;
+    while (rdcycles() - t0 < budget) {
+        fn();
+        ++iters;
+    }
+    double secs = cyclesToSeconds(rdcycles() - t0);
+    return static_cast<double>(bytes) * iters / 1e6 / secs;
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    const size_t sizes[] = {64, 256, 1024, 8192};
+
+    perf::TablePrinter digests("Digest throughput (MB/s)");
+    digests.setHeader({"algorithm", "64B", "256B", "1KB", "8KB"});
+    for (DigestAlg alg : {DigestAlg::MD5, DigestAlg::SHA1}) {
+        auto d = Digest::create(alg);
+        std::vector<std::string> row{d->name()};
+        for (size_t len : sizes) {
+            Bytes data = payload(len);
+            uint8_t out[32];
+            row.push_back(perf::fmtF(
+                mbPerSecond(
+                    [&] {
+                        d->init();
+                        d->update(data.data(), len);
+                        d->final(out);
+                    },
+                    len),
+                1));
+        }
+        digests.addRow(row);
+    }
+    digests.print();
+
+    perf::TablePrinter ciphers("Cipher throughput (MB/s)");
+    ciphers.setHeader({"algorithm", "64B", "256B", "1KB", "8KB"});
+    for (CipherAlg alg :
+         {CipherAlg::Rc4_128, CipherAlg::DesCbc, CipherAlg::Des3Cbc,
+          CipherAlg::Aes128Cbc, CipherAlg::Aes256Cbc}) {
+        const auto &info = cipherInfo(alg);
+        Xoshiro256 rng(static_cast<uint64_t>(alg));
+        Bytes key = rng.bytes(info.keyLen);
+        Bytes iv = rng.bytes(info.ivLen);
+        auto cipher = Cipher::create(alg, key, iv, true);
+        std::vector<std::string> row{info.name};
+        for (size_t len : sizes) {
+            Bytes data = payload(len);
+            row.push_back(perf::fmtF(
+                mbPerSecond(
+                    [&] {
+                        cipher->process(data.data(), data.data(), len);
+                    },
+                    len),
+                1));
+        }
+        ciphers.addRow(row);
+    }
+    ciphers.print();
+
+    perf::TablePrinter rsa("RSA operation rates (ops/s)");
+    rsa.setHeader(
+        {"key", "encrypt", "decrypt", "sign", "verify"});
+    for (size_t bits : {512u, 1024u}) {
+        Xoshiro256 seed(bits);
+        bn::RngFunc rng = [&](uint8_t *o, size_t l) { seed.fill(o, l); };
+        std::printf("generating RSA-%zu key...\n", bits);
+        RsaKeyPair kp = rsaGenerateKey(bits, rng);
+        RandomPool pool(Bytes{static_cast<uint8_t>(bits)});
+        Bytes msg(36, 0x31);
+        Bytes cipher = rsaPublicEncrypt(kp.pub, msg, pool);
+        Bytes sig = rsaSign(*kp.priv, msg);
+
+        auto ops = [&](auto &&fn) {
+            fn();
+            uint64_t budget =
+                static_cast<uint64_t>(cycleHz() * 0.05);
+            uint64_t t0 = rdcycles();
+            uint64_t iters = 0;
+            while (rdcycles() - t0 < budget) {
+                fn();
+                ++iters;
+            }
+            return static_cast<double>(iters) /
+                   cyclesToSeconds(rdcycles() - t0);
+        };
+        rsa.addRow(
+            {perf::fmt("%zu bits", bits),
+             perf::fmtF(ops([&] { rsaPublicEncrypt(kp.pub, msg, pool); }),
+                        0),
+             perf::fmtF(ops([&] { rsaPrivateDecrypt(*kp.priv, cipher); }),
+                        0),
+             perf::fmtF(ops([&] { rsaSign(*kp.priv, msg); }), 0),
+             perf::fmtF(ops([&] { rsaVerify(kp.pub, msg, sig); }), 0)});
+    }
+    rsa.print();
+    return 0;
+}

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Secure file/stream transfer over an SSL session: pipes stdin (or a
+ * built-in sample) through an encrypted in-process channel, verifying
+ * integrity end to end, and reports per-suite transfer costs.
+ *
+ *   ./secure_channel [suite]
+ *   suites: null-md5 rc4-md5 rc4-sha des 3des aes128 aes256
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "perf/report.hh"
+#include "ssl/client.hh"
+#include "ssl/server.hh"
+#include "util/cycles.hh"
+#include "util/rng.hh"
+
+using namespace ssla;
+using namespace ssla::ssl;
+
+namespace
+{
+
+CipherSuiteId
+suiteByName(const std::string &name)
+{
+    if (name == "null-md5")
+        return CipherSuiteId::RSA_NULL_MD5;
+    if (name == "rc4-md5")
+        return CipherSuiteId::RSA_RC4_128_MD5;
+    if (name == "rc4-sha")
+        return CipherSuiteId::RSA_RC4_128_SHA;
+    if (name == "des")
+        return CipherSuiteId::RSA_DES_CBC_SHA;
+    if (name == "3des")
+        return CipherSuiteId::RSA_3DES_EDE_CBC_SHA;
+    if (name == "aes128")
+        return CipherSuiteId::RSA_AES_128_CBC_SHA;
+    if (name == "aes256")
+        return CipherSuiteId::RSA_AES_256_CBC_SHA;
+    throw std::invalid_argument("unknown suite: " + name);
+}
+
+struct TransferResult
+{
+    double handshakeMs;
+    double transferMs;
+    double mbps;
+    uint64_t wireBytes;
+};
+
+TransferResult
+transfer(CipherSuiteId suite, const crypto::RsaKeyPair &key,
+         const pki::Certificate &cert, const Bytes &blob)
+{
+    BioPair wires;
+    ServerConfig scfg;
+    scfg.certificate = cert;
+    scfg.privateKey = key.priv;
+    scfg.suites = {suite};
+    SslServer server(scfg, wires.serverEnd());
+    ClientConfig ccfg;
+    ccfg.suites = {suite};
+    SslClient client(ccfg, wires.clientEnd());
+
+    uint64_t t0 = rdcycles();
+    runLockstep(client, server);
+    uint64_t t1 = rdcycles();
+
+    // Stream the blob in 16KB chunks, reading as we go.
+    Bytes received;
+    received.reserve(blob.size());
+    constexpr size_t chunk = 16384;
+    for (size_t off = 0; off < blob.size(); off += chunk) {
+        size_t n = std::min(chunk, blob.size() - off);
+        client.writeApplicationData(
+            Bytes(blob.begin() + off, blob.begin() + off + n));
+        while (auto data = server.readApplicationData())
+            received.insert(received.end(), data->begin(), data->end());
+    }
+    uint64_t t2 = rdcycles();
+
+    if (received != blob)
+        throw std::runtime_error("integrity failure!");
+
+    TransferResult r;
+    r.handshakeMs = cyclesToSeconds(t1 - t0) * 1e3;
+    r.transferMs = cyclesToSeconds(t2 - t1) * 1e3;
+    r.mbps = blob.size() / 1e6 / cyclesToSeconds(t2 - t1);
+    r.wireBytes = wires.clientBytesSent() + wires.serverBytesSent();
+    return r;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    Xoshiro256 seed(99);
+    bn::RngFunc rng = [&](uint8_t *out, size_t len) {
+        seed.fill(out, len);
+    };
+    std::printf("generating server identity...\n");
+    crypto::RsaKeyPair key = crypto::rsaGenerateKey(1024, rng);
+    pki::CertificateInfo info;
+    info.serial = 3;
+    info.issuer = "Channel CA";
+    info.subject = "channel.example";
+    info.notBefore = 0;
+    info.notAfter = ~uint64_t(0);
+    info.publicKey = key.pub;
+    pki::Certificate cert = pki::Certificate::issue(info, *key.priv);
+
+    Bytes blob = Xoshiro256(4242).bytes(2 * 1024 * 1024);
+    std::printf("transferring %zu MB over each suite...\n\n",
+                blob.size() >> 20);
+
+    std::vector<CipherSuiteId> suites;
+    if (argc > 1) {
+        suites.push_back(suiteByName(argv[1]));
+    } else {
+        suites = allCipherSuites();
+    }
+
+    perf::TablePrinter table("Secure channel transfer (2MB blob)");
+    table.setHeader({"suite", "handshake ms", "transfer ms", "MB/s",
+                     "wire overhead"});
+    for (CipherSuiteId id : suites) {
+        TransferResult r = transfer(id, key, cert, blob);
+        table.addRow(
+            {cipherSuite(id).name, perf::fmtF(r.handshakeMs, 2),
+             perf::fmtF(r.transferMs, 1), perf::fmtF(r.mbps, 1),
+             perf::fmtPct(100.0 * (static_cast<double>(r.wireBytes) -
+                                   blob.size()) /
+                          blob.size(), 2)});
+    }
+    table.print();
+    std::printf("\nAll transfers integrity-checked byte for byte.\n");
+    return 0;
+}

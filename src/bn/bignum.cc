@@ -1,0 +1,633 @@
+#include "bn/bignum.hh"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+#include "perf/probe.hh"
+
+namespace ssla::bn
+{
+
+BigNum::BigNum(uint64_t v)
+{
+    if (v) {
+        limbs_.push_back(static_cast<Limb>(v));
+        if (v >> limbBits)
+            limbs_.push_back(static_cast<Limb>(v >> limbBits));
+    }
+}
+
+BigNum
+BigNum::fromInt(int64_t v)
+{
+    if (v >= 0)
+        return BigNum(static_cast<uint64_t>(v));
+    BigNum n(static_cast<uint64_t>(-(v + 1)) + 1);
+    n.neg_ = true;
+    return n;
+}
+
+BigNum
+BigNum::fromBytesBE(const uint8_t *data, size_t len)
+{
+    BigNum n;
+    // Skip leading zero bytes.
+    while (len && *data == 0) {
+        ++data;
+        --len;
+    }
+    size_t nlimbs = (len + 3) / 4;
+    n.limbs_.assign(nlimbs, 0);
+    for (size_t i = 0; i < len; ++i) {
+        size_t byte_index = len - 1 - i; // position from LSB
+        n.limbs_[byte_index / 4] |=
+            static_cast<Limb>(data[i]) << (8 * (byte_index % 4));
+    }
+    n.normalize();
+    return n;
+}
+
+BigNum
+BigNum::fromBytesBE(const Bytes &data)
+{
+    return fromBytesBE(data.data(), data.size());
+}
+
+BigNum
+BigNum::fromHex(std::string_view hex)
+{
+    bool neg = false;
+    if (!hex.empty() && hex[0] == '-') {
+        neg = true;
+        hex.remove_prefix(1);
+    }
+    if (hex.empty())
+        throw std::invalid_argument("BigNum::fromHex: empty input");
+    BigNum n;
+    n.limbs_.assign((hex.size() + 7) / 8, 0);
+    size_t bitpos = 0;
+    for (size_t i = 0; i < hex.size(); ++i) {
+        char c = hex[hex.size() - 1 - i];
+        Limb v;
+        if (c >= '0' && c <= '9')
+            v = c - '0';
+        else if (c >= 'a' && c <= 'f')
+            v = c - 'a' + 10;
+        else if (c >= 'A' && c <= 'F')
+            v = c - 'A' + 10;
+        else
+            throw std::invalid_argument("BigNum::fromHex: bad digit");
+        n.limbs_[bitpos / limbBits] |= v << (bitpos % limbBits);
+        bitpos += 4;
+    }
+    n.normalize();
+    n.neg_ = neg && !n.limbs_.empty();
+    return n;
+}
+
+BigNum
+BigNum::fromDecimal(std::string_view dec)
+{
+    bool neg = false;
+    if (!dec.empty() && dec[0] == '-') {
+        neg = true;
+        dec.remove_prefix(1);
+    }
+    if (dec.empty())
+        throw std::invalid_argument("BigNum::fromDecimal: empty input");
+    BigNum n;
+    for (char c : dec) {
+        if (c < '0' || c > '9')
+            throw std::invalid_argument("BigNum::fromDecimal: bad digit");
+        // n = n * 10 + digit, on raw limbs.
+        Limb carry = static_cast<Limb>(c - '0');
+        for (auto &limb : n.limbs_) {
+            DLimb t = static_cast<DLimb>(limb) * 10 + carry;
+            limb = static_cast<Limb>(t);
+            carry = static_cast<Limb>(t >> limbBits);
+        }
+        if (carry)
+            n.limbs_.push_back(carry);
+    }
+    n.normalize();
+    n.neg_ = neg && !n.limbs_.empty();
+    return n;
+}
+
+Bytes
+BigNum::toBytesBE(size_t width) const
+{
+    size_t need = byteLength();
+    size_t out_len = width ? width : need;
+    if (need > out_len)
+        throw std::length_error("BigNum::toBytesBE: value too wide");
+    Bytes out(out_len, 0);
+    for (size_t i = 0; i < need; ++i) {
+        Limb limb = limbs_[i / 4];
+        out[out_len - 1 - i] = static_cast<uint8_t>(limb >> (8 * (i % 4)));
+    }
+    return out;
+}
+
+std::string
+BigNum::toHex() const
+{
+    if (isZero())
+        return "0";
+    static const char digits[] = "0123456789abcdef";
+    std::string out;
+    size_t nbits = bitLength();
+    size_t ndigits = (nbits + 3) / 4;
+    for (size_t i = 0; i < ndigits; ++i) {
+        size_t pos = (ndigits - 1 - i) * 4;
+        Limb limb = limbs_[pos / limbBits];
+        out.push_back(digits[(limb >> (pos % limbBits)) & 0xf]);
+    }
+    if (neg_)
+        out.insert(out.begin(), '-');
+    return out;
+}
+
+std::string
+BigNum::toDecimal() const
+{
+    if (isZero())
+        return "0";
+    std::vector<Limb> tmp = limbs_;
+    std::string out;
+    while (!tmp.empty()) {
+        // tmp /= 10; remainder becomes the next digit.
+        DLimb rem = 0;
+        for (size_t i = tmp.size(); i-- > 0;) {
+            DLimb cur = (rem << limbBits) | tmp[i];
+            tmp[i] = static_cast<Limb>(cur / 10);
+            rem = cur % 10;
+        }
+        while (!tmp.empty() && tmp.back() == 0)
+            tmp.pop_back();
+        out.push_back(static_cast<char>('0' + rem));
+    }
+    if (neg_)
+        out.push_back('-');
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+bool
+BigNum::isOne() const
+{
+    return !neg_ && limbs_.size() == 1 && limbs_[0] == 1;
+}
+
+size_t
+BigNum::bitLength() const
+{
+    if (limbs_.empty())
+        return 0;
+    return limbs_.size() * limbBits -
+           std::countl_zero(limbs_.back());
+}
+
+bool
+BigNum::testBit(size_t i) const
+{
+    size_t limb = i / limbBits;
+    if (limb >= limbs_.size())
+        return false;
+    return (limbs_[limb] >> (i % limbBits)) & 1;
+}
+
+void
+BigNum::setBit(size_t i)
+{
+    size_t limb = i / limbBits;
+    if (limb >= limbs_.size())
+        limbs_.resize(limb + 1, 0);
+    limbs_[limb] |= Limb(1) << (i % limbBits);
+}
+
+void
+BigNum::normalize()
+{
+    while (!limbs_.empty() && limbs_.back() == 0)
+        limbs_.pop_back();
+    if (limbs_.empty())
+        neg_ = false;
+}
+
+int
+BigNum::cmpAbsRaw(const std::vector<Limb> &a, const std::vector<Limb> &b)
+{
+    if (a.size() != b.size())
+        return a.size() < b.size() ? -1 : 1;
+    for (size_t i = a.size(); i-- > 0;) {
+        if (a[i] != b[i])
+            return a[i] < b[i] ? -1 : 1;
+    }
+    return 0;
+}
+
+int
+BigNum::cmpAbs(const BigNum &other) const
+{
+    return cmpAbsRaw(limbs_, other.limbs_);
+}
+
+int
+BigNum::cmp(const BigNum &other) const
+{
+    if (neg_ != other.neg_)
+        return neg_ ? -1 : 1;
+    int mag = cmpAbsRaw(limbs_, other.limbs_);
+    return neg_ ? -mag : mag;
+}
+
+std::vector<Limb>
+BigNum::addAbs(const std::vector<Limb> &a, const std::vector<Limb> &b)
+{
+    const auto &lo = a.size() >= b.size() ? b : a;
+    const auto &hi = a.size() >= b.size() ? a : b;
+    std::vector<Limb> r(hi.size() + 1, 0);
+    Limb carry = bn_add_words(r.data(), hi.data(), lo.data(), lo.size());
+    for (size_t i = lo.size(); i < hi.size(); ++i) {
+        DLimb t = static_cast<DLimb>(hi[i]) + carry;
+        r[i] = static_cast<Limb>(t);
+        carry = static_cast<Limb>(t >> limbBits);
+    }
+    r[hi.size()] = carry;
+    return r;
+}
+
+std::vector<Limb>
+BigNum::subAbs(const std::vector<Limb> &a, const std::vector<Limb> &b)
+{
+    // Precondition: |a| >= |b| (OpenSSL's BN_usub).
+    perf::FuncProbe probe("BN_usub", perf::ProbeLevel::Fine);
+    std::vector<Limb> r(a.size(), 0);
+    Limb borrow = bn_sub_words(r.data(), a.data(), b.data(), b.size());
+    for (size_t i = b.size(); i < a.size(); ++i) {
+        DLimb t = static_cast<DLimb>(a[i]) - borrow;
+        r[i] = static_cast<Limb>(t);
+        borrow = static_cast<Limb>((t >> limbBits) & 1);
+    }
+    return r;
+}
+
+BigNum
+BigNum::operator+(const BigNum &o) const
+{
+    BigNum r;
+    if (neg_ == o.neg_) {
+        r.limbs_ = addAbs(limbs_, o.limbs_);
+        r.neg_ = neg_;
+    } else {
+        int mag = cmpAbsRaw(limbs_, o.limbs_);
+        if (mag == 0)
+            return r; // zero
+        if (mag > 0) {
+            r.limbs_ = subAbs(limbs_, o.limbs_);
+            r.neg_ = neg_;
+        } else {
+            r.limbs_ = subAbs(o.limbs_, limbs_);
+            r.neg_ = o.neg_;
+        }
+    }
+    r.normalize();
+    return r;
+}
+
+BigNum
+BigNum::operator-(const BigNum &o) const
+{
+    BigNum negated = o;
+    if (!negated.isZero())
+        negated.neg_ = !negated.neg_;
+    return *this + negated;
+}
+
+BigNum
+BigNum::operator-() const
+{
+    BigNum r = *this;
+    if (!r.isZero())
+        r.neg_ = !r.neg_;
+    return r;
+}
+
+BigNum
+BigNum::operator*(const BigNum &o) const
+{
+    BigNum r;
+    if (isZero() || o.isZero())
+        return r;
+    r.limbs_.assign(limbs_.size() + o.limbs_.size(), 0);
+    for (size_t i = 0; i < o.limbs_.size(); ++i) {
+        Limb carry = bn_mul_add_words(r.limbs_.data() + i, limbs_.data(),
+                                      limbs_.size(), o.limbs_[i]);
+        r.limbs_[i + limbs_.size()] = carry;
+    }
+    r.neg_ = neg_ != o.neg_;
+    r.normalize();
+    return r;
+}
+
+BigNum
+BigNum::sqr() const
+{
+    perf::FuncProbe probe("BN_sqr", perf::ProbeLevel::Fine);
+    BigNum r;
+    size_t n = limbs_.size();
+    if (n == 0)
+        return r;
+    r.limbs_.assign(2 * n, 0);
+    for (size_t i = 0; i < n; ++i) {
+        // Position i+n is untouched by earlier iterations, so the carry
+        // can be stored directly.
+        r.limbs_[i + n] = bn_mul_add_words(r.limbs_.data() + i,
+                                           limbs_.data(), n, limbs_[i]);
+    }
+    r.normalize();
+    return r;
+}
+
+BigNum
+BigNum::shiftLeft(size_t bits) const
+{
+    if (isZero() || bits == 0)
+        return *this;
+    size_t limb_shift = bits / limbBits;
+    unsigned bit_shift = bits % limbBits;
+    BigNum r;
+    r.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+    for (size_t i = 0; i < limbs_.size(); ++i) {
+        r.limbs_[i + limb_shift] |= limbs_[i] << bit_shift;
+        if (bit_shift)
+            r.limbs_[i + limb_shift + 1] =
+                limbs_[i] >> (limbBits - bit_shift);
+    }
+    r.neg_ = neg_;
+    r.normalize();
+    return r;
+}
+
+BigNum
+BigNum::shiftRight(size_t bits) const
+{
+    size_t limb_shift = bits / limbBits;
+    unsigned bit_shift = bits % limbBits;
+    BigNum r;
+    if (limb_shift >= limbs_.size())
+        return r;
+    r.limbs_.assign(limbs_.size() - limb_shift, 0);
+    for (size_t i = 0; i < r.limbs_.size(); ++i) {
+        r.limbs_[i] = limbs_[i + limb_shift] >> bit_shift;
+        if (bit_shift && i + limb_shift + 1 < limbs_.size())
+            r.limbs_[i] |=
+                limbs_[i + limb_shift + 1] << (limbBits - bit_shift);
+    }
+    r.neg_ = neg_;
+    r.normalize();
+    return r;
+}
+
+namespace
+{
+
+/** |a| / single-limb divisor; returns remainder. */
+Limb
+divModSingle(const std::vector<Limb> &a, Limb d, std::vector<Limb> &q)
+{
+    q.assign(a.size(), 0);
+    DLimb rem = 0;
+    for (size_t i = a.size(); i-- > 0;) {
+        DLimb cur = (rem << limbBits) | a[i];
+        q[i] = static_cast<Limb>(cur / d);
+        rem = cur % d;
+    }
+    return static_cast<Limb>(rem);
+}
+
+/**
+ * Knuth algorithm D over magnitudes: q = |a| / |b|, r = |a| mod |b|.
+ * Requires |b| >= 2 limbs and |a| >= |b|.
+ */
+void
+divModKnuth(const std::vector<Limb> &a, const std::vector<Limb> &b,
+            std::vector<Limb> &q, std::vector<Limb> &r)
+{
+    size_t n = b.size();
+    size_t m = a.size() - n;
+
+    unsigned shift = std::countl_zero(b.back());
+
+    // Normalized copies: u has one extra high limb.
+    std::vector<Limb> u(a.size() + 1, 0);
+    std::vector<Limb> v(n, 0);
+    if (shift == 0) {
+        std::copy(a.begin(), a.end(), u.begin());
+        v = b;
+    } else {
+        for (size_t i = 0; i < a.size(); ++i) {
+            u[i] |= a[i] << shift;
+            u[i + 1] = a[i] >> (limbBits - shift);
+        }
+        for (size_t i = 0; i < n; ++i) {
+            v[i] = b[i] << shift;
+            if (i > 0)
+                v[i] |= b[i - 1] >> (limbBits - shift);
+        }
+    }
+
+    q.assign(m + 1, 0);
+    const DLimb base = limbBase;
+
+    for (size_t j = m + 1; j-- > 0;) {
+        DLimb num = (static_cast<DLimb>(u[j + n]) << limbBits) |
+                    u[j + n - 1];
+        DLimb qhat = num / v[n - 1];
+        DLimb rhat = num % v[n - 1];
+
+        while (qhat >= base ||
+               qhat * v[n - 2] >
+                   ((rhat << limbBits) | u[j + n - 2])) {
+            --qhat;
+            rhat += v[n - 1];
+            if (rhat >= base)
+                break;
+        }
+
+        // u[j .. j+n] -= qhat * v.
+        DLimb mul_carry = 0;
+        DLimb borrow = 0;
+        for (size_t i = 0; i < n; ++i) {
+            DLimb p = qhat * v[i] + mul_carry;
+            mul_carry = p >> limbBits;
+            DLimb sub = static_cast<DLimb>(u[j + i]) -
+                        static_cast<Limb>(p) - borrow;
+            u[j + i] = static_cast<Limb>(sub);
+            borrow = (sub >> limbBits) & 1;
+        }
+        DLimb sub = static_cast<DLimb>(u[j + n]) - mul_carry - borrow;
+        u[j + n] = static_cast<Limb>(sub);
+
+        if (sub >> 63) {
+            // qhat was one too large; add v back.
+            --qhat;
+            Limb carry = 0;
+            for (size_t i = 0; i < n; ++i) {
+                DLimb t = static_cast<DLimb>(u[j + i]) + v[i] + carry;
+                u[j + i] = static_cast<Limb>(t);
+                carry = static_cast<Limb>(t >> limbBits);
+            }
+            u[j + n] += carry;
+        }
+
+        q[j] = static_cast<Limb>(qhat);
+    }
+
+    // Denormalize the remainder.
+    r.assign(n, 0);
+    if (shift == 0) {
+        std::copy(u.begin(), u.begin() + n, r.begin());
+    } else {
+        for (size_t i = 0; i < n; ++i) {
+            r[i] = u[i] >> shift;
+            r[i] |= u[i + 1] << (limbBits - shift);
+        }
+    }
+}
+
+} // anonymous namespace
+
+void
+BigNum::divMod(const BigNum &a, const BigNum &b, BigNum &q, BigNum &r)
+{
+    perf::FuncProbe probe("BN_div", perf::ProbeLevel::Fine);
+    if (b.isZero())
+        throw std::domain_error("BigNum: division by zero");
+
+    int mag = cmpAbsRaw(a.limbs_, b.limbs_);
+    if (mag < 0) {
+        r = a;
+        q = BigNum();
+        return;
+    }
+
+    BigNum quot, rem;
+    if (b.limbs_.size() == 1) {
+        Limb rem_word = divModSingle(a.limbs_, b.limbs_[0], quot.limbs_);
+        rem = BigNum(rem_word);
+    } else {
+        divModKnuth(a.limbs_, b.limbs_, quot.limbs_, rem.limbs_);
+    }
+    quot.normalize();
+    rem.normalize();
+
+    quot.neg_ = (a.neg_ != b.neg_) && !quot.isZero();
+    rem.neg_ = a.neg_ && !rem.isZero();
+    q = std::move(quot);
+    r = std::move(rem);
+}
+
+BigNum
+BigNum::operator/(const BigNum &o) const
+{
+    BigNum q, r;
+    divMod(*this, o, q, r);
+    return q;
+}
+
+BigNum
+BigNum::operator%(const BigNum &o) const
+{
+    BigNum q, r;
+    divMod(*this, o, q, r);
+    return r;
+}
+
+BigNum
+BigNum::mod(const BigNum &m) const
+{
+    if (m.isZero() || m.neg_)
+        throw std::domain_error("BigNum::mod: modulus must be positive");
+    BigNum r = *this % m;
+    if (r.neg_)
+        r = r + m;
+    return r;
+}
+
+BigNum
+BigNum::modAdd(const BigNum &a, const BigNum &b, const BigNum &m)
+{
+    BigNum s = a + b;
+    if (s.cmpAbs(m) >= 0 || s.neg_)
+        s = s.mod(m);
+    return s;
+}
+
+BigNum
+BigNum::modSub(const BigNum &a, const BigNum &b, const BigNum &m)
+{
+    BigNum s = a - b;
+    if (s.neg_ || s.cmpAbs(m) >= 0)
+        s = s.mod(m);
+    return s;
+}
+
+BigNum
+BigNum::modMul(const BigNum &a, const BigNum &b, const BigNum &m)
+{
+    return (a * b).mod(m);
+}
+
+BigNum
+BigNum::gcd(const BigNum &a, const BigNum &b)
+{
+    BigNum x = a;
+    BigNum y = b;
+    x.neg_ = false;
+    y.neg_ = false;
+    while (!y.isZero()) {
+        BigNum r = x % y;
+        x = std::move(y);
+        y = std::move(r);
+    }
+    return x;
+}
+
+BigNum
+BigNum::modInverse(const BigNum &a, const BigNum &m)
+{
+    if (m.isZero() || m.neg_)
+        throw std::domain_error("modInverse: modulus must be positive");
+    // Extended Euclid on (m, a mod m).
+    BigNum r0 = m;
+    BigNum r1 = a.mod(m);
+    BigNum s0 = 0;
+    BigNum s1 = 1;
+    while (!r1.isZero()) {
+        BigNum q, r;
+        divMod(r0, r1, q, r);
+        r0 = std::move(r1);
+        r1 = std::move(r);
+        BigNum s_next = s0 - q * s1;
+        s0 = std::move(s1);
+        s1 = std::move(s_next);
+    }
+    if (!r0.isOne())
+        throw std::domain_error("modInverse: not invertible");
+    return s0.mod(m);
+}
+
+BigNum
+BigNum::fromLimbs(std::vector<Limb> limbs, bool negative)
+{
+    BigNum n;
+    n.limbs_ = std::move(limbs);
+    n.neg_ = negative;
+    n.normalize();
+    return n;
+}
+
+} // namespace ssla::bn

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Arbitrary-precision signed integers on 32-bit limbs.
+ *
+ * This is the substrate under RSA (src/crypto/rsa.*) and the PKI layer.
+ * The representation mirrors OpenSSL's BIGNUM as the paper profiled it:
+ * little-endian arrays of 32-bit limbs, sign-magnitude, with the word
+ * kernels of bn/kernels.hh doing the inner loops so that fine-grained
+ * profiling (Table 8) attributes time the way the paper's did.
+ */
+
+#ifndef SSLA_BN_BIGNUM_HH
+#define SSLA_BN_BIGNUM_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bn/kernels.hh"
+#include "util/types.hh"
+
+namespace ssla::bn
+{
+
+/** A signed arbitrary-precision integer. */
+class BigNum
+{
+  public:
+    /** Construct zero. */
+    BigNum() = default;
+
+    /** Construct from an unsigned 64-bit value. */
+    BigNum(uint64_t v); // NOLINT: implicit by design (literals)
+
+    /** Construct from a signed value. */
+    static BigNum fromInt(int64_t v);
+
+    /** Parse a big-endian byte string (as SSL wire format uses). */
+    static BigNum fromBytesBE(const uint8_t *data, size_t len);
+    static BigNum fromBytesBE(const Bytes &data);
+
+    /** Parse a hex string (optionally "-" prefixed). */
+    static BigNum fromHex(std::string_view hex);
+
+    /** Parse a decimal string (optionally "-" prefixed). */
+    static BigNum fromDecimal(std::string_view dec);
+
+    /**
+     * Serialize the magnitude as a big-endian byte string.
+     *
+     * With @p width == 0 the minimal length is used (empty for zero);
+     * otherwise the output is left-padded with zeros to exactly
+     * @p width bytes (throws std::length_error if it does not fit).
+     */
+    Bytes toBytesBE(size_t width = 0) const;
+
+    /** Lower-case hex rendering of the value ("0" for zero). */
+    std::string toHex() const;
+
+    /** Decimal rendering of the value. */
+    std::string toDecimal() const;
+
+    bool isZero() const { return limbs_.empty(); }
+    bool isOne() const;
+    bool isOdd() const { return !limbs_.empty() && (limbs_[0] & 1); }
+    bool isNegative() const { return neg_; }
+
+    /** Number of significant bits of the magnitude (0 for zero). */
+    size_t bitLength() const;
+
+    /** Number of bytes needed to hold the magnitude. */
+    size_t byteLength() const { return (bitLength() + 7) / 8; }
+
+    /** Test magnitude bit @p i (LSB is bit 0). */
+    bool testBit(size_t i) const;
+
+    /** Set magnitude bit @p i. */
+    void setBit(size_t i);
+
+    /** Low 32 bits of the magnitude. */
+    Limb loWord() const { return limbs_.empty() ? 0 : limbs_[0]; }
+
+    /** Three-way comparison: -1, 0, +1. */
+    int cmp(const BigNum &other) const;
+
+    /** Three-way comparison of magnitudes. */
+    int cmpAbs(const BigNum &other) const;
+
+    bool operator==(const BigNum &o) const { return cmp(o) == 0; }
+    bool operator!=(const BigNum &o) const { return cmp(o) != 0; }
+    bool operator<(const BigNum &o) const { return cmp(o) < 0; }
+    bool operator<=(const BigNum &o) const { return cmp(o) <= 0; }
+    bool operator>(const BigNum &o) const { return cmp(o) > 0; }
+    bool operator>=(const BigNum &o) const { return cmp(o) >= 0; }
+
+    BigNum operator+(const BigNum &o) const;
+    BigNum operator-(const BigNum &o) const;
+    BigNum operator*(const BigNum &o) const;
+    /** Truncated (C-style) quotient. */
+    BigNum operator/(const BigNum &o) const;
+    /** C-style remainder (sign follows the dividend). */
+    BigNum operator%(const BigNum &o) const;
+    BigNum operator-() const;
+
+    BigNum &operator+=(const BigNum &o) { return *this = *this + o; }
+    BigNum &operator-=(const BigNum &o) { return *this = *this - o; }
+    BigNum &operator*=(const BigNum &o) { return *this = *this * o; }
+
+    /** Squaring (specialized multiply; OpenSSL's BN_sqr). */
+    BigNum sqr() const;
+
+    /** Shift the magnitude left by @p bits. */
+    BigNum shiftLeft(size_t bits) const;
+
+    /** Shift the magnitude right by @p bits (arithmetic on magnitude). */
+    BigNum shiftRight(size_t bits) const;
+
+    /**
+     * Quotient and remainder in one division (Knuth algorithm D).
+     * Signs are C-style: q truncates toward zero, r follows a.
+     */
+    static void divMod(const BigNum &a, const BigNum &b, BigNum &q,
+                       BigNum &r);
+
+    /** Non-negative residue in [0, m); @p m must be positive. */
+    BigNum mod(const BigNum &m) const;
+
+    /** (a + b) mod m on non-negative inputs. */
+    static BigNum modAdd(const BigNum &a, const BigNum &b,
+                         const BigNum &m);
+
+    /** (a - b) mod m on non-negative inputs. */
+    static BigNum modSub(const BigNum &a, const BigNum &b,
+                         const BigNum &m);
+
+    /** (a * b) mod m. */
+    static BigNum modMul(const BigNum &a, const BigNum &b,
+                         const BigNum &m);
+
+    /** Greatest common divisor of magnitudes. */
+    static BigNum gcd(const BigNum &a, const BigNum &b);
+
+    /**
+     * Multiplicative inverse of @p a modulo @p m.
+     * @throws std::domain_error when gcd(a, m) != 1.
+     */
+    static BigNum modInverse(const BigNum &a, const BigNum &m);
+
+    /** Direct access to the limb array (little-endian). */
+    const std::vector<Limb> &limbs() const { return limbs_; }
+
+    /** Number of limbs in the magnitude. */
+    size_t size() const { return limbs_.size(); }
+
+    /**
+     * Build from a raw limb vector (takes ownership, normalizes).
+     * Primarily for the Montgomery layer.
+     */
+    static BigNum fromLimbs(std::vector<Limb> limbs, bool negative = false);
+
+  private:
+    /** Strip high zero limbs; canonicalize -0 to +0. */
+    void normalize();
+
+    static std::vector<Limb> addAbs(const std::vector<Limb> &a,
+                                    const std::vector<Limb> &b);
+    /** |a| - |b| assuming |a| >= |b|. */
+    static std::vector<Limb> subAbs(const std::vector<Limb> &a,
+                                    const std::vector<Limb> &b);
+    static int cmpAbsRaw(const std::vector<Limb> &a,
+                         const std::vector<Limb> &b);
+
+    std::vector<Limb> limbs_; ///< magnitude, least-significant first
+    bool neg_ = false;        ///< sign (false for zero)
+};
+
+} // namespace ssla::bn
+
+#endif // SSLA_BN_BIGNUM_HH

@@ -1,0 +1,41 @@
+#include "bn/kernels.hh"
+
+#include "perf/probe.hh"
+
+namespace ssla::bn
+{
+
+namespace
+{
+perf::NullMeter nullMeter;
+} // anonymous namespace
+
+Limb
+bn_mul_add_words(Limb *r, const Limb *a, size_t n, Limb w)
+{
+    perf::FuncProbe probe("bn_mul_add_words", perf::ProbeLevel::Fine);
+    return bnMulAddWordsT(r, a, n, w, nullMeter);
+}
+
+Limb
+bn_mul_words(Limb *r, const Limb *a, size_t n, Limb w)
+{
+    perf::FuncProbe probe("bn_mul_words", perf::ProbeLevel::Fine);
+    return bnMulWordsT(r, a, n, w, nullMeter);
+}
+
+Limb
+bn_add_words(Limb *r, const Limb *a, const Limb *b, size_t n)
+{
+    perf::FuncProbe probe("bn_add_words", perf::ProbeLevel::Fine);
+    return bnAddWordsT(r, a, b, n, nullMeter);
+}
+
+Limb
+bn_sub_words(Limb *r, const Limb *a, const Limb *b, size_t n)
+{
+    perf::FuncProbe probe("bn_sub_words", perf::ProbeLevel::Fine);
+    return bnSubWordsT(r, a, b, n, nullMeter);
+}
+
+} // namespace ssla::bn

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Word-level bignum kernels, mirroring OpenSSL's bn_*_words layer.
+ *
+ * The paper's Table 8 shows that RSA decryption time concentrates in
+ * exactly these functions (bn_mul_add_words alone takes 47%), and
+ * Table 9 lists the x86 instruction body of bn_mul_add_words. We use
+ * 32-bit limbs with 64-bit intermediates — the configuration OpenSSL
+ * 0.9.7d used on the paper's Pentium 4 — so the kernel anatomy matches.
+ *
+ * Each kernel exists as a Meter-policy template (for the instruction-mix
+ * study) and as a plain instrumented function (production path, with a
+ * Fine-level cycle probe for the Table 8 profile).
+ */
+
+#ifndef SSLA_BN_KERNELS_HH
+#define SSLA_BN_KERNELS_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "perf/opcount.hh"
+
+namespace ssla::bn
+{
+
+/** One machine word of a big number (OpenSSL's BN_ULONG). */
+using Limb = uint32_t;
+/** Double-width intermediate (OpenSSL's BN_ULLONG). */
+using DLimb = uint64_t;
+
+constexpr unsigned limbBits = 32;
+constexpr DLimb limbBase = DLimb(1) << limbBits;
+constexpr Limb limbMax = 0xffffffffu;
+
+/**
+ * r[0..n) += a[0..n) * w; returns the carry limb.
+ *
+ * This is THE hot loop of RSA (Table 8/9): one widening multiply plus
+ * two carry-propagating adds per word.
+ */
+template <class Meter>
+Limb
+bnMulAddWordsT(Limb *r, const Limb *a, size_t n, Limb w, Meter &m)
+{
+    Limb carry = 0;
+    for (size_t i = 0; i < n; ++i) {
+        // The x86-32 body the paper lists in Table 9:
+        //   movl a[i] / mull w / addl carry / movl r[i] / adcl 0
+        //   addl r / adcl 0 / movl ->r[i] / movl edx->carry
+        // plus the loop control (incl/cmpl/jnz after 4x unrolling).
+        DLimb t = static_cast<DLimb>(a[i]) * w + carry + r[i];
+        r[i] = static_cast<Limb>(t);
+        carry = static_cast<Limb>(t >> limbBits);
+        if constexpr (Meter::counting) {
+            m.count(perf::OpClass::MovL, 4);
+            m.count(perf::OpClass::MulL, 1);
+            m.count(perf::OpClass::AddL, 2);
+            m.count(perf::OpClass::AdcL, 2);
+        }
+    }
+    if constexpr (Meter::counting) {
+        // 4x-unrolled loop: control overhead amortized over 4 words.
+        m.count(perf::OpClass::AddL, (n + 3) / 4);
+        m.count(perf::OpClass::CmpL, (n + 3) / 4);
+        m.count(perf::OpClass::Jcc, (n + 3) / 4);
+    }
+    return carry;
+}
+
+/** r[0..n) = a[0..n) * w; returns the carry limb. */
+template <class Meter>
+Limb
+bnMulWordsT(Limb *r, const Limb *a, size_t n, Limb w, Meter &m)
+{
+    Limb carry = 0;
+    for (size_t i = 0; i < n; ++i) {
+        DLimb t = static_cast<DLimb>(a[i]) * w + carry;
+        r[i] = static_cast<Limb>(t);
+        carry = static_cast<Limb>(t >> limbBits);
+        if constexpr (Meter::counting) {
+            m.count(perf::OpClass::MovL, 3);
+            m.count(perf::OpClass::MulL, 1);
+            m.count(perf::OpClass::AddL, 1);
+            m.count(perf::OpClass::AdcL, 1);
+        }
+    }
+    if constexpr (Meter::counting) {
+        m.count(perf::OpClass::AddL, (n + 3) / 4);
+        m.count(perf::OpClass::CmpL, (n + 3) / 4);
+        m.count(perf::OpClass::Jcc, (n + 3) / 4);
+    }
+    return carry;
+}
+
+/** r[0..n) = a[0..n) + b[0..n); returns the carry bit. */
+template <class Meter>
+Limb
+bnAddWordsT(Limb *r, const Limb *a, const Limb *b, size_t n, Meter &m)
+{
+    Limb carry = 0;
+    for (size_t i = 0; i < n; ++i) {
+        DLimb t = static_cast<DLimb>(a[i]) + b[i] + carry;
+        r[i] = static_cast<Limb>(t);
+        carry = static_cast<Limb>(t >> limbBits);
+        if constexpr (Meter::counting) {
+            m.count(perf::OpClass::MovL, 3);
+            m.count(perf::OpClass::AddL, 1);
+            m.count(perf::OpClass::AdcL, 1);
+        }
+    }
+    if constexpr (Meter::counting) {
+        m.count(perf::OpClass::AddL, (n + 3) / 4);
+        m.count(perf::OpClass::CmpL, (n + 3) / 4);
+        m.count(perf::OpClass::Jcc, (n + 3) / 4);
+    }
+    return carry;
+}
+
+/** r[0..n) = a[0..n) - b[0..n); returns the borrow bit. */
+template <class Meter>
+Limb
+bnSubWordsT(Limb *r, const Limb *a, const Limb *b, size_t n, Meter &m)
+{
+    Limb borrow = 0;
+    for (size_t i = 0; i < n; ++i) {
+        DLimb t = static_cast<DLimb>(a[i]) - b[i] - borrow;
+        r[i] = static_cast<Limb>(t);
+        borrow = static_cast<Limb>((t >> limbBits) & 1);
+        if constexpr (Meter::counting) {
+            m.count(perf::OpClass::MovL, 3);
+            m.count(perf::OpClass::SubL, 1);
+            m.count(perf::OpClass::SbbL, 1);
+        }
+    }
+    if constexpr (Meter::counting) {
+        m.count(perf::OpClass::AddL, (n + 3) / 4);
+        m.count(perf::OpClass::CmpL, (n + 3) / 4);
+        m.count(perf::OpClass::Jcc, (n + 3) / 4);
+    }
+    return borrow;
+}
+
+// Production entry points (NullMeter instantiations with Fine probes).
+
+/** r += a * w over n words; see bnMulAddWordsT. */
+Limb bn_mul_add_words(Limb *r, const Limb *a, size_t n, Limb w);
+/** r = a * w over n words. */
+Limb bn_mul_words(Limb *r, const Limb *a, size_t n, Limb w);
+/** r = a + b over n words; returns carry. */
+Limb bn_add_words(Limb *r, const Limb *a, const Limb *b, size_t n);
+/** r = a - b over n words; returns borrow. */
+Limb bn_sub_words(Limb *r, const Limb *a, const Limb *b, size_t n);
+
+} // namespace ssla::bn
+
+#endif // SSLA_BN_KERNELS_HH

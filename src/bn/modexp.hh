@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Modular exponentiation — the "computation" step of the paper's
+ * Table 7 (97-99% of RSA decryption).
+ */
+
+#ifndef SSLA_BN_MODEXP_HH
+#define SSLA_BN_MODEXP_HH
+
+#include "bn/bignum.hh"
+#include "bn/montgomery.hh"
+
+namespace ssla::bn
+{
+
+/**
+ * base^exp mod m via 4-bit fixed-window Montgomery exponentiation
+ * (odd m), falling back to square-and-multiply with division for even
+ * moduli. @p exp must be non-negative.
+ */
+BigNum modExp(const BigNum &base, const BigNum &exp, const BigNum &m);
+
+/**
+ * base^exp mod m reusing a prebuilt Montgomery context (RSA keeps one
+ * context per modulus across all private-key operations).
+ */
+BigNum modExpMont(const BigNum &base, const BigNum &exp,
+                  const MontgomeryCtx &ctx);
+
+} // namespace ssla::bn
+
+#endif // SSLA_BN_MODEXP_HH

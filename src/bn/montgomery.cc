@@ -1,0 +1,165 @@
+#include "bn/montgomery.hh"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "perf/probe.hh"
+
+namespace ssla::bn
+{
+
+namespace
+{
+
+/** Inverse of an odd 32-bit value modulo 2^32, by Newton iteration. */
+Limb
+inverseMod32(Limb x)
+{
+    // Each iteration doubles the number of correct low bits; five
+    // iterations take the initial 3 correct bits past 32.
+    Limb y = x; // correct mod 2^3 for odd x
+    for (int i = 0; i < 5; ++i)
+        y = y * (2 - x * y);
+    return y;
+}
+
+} // anonymous namespace
+
+MontgomeryCtx::MontgomeryCtx(const BigNum &modulus) : n_(modulus)
+{
+    if (!n_.isOdd() || n_ <= BigNum(1))
+        throw std::domain_error("MontgomeryCtx: modulus must be odd > 1");
+    n0_ = static_cast<Limb>(0u - inverseMod32(n_.loWord()));
+
+    size_t nbits = limbCount() * limbBits;
+    BigNum r = BigNum(1).shiftLeft(nbits);
+    rModN_ = r.mod(n_);
+    rr_ = r.sqr().mod(n_);
+    t_.resize(2 * limbCount() + 1);
+}
+
+MontgomeryCtx::Raw
+MontgomeryCtx::toRaw(const BigNum &a) const
+{
+    if (a.isNegative() || a.cmpAbs(n_) >= 0)
+        throw std::domain_error("MontgomeryCtx: value out of range");
+    Raw out(limbCount(), 0);
+    const auto &limbs = a.limbs();
+    std::copy(limbs.begin(), limbs.end(), out.begin());
+    return out;
+}
+
+BigNum
+MontgomeryCtx::fromRaw(const Raw &a) const
+{
+    return BigNum::fromLimbs(Raw(a));
+}
+
+void
+MontgomeryCtx::reduceScratch(Raw &out) const
+{
+    perf::FuncProbe probe("BN_from_montgomery", perf::ProbeLevel::Fine);
+    size_t n = limbCount();
+    const Limb *mod = n_.limbs().data();
+    Limb *t = t_.data();
+
+    for (size_t i = 0; i < n; ++i) {
+        Limb m = t[i] * n0_;
+        Limb carry = bn_mul_add_words(t + i, mod, n, m);
+        // Propagate the word carry through the upper limbs.
+        size_t k = i + n;
+        while (carry) {
+            DLimb s = static_cast<DLimb>(t[k]) + carry;
+            t[k] = static_cast<Limb>(s);
+            carry = static_cast<Limb>(s >> limbBits);
+            ++k;
+        }
+    }
+
+    // Result is t >> (n words); subtract N once if needed.
+    Limb *u = t + n;
+    bool ge = u[n] != 0;
+    if (!ge) {
+        ge = true;
+        for (size_t i = n; i-- > 0;) {
+            if (u[i] != mod[i]) {
+                ge = u[i] > mod[i];
+                break;
+            }
+        }
+    }
+    out.resize(n);
+    if (ge) {
+        Limb borrow = bn_sub_words(out.data(), u, mod, n);
+        (void)borrow; // u - N < R by construction
+    } else {
+        std::memcpy(out.data(), u, n * sizeof(Limb));
+    }
+}
+
+void
+MontgomeryCtx::mulRaw(Raw &out, const Raw &a, const Raw &b) const
+{
+    size_t n = limbCount();
+    std::fill(t_.begin(), t_.end(), 0);
+    for (size_t i = 0; i < n; ++i) {
+        if (b[i] == 0)
+            continue;
+        Limb carry =
+            bn_mul_add_words(t_.data() + i, a.data(), n, b[i]);
+        t_[i + n] += carry; // position i+n has no prior carry-in > word
+        if (t_[i + n] < carry) {
+            size_t k = i + n + 1;
+            while (++t_[k] == 0)
+                ++k;
+        }
+    }
+    reduceScratch(out);
+}
+
+void
+MontgomeryCtx::sqrRaw(Raw &out, const Raw &a) const
+{
+    perf::FuncProbe probe("BN_sqr", perf::ProbeLevel::Fine);
+    mulRaw(out, a, a);
+}
+
+BigNum
+MontgomeryCtx::mul(const BigNum &a, const BigNum &b) const
+{
+    Raw ra = toRaw(a);
+    Raw rb = toRaw(b);
+    Raw out;
+    mulRaw(out, ra, rb);
+    return fromRaw(out);
+}
+
+BigNum
+MontgomeryCtx::sqr(const BigNum &a) const
+{
+    Raw ra = toRaw(a);
+    Raw out;
+    sqrRaw(out, ra);
+    return fromRaw(out);
+}
+
+BigNum
+MontgomeryCtx::toMont(const BigNum &a) const
+{
+    return mul(a, rr_);
+}
+
+BigNum
+MontgomeryCtx::fromMont(const BigNum &a) const
+{
+    std::fill(t_.begin(), t_.end(), 0);
+    const auto &limbs = a.limbs();
+    if (a.isNegative() || limbs.size() > limbCount())
+        throw std::domain_error("MontgomeryCtx: value out of range");
+    std::copy(limbs.begin(), limbs.end(), t_.begin());
+    Raw out;
+    reduceScratch(out);
+    return fromRaw(out);
+}
+
+} // namespace ssla::bn

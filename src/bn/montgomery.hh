@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Montgomery multiplication context for odd moduli.
+ *
+ * RSA's modular exponentiation spends nearly all of its time in the
+ * Montgomery product (built on bn_mul_add_words) and the subsequent
+ * reduction (OpenSSL's BN_from_montgomery, visible in the paper's
+ * Table 8), so the split between the two is kept explicit here.
+ *
+ * The hot path works on fixed-width raw limb vectors with scratch
+ * buffers owned by the context (the BN_CTX idea), so the inner loops
+ * allocate nothing; BigNum-typed wrappers cover general use. A context
+ * is therefore not thread-safe; share moduli, not contexts.
+ */
+
+#ifndef SSLA_BN_MONTGOMERY_HH
+#define SSLA_BN_MONTGOMERY_HH
+
+#include "bn/bignum.hh"
+
+namespace ssla::bn
+{
+
+/** Precomputed per-modulus state for Montgomery arithmetic. */
+class MontgomeryCtx
+{
+  public:
+    /** Fixed-width (modulus-sized) little-endian limb vector. */
+    using Raw = std::vector<Limb>;
+
+    /**
+     * Build a context for @p modulus.
+     * @throws std::domain_error unless the modulus is odd and > 1
+     */
+    explicit MontgomeryCtx(const BigNum &modulus);
+
+    const BigNum &modulus() const { return n_; }
+
+    /** Number of limbs in the modulus (the fixed Raw width). */
+    size_t limbCount() const { return n_.size(); }
+
+    // BigNum-typed interface.
+
+    /** Map @p a (in [0, N)) into the Montgomery domain: a*R mod N. */
+    BigNum toMont(const BigNum &a) const;
+
+    /** Map out of the Montgomery domain: a*R^-1 mod N. */
+    BigNum fromMont(const BigNum &a) const;
+
+    /** Montgomery product: a*b*R^-1 mod N for a, b in the domain. */
+    BigNum mul(const BigNum &a, const BigNum &b) const;
+
+    /** Montgomery square: a*a*R^-1 mod N. */
+    BigNum sqr(const BigNum &a) const;
+
+    /** The value 1 in the Montgomery domain (R mod N). */
+    const BigNum &one() const { return rModN_; }
+
+    // Raw fixed-width interface (the allocation-free hot path).
+
+    /** Widen a reduced BigNum to an n-limb Raw. */
+    Raw toRaw(const BigNum &a) const;
+
+    /** Collapse a Raw back into a BigNum. */
+    BigNum fromRaw(const Raw &a) const;
+
+    /** out = a*b*R^-1 mod N (out may not alias a or b). */
+    void mulRaw(Raw &out, const Raw &a, const Raw &b) const;
+
+    /** out = a^2*R^-1 mod N (out may not alias a). */
+    void sqrRaw(Raw &out, const Raw &a) const;
+
+  private:
+    /**
+     * Reduce the double-width product in scratch t_ into @p out:
+     * out = t * R^-1 mod N. This is OpenSSL's BN_from_montgomery and
+     * is probed as such.
+     */
+    void reduceScratch(Raw &out) const;
+
+    BigNum n_;     ///< the modulus
+    Limb n0_;      ///< -N^-1 mod 2^32
+    BigNum rr_;    ///< R^2 mod N (for toMont)
+    BigNum rModN_; ///< R mod N (Montgomery representation of 1)
+    mutable Raw t_; ///< 2n+1-limb product/reduction scratch
+};
+
+} // namespace ssla::bn
+
+#endif // SSLA_BN_MONTGOMERY_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Probabilistic primality testing and prime generation (RSA keygen).
+ */
+
+#ifndef SSLA_BN_PRIME_HH
+#define SSLA_BN_PRIME_HH
+
+#include <functional>
+
+#include "bn/bignum.hh"
+
+namespace ssla::bn
+{
+
+/** A source of random bytes (crypto pool or deterministic test RNG). */
+using RngFunc = std::function<void(uint8_t *out, size_t len)>;
+
+/** Uniform random value in [0, bound) using @p rng. */
+BigNum randomBelow(const BigNum &bound, const RngFunc &rng);
+
+/** Random value of exactly @p bits bits (top bit set). */
+BigNum randomBits(size_t bits, const RngFunc &rng);
+
+/**
+ * Miller–Rabin primality test.
+ *
+ * @param n candidate (must be > 2 and odd for a meaningful answer;
+ *          small cases are handled exactly)
+ * @param rounds number of random bases
+ * @return false if composite; true if probably prime
+ */
+bool millerRabin(const BigNum &n, int rounds, const RngFunc &rng);
+
+/** Trial division by a built-in table of small primes. */
+bool passesTrialDivision(const BigNum &n);
+
+/** Combined trial-division + Miller-Rabin check with default rounds. */
+bool isProbablePrime(const BigNum &n, const RngFunc &rng);
+
+/**
+ * Generate a random prime of exactly @p bits bits with the top two
+ * bits set (so RSA moduli get their full length).
+ */
+BigNum generatePrime(size_t bits, const RngFunc &rng);
+
+} // namespace ssla::bn
+
+#endif // SSLA_BN_PRIME_HH

@@ -1,0 +1,211 @@
+#include "crypto/aes.hh"
+
+#include <stdexcept>
+
+namespace ssla::crypto
+{
+
+namespace
+{
+
+/** GF(2^8) multiply modulo the AES polynomial x^8+x^4+x^3+x+1. */
+uint8_t
+gmul(uint8_t a, uint8_t b)
+{
+    uint8_t p = 0;
+    for (int i = 0; i < 8; ++i) {
+        if (b & 1)
+            p ^= a;
+        bool hi = a & 0x80;
+        a <<= 1;
+        if (hi)
+            a ^= 0x1b;
+        b >>= 1;
+    }
+    return p;
+}
+
+uint8_t
+rotl8(uint8_t v, int n)
+{
+    return static_cast<uint8_t>((v << n) | (v >> (8 - n)));
+}
+
+/** Build every table from first principles (no transcribed constants). */
+AesTables
+buildTables()
+{
+    AesTables t{};
+
+    // Multiplicative inverses via log/antilog tables on generator 3.
+    uint8_t exp_table[256];
+    uint8_t log_table[256] = {};
+    uint8_t x = 1;
+    for (int i = 0; i < 255; ++i) {
+        exp_table[i] = x;
+        log_table[x] = static_cast<uint8_t>(i);
+        x = gmul(x, 3);
+    }
+    exp_table[255] = exp_table[0];
+
+    auto inverse = [&](uint8_t v) -> uint8_t {
+        if (v == 0)
+            return 0;
+        return exp_table[255 - log_table[v]];
+    };
+
+    for (int i = 0; i < 256; ++i) {
+        uint8_t inv = inverse(static_cast<uint8_t>(i));
+        uint8_t s = inv ^ rotl8(inv, 1) ^ rotl8(inv, 2) ^ rotl8(inv, 3) ^
+                    rotl8(inv, 4) ^ 0x63;
+        t.sbox[i] = s;
+        t.inv_sbox[s] = static_cast<uint8_t>(i);
+    }
+
+    for (int i = 0; i < 256; ++i) {
+        uint8_t s = t.sbox[i];
+        uint8_t s2 = gmul(s, 2);
+        uint8_t s3 = gmul(s, 3);
+        uint32_t w = (static_cast<uint32_t>(s2) << 24) |
+                     (static_cast<uint32_t>(s) << 16) |
+                     (static_cast<uint32_t>(s) << 8) | s3;
+        t.te0[i] = w;
+        t.te1[i] = (w >> 8) | (w << 24);
+        t.te2[i] = (w >> 16) | (w << 16);
+        t.te3[i] = (w >> 24) | (w << 8);
+
+        uint8_t is = t.inv_sbox[i];
+        uint32_t d = (static_cast<uint32_t>(gmul(is, 0x0e)) << 24) |
+                     (static_cast<uint32_t>(gmul(is, 0x09)) << 16) |
+                     (static_cast<uint32_t>(gmul(is, 0x0d)) << 8) |
+                     gmul(is, 0x0b);
+        t.td0[i] = d;
+        t.td1[i] = (d >> 8) | (d << 24);
+        t.td2[i] = (d >> 16) | (d << 16);
+        t.td3[i] = (d >> 24) | (d << 8);
+    }
+    return t;
+}
+
+/** SubWord for the key schedule. */
+uint32_t
+subWord(uint32_t w, const AesTables &t)
+{
+    return (static_cast<uint32_t>(t.sbox[w >> 24]) << 24) |
+           (static_cast<uint32_t>(t.sbox[(w >> 16) & 0xff]) << 16) |
+           (static_cast<uint32_t>(t.sbox[(w >> 8) & 0xff]) << 8) |
+           t.sbox[w & 0xff];
+}
+
+/** InvMixColumns applied to one round-key word. */
+uint32_t
+invMixWord(uint32_t w)
+{
+    uint8_t a0 = static_cast<uint8_t>(w >> 24);
+    uint8_t a1 = static_cast<uint8_t>(w >> 16);
+    uint8_t a2 = static_cast<uint8_t>(w >> 8);
+    uint8_t a3 = static_cast<uint8_t>(w);
+    auto mix = [&](uint8_t c0, uint8_t c1, uint8_t c2, uint8_t c3) {
+        return static_cast<uint8_t>(gmul(a0, c0) ^ gmul(a1, c1) ^
+                                    gmul(a2, c2) ^ gmul(a3, c3));
+    };
+    return (static_cast<uint32_t>(mix(0x0e, 0x0b, 0x0d, 0x09)) << 24) |
+           (static_cast<uint32_t>(mix(0x09, 0x0e, 0x0b, 0x0d)) << 16) |
+           (static_cast<uint32_t>(mix(0x0d, 0x09, 0x0e, 0x0b)) << 8) |
+           mix(0x0b, 0x0d, 0x09, 0x0e);
+}
+
+int
+roundsForBits(unsigned bits)
+{
+    switch (bits) {
+      case 128:
+        return 10;
+      case 192:
+        return 12;
+      case 256:
+        return 14;
+      default:
+        throw std::invalid_argument("AES: key must be 128/192/256 bits");
+    }
+}
+
+} // anonymous namespace
+
+const AesTables &
+aesTables()
+{
+    static const AesTables tables = buildTables();
+    return tables;
+}
+
+void
+aesSetEncryptKey(const uint8_t *key, unsigned bits, AesKey &out)
+{
+    const AesTables &t = aesTables();
+    out.rounds = roundsForBits(bits);
+    unsigned nk = bits / 32;
+    unsigned nwords = 4 * (out.rounds + 1);
+
+    for (unsigned i = 0; i < nk; ++i)
+        out.rk[i] = load32be(key + 4 * i);
+
+    uint32_t rcon = 0x01000000u;
+    for (unsigned i = nk; i < nwords; ++i) {
+        uint32_t temp = out.rk[i - 1];
+        if (i % nk == 0) {
+            temp = subWord((temp << 8) | (temp >> 24), t) ^ rcon;
+            rcon = static_cast<uint32_t>(gmul(
+                       static_cast<uint8_t>(rcon >> 24), 2))
+                   << 24;
+        } else if (nk > 6 && i % nk == 4) {
+            temp = subWord(temp, t);
+        }
+        out.rk[i] = out.rk[i - nk] ^ temp;
+    }
+}
+
+void
+aesSetDecryptKey(const uint8_t *key, unsigned bits, AesKey &out)
+{
+    AesKey enc;
+    aesSetEncryptKey(key, bits, enc);
+    out.rounds = enc.rounds;
+
+    // Reverse the round-key order...
+    for (int r = 0; r <= enc.rounds; ++r) {
+        for (int w = 0; w < 4; ++w)
+            out.rk[4 * r + w] = enc.rk[4 * (enc.rounds - r) + w];
+    }
+    // ...and push the middle keys through InvMixColumns so decryption
+    // can reuse the table-lookup round structure.
+    for (int r = 1; r < out.rounds; ++r) {
+        for (int w = 0; w < 4; ++w)
+            out.rk[4 * r + w] = invMixWord(out.rk[4 * r + w]);
+    }
+}
+
+namespace
+{
+perf::NullMeter nullMeter;
+} // anonymous namespace
+
+Aes::Aes(const Bytes &key) : keyBits_(static_cast<unsigned>(key.size() * 8))
+{
+    aesSetEncryptKey(key.data(), keyBits_, enc_);
+    aesSetDecryptKey(key.data(), keyBits_, dec_);
+}
+
+void
+Aes::encryptBlock(const uint8_t in[16], uint8_t out[16]) const
+{
+    aesEncryptBlockT(enc_, in, out, nullMeter);
+}
+
+void
+Aes::decryptBlock(const uint8_t in[16], uint8_t out[16]) const
+{
+    aesDecryptBlockT(dec_, in, out, nullMeter);
+}
+
+} // namespace ssla::crypto

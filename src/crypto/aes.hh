@@ -1,0 +1,47 @@
+/**
+ * @file
+ * AES block cipher public interface (FIPS 197): 128/192/256-bit keys,
+ * single-block ECB primitives. Chaining modes live in crypto/cipher.hh.
+ */
+
+#ifndef SSLA_CRYPTO_AES_HH
+#define SSLA_CRYPTO_AES_HH
+
+#include "crypto/aes_kernel.hh"
+#include "util/types.hh"
+
+namespace ssla::crypto
+{
+
+/** An AES instance holding expanded encrypt and decrypt schedules. */
+class Aes
+{
+  public:
+    static constexpr size_t blockBytes = 16;
+
+    /**
+     * @param key raw key bytes; its length (16/24/32) picks the variant
+     */
+    explicit Aes(const Bytes &key);
+
+    /** Encrypt a single 16-byte block. */
+    void encryptBlock(const uint8_t in[16], uint8_t out[16]) const;
+
+    /** Decrypt a single 16-byte block. */
+    void decryptBlock(const uint8_t in[16], uint8_t out[16]) const;
+
+    unsigned keyBits() const { return keyBits_; }
+    int rounds() const { return enc_.rounds; }
+
+    const AesKey &encKey() const { return enc_; }
+    const AesKey &decKey() const { return dec_; }
+
+  private:
+    AesKey enc_;
+    AesKey dec_;
+    unsigned keyBits_;
+};
+
+} // namespace ssla::crypto
+
+#endif // SSLA_CRYPTO_AES_HH

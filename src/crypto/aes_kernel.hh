@@ -1,0 +1,257 @@
+/**
+ * @file
+ * AES (FIPS 197) block kernels in the classic four-table form.
+ *
+ * This is the same construction OpenSSL 0.9.7d used and the one the
+ * paper characterizes: four 256-entry 32-bit lookup tables (Table 4),
+ * ten/twelve/fourteen rounds of 16 table lookups + XORs, decomposed
+ * into the three parts of the paper's Table 5:
+ *   part 1: map the byte block to the cipher state + initial round key
+ *   part 2: the main rounds
+ *   part 3: the last round + map back to bytes
+ * Each part is a separate template so the anatomy bench can time them
+ * independently, exactly as the paper reports them.
+ */
+
+#ifndef SSLA_CRYPTO_AES_KERNEL_HH
+#define SSLA_CRYPTO_AES_KERNEL_HH
+
+#include <cstdint>
+
+#include "perf/opcount.hh"
+#include "util/endian.hh"
+
+namespace ssla::crypto
+{
+
+/** Lazily generated AES lookup tables (derived from GF(2^8) math). */
+struct AesTables
+{
+    uint32_t te0[256], te1[256], te2[256], te3[256];
+    uint32_t td0[256], td1[256], td2[256], td3[256];
+    uint8_t sbox[256];
+    uint8_t inv_sbox[256];
+};
+
+/** Access the process-wide table set (built on first use). */
+const AesTables &aesTables();
+
+/** Expanded key schedule; fits AES-256's 15 round keys. */
+struct AesKey
+{
+    uint32_t rk[60];
+    int rounds; ///< 10, 12 or 14
+};
+
+/**
+ * Expand an encryption key schedule.
+ * @param bits 128, 192 or 256
+ */
+void aesSetEncryptKey(const uint8_t *key, unsigned bits, AesKey &out);
+
+/** Expand a decryption key schedule (inverse-cipher form). */
+void aesSetDecryptKey(const uint8_t *key, unsigned bits, AesKey &out);
+
+namespace aesdetail
+{
+
+/** Count the ops of one table-lookup column (shared enc/dec shape). */
+template <class Meter>
+inline void
+countColumn(Meter &m)
+{
+    if constexpr (Meter::counting) {
+        using perf::OpClass;
+        // Byte extraction: shrl $24 for the top byte, movzbl for the
+        // middle two, andl for the low byte; then 4 table loads, the
+        // round-key load and 4 xors, plus a spill movl (x86-32 keeps
+        // only 7 GPRs against 9 live values here).
+        m.count(OpClass::ShrL, 1);
+        m.count(OpClass::MovB, 2);
+        m.count(OpClass::AndL, 1);
+        m.count(OpClass::MovL, 6);
+        m.count(OpClass::XorL, 4);
+    }
+}
+
+} // namespace aesdetail
+
+/** Part 1 of Table 5: bytes -> state words + initial round key. */
+template <class Meter>
+inline void
+aesLoadState(const uint8_t in[16], const uint32_t *rk, uint32_t s[4],
+             Meter &m)
+{
+    s[0] = load32be(in) ^ rk[0];
+    s[1] = load32be(in + 4) ^ rk[1];
+    s[2] = load32be(in + 8) ^ rk[2];
+    s[3] = load32be(in + 12) ^ rk[3];
+    if constexpr (Meter::counting) {
+        using perf::OpClass;
+        m.count(OpClass::MovL, 12); // 4 loads + 4 rk loads + 4 moves
+        m.count(OpClass::Bswap, 4);
+        m.count(OpClass::XorL, 4);
+        m.count(OpClass::Push, 4);
+    }
+}
+
+/** Part 2 of Table 5: the main encryption rounds. */
+template <class Meter>
+inline void
+aesMainRoundsEnc(const AesKey &key, uint32_t s[4], Meter &m)
+{
+    const AesTables &tb = aesTables();
+    const uint32_t *rk = key.rk + 4;
+    for (int r = 1; r < key.rounds; ++r, rk += 4) {
+        uint32_t t0 = tb.te0[s[0] >> 24] ^ tb.te1[(s[1] >> 16) & 0xff] ^
+                      tb.te2[(s[2] >> 8) & 0xff] ^ tb.te3[s[3] & 0xff] ^
+                      rk[0];
+        uint32_t t1 = tb.te0[s[1] >> 24] ^ tb.te1[(s[2] >> 16) & 0xff] ^
+                      tb.te2[(s[3] >> 8) & 0xff] ^ tb.te3[s[0] & 0xff] ^
+                      rk[1];
+        uint32_t t2 = tb.te0[s[2] >> 24] ^ tb.te1[(s[3] >> 16) & 0xff] ^
+                      tb.te2[(s[0] >> 8) & 0xff] ^ tb.te3[s[1] & 0xff] ^
+                      rk[2];
+        uint32_t t3 = tb.te0[s[3] >> 24] ^ tb.te1[(s[0] >> 16) & 0xff] ^
+                      tb.te2[(s[1] >> 8) & 0xff] ^ tb.te3[s[2] & 0xff] ^
+                      rk[3];
+        s[0] = t0;
+        s[1] = t1;
+        s[2] = t2;
+        s[3] = t3;
+        if constexpr (Meter::counting) {
+            using perf::OpClass;
+            for (int col = 0; col < 4; ++col)
+                aesdetail::countColumn(m);
+            // t -> s copies and the round-loop control.
+            m.count(OpClass::MovL, 4);
+            m.count(OpClass::IncL, 1);
+            m.count(OpClass::DecL, 1);
+            m.count(OpClass::Jcc, 1);
+        }
+    }
+}
+
+/** Part 3 of Table 5: last round (S-box only) + state -> bytes. */
+template <class Meter>
+inline void
+aesFinalRoundEnc(const AesKey &key, const uint32_t s[4], uint8_t out[16],
+                 Meter &m)
+{
+    const AesTables &tb = aesTables();
+    const uint32_t *rk = key.rk + 4 * key.rounds;
+    for (int i = 0; i < 4; ++i) {
+        uint32_t t =
+            (static_cast<uint32_t>(tb.sbox[s[i] >> 24]) << 24) |
+            (static_cast<uint32_t>(tb.sbox[(s[(i + 1) & 3] >> 16) & 0xff])
+             << 16) |
+            (static_cast<uint32_t>(tb.sbox[(s[(i + 2) & 3] >> 8) & 0xff])
+             << 8) |
+            tb.sbox[s[(i + 3) & 3] & 0xff];
+        store32be(out + 4 * i, t ^ rk[i]);
+        if constexpr (Meter::counting) {
+            using perf::OpClass;
+            m.count(OpClass::ShrL, 1);
+            m.count(OpClass::MovB, 4);
+            m.count(OpClass::XorB, 1);
+            m.count(OpClass::AndL, 1);
+            m.count(OpClass::ShlL, 2);
+            m.count(OpClass::OrL, 3);
+            m.count(OpClass::MovL, 3);
+            m.count(OpClass::XorL, 1);
+            m.count(OpClass::Bswap, 1);
+        }
+    }
+    if constexpr (Meter::counting) {
+        using perf::OpClass;
+        m.count(OpClass::Pop, 4);
+        m.count(OpClass::Ret, 1);
+    }
+}
+
+/** Full block encryption: parts 1-3 in sequence. */
+template <class Meter>
+inline void
+aesEncryptBlockT(const AesKey &key, const uint8_t in[16], uint8_t out[16],
+                 Meter &m)
+{
+    uint32_t s[4];
+    aesLoadState(in, key.rk, s, m);
+    aesMainRoundsEnc(key, s, m);
+    aesFinalRoundEnc(key, s, out, m);
+}
+
+/** Full block decryption (inverse cipher over the Td tables). */
+template <class Meter>
+inline void
+aesDecryptBlockT(const AesKey &key, const uint8_t in[16], uint8_t out[16],
+                 Meter &m)
+{
+    const AesTables &tb = aesTables();
+    uint32_t s[4];
+    aesLoadState(in, key.rk, s, m);
+
+    const uint32_t *rk = key.rk + 4;
+    for (int r = 1; r < key.rounds; ++r, rk += 4) {
+        uint32_t t0 = tb.td0[s[0] >> 24] ^ tb.td1[(s[3] >> 16) & 0xff] ^
+                      tb.td2[(s[2] >> 8) & 0xff] ^ tb.td3[s[1] & 0xff] ^
+                      rk[0];
+        uint32_t t1 = tb.td0[s[1] >> 24] ^ tb.td1[(s[0] >> 16) & 0xff] ^
+                      tb.td2[(s[3] >> 8) & 0xff] ^ tb.td3[s[2] & 0xff] ^
+                      rk[1];
+        uint32_t t2 = tb.td0[s[2] >> 24] ^ tb.td1[(s[1] >> 16) & 0xff] ^
+                      tb.td2[(s[0] >> 8) & 0xff] ^ tb.td3[s[3] & 0xff] ^
+                      rk[2];
+        uint32_t t3 = tb.td0[s[3] >> 24] ^ tb.td1[(s[2] >> 16) & 0xff] ^
+                      tb.td2[(s[1] >> 8) & 0xff] ^ tb.td3[s[0] & 0xff] ^
+                      rk[3];
+        s[0] = t0;
+        s[1] = t1;
+        s[2] = t2;
+        s[3] = t3;
+        if constexpr (Meter::counting) {
+            using perf::OpClass;
+            for (int col = 0; col < 4; ++col)
+                aesdetail::countColumn(m);
+            m.count(OpClass::MovL, 4);
+            m.count(OpClass::IncL, 1);
+            m.count(OpClass::DecL, 1);
+            m.count(OpClass::Jcc, 1);
+        }
+    }
+
+    rk = key.rk + 4 * key.rounds;
+    for (int i = 0; i < 4; ++i) {
+        uint32_t t =
+            (static_cast<uint32_t>(tb.inv_sbox[s[i] >> 24]) << 24) |
+            (static_cast<uint32_t>(
+                 tb.inv_sbox[(s[(i + 3) & 3] >> 16) & 0xff])
+             << 16) |
+            (static_cast<uint32_t>(
+                 tb.inv_sbox[(s[(i + 2) & 3] >> 8) & 0xff])
+             << 8) |
+            tb.inv_sbox[s[(i + 1) & 3] & 0xff];
+        store32be(out + 4 * i, t ^ rk[i]);
+        if constexpr (Meter::counting) {
+            using perf::OpClass;
+            m.count(OpClass::ShrL, 1);
+            m.count(OpClass::MovB, 4);
+            m.count(OpClass::XorB, 1);
+            m.count(OpClass::AndL, 1);
+            m.count(OpClass::ShlL, 2);
+            m.count(OpClass::OrL, 3);
+            m.count(OpClass::MovL, 3);
+            m.count(OpClass::XorL, 1);
+            m.count(OpClass::Bswap, 1);
+        }
+    }
+    if constexpr (Meter::counting) {
+        using perf::OpClass;
+        m.count(OpClass::Pop, 4);
+        m.count(OpClass::Ret, 1);
+    }
+}
+
+} // namespace ssla::crypto
+
+#endif // SSLA_CRYPTO_AES_KERNEL_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Uniform symmetric-cipher interface + registry (EVP-cipher analogue).
+ *
+ * Block ciphers are wrapped in CBC mode — the mode the paper's cipher
+ * suites use — which chains each plaintext block into the previous
+ * ciphertext block and thereby serializes the blocks of a record (the
+ * property the paper notes "removes the potential for parallelism").
+ */
+
+#ifndef SSLA_CRYPTO_CIPHER_HH
+#define SSLA_CRYPTO_CIPHER_HH
+
+#include <memory>
+
+#include "util/types.hh"
+
+namespace ssla::crypto
+{
+
+/** Identifiers for the implemented bulk ciphers. */
+enum class CipherAlg
+{
+    Null,      ///< no encryption (NULL cipher suites)
+    Rc4_128,   ///< RC4 with 128-bit key
+    DesCbc,    ///< DES-CBC, 56-bit key
+    Des3Cbc,   ///< 3DES-EDE-CBC, 168-bit key
+    Aes128Cbc, ///< AES-128-CBC
+    Aes256Cbc, ///< AES-256-CBC
+};
+
+/** Static parameters of a cipher algorithm. */
+struct CipherInfo
+{
+    const char *name;
+    size_t keyLen;   ///< key material length in bytes
+    size_t blockLen; ///< block size (1 for stream ciphers)
+    size_t ivLen;    ///< IV length (0 for stream ciphers)
+};
+
+/** Look up the static parameters of @p alg. */
+const CipherInfo &cipherInfo(CipherAlg alg);
+
+/**
+ * A one-direction bulk cipher instance.
+ *
+ * process() handles whole blocks only (the SSL record layer pads);
+ * stream ciphers accept any length.
+ */
+class Cipher
+{
+  public:
+    virtual ~Cipher() = default;
+
+    virtual const CipherInfo &info() const = 0;
+
+    /** En/decrypt @p len bytes (multiple of the block size). */
+    virtual void process(const uint8_t *in, uint8_t *out, size_t len) = 0;
+
+    /** Convenience over Bytes. */
+    Bytes process(const Bytes &in);
+
+    /**
+     * Create a cipher instance.
+     *
+     * @param alg which cipher
+     * @param key key material of exactly cipherInfo(alg).keyLen bytes
+     * @param iv initialization vector (CBC ciphers only)
+     * @param encrypt direction
+     */
+    static std::unique_ptr<Cipher> create(CipherAlg alg, const Bytes &key,
+                                          const Bytes &iv, bool encrypt);
+};
+
+} // namespace ssla::crypto
+
+#endif // SSLA_CRYPTO_CIPHER_HH

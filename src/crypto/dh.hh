@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Ephemeral Diffie-Hellman key agreement — the other asymmetric
+ * handshake primitive the paper names (Diffie-Hellman [6]) beside RSA.
+ *
+ * Used by the DHE_RSA cipher suites: the server signs fresh DH
+ * parameters with its RSA key, both sides exponentiate, and the shared
+ * secret becomes the pre-master. Costs the server a modexp *plus* an
+ * RSA signature per handshake (see bench_dhe for the comparison with
+ * plain RSA key exchange).
+ */
+
+#ifndef SSLA_CRYPTO_DH_HH
+#define SSLA_CRYPTO_DH_HH
+
+#include "bn/bignum.hh"
+#include "bn/montgomery.hh"
+#include "crypto/rand.hh"
+
+namespace ssla::crypto
+{
+
+/** A Diffie-Hellman group: modulus and generator. */
+struct DhParams
+{
+    bn::BigNum p;
+    bn::BigNum g;
+};
+
+/**
+ * The 1024-bit MODP group from RFC 2409 ("Oakley group 2"), the
+ * paper-era default. Its safe-primality is rechecked by the tests
+ * with our own Miller-Rabin.
+ */
+const DhParams &oakleyGroup2();
+
+/** An ephemeral DH key pair. */
+struct DhKeyPair
+{
+    bn::BigNum priv; ///< random exponent
+    bn::BigNum pub;  ///< g^priv mod p
+};
+
+/**
+ * Generate an ephemeral key pair (probed as dh_generate_key).
+ *
+ * @param exponent_bits private-exponent size; 256 bits gives ~128-bit
+ *        work factor against the 1024-bit group, matching era practice
+ */
+DhKeyPair dhGenerateKey(const DhParams &params, RandomPool &pool,
+                        size_t exponent_bits = 256);
+
+/**
+ * Compute the shared secret Z = peer_pub^priv mod p (probed as
+ * dh_compute_key). Returns Z as a big-endian byte string with leading
+ * zeros stripped, as the TLS pre-master rules require.
+ *
+ * @throws std::domain_error when the peer public value is outside
+ *         [2, p-2] (degenerate-key attack rejection)
+ */
+Bytes dhComputeShared(const DhParams &params, const bn::BigNum &peer_pub,
+                      const bn::BigNum &priv);
+
+} // namespace ssla::crypto
+
+#endif // SSLA_CRYPTO_DH_HH

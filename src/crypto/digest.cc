@@ -1,0 +1,51 @@
+#include "crypto/digest.hh"
+
+#include <stdexcept>
+
+#include "crypto/md5.hh"
+#include "crypto/sha1.hh"
+
+namespace ssla::crypto
+{
+
+Bytes
+Digest::final()
+{
+    Bytes out(digestSize());
+    final(out.data());
+    return out;
+}
+
+std::unique_ptr<Digest>
+Digest::create(DigestAlg alg)
+{
+    switch (alg) {
+      case DigestAlg::MD5:
+        return std::make_unique<Md5>();
+      case DigestAlg::SHA1:
+        return std::make_unique<Sha1>();
+    }
+    throw std::invalid_argument("Digest::create: unknown algorithm");
+}
+
+size_t
+Digest::digestSize(DigestAlg alg)
+{
+    switch (alg) {
+      case DigestAlg::MD5:
+        return Md5::outputSize;
+      case DigestAlg::SHA1:
+        return Sha1::outputSize;
+    }
+    throw std::invalid_argument("Digest::digestSize: unknown algorithm");
+}
+
+Bytes
+digestOneShot(DigestAlg alg, const Bytes &data)
+{
+    auto d = Digest::create(alg);
+    d->update(data);
+    return d->final();
+}
+
+} // namespace ssla::crypto

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Uniform interface over the hash functions the paper studies
+ * (MD5, SHA-1) plus a small registry, mirroring OpenSSL's EVP digests.
+ */
+
+#ifndef SSLA_CRYPTO_DIGEST_HH
+#define SSLA_CRYPTO_DIGEST_HH
+
+#include <memory>
+#include <string_view>
+
+#include "util/types.hh"
+
+namespace ssla::crypto
+{
+
+/** Identifiers for the implemented hash algorithms. */
+enum class DigestAlg
+{
+    MD5,
+    SHA1,
+};
+
+/**
+ * An incremental hash computation.
+ *
+ * The three-phase init/update/final structure is exactly what the
+ * paper's Table 10 decomposes; update() is where the per-64-byte block
+ * operation lives.
+ */
+class Digest
+{
+  public:
+    virtual ~Digest() = default;
+
+    /** Reset to the initial state (phase 1 of Table 10). */
+    virtual void init() = 0;
+
+    /** Absorb @p len bytes (phase 2). */
+    virtual void update(const uint8_t *data, size_t len) = 0;
+
+    /** Pad, absorb the length and emit the digest (phase 3). */
+    virtual void final(uint8_t *out) = 0;
+
+    /** Digest size in bytes (16 for MD5, 20 for SHA-1). */
+    virtual size_t digestSize() const = 0;
+
+    /** Internal block size in bytes (64 for both). */
+    virtual size_t blockSize() const = 0;
+
+    virtual const char *name() const = 0;
+
+    /**
+     * Deep-copy the running state. SSLv3 finish hashes need this: the
+     * handshake digests keep running while snapshots get finalized.
+     */
+    virtual std::unique_ptr<Digest> clone() const = 0;
+
+    // Convenience non-virtual helpers.
+
+    void update(const Bytes &data) { update(data.data(), data.size()); }
+    void update(std::string_view s)
+    {
+        update(reinterpret_cast<const uint8_t *>(s.data()), s.size());
+    }
+
+    /** final() into a fresh buffer. */
+    Bytes final();
+
+    /** Create a digest instance by algorithm id. */
+    static std::unique_ptr<Digest> create(DigestAlg alg);
+
+    /** Size of @p alg 's output without instantiating it. */
+    static size_t digestSize(DigestAlg alg);
+};
+
+/** One-shot convenience: hash @p data with @p alg. */
+Bytes digestOneShot(DigestAlg alg, const Bytes &data);
+
+} // namespace ssla::crypto
+
+#endif // SSLA_CRYPTO_DIGEST_HH

@@ -1,0 +1,55 @@
+#include "crypto/hmac.hh"
+
+namespace ssla::crypto
+{
+
+Hmac::Hmac(DigestAlg alg, const Bytes &key) : alg_(alg)
+{
+    inner_ = Digest::create(alg);
+    size_t block = inner_->blockSize();
+    keyBlock_ = key;
+    if (keyBlock_.size() > block) {
+        keyBlock_ = digestOneShot(alg, keyBlock_);
+    }
+    keyBlock_.resize(block, 0);
+    init();
+}
+
+void
+Hmac::init()
+{
+    inner_->init();
+    Bytes ipad(keyBlock_.size());
+    for (size_t i = 0; i < keyBlock_.size(); ++i)
+        ipad[i] = keyBlock_[i] ^ 0x36;
+    inner_->update(ipad);
+}
+
+void
+Hmac::update(const uint8_t *data, size_t len)
+{
+    inner_->update(data, len);
+}
+
+Bytes
+Hmac::final()
+{
+    Bytes inner_digest = inner_->final();
+    auto outer = Digest::create(alg_);
+    Bytes opad(keyBlock_.size());
+    for (size_t i = 0; i < keyBlock_.size(); ++i)
+        opad[i] = keyBlock_[i] ^ 0x5c;
+    outer->update(opad);
+    outer->update(inner_digest);
+    return outer->final();
+}
+
+Bytes
+Hmac::compute(DigestAlg alg, const Bytes &key, const Bytes &data)
+{
+    Hmac h(alg, key);
+    h.update(data);
+    return h.final();
+}
+
+} // namespace ssla::crypto

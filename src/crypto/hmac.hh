@@ -1,0 +1,49 @@
+/**
+ * @file
+ * HMAC (RFC 2104) over any Digest.
+ *
+ * SSLv3 itself uses the older pad-concatenation MAC (see ssl/record),
+ * but HMAC is part of the crypto library surface (TLS uses it, and the
+ * tests exercise it as an independent integrity primitive).
+ */
+
+#ifndef SSLA_CRYPTO_HMAC_HH
+#define SSLA_CRYPTO_HMAC_HH
+
+#include <memory>
+
+#include "crypto/digest.hh"
+
+namespace ssla::crypto
+{
+
+/** Incremental HMAC computation. */
+class Hmac
+{
+  public:
+    Hmac(DigestAlg alg, const Bytes &key);
+
+    /** Restart with the same key. */
+    void init();
+
+    void update(const uint8_t *data, size_t len);
+    void update(const Bytes &data) { update(data.data(), data.size()); }
+
+    /** Finish and return the tag. */
+    Bytes final();
+
+    size_t tagSize() const { return inner_->digestSize(); }
+
+    /** One-shot convenience. */
+    static Bytes compute(DigestAlg alg, const Bytes &key,
+                         const Bytes &data);
+
+  private:
+    DigestAlg alg_;
+    Bytes keyBlock_; ///< key padded/hashed to one digest block
+    std::unique_ptr<Digest> inner_;
+};
+
+} // namespace ssla::crypto
+
+#endif // SSLA_CRYPTO_HMAC_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * MD5 message digest (RFC 1321).
+ */
+
+#ifndef SSLA_CRYPTO_MD5_HH
+#define SSLA_CRYPTO_MD5_HH
+
+#include "crypto/digest.hh"
+#include "crypto/md5_kernel.hh"
+
+namespace ssla::crypto
+{
+
+/** Incremental MD5 (16-byte digest, 64-byte blocks). */
+class Md5 final : public Digest
+{
+  public:
+    static constexpr size_t outputSize = 16;
+    static constexpr size_t blockBytes = 64;
+
+    Md5() { init(); }
+
+    void init() override;
+    void update(const uint8_t *data, size_t len) override;
+    using Digest::update;
+    void final(uint8_t *out) override;
+    using Digest::final;
+
+    size_t digestSize() const override { return outputSize; }
+    size_t blockSize() const override { return blockBytes; }
+    const char *name() const override { return "MD5"; }
+    std::unique_ptr<Digest> clone() const override;
+
+    /** One-shot convenience. */
+    static Bytes hash(const Bytes &data);
+
+  private:
+    Md5State state_;
+    uint64_t totalLen_ = 0;      ///< bytes absorbed so far
+    uint8_t buffer_[blockBytes]; ///< partial-block staging
+    size_t bufferLen_ = 0;
+};
+
+} // namespace ssla::crypto
+
+#endif // SSLA_CRYPTO_MD5_HH

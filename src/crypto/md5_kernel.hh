@@ -1,0 +1,176 @@
+/**
+ * @file
+ * The MD5 block transform as a Meter-policy template (RFC 1321).
+ *
+ * Each of the 64 steps computes a = b + rotl(a + F(b,c,d) + x[k] + T,
+ * s); the metered instantiation counts the x86-32 ops of a 2005-era
+ * compilation of exactly that expression, feeding the instruction-mix
+ * and path-length studies (paper Tables 11/12).
+ */
+
+#ifndef SSLA_CRYPTO_MD5_KERNEL_HH
+#define SSLA_CRYPTO_MD5_KERNEL_HH
+
+#include <cstdint>
+
+#include "perf/opcount.hh"
+#include "util/endian.hh"
+
+namespace ssla::crypto
+{
+
+namespace md5detail
+{
+
+// Round functions, written in their 3-logical-op forms. The paper's
+// Figure 4 discusses these as candidates for 3-input ISA support.
+inline uint32_t
+fF(uint32_t x, uint32_t y, uint32_t z)
+{
+    return z ^ (x & (y ^ z)); // == (x & y) | (~x & z)
+}
+
+inline uint32_t
+fG(uint32_t x, uint32_t y, uint32_t z)
+{
+    return y ^ (z & (x ^ y)); // == (x & z) | (y & ~z)
+}
+
+inline uint32_t
+fH(uint32_t x, uint32_t y, uint32_t z)
+{
+    return x ^ y ^ z;
+}
+
+inline uint32_t
+fI(uint32_t x, uint32_t y, uint32_t z)
+{
+    return y ^ (x | ~z);
+}
+
+/** Per-step op accounting for one MD5 step with @p logicals logic ops. */
+template <class Meter>
+inline void
+countStep(Meter &m, unsigned logicals)
+{
+    if constexpr (Meter::counting) {
+        using perf::OpClass;
+        // movl x[k]; three addl folded as addl+leal pairs; roll; addl b.
+        m.count(OpClass::MovL, 2);  // load x[k], register shuffle/spill
+        m.count(OpClass::LeaL, 1);  // a + x[k] + T in one lea
+        m.count(OpClass::AddL, 2);
+        m.count(OpClass::RolL, 1);
+        m.count(OpClass::XorL, logicals >= 2 ? 2 : logicals);
+        if (logicals >= 3)
+            m.count(OpClass::AndL, 1);
+    }
+}
+
+} // namespace md5detail
+
+/** The 64 MD5 additive constants T[i] = floor(2^32 * |sin(i+1)|). */
+const uint32_t *md5SineTable();
+
+/** MD5 chaining state. */
+struct Md5State
+{
+    uint32_t a, b, c, d;
+};
+
+/** Apply the MD5 compression function to one 64-byte block. */
+template <class Meter>
+void
+md5BlockT(Md5State &s, const uint8_t block[64], Meter &m)
+{
+    using namespace md5detail;
+    using perf::OpClass;
+
+    uint32_t x[16];
+    for (int i = 0; i < 16; ++i)
+        x[i] = load32le(block + 4 * i);
+    if constexpr (Meter::counting) {
+        // Message load: 16 loads + 16 stores to the local schedule.
+        m.count(OpClass::MovL, 32);
+    }
+
+    uint32_t a = s.a, b = s.b, c = s.c, d = s.d;
+
+#define SSLA_MD5_STEP(f, w, xk, t, r, nlog)                               \
+    do {                                                                  \
+        w += f + (xk) + (t);                                              \
+        w = rotl32(w, r);                                                 \
+        w += b0;                                                          \
+        countStep(m, nlog);                                               \
+    } while (0)
+
+    // T[i] = floor(2^32 * |sin(i+1)|), per RFC 1321.
+    const uint32_t *t = md5SineTable();
+    const uint32_t *t1 = t;
+    const uint32_t *t2 = t + 16;
+    const uint32_t *t3 = t + 32;
+    const uint32_t *t4 = t + 48;
+    static const int s1[4] = {7, 12, 17, 22};
+    static const int s2[4] = {5, 9, 14, 20};
+    static const int s3[4] = {4, 11, 16, 23};
+    static const int s4[4] = {6, 10, 15, 21};
+
+    for (int i = 0; i < 16; ++i) {
+        uint32_t f = fF(b, c, d);
+        uint32_t b0 = b;
+        SSLA_MD5_STEP(f, a, x[i], t1[i], s1[i % 4], 3);
+        uint32_t tmp = d;
+        d = c;
+        c = b;
+        b = a;
+        a = tmp;
+    }
+    for (int i = 0; i < 16; ++i) {
+        uint32_t f = fG(b, c, d);
+        uint32_t b0 = b;
+        SSLA_MD5_STEP(f, a, x[(1 + 5 * i) % 16], t2[i], s2[i % 4], 3);
+        uint32_t tmp = d;
+        d = c;
+        c = b;
+        b = a;
+        a = tmp;
+    }
+    for (int i = 0; i < 16; ++i) {
+        uint32_t f = fH(b, c, d);
+        uint32_t b0 = b;
+        SSLA_MD5_STEP(f, a, x[(5 + 3 * i) % 16], t3[i], s3[i % 4], 2);
+        uint32_t tmp = d;
+        d = c;
+        c = b;
+        b = a;
+        a = tmp;
+    }
+    for (int i = 0; i < 16; ++i) {
+        uint32_t f = fI(b, c, d);
+        uint32_t b0 = b;
+        SSLA_MD5_STEP(f, a, x[(7 * i) % 16], t4[i], s4[i % 4], 3);
+        uint32_t tmp = d;
+        d = c;
+        c = b;
+        b = a;
+        a = tmp;
+    }
+
+#undef SSLA_MD5_STEP
+
+    s.a += a;
+    s.b += b;
+    s.c += c;
+    s.d += d;
+    if constexpr (Meter::counting) {
+        // State fold-in plus loop/call overhead.
+        m.count(OpClass::MovL, 8);
+        m.count(OpClass::AddL, 4);
+        m.count(OpClass::Push, 4);
+        m.count(OpClass::Pop, 4);
+        m.count(OpClass::Ret, 1);
+    }
+}
+
+} // namespace ssla::crypto
+
+#endif // SSLA_CRYPTO_MD5_KERNEL_HH

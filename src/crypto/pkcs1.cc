@@ -1,0 +1,90 @@
+#include "crypto/pkcs1.hh"
+
+#include <stdexcept>
+
+namespace ssla::crypto
+{
+
+namespace
+{
+
+constexpr size_t minPadding = 8;
+
+void
+checkFits(size_t data_len, size_t block_len)
+{
+    if (block_len < data_len + minPadding + 3)
+        throw std::length_error("PKCS#1: payload too long for modulus");
+}
+
+} // anonymous namespace
+
+Bytes
+pkcs1PadType2(const Bytes &data, size_t block_len, RandomPool &pool)
+{
+    checkFits(data.size(), block_len);
+    Bytes block(block_len);
+    block[0] = 0x00;
+    block[1] = 0x02;
+    size_t pad_len = block_len - data.size() - 3;
+    for (size_t i = 0; i < pad_len; ++i) {
+        uint8_t b = 0;
+        while (b == 0)
+            pool.generate(&b, 1);
+        block[2 + i] = b;
+    }
+    block[2 + pad_len] = 0x00;
+    std::copy(data.begin(), data.end(), block.begin() + 3 + pad_len);
+    return block;
+}
+
+Bytes
+pkcs1PadType1(const Bytes &data, size_t block_len)
+{
+    checkFits(data.size(), block_len);
+    Bytes block(block_len, 0xff);
+    block[0] = 0x00;
+    block[1] = 0x01;
+    size_t pad_len = block_len - data.size() - 3;
+    block[2 + pad_len] = 0x00;
+    std::copy(data.begin(), data.end(), block.begin() + 3 + pad_len);
+    return block;
+}
+
+namespace
+{
+
+Bytes
+unpad(const Bytes &block, uint8_t type, bool random_padding)
+{
+    if (block.size() < minPadding + 3 || block[0] != 0x00 ||
+        block[1] != type)
+        throw std::runtime_error("PKCS#1: bad block header");
+    size_t i = 2;
+    while (i < block.size() && block[i] != 0x00) {
+        if (!random_padding && block[i] != 0xff)
+            throw std::runtime_error("PKCS#1: bad type-1 padding byte");
+        ++i;
+    }
+    if (i == block.size())
+        throw std::runtime_error("PKCS#1: missing separator");
+    if (i - 2 < minPadding)
+        throw std::runtime_error("PKCS#1: padding too short");
+    return Bytes(block.begin() + i + 1, block.end());
+}
+
+} // anonymous namespace
+
+Bytes
+pkcs1UnpadType2(const Bytes &block)
+{
+    return unpad(block, 0x02, true);
+}
+
+Bytes
+pkcs1UnpadType1(const Bytes &block)
+{
+    return unpad(block, 0x01, false);
+}
+
+} // namespace ssla::crypto

@@ -1,0 +1,100 @@
+#include "crypto/rand.hh"
+
+#include <chrono>
+#include <cstring>
+
+#include "perf/probe.hh"
+#include "util/endian.hh"
+
+namespace ssla::crypto
+{
+
+RandomPool::RandomPool()
+{
+    std::memset(state_, 0, sizeof(state_));
+    // Cheap process-local entropy; cryptographic quality is not the
+    // point of this reproduction, execution profile is.
+    auto now = std::chrono::steady_clock::now().time_since_epoch();
+    uint64_t ticks = static_cast<uint64_t>(now.count());
+    uint64_t self = reinterpret_cast<uintptr_t>(this);
+    uint8_t buf[16];
+    store64le(buf, ticks);
+    store64le(buf + 8, self);
+    seed(buf, sizeof(buf));
+}
+
+RandomPool::RandomPool(const Bytes &seed_material)
+{
+    std::memset(state_, 0, sizeof(state_));
+    seed(seed_material);
+}
+
+void
+RandomPool::seed(const uint8_t *data, size_t len)
+{
+    Md5 md;
+    md.update(state_, sizeof(state_));
+    md.update(data, len);
+    md.final(state_);
+    available_ = 0;
+}
+
+void
+RandomPool::seed(const Bytes &data)
+{
+    seed(data.data(), data.size());
+}
+
+void
+RandomPool::stir()
+{
+    uint8_t ctr[8];
+    store64le(ctr, counter_++);
+    Md5 md;
+    md.update(state_, sizeof(state_));
+    md.update(ctr, sizeof(ctr));
+    md.final(buffer_);
+    // Fold the output back into the state so the stream is forward
+    // chained (as md_rand does).
+    for (size_t i = 0; i < sizeof(state_); ++i)
+        state_[i] ^= buffer_[i];
+    available_ = sizeof(buffer_);
+}
+
+void
+RandomPool::generate(uint8_t *out, size_t len)
+{
+    perf::FuncProbe probe("rand_pseudo_bytes");
+    while (len) {
+        if (!available_)
+            stir();
+        size_t take = std::min(len, available_);
+        std::memcpy(out, buffer_ + (sizeof(buffer_) - available_), take);
+        out += take;
+        len -= take;
+        available_ -= take;
+    }
+}
+
+Bytes
+RandomPool::bytes(size_t len)
+{
+    Bytes out(len);
+    generate(out.data(), len);
+    return out;
+}
+
+RandomPool &
+globalRandomPool()
+{
+    static RandomPool pool;
+    return pool;
+}
+
+void
+randPseudoBytes(uint8_t *out, size_t len)
+{
+    globalRandomPool().generate(out, len);
+}
+
+} // namespace ssla::crypto

@@ -1,0 +1,26 @@
+#include "crypto/rc4.hh"
+
+#include <stdexcept>
+
+namespace ssla::crypto
+{
+
+namespace
+{
+perf::NullMeter nullMeter;
+} // anonymous namespace
+
+Rc4::Rc4(const Bytes &key)
+{
+    if (key.empty() || key.size() > 256)
+        throw std::invalid_argument("RC4: key must be 1..256 bytes");
+    keySetupT(key, state_, nullMeter);
+}
+
+void
+Rc4::process(const uint8_t *in, uint8_t *out, size_t len)
+{
+    processT(in, out, len, nullMeter);
+}
+
+} // namespace ssla::crypto

@@ -1,0 +1,79 @@
+#include "crypto/sha1.hh"
+
+#include <cstring>
+
+namespace ssla::crypto
+{
+
+namespace
+{
+perf::NullMeter nullMeter;
+} // anonymous namespace
+
+void
+Sha1::init()
+{
+    state_.h[0] = 0x67452301u;
+    state_.h[1] = 0xefcdab89u;
+    state_.h[2] = 0x98badcfeu;
+    state_.h[3] = 0x10325476u;
+    state_.h[4] = 0xc3d2e1f0u;
+    totalLen_ = 0;
+    bufferLen_ = 0;
+}
+
+void
+Sha1::update(const uint8_t *data, size_t len)
+{
+    totalLen_ += len;
+    if (bufferLen_) {
+        size_t take = std::min(len, blockBytes - bufferLen_);
+        std::memcpy(buffer_ + bufferLen_, data, take);
+        bufferLen_ += take;
+        data += take;
+        len -= take;
+        if (bufferLen_ == blockBytes) {
+            sha1BlockT(state_, buffer_, nullMeter);
+            bufferLen_ = 0;
+        }
+    }
+    while (len >= blockBytes) {
+        sha1BlockT(state_, data, nullMeter);
+        data += blockBytes;
+        len -= blockBytes;
+    }
+    if (len) {
+        std::memcpy(buffer_, data, len);
+        bufferLen_ = len;
+    }
+}
+
+void
+Sha1::final(uint8_t *out)
+{
+    uint64_t bit_len = totalLen_ * 8;
+    // One-buffer padding; at most two block ops in final().
+    uint8_t pad[72] = {0x80};
+    size_t pad_len =
+        (bufferLen_ < 56 ? 56 : 120) - bufferLen_;
+    store64be(pad + pad_len, bit_len);
+    update(pad, pad_len + 8);
+    for (int i = 0; i < 5; ++i)
+        store32be(out + 4 * i, state_.h[i]);
+}
+
+std::unique_ptr<Digest>
+Sha1::clone() const
+{
+    return std::make_unique<Sha1>(*this);
+}
+
+Bytes
+Sha1::hash(const Bytes &data)
+{
+    Sha1 sha;
+    sha.update(data);
+    return sha.final();
+}
+
+} // namespace ssla::crypto

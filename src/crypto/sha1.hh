@@ -1,0 +1,47 @@
+/**
+ * @file
+ * SHA-1 message digest (FIPS 180-2).
+ */
+
+#ifndef SSLA_CRYPTO_SHA1_HH
+#define SSLA_CRYPTO_SHA1_HH
+
+#include "crypto/digest.hh"
+#include "crypto/sha1_kernel.hh"
+
+namespace ssla::crypto
+{
+
+/** Incremental SHA-1 (20-byte digest, 64-byte blocks). */
+class Sha1 final : public Digest
+{
+  public:
+    static constexpr size_t outputSize = 20;
+    static constexpr size_t blockBytes = 64;
+
+    Sha1() { init(); }
+
+    void init() override;
+    void update(const uint8_t *data, size_t len) override;
+    using Digest::update;
+    void final(uint8_t *out) override;
+    using Digest::final;
+
+    size_t digestSize() const override { return outputSize; }
+    size_t blockSize() const override { return blockBytes; }
+    const char *name() const override { return "SHA-1"; }
+    std::unique_ptr<Digest> clone() const override;
+
+    /** One-shot convenience. */
+    static Bytes hash(const Bytes &data);
+
+  private:
+    Sha1State state_;
+    uint64_t totalLen_ = 0;
+    uint8_t buffer_[blockBytes];
+    size_t bufferLen_ = 0;
+};
+
+} // namespace ssla::crypto
+
+#endif // SSLA_CRYPTO_SHA1_HH

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The SHA-1 block transform as a Meter-policy template (FIPS 180-2).
+ *
+ * SHA-1 runs 80 steps per 64-byte block against MD5's 64 and expands
+ * the message schedule with rotates, which is why the paper measures it
+ * as the more compute-intensive of the two hashes (Table 10/11).
+ */
+
+#ifndef SSLA_CRYPTO_SHA1_KERNEL_HH
+#define SSLA_CRYPTO_SHA1_KERNEL_HH
+
+#include <cstdint>
+
+#include "perf/opcount.hh"
+#include "util/endian.hh"
+
+namespace ssla::crypto
+{
+
+/** SHA-1 chaining state. */
+struct Sha1State
+{
+    uint32_t h[5];
+};
+
+/** Apply the SHA-1 compression function to one 64-byte block. */
+template <class Meter>
+void
+sha1BlockT(Sha1State &s, const uint8_t block[64], Meter &m)
+{
+    using perf::OpClass;
+
+    uint32_t w[80];
+    for (int i = 0; i < 16; ++i)
+        w[i] = load32be(block + 4 * i);
+    for (int i = 16; i < 80; ++i) {
+        w[i] = rotl32(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+        if constexpr (Meter::counting) {
+            // 4 schedule loads + store, 3 xors, 1 rotate.
+            m.count(OpClass::MovL, 5);
+            m.count(OpClass::XorL, 3);
+            m.count(OpClass::RolL, 1);
+        }
+    }
+    if constexpr (Meter::counting) {
+        // 16 big-endian loads: load + bswap + store each.
+        m.count(OpClass::MovL, 32);
+        m.count(OpClass::Bswap, 16);
+    }
+
+    uint32_t a = s.h[0], b = s.h[1], c = s.h[2], d = s.h[3], e = s.h[4];
+
+    for (int i = 0; i < 80; ++i) {
+        uint32_t f, k;
+        unsigned logic_xor, logic_and, logic_or;
+        if (i < 20) {
+            f = d ^ (b & (c ^ d)); // Ch
+            k = 0x5a827999u;
+            logic_xor = 2;
+            logic_and = 1;
+            logic_or = 0;
+        } else if (i < 40) {
+            f = b ^ c ^ d; // Parity
+            k = 0x6ed9eba1u;
+            logic_xor = 2;
+            logic_and = 0;
+            logic_or = 0;
+        } else if (i < 60) {
+            f = (b & c) | (d & (b | c)); // Maj
+            k = 0x8f1bbcdcu;
+            logic_xor = 0;
+            logic_and = 2;
+            logic_or = 2;
+        } else {
+            f = b ^ c ^ d; // Parity
+            k = 0xca62c1d6u;
+            logic_xor = 2;
+            logic_and = 0;
+            logic_or = 0;
+        }
+        uint32_t temp = rotl32(a, 5) + f + e + k + w[i];
+        e = d;
+        d = c;
+        c = rotl32(b, 30);
+        b = a;
+        a = temp;
+        if constexpr (Meter::counting) {
+            m.count(OpClass::XorL, logic_xor);
+            m.count(OpClass::AndL, logic_and);
+            m.count(OpClass::OrL, logic_or);
+            m.count(OpClass::RolL, 1);
+            m.count(OpClass::RorL, 1); // rotl(b,30) emitted as rorl $2
+            m.count(OpClass::MovL, 3); // w[i] load + register traffic
+            m.count(OpClass::AddL, 3);
+            m.count(OpClass::LeaL, 1); // fold of +k
+        }
+    }
+
+    s.h[0] += a;
+    s.h[1] += b;
+    s.h[2] += c;
+    s.h[3] += d;
+    s.h[4] += e;
+    if constexpr (Meter::counting) {
+        m.count(OpClass::MovL, 10);
+        m.count(OpClass::AddL, 5);
+        m.count(OpClass::Push, 4);
+        m.count(OpClass::Pop, 4);
+        m.count(OpClass::Ret, 1);
+    }
+}
+
+} // namespace ssla::crypto
+
+#endif // SSLA_CRYPTO_SHA1_KERNEL_HH

@@ -1,0 +1,95 @@
+#include "perf/ablation.hh"
+
+#include <algorithm>
+
+namespace ssla::perf
+{
+
+namespace
+{
+
+/** Remove up to @p n ops of class @p c from @p h. */
+uint64_t
+removeOps(OpHistogram &h, OpClass c, uint64_t n)
+{
+    uint64_t have = h.count(c);
+    uint64_t removed = std::min(have, n);
+    // OpHistogram has no subtract; rebuild via merge of a negative is
+    // not possible, so clear-and-refill the one bucket.
+    OpHistogram tmp;
+    for (size_t i = 0; i < numOpClasses; ++i) {
+        auto cls = static_cast<OpClass>(i);
+        uint64_t cnt = h.count(cls);
+        if (cls == c)
+            cnt -= removed;
+        tmp.add(cls, cnt);
+    }
+    h = tmp;
+    return removed;
+}
+
+} // anonymous namespace
+
+IsaAblation
+ablateThreeOperandLogicals(const OpHistogram &per_block,
+                           uint64_t fusable_pairs,
+                           uint64_t spills_removed,
+                           const CoreParams &params)
+{
+    IsaAblation out;
+    out.baseline = per_block;
+    out.withIsa = per_block;
+
+    // Each fused pair deletes one logical op (two ops become one
+    // 3-input instruction). Drain xor first (the dominant logical in
+    // both hashes), then and, then or.
+    uint64_t to_remove = fusable_pairs;
+    to_remove -= removeOps(out.withIsa, OpClass::XorL,
+                           std::min(to_remove,
+                                    out.withIsa.count(OpClass::XorL) / 2));
+    to_remove -= removeOps(out.withIsa, OpClass::AndL, to_remove);
+    removeOps(out.withIsa, OpClass::OrL, to_remove);
+
+    removeOps(out.withIsa, OpClass::MovL, spills_removed);
+
+    out.cpiBaseline = estimateCpi(out.baseline, params);
+    out.cpiWithIsa = estimateCpi(out.withIsa, params);
+    out.speedup = out.cpiBaseline.cycles / out.cpiWithIsa.cycles;
+    return out;
+}
+
+AesUnitAblation
+ablateAesRoundUnit(const OpHistogram &software_block, int rounds,
+                   double round_latency, double soft_edge_cycles,
+                   const CoreParams &params)
+{
+    AesUnitAblation out;
+    out.softwareCyclesPerBlock =
+        estimateCpi(software_block, params).cycles;
+    // Rounds are dependent on each other (each round's outputs feed
+    // the next), so the unit runs them serially at its own latency;
+    // within a round its four basic ops are parallel (Figure 5).
+    out.hardwareCyclesPerBlock =
+        rounds * round_latency + soft_edge_cycles;
+    out.speedup =
+        out.softwareCyclesPerBlock / out.hardwareCyclesPerBlock;
+    return out;
+}
+
+EngineAblation
+ablateCryptoEngine(double mac_cycles, double enc_cycles,
+                   double trailer_fraction)
+{
+    EngineAblation out;
+    out.serialCycles = mac_cycles + enc_cycles;
+    // The encryption unit streams the body while the hash unit MACs
+    // it; the trailer (MAC value + padding) encrypts after the MAC
+    // completes (Figure 6's pipeline).
+    double body = enc_cycles * (1.0 - trailer_fraction);
+    double trailer = enc_cycles * trailer_fraction;
+    out.overlappedCycles = std::max(mac_cycles, body) + trailer;
+    out.speedup = out.serialCycles / out.overlappedCycles;
+    return out;
+}
+
+} // namespace ssla::perf

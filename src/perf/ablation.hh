@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Models of the paper's Section 6.2 optimization proposals.
+ *
+ * The paper sketches three acceleration tiers without evaluating them;
+ * these helpers turn each sketch into a first-order model over our
+ * measured op mixes and cycle counts so the ablation benches can put
+ * numbers next to the qualitative claims:
+ *
+ *  (1) ISA support (Figure 4): a 3-input logical instruction collapses
+ *      the 2-op chains in the MD5/SHA-1 round functions and removes
+ *      the register-pressure spills they force on x86-32.
+ *  (2) A hardware AES round unit (Figure 5): the 16 table lookups +
+ *      XOR tree of one round become a single pipelined operation.
+ *  (3) A crypto engine (Figure 6): MAC and encryption of a record
+ *      overlap instead of running back to back.
+ */
+
+#ifndef SSLA_PERF_ABLATION_HH
+#define SSLA_PERF_ABLATION_HH
+
+#include "perf/cpimodel.hh"
+#include "perf/opcount.hh"
+
+namespace ssla::perf
+{
+
+/** Before/after of an op-mix-level ablation. */
+struct IsaAblation
+{
+    OpHistogram baseline;
+    OpHistogram withIsa;
+    CpiEstimate cpiBaseline;
+    CpiEstimate cpiWithIsa;
+    double speedup = 0.0; ///< baseline cycles / optimized cycles
+};
+
+/**
+ * Apply the 3-operand-logical transformation to a hash kernel's
+ * per-block histogram.
+ *
+ * @param per_block measured ops of one 64-byte block
+ * @param fusable_pairs number of dependent 2-op logical pairs per
+ *        block that a 3-input instruction collapses (48 F/G/I steps x
+ *        1 pair for MD5; 40 Ch/Maj steps x 1 pair for SHA-1)
+ * @param spills_removed movl spills eliminated by needing fewer
+ *        temporaries
+ */
+IsaAblation ablateThreeOperandLogicals(const OpHistogram &per_block,
+                                       uint64_t fusable_pairs,
+                                       uint64_t spills_removed,
+                                       const CoreParams &params = {});
+
+/** Result of the AES round-unit ablation. */
+struct AesUnitAblation
+{
+    double softwareCyclesPerBlock = 0.0;
+    double hardwareCyclesPerBlock = 0.0;
+    double speedup = 0.0;
+};
+
+/**
+ * Model the Figure 5 hardware unit: each main round issues as one
+ * pipelined op of @p round_latency cycles (the four basic ops are
+ * independent, as the paper notes, so the unit executes them in
+ * parallel); the first/last parts stay in software.
+ *
+ * @param software_block per-block histogram of the software kernel
+ * @param rounds main-round count (9 for AES-128, 13 for AES-256)
+ * @param soft_edge_cycles modeled cycles of software parts 1+3
+ */
+AesUnitAblation ablateAesRoundUnit(const OpHistogram &software_block,
+                                   int rounds,
+                                   double round_latency = 2.0,
+                                   double soft_edge_cycles = 40.0,
+                                   const CoreParams &params = {});
+
+/** Result of the crypto-engine overlap ablation. */
+struct EngineAblation
+{
+    double serialCycles = 0.0;     ///< MAC then encrypt, back to back
+    double overlappedCycles = 0.0; ///< engine pipelining (Figure 6)
+    double speedup = 0.0;
+};
+
+/**
+ * Model the Figure 6 engine: encryption of the data proceeds in
+ * parallel with the MAC; only the MAC trailer (+ padding) remains
+ * serialized behind the hash unit.
+ *
+ * @param mac_cycles measured MAC cost of the record
+ * @param enc_cycles measured encryption cost of the record
+ * @param trailer_fraction fraction of enc_cycles spent on the
+ *        MAC+padding trailer that cannot start before the MAC is done
+ */
+EngineAblation ablateCryptoEngine(double mac_cycles, double enc_cycles,
+                                  double trailer_fraction = 0.05);
+
+} // namespace ssla::perf
+
+#endif // SSLA_PERF_ABLATION_HH

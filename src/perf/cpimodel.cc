@@ -1,0 +1,57 @@
+#include "perf/cpimodel.hh"
+
+#include <algorithm>
+
+namespace ssla::perf
+{
+
+namespace
+{
+
+/** Does this op class touch memory in the modelled compilation? */
+bool
+isMemoryOp(OpClass c)
+{
+    // movl/movb are the explicit loads/stores; push/pop hit the stack.
+    return c == OpClass::MovL || c == OpClass::MovB ||
+           c == OpClass::Push || c == OpClass::Pop;
+}
+
+} // anonymous namespace
+
+CpiEstimate
+estimateCpi(const OpHistogram &hist, const CoreParams &params)
+{
+    CpiEstimate est;
+    uint64_t total = hist.total();
+    if (total == 0)
+        return est;
+
+    uint64_t mem_ops = 0;
+    for (size_t i = 0; i < numOpClasses; ++i) {
+        auto c = static_cast<OpClass>(i);
+        if (isMemoryOp(c))
+            mem_ops += hist.count(c);
+    }
+
+    double issue_bound = static_cast<double>(total) / params.issueWidth;
+    double mem_bound =
+        static_cast<double>(mem_ops) / params.loadStorePorts;
+    double mul_bound =
+        static_cast<double>(hist.count(OpClass::MulL)) * params.mulInterval;
+
+    double cycles = std::max({issue_bound, mem_bound, mul_bound});
+
+    // Penalties are additive on top of the steady-state bound.
+    cycles += static_cast<double>(hist.count(OpClass::Jcc)) *
+              params.branchMissRate * params.branchMissPenalty;
+    cycles += static_cast<double>(hist.count(OpClass::Call)) *
+              params.callOverhead;
+
+    est.cycles = cycles;
+    est.instructions = static_cast<double>(total);
+    est.cpi = cycles / est.instructions;
+    return est;
+}
+
+} // namespace ssla::perf

@@ -1,0 +1,91 @@
+#include "perf/opcount.hh"
+
+#include <algorithm>
+
+namespace ssla::perf
+{
+
+const char *
+opClassName(OpClass c)
+{
+    switch (c) {
+      case OpClass::MovL: return "movl";
+      case OpClass::MovB: return "movb";
+      case OpClass::XorL: return "xorl";
+      case OpClass::XorB: return "xorb";
+      case OpClass::AndL: return "andl";
+      case OpClass::OrL: return "orl";
+      case OpClass::AddL: return "addl";
+      case OpClass::AddB: return "addb";
+      case OpClass::AdcL: return "adcl";
+      case OpClass::SubL: return "subl";
+      case OpClass::SbbL: return "sbbl";
+      case OpClass::MulL: return "mull";
+      case OpClass::ShrL: return "shrl";
+      case OpClass::ShlL: return "shll";
+      case OpClass::RolL: return "roll";
+      case OpClass::RorL: return "rorl";
+      case OpClass::LeaL: return "leal";
+      case OpClass::IncL: return "incl";
+      case OpClass::DecL: return "decl";
+      case OpClass::CmpL: return "cmpl";
+      case OpClass::Jcc: return "jnz";
+      case OpClass::Jmp: return "jmp";
+      case OpClass::Push: return "pushl";
+      case OpClass::Pop: return "popl";
+      case OpClass::Call: return "call";
+      case OpClass::Ret: return "ret";
+      case OpClass::Bswap: return "bswap";
+      case OpClass::Nop: return "nop";
+      default: return "?";
+    }
+}
+
+uint64_t
+OpHistogram::total() const
+{
+    uint64_t sum = 0;
+    for (uint64_t c : counts_)
+        sum += c;
+    return sum;
+}
+
+void
+OpHistogram::merge(const OpHistogram &other)
+{
+    for (size_t i = 0; i < numOpClasses; ++i)
+        counts_[i] += other.counts_[i];
+}
+
+void
+OpHistogram::scale(uint64_t factor)
+{
+    for (auto &c : counts_)
+        c *= factor;
+}
+
+std::vector<std::pair<std::string, double>>
+OpHistogram::topOps(size_t n) const
+{
+    uint64_t sum = total();
+    std::vector<std::pair<std::string, double>> out;
+    if (sum == 0)
+        return out;
+    std::vector<size_t> order(numOpClasses);
+    for (size_t i = 0; i < numOpClasses; ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return counts_[a] > counts_[b];
+    });
+    for (size_t i = 0; i < order.size() && out.size() < n; ++i) {
+        if (counts_[order[i]] == 0)
+            break;
+        out.emplace_back(
+            opClassName(static_cast<OpClass>(order[i])),
+            100.0 * static_cast<double>(counts_[order[i]]) /
+                static_cast<double>(sum));
+    }
+    return out;
+}
+
+} // namespace ssla::perf

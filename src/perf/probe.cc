@@ -1,0 +1,143 @@
+#include "perf/probe.hh"
+
+namespace ssla::perf
+{
+
+namespace
+{
+thread_local PerfContext *tlsContext = nullptr;
+thread_local FuncProbe *tlsProbeTop = nullptr;
+
+// Probe machinery is not free: the rdcycles pair inside a probe's own
+// span inflates its measurement ("inner" overhead), and the probe
+// object's construction/destruction outside that span inflates the
+// *parent's* exclusive time ("outer" overhead) — which matters when a
+// parent makes tens of thousands of probed kernel calls (Table 8).
+// Both are calibrated once with empty probes and subtracted.
+bool overheadCalibrated = false;
+bool calibrating = false;
+uint64_t innerOverhead = 0;
+uint64_t outerOverhead = 0;
+
+void
+ensureCalibrated()
+{
+    if (overheadCalibrated || calibrating)
+        return;
+    calibrating = true;
+    {
+        PerfContext ctx(true);
+        ContextScope scope(&ctx);
+        constexpr int n = 8192;
+        // Warm-up.
+        for (int i = 0; i < 64; ++i)
+            FuncProbe probe("calibration");
+        ctx.clear();
+        uint64_t t0 = rdcycles();
+        for (int i = 0; i < n; ++i)
+            FuncProbe probe("calibration");
+        uint64_t t1 = rdcycles();
+        outerOverhead = (t1 - t0) / n;
+        innerOverhead = ctx.counters().at("calibration").inclusive / n;
+        if (outerOverhead < innerOverhead)
+            outerOverhead = innerOverhead;
+    }
+    overheadCalibrated = true;
+    calibrating = false;
+}
+
+} // anonymous namespace
+
+PerfContext *
+currentContext()
+{
+    return tlsContext;
+}
+
+ContextScope::ContextScope(PerfContext *ctx) : prev_(tlsContext)
+{
+    if (ctx)
+        ensureCalibrated();
+    tlsContext = ctx;
+}
+
+ContextScope::~ContextScope()
+{
+    tlsContext = prev_;
+}
+
+FuncProbe::FuncProbe(const char *name, ProbeLevel level)
+    : ctx_(tlsContext), name_(name)
+{
+    if (ctx_ && level == ProbeLevel::Fine && !ctx_->collectFine())
+        ctx_ = nullptr;
+    if (ctx_) {
+        parent_ = tlsProbeTop;
+        tlsProbeTop = this;
+        start_ = rdcycles();
+    }
+}
+
+FuncProbe::~FuncProbe()
+{
+    if (!ctx_)
+        return;
+    uint64_t total = rdcycles() - start_;
+    uint64_t inner = calibrating ? 0 : innerOverhead;
+    uint64_t outer = calibrating ? 0 : outerOverhead;
+    // Remove own measurement bias from both views.
+    total = total >= inner ? total - inner : 0;
+    uint64_t self = total >= childCycles_ ? total - childCycles_ : 0;
+    ctx_->add(name_, total, self);
+    tlsProbeTop = parent_;
+    if (parent_) {
+        // Charge the parent for the child's work plus the probe
+        // machinery it paid for, so neither shows up as parent self
+        // time.
+        parent_->childCycles_ += total + outer;
+    }
+}
+
+const std::map<std::string, Counter> &
+PerfContext::counters() const
+{
+    if (dirty_) {
+        snapshot_.clear();
+        for (const auto &[name, c] : raw_) {
+            auto &merged = snapshot_[name];
+            merged.inclusive += c.inclusive;
+            merged.exclusive += c.exclusive;
+            merged.calls += c.calls;
+        }
+        dirty_ = false;
+    }
+    return snapshot_;
+}
+
+uint64_t
+PerfContext::cyclesFor(const std::string &name) const
+{
+    const auto &all = counters();
+    auto it = all.find(name);
+    return it == all.end() ? 0 : it->second.inclusive;
+}
+
+uint64_t
+PerfContext::cyclesFor(const std::vector<std::string> &names) const
+{
+    uint64_t sum = 0;
+    for (const auto &n : names)
+        sum += cyclesFor(n);
+    return sum;
+}
+
+uint64_t
+PerfContext::totalExclusive() const
+{
+    uint64_t sum = 0;
+    for (const auto &[name, c] : counters())
+        sum += c.exclusive;
+    return sum;
+}
+
+} // namespace ssla::perf

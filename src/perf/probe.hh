@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Cycle-accounting probes — the reproduction's VTune/Oprofile substitute.
+ *
+ * A PerfContext is a named-counter sink. Library code never takes a
+ * context parameter; instead the measuring code installs a context as
+ * the thread-local "current" one (ContextScope) and instrumented
+ * functions self-report through FuncProbe. When no context is installed
+ * a probe costs a single predictable branch, so the production path
+ * stays clean.
+ *
+ * Probes maintain a per-thread stack so each counter records both
+ *  - inclusive cycles (children included) — what the paper's Table 2
+ *    reports per crypto function, and
+ *  - exclusive cycles (children subtracted) — the flat profile of
+ *    Table 8, matching how a sampling profiler attributes time.
+ *
+ * Two probe levels mirror the paper's two profiling granularities:
+ *  - Coarse: SSL-visible crypto entry points (Table 2's function column)
+ *  - Fine:   bignum inner kernels (Table 8's function profile); these
+ *            fire millions of times, so they only report when the
+ *            context explicitly opts in.
+ */
+
+#ifndef SSLA_PERF_PROBE_HH
+#define SSLA_PERF_PROBE_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/cycles.hh"
+
+namespace ssla::perf
+{
+
+/** Accumulated cycles and invocation count for one named region. */
+struct Counter
+{
+    uint64_t inclusive = 0; ///< cycles including instrumented children
+    uint64_t exclusive = 0; ///< cycles with instrumented children removed
+    uint64_t calls = 0;
+};
+
+/** Probe granularity; see file comment. */
+enum class ProbeLevel
+{
+    Coarse,
+    Fine,
+};
+
+/** A sink for named cycle counters. */
+class PerfContext
+{
+  public:
+    /** @param fine_grained also collect Fine-level (bignum) probes. */
+    explicit PerfContext(bool fine_grained = false)
+        : fineGrained_(fine_grained)
+    {}
+
+    /**
+     * Record one probe firing. @p name must have static storage
+     * duration: the hot path keys by pointer so that a probe costs a
+     * hash of one word, not a string map walk (names are merged by
+     * content when counters() builds its snapshot).
+     */
+    void
+    add(const char *name, uint64_t inclusive, uint64_t exclusive)
+    {
+        auto &c = raw_[name];
+        c.inclusive += inclusive;
+        c.exclusive += exclusive;
+        c.calls += 1;
+        dirty_ = true;
+    }
+
+    bool collectFine() const { return fineGrained_; }
+
+    /** Name-keyed snapshot of all counters (rebuilt lazily). */
+    const std::map<std::string, Counter> &counters() const;
+
+    /** Inclusive cycles recorded under @p name (0 if never hit). */
+    uint64_t cyclesFor(const std::string &name) const;
+
+    /** Sum of inclusive cycles over every counter named in @p names. */
+    uint64_t cyclesFor(const std::vector<std::string> &names) const;
+
+    /** Sum of exclusive cycles over all counters. */
+    uint64_t totalExclusive() const;
+
+    void
+    clear()
+    {
+        raw_.clear();
+        snapshot_.clear();
+        dirty_ = false;
+    }
+
+  private:
+    std::unordered_map<const char *, Counter> raw_;
+    mutable std::map<std::string, Counter> snapshot_;
+    mutable bool dirty_ = false;
+    bool fineGrained_;
+};
+
+/** The thread-local context probes currently report to (may be null). */
+PerfContext *currentContext();
+
+/** RAII installer for the thread-local current context. */
+class ContextScope
+{
+  public:
+    explicit ContextScope(PerfContext *ctx);
+    ~ContextScope();
+
+    ContextScope(const ContextScope &) = delete;
+    ContextScope &operator=(const ContextScope &) = delete;
+
+  private:
+    PerfContext *prev_;
+};
+
+/**
+ * RAII probe around an instrumented function body.
+ *
+ * @p name must have static storage duration (string literal).
+ */
+class FuncProbe
+{
+  public:
+    explicit FuncProbe(const char *name,
+                       ProbeLevel level = ProbeLevel::Coarse);
+    ~FuncProbe();
+
+    FuncProbe(const FuncProbe &) = delete;
+    FuncProbe &operator=(const FuncProbe &) = delete;
+
+  private:
+    PerfContext *ctx_;
+    const char *name_;
+    FuncProbe *parent_ = nullptr;
+    uint64_t start_ = 0;
+    uint64_t childCycles_ = 0;
+};
+
+} // namespace ssla::perf
+
+#endif // SSLA_PERF_PROBE_HH

@@ -1,0 +1,125 @@
+#include "perf/report.hh"
+
+#include <cstdarg>
+#include <cstdint>
+
+namespace ssla::perf
+{
+
+void
+TablePrinter::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> row)
+{
+    rows_.push_back(std::move(row));
+}
+
+void
+TablePrinter::addRule()
+{
+    rows_.push_back({"---RULE---"});
+}
+
+void
+TablePrinter::print(std::FILE *out) const
+{
+    size_t ncols = header_.size();
+    for (const auto &r : rows_)
+        ncols = std::max(ncols, r.size());
+
+    std::vector<size_t> width(ncols, 0);
+    for (size_t i = 0; i < header_.size(); ++i)
+        width[i] = header_[i].size();
+    for (const auto &r : rows_) {
+        if (r.size() == 1 && r[0] == "---RULE---")
+            continue;
+        for (size_t i = 0; i < r.size(); ++i)
+            width[i] = std::max(width[i], r[i].size());
+    }
+
+    size_t line_len = 2;
+    for (size_t w : width)
+        line_len += w + 3;
+
+    auto rule = [&]() {
+        for (size_t i = 0; i < line_len; ++i)
+            std::fputc('-', out);
+        std::fputc('\n', out);
+    };
+
+    std::fprintf(out, "\n%s\n", title_.c_str());
+    rule();
+    if (!header_.empty()) {
+        std::fputs("| ", out);
+        for (size_t i = 0; i < ncols; ++i) {
+            const std::string &cell =
+                i < header_.size() ? header_[i] : std::string();
+            std::fprintf(out, "%-*s | ", static_cast<int>(width[i]),
+                         cell.c_str());
+        }
+        std::fputc('\n', out);
+        rule();
+    }
+    for (const auto &r : rows_) {
+        if (r.size() == 1 && r[0] == "---RULE---") {
+            rule();
+            continue;
+        }
+        std::fputs("| ", out);
+        for (size_t i = 0; i < ncols; ++i) {
+            const std::string &cell = i < r.size() ? r[i] : std::string();
+            std::fprintf(out, "%-*s | ", static_cast<int>(width[i]),
+                         cell.c_str());
+        }
+        std::fputc('\n', out);
+    }
+    rule();
+}
+
+std::string
+fmt(const char *format, ...)
+{
+    char buf[256];
+    va_list ap;
+    va_start(ap, format);
+    std::vsnprintf(buf, sizeof(buf), format, ap);
+    va_end(ap);
+    return buf;
+}
+
+std::string
+fmtF(double value, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    return buf;
+}
+
+std::string
+fmtPct(double value, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, value);
+    return buf;
+}
+
+std::string
+fmtCount(uint64_t value)
+{
+    std::string digits = std::to_string(value);
+    std::string out;
+    int cnt = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (cnt && cnt % 3 == 0)
+            out.push_back(',');
+        out.push_back(*it);
+        ++cnt;
+    }
+    return std::string(out.rbegin(), out.rend());
+}
+
+} // namespace ssla::perf

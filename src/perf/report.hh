@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Fixed-width console table printer used by every bench binary so that
+ * the reproduced tables read like the paper's.
+ */
+
+#ifndef SSLA_PERF_REPORT_HH
+#define SSLA_PERF_REPORT_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace ssla::perf
+{
+
+/** A simple left/right-aligned text table. */
+class TablePrinter
+{
+  public:
+    /** @param title caption printed above the table. */
+    explicit TablePrinter(std::string title) : title_(std::move(title)) {}
+
+    /** Set the column headers (defines the column count). */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append one row; short rows are padded with empty cells. */
+    void addRow(std::vector<std::string> row);
+
+    /** Insert a horizontal rule before the next row. */
+    void addRule();
+
+    /** Render to @p out (stdout by default). */
+    void print(std::FILE *out = stdout) const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** printf-style float formatting into std::string. */
+std::string fmt(const char *format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Format @p value with @p decimals digits after the point. */
+std::string fmtF(double value, int decimals = 2);
+
+/** Format a percentage with @p decimals digits. */
+std::string fmtPct(double value, int decimals = 1);
+
+/** Format an integer count with thousands separators. */
+std::string fmtCount(uint64_t value);
+
+} // namespace ssla::perf
+
+#endif // SSLA_PERF_REPORT_HH

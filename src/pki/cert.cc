@@ -1,0 +1,136 @@
+#include "pki/cert.hh"
+
+#include <stdexcept>
+
+#include "crypto/md5.hh"
+#include "crypto/sha1.hh"
+#include "perf/probe.hh"
+#include "util/bytes.hh"
+
+namespace ssla::pki
+{
+
+Bytes
+Certificate::encodeTbs(const CertificateInfo &info)
+{
+    Bytes key = derSequence({
+        derInteger(info.publicKey.n),
+        derInteger(info.publicKey.e),
+    });
+    return derSequence({
+        derInteger(info.serial),
+        derUtf8(info.issuer),
+        derUtf8(info.subject),
+        derInteger(info.notBefore),
+        derInteger(info.notAfter),
+        key,
+    });
+}
+
+Bytes
+Certificate::tbsDigest(const Bytes &tbs)
+{
+    // SSLv3-era RSA signatures sign MD5 || SHA1 of the body.
+    Bytes digest = crypto::Md5::hash(tbs);
+    append(digest, crypto::Sha1::hash(tbs));
+    return digest;
+}
+
+Certificate
+Certificate::issue(const CertificateInfo &info,
+                   const crypto::RsaPrivateKey &issuer_key)
+{
+    perf::FuncProbe probe("x509_issue");
+    Certificate cert;
+    cert.info_ = info;
+    cert.tbs_ = encodeTbs(info);
+    cert.signature_ = crypto::rsaSign(issuer_key, tbsDigest(cert.tbs_));
+    cert.encoded_ = derSequence({
+        cert.tbs_,
+        derOctetString(cert.signature_),
+    });
+    return cert;
+}
+
+Certificate
+Certificate::parse(const Bytes &encoded)
+{
+    perf::FuncProbe probe("x509_parse");
+    Certificate cert;
+    cert.encoded_ = encoded;
+
+    DerParser top(encoded);
+    Bytes outer = top.readSequence();
+    if (!top.atEnd())
+        throw std::runtime_error("certificate: trailing garbage");
+
+    DerParser body(outer);
+    // The TBS must be kept byte-exact for signature checking: re-wrap
+    // the parsed sequence content.
+    Bytes tbs_content = body.readSequence();
+    cert.tbs_ = derWrap(DerTag::Sequence, tbs_content);
+    cert.signature_ = body.readOctetString();
+    if (!body.atEnd())
+        throw std::runtime_error("certificate: trailing garbage");
+
+    DerParser tbs(tbs_content);
+    cert.info_.serial = tbs.readSmallInteger();
+    cert.info_.issuer = tbs.readUtf8();
+    cert.info_.subject = tbs.readUtf8();
+    cert.info_.notBefore = tbs.readSmallInteger();
+    cert.info_.notAfter = tbs.readSmallInteger();
+    DerParser key(tbs.readSequence());
+    cert.info_.publicKey.n = key.readInteger();
+    cert.info_.publicKey.e = key.readInteger();
+    if (!key.atEnd() || !tbs.atEnd())
+        throw std::runtime_error("certificate: trailing garbage");
+
+    if (cert.info_.publicKey.n.bitLength() < 256)
+        throw std::runtime_error("certificate: implausible RSA modulus");
+    return cert;
+}
+
+bool
+Certificate::verify(const crypto::RsaPublicKey &issuer_key) const
+{
+    perf::FuncProbe probe("x509_verify");
+    return crypto::rsaVerify(issuer_key, tbsDigest(tbs_), signature_);
+}
+
+bool
+Certificate::validAt(uint64_t unix_time) const
+{
+    return unix_time >= info_.notBefore && unix_time <= info_.notAfter;
+}
+
+bool
+verifyChain(const std::vector<Certificate> &chain,
+            const crypto::RsaPublicKey *trusted_root, uint64_t at)
+{
+    perf::FuncProbe probe("x509_verify_chain");
+    if (chain.empty())
+        return false;
+
+    for (size_t i = 0; i < chain.size(); ++i) {
+        const Certificate &cert = chain[i];
+        if (at && !cert.validAt(at))
+            return false;
+
+        if (i + 1 < chain.size()) {
+            const Certificate &issuer = chain[i + 1];
+            if (cert.info().issuer != issuer.info().subject)
+                return false;
+            if (!cert.verify(issuer.info().publicKey))
+                return false;
+        } else {
+            // Terminal certificate: anchor to the trusted root, or
+            // accept self-signed when no root was configured.
+            if (trusted_root)
+                return cert.verify(*trusted_root);
+            return cert.isSelfSigned();
+        }
+    }
+    return false; // unreachable
+}
+
+} // namespace ssla::pki

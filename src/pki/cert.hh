@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Simplified X.509-style certificates with real RSA signatures.
+ *
+ * The certificate body (TBS) carries serial, issuer/subject names,
+ * validity and an RSA public key, DER-encoded; the signature is
+ * PKCS#1 v1.5 over MD5(tbs) || SHA1(tbs) — the combined-digest scheme
+ * SSLv3-era RSA signing used. Parsing + verification is what the paper
+ * accounts as "X509 functions" (232 kcycles in Table 2's step 3).
+ */
+
+#ifndef SSLA_PKI_CERT_HH
+#define SSLA_PKI_CERT_HH
+
+#include <string>
+
+#include "crypto/rsa.hh"
+#include "pki/der.hh"
+
+namespace ssla::pki
+{
+
+/** The signed fields of a certificate. */
+struct CertificateInfo
+{
+    uint64_t serial = 1;
+    std::string issuer;
+    std::string subject;
+    uint64_t notBefore = 0; ///< seconds since epoch
+    uint64_t notAfter = 0;
+    crypto::RsaPublicKey publicKey;
+};
+
+/** A parsed or freshly issued certificate. */
+class Certificate
+{
+  public:
+    Certificate() = default;
+
+    /**
+     * Issue a certificate: encode @p info and sign it with
+     * @p issuer_key (self-signed when the key matches info.publicKey).
+     */
+    static Certificate issue(const CertificateInfo &info,
+                             const crypto::RsaPrivateKey &issuer_key);
+
+    /**
+     * Parse a wire-format certificate.
+     * @throws std::runtime_error on malformed input
+     */
+    static Certificate parse(const Bytes &encoded);
+
+    /** Serialize to wire format. */
+    const Bytes &encoded() const { return encoded_; }
+
+    const CertificateInfo &info() const { return info_; }
+
+    /** Check the signature against the issuer's public key. */
+    bool verify(const crypto::RsaPublicKey &issuer_key) const;
+
+    /** Validity-window check. */
+    bool validAt(uint64_t unix_time) const;
+
+    /** True when the certificate verifies under its own key. */
+    bool isSelfSigned() const { return verify(info_.publicKey); }
+
+  private:
+    static Bytes encodeTbs(const CertificateInfo &info);
+    static Bytes tbsDigest(const Bytes &tbs);
+
+    CertificateInfo info_;
+    Bytes tbs_;       ///< the signed body, as encoded
+    Bytes signature_; ///< RSA signature over tbsDigest(tbs_)
+    Bytes encoded_;   ///< full wire form
+};
+
+/**
+ * Verify a certificate chain, leaf first: every certificate must be
+ * signed by the next one's key, names must link (issuer of cert i ==
+ * subject of cert i+1), and the final certificate must verify under
+ * @p trusted_root (or be self-signed when @p trusted_root is null).
+ *
+ * @param chain parsed certificates, leaf first
+ * @param trusted_root the root-of-trust key, or null to accept any
+ *        self-signed terminal certificate
+ * @param at validity-check time (0 disables the window check)
+ * @return true when every link holds
+ */
+bool verifyChain(const std::vector<Certificate> &chain,
+                 const crypto::RsaPublicKey *trusted_root,
+                 uint64_t at = 0);
+
+} // namespace ssla::pki
+
+#endif // SSLA_PKI_CERT_HH

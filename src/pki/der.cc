@@ -1,0 +1,174 @@
+#include "pki/der.hh"
+
+#include <stdexcept>
+
+#include "util/bytes.hh"
+
+namespace ssla::pki
+{
+
+namespace
+{
+
+/** Encode a definite length in DER's minimal form. */
+void
+appendLength(Bytes &out, size_t len)
+{
+    if (len < 0x80) {
+        out.push_back(static_cast<uint8_t>(len));
+        return;
+    }
+    uint8_t tmp[8];
+    int n = 0;
+    size_t v = len;
+    while (v) {
+        tmp[n++] = static_cast<uint8_t>(v);
+        v >>= 8;
+    }
+    out.push_back(static_cast<uint8_t>(0x80 | n));
+    for (int i = n - 1; i >= 0; --i)
+        out.push_back(tmp[i]);
+}
+
+} // anonymous namespace
+
+Bytes
+derWrap(DerTag tag, const Bytes &content)
+{
+    Bytes out;
+    out.reserve(content.size() + 6);
+    out.push_back(static_cast<uint8_t>(tag));
+    appendLength(out, content.size());
+    append(out, content);
+    return out;
+}
+
+Bytes
+derInteger(const bn::BigNum &v)
+{
+    if (v.isNegative())
+        throw std::invalid_argument("derInteger: negative unsupported");
+    Bytes mag = v.toBytesBE();
+    if (mag.empty())
+        mag.push_back(0);
+    // A set top bit would read as negative; prepend a zero octet.
+    if (mag[0] & 0x80)
+        mag.insert(mag.begin(), 0);
+    return derWrap(DerTag::Integer, mag);
+}
+
+Bytes
+derInteger(uint64_t v)
+{
+    return derInteger(bn::BigNum(v));
+}
+
+Bytes
+derOctetString(const Bytes &v)
+{
+    return derWrap(DerTag::OctetString, v);
+}
+
+Bytes
+derUtf8(std::string_view s)
+{
+    return derWrap(DerTag::Utf8String, toBytes(s));
+}
+
+Bytes
+derSequence(const std::vector<Bytes> &elements)
+{
+    Bytes content;
+    for (const auto &e : elements)
+        append(content, e);
+    return derWrap(DerTag::Sequence, content);
+}
+
+void
+DerParser::require(size_t n) const
+{
+    if (len_ - pos_ < n)
+        throw std::runtime_error("DER: truncated input");
+}
+
+uint8_t
+DerParser::peekTag() const
+{
+    require(1);
+    return data_[pos_];
+}
+
+size_t
+DerParser::readLength()
+{
+    require(1);
+    uint8_t first = data_[pos_++];
+    if (!(first & 0x80))
+        return first;
+    unsigned nbytes = first & 0x7f;
+    if (nbytes == 0 || nbytes > 8)
+        throw std::runtime_error("DER: unsupported length form");
+    require(nbytes);
+    size_t len = 0;
+    for (unsigned i = 0; i < nbytes; ++i)
+        len = (len << 8) | data_[pos_++];
+    return len;
+}
+
+Bytes
+DerParser::expect(DerTag tag)
+{
+    require(1);
+    if (data_[pos_] != static_cast<uint8_t>(tag))
+        throw std::runtime_error("DER: unexpected tag");
+    ++pos_;
+    size_t len = readLength();
+    require(len);
+    Bytes content(data_ + pos_, data_ + pos_ + len);
+    pos_ += len;
+    return content;
+}
+
+bn::BigNum
+DerParser::readInteger()
+{
+    Bytes content = expect(DerTag::Integer);
+    if (content.empty())
+        throw std::runtime_error("DER: empty integer");
+    if (content[0] & 0x80)
+        throw std::runtime_error("DER: negative integer unsupported");
+    return bn::BigNum::fromBytesBE(content);
+}
+
+uint64_t
+DerParser::readSmallInteger()
+{
+    bn::BigNum v = readInteger();
+    if (v.bitLength() > 64)
+        throw std::runtime_error("DER: integer too large");
+    Bytes b = v.toBytesBE(8);
+    uint64_t out = 0;
+    for (uint8_t byte : b)
+        out = (out << 8) | byte;
+    return out;
+}
+
+Bytes
+DerParser::readOctetString()
+{
+    return expect(DerTag::OctetString);
+}
+
+std::string
+DerParser::readUtf8()
+{
+    return toString(expect(DerTag::Utf8String));
+}
+
+Bytes
+DerParser::readSequence()
+{
+    return expect(DerTag::Sequence);
+}
+
+} // namespace ssla::pki

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * A DER-style tag/length/value codec.
+ *
+ * This is the substrate for the certificate layer. It follows DER's
+ * framing rules (definite lengths, minimal long-form encoding, big-
+ * endian two's-complement integers) for the handful of universal types
+ * the certificates need. Full ASN.1 is intentionally out of scope —
+ * the paper measures certificate handling as an opaque "X509
+ * functions" cost, which parsing + signature checking reproduces.
+ */
+
+#ifndef SSLA_PKI_DER_HH
+#define SSLA_PKI_DER_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "bn/bignum.hh"
+#include "util/types.hh"
+
+namespace ssla::pki
+{
+
+/** The universal tags this codec understands. */
+enum class DerTag : uint8_t
+{
+    Integer = 0x02,
+    OctetString = 0x04,
+    Utf8String = 0x0c,
+    Sequence = 0x30,
+};
+
+/** Encode a TLV with @p tag around @p content. */
+Bytes derWrap(DerTag tag, const Bytes &content);
+
+/** Encode a non-negative big integer (minimal, sign-safe). */
+Bytes derInteger(const bn::BigNum &v);
+
+/** Encode a machine integer. */
+Bytes derInteger(uint64_t v);
+
+/** Encode an octet string. */
+Bytes derOctetString(const Bytes &v);
+
+/** Encode a UTF-8 string. */
+Bytes derUtf8(std::string_view s);
+
+/** Concatenate pre-encoded elements into a SEQUENCE. */
+Bytes derSequence(const std::vector<Bytes> &elements);
+
+/**
+ * Pull-parser over a DER buffer.
+ *
+ * Every reader throws std::runtime_error on malformed input; the
+ * certificate layer converts that into a handshake failure.
+ */
+class DerParser
+{
+  public:
+    /** Non-owning view over @p data (must outlive the parser). */
+    explicit DerParser(const Bytes &data)
+        : data_(data.data()), len_(data.size())
+    {}
+
+    /** Owning parser over a temporary (e.g. readSequence() results). */
+    explicit DerParser(Bytes &&data)
+        : owned_(std::move(data)), data_(owned_.data()),
+          len_(owned_.size())
+    {}
+
+    DerParser(const uint8_t *data, size_t len) : data_(data), len_(len) {}
+
+    // Copying/moving would dangle data_ when owning; forbid both.
+    DerParser(const DerParser &) = delete;
+    DerParser &operator=(const DerParser &) = delete;
+
+    bool atEnd() const { return pos_ == len_; }
+
+    /** Peek the tag of the next TLV. */
+    uint8_t peekTag() const;
+
+    /** Read a TLV with the expected @p tag; returns its content. */
+    Bytes expect(DerTag tag);
+
+    /** Read an INTEGER as a BigNum. */
+    bn::BigNum readInteger();
+
+    /** Read an INTEGER that must fit in uint64. */
+    uint64_t readSmallInteger();
+
+    /** Read an OCTET STRING. */
+    Bytes readOctetString();
+
+    /** Read a UTF8String. */
+    std::string readUtf8();
+
+    /** Descend into a SEQUENCE: returns a parser over its content. */
+    Bytes readSequence();
+
+  private:
+    size_t readLength();
+    void require(size_t n) const;
+
+    Bytes owned_; ///< backing storage for the owning constructor
+    const uint8_t *data_;
+    size_t len_;
+    size_t pos_ = 0;
+};
+
+} // namespace ssla::pki
+
+#endif // SSLA_PKI_DER_HH

@@ -1,0 +1,33 @@
+#include "ssl/alert.hh"
+
+namespace ssla::ssl
+{
+
+const char *
+alertName(AlertDescription desc)
+{
+    switch (desc) {
+      case AlertDescription::CloseNotify: return "close_notify";
+      case AlertDescription::UnexpectedMessage:
+        return "unexpected_message";
+      case AlertDescription::BadRecordMac: return "bad_record_mac";
+      case AlertDescription::DecompressionFailure:
+        return "decompression_failure";
+      case AlertDescription::HandshakeFailure: return "handshake_failure";
+      case AlertDescription::NoCertificate: return "no_certificate";
+      case AlertDescription::BadCertificate: return "bad_certificate";
+      case AlertDescription::UnsupportedCertificate:
+        return "unsupported_certificate";
+      case AlertDescription::CertificateRevoked:
+        return "certificate_revoked";
+      case AlertDescription::CertificateExpired:
+        return "certificate_expired";
+      case AlertDescription::CertificateUnknown:
+        return "certificate_unknown";
+      case AlertDescription::IllegalParameter:
+        return "illegal_parameter";
+    }
+    return "unknown_alert";
+}
+
+} // namespace ssla::ssl

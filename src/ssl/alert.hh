@@ -1,0 +1,60 @@
+/**
+ * @file
+ * SSLv3 alert codes and the exception type protocol errors surface as.
+ */
+
+#ifndef SSLA_SSL_ALERT_HH
+#define SSLA_SSL_ALERT_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace ssla::ssl
+{
+
+/** SSLv3 alert descriptions (RFC 6101 section 5.4.2). */
+enum class AlertDescription : uint8_t
+{
+    CloseNotify = 0,
+    UnexpectedMessage = 10,
+    BadRecordMac = 20,
+    DecompressionFailure = 30,
+    HandshakeFailure = 40,
+    NoCertificate = 41,
+    BadCertificate = 42,
+    UnsupportedCertificate = 43,
+    CertificateRevoked = 44,
+    CertificateExpired = 45,
+    CertificateUnknown = 46,
+    IllegalParameter = 47,
+};
+
+/** Alert severity. */
+enum class AlertLevel : uint8_t
+{
+    Warning = 1,
+    Fatal = 2,
+};
+
+/** Human-readable name of an alert. */
+const char *alertName(AlertDescription desc);
+
+/** Exception carrying the alert a protocol failure maps to. */
+class SslError : public std::runtime_error
+{
+  public:
+    SslError(AlertDescription desc, const std::string &what)
+        : std::runtime_error(what + " (" + alertName(desc) + ")"),
+          desc_(desc)
+    {}
+
+    AlertDescription alert() const { return desc_; }
+
+  private:
+    AlertDescription desc_;
+};
+
+} // namespace ssla::ssl
+
+#endif // SSLA_SSL_ALERT_HH

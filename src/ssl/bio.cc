@@ -1,0 +1,70 @@
+#include "ssl/bio.hh"
+
+#include <cstring>
+
+#include "perf/probe.hh"
+
+namespace ssla::ssl
+{
+
+void
+MemBio::write(const uint8_t *data, size_t len)
+{
+    buf_.insert(buf_.end(), data, data + len);
+    totalWritten_ += len;
+}
+
+void
+MemBio::compact()
+{
+    if (head_ == 0)
+        return;
+    // Compact when the dead prefix dominates to keep reads O(1)
+    // amortized without unbounded growth.
+    if (head_ >= 4096 && head_ * 2 >= buf_.size()) {
+        buf_.erase(buf_.begin(), buf_.begin() + head_);
+        head_ = 0;
+    }
+}
+
+size_t
+MemBio::read(uint8_t *out, size_t len)
+{
+    size_t take = std::min(len, available());
+    std::memcpy(out, buf_.data() + head_, take);
+    head_ += take;
+    compact();
+    return take;
+}
+
+size_t
+MemBio::peek(uint8_t *out, size_t len) const
+{
+    size_t take = std::min(len, available());
+    std::memcpy(out, buf_.data() + head_, take);
+    return take;
+}
+
+void
+MemBio::consume(size_t len)
+{
+    head_ += std::min(len, available());
+    compact();
+}
+
+void
+BioEndpoint::write(const uint8_t *data, size_t len)
+{
+    perf::FuncProbe probe("BIO_write");
+    out_->write(data, len);
+}
+
+void
+BioEndpoint::flush()
+{
+    perf::FuncProbe probe("BIO_flush");
+    // Memory queues deliver immediately; the probe records the call so
+    // the handshake anatomy lists the buffer-control step.
+}
+
+} // namespace ssla::ssl

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * In-memory I/O channels — the "memory buffers" the paper's standalone
+ * ssltest setup relays messages through (Section 3.2).
+ *
+ * A BioPair is two byte queues; each endpoint writes into one and
+ * reads from the other, so a client and a server context in the same
+ * process can complete a handshake with no sockets involved.
+ */
+
+#ifndef SSLA_SSL_BIO_HH
+#define SSLA_SSL_BIO_HH
+
+#include <cstdint>
+
+#include "util/types.hh"
+
+namespace ssla::ssl
+{
+
+/** A FIFO byte queue with peeking and lazy compaction. */
+class MemBio
+{
+  public:
+    /** Append @p len bytes. */
+    void write(const uint8_t *data, size_t len);
+    void write(const Bytes &data) { write(data.data(), data.size()); }
+
+    /** Consume up to @p len bytes; returns the number read. */
+    size_t read(uint8_t *out, size_t len);
+
+    /** Copy up to @p len bytes without consuming; returns the count. */
+    size_t peek(uint8_t *out, size_t len) const;
+
+    /** Discard @p len buffered bytes (after a successful peek). */
+    void consume(size_t len);
+
+    /** Bytes currently buffered. */
+    size_t available() const { return buf_.size() - head_; }
+
+    /** Total bytes ever written (traffic accounting for the web sim). */
+    uint64_t totalWritten() const { return totalWritten_; }
+
+  private:
+    void compact();
+
+    Bytes buf_;
+    size_t head_ = 0;
+    uint64_t totalWritten_ = 0;
+};
+
+/** One side's view of a BioPair: read from one queue, write the other. */
+class BioEndpoint
+{
+  public:
+    BioEndpoint() = default;
+    BioEndpoint(MemBio *in, MemBio *out) : in_(in), out_(out) {}
+
+    void write(const uint8_t *data, size_t len);
+    void write(const Bytes &data) { write(data.data(), data.size()); }
+    size_t read(uint8_t *out, size_t len) { return in_->read(out, len); }
+    size_t peek(uint8_t *out, size_t len) const
+    {
+        return in_->peek(out, len);
+    }
+    void consume(size_t len) { in_->consume(len); }
+    size_t available() const { return in_->available(); }
+
+    /**
+     * Flush buffered output (a no-op for memory queues, but probed as
+     * BIO_flush so the handshake anatomy shows the same buffer-control
+     * entries as the paper's Table 2).
+     */
+    void flush();
+
+  private:
+    MemBio *in_ = nullptr;
+    MemBio *out_ = nullptr;
+};
+
+/** A connected pair of byte queues. */
+class BioPair
+{
+  public:
+    /** The client's endpoint. */
+    BioEndpoint clientEnd() { return BioEndpoint(&serverToClient_, &clientToServer_); }
+
+    /** The server's endpoint. */
+    BioEndpoint serverEnd() { return BioEndpoint(&clientToServer_, &serverToClient_); }
+
+    /** Bytes the client has sent (wire-traffic accounting). */
+    uint64_t clientBytesSent() const
+    {
+        return clientToServer_.totalWritten();
+    }
+
+    /** Bytes the server has sent. */
+    uint64_t serverBytesSent() const
+    {
+        return serverToClient_.totalWritten();
+    }
+
+  private:
+    MemBio clientToServer_;
+    MemBio serverToClient_;
+};
+
+} // namespace ssla::ssl
+
+#endif // SSLA_SSL_BIO_HH

@@ -1,0 +1,77 @@
+#include "ssl/ciphersuite.hh"
+
+#include <stdexcept>
+
+namespace ssla::ssl
+{
+
+namespace
+{
+
+using crypto::CipherAlg;
+using crypto::DigestAlg;
+
+const CipherSuite suites[] = {
+    {CipherSuiteId::RSA_NULL_MD5, "NULL-MD5", CipherAlg::Null,
+     DigestAlg::MD5},
+    {CipherSuiteId::RSA_RC4_128_MD5, "RC4-MD5", CipherAlg::Rc4_128,
+     DigestAlg::MD5},
+    {CipherSuiteId::RSA_RC4_128_SHA, "RC4-SHA", CipherAlg::Rc4_128,
+     DigestAlg::SHA1},
+    {CipherSuiteId::RSA_DES_CBC_SHA, "DES-CBC-SHA", CipherAlg::DesCbc,
+     DigestAlg::SHA1},
+    {CipherSuiteId::RSA_3DES_EDE_CBC_SHA, "DES-CBC3-SHA",
+     CipherAlg::Des3Cbc, DigestAlg::SHA1},
+    {CipherSuiteId::RSA_AES_128_CBC_SHA, "AES128-SHA",
+     CipherAlg::Aes128Cbc, DigestAlg::SHA1},
+    {CipherSuiteId::RSA_AES_256_CBC_SHA, "AES256-SHA",
+     CipherAlg::Aes256Cbc, DigestAlg::SHA1},
+    {CipherSuiteId::DHE_RSA_3DES_EDE_CBC_SHA, "DHE-DES-CBC3-SHA",
+     CipherAlg::Des3Cbc, DigestAlg::SHA1, KeyExchange::DheRsa},
+    {CipherSuiteId::DHE_RSA_AES_128_CBC_SHA, "DHE-AES128-SHA",
+     CipherAlg::Aes128Cbc, DigestAlg::SHA1, KeyExchange::DheRsa},
+    {CipherSuiteId::DHE_RSA_AES_256_CBC_SHA, "DHE-AES256-SHA",
+     CipherAlg::Aes256Cbc, DigestAlg::SHA1, KeyExchange::DheRsa},
+};
+
+} // anonymous namespace
+
+const CipherSuite &
+cipherSuite(CipherSuiteId id)
+{
+    for (const auto &s : suites) {
+        if (s.id == id)
+            return s;
+    }
+    throw std::invalid_argument("cipherSuite: unknown suite");
+}
+
+bool
+cipherSuiteKnown(uint16_t id)
+{
+    for (const auto &s : suites) {
+        if (static_cast<uint16_t>(s.id) == id)
+            return true;
+    }
+    return false;
+}
+
+const std::vector<CipherSuiteId> &
+allCipherSuites()
+{
+    static const std::vector<CipherSuiteId> all = {
+        CipherSuiteId::DHE_RSA_AES_256_CBC_SHA,
+        CipherSuiteId::DHE_RSA_AES_128_CBC_SHA,
+        CipherSuiteId::DHE_RSA_3DES_EDE_CBC_SHA,
+        CipherSuiteId::RSA_AES_256_CBC_SHA,
+        CipherSuiteId::RSA_AES_128_CBC_SHA,
+        CipherSuiteId::RSA_3DES_EDE_CBC_SHA,
+        CipherSuiteId::RSA_DES_CBC_SHA,
+        CipherSuiteId::RSA_RC4_128_SHA,
+        CipherSuiteId::RSA_RC4_128_MD5,
+        CipherSuiteId::RSA_NULL_MD5,
+    };
+    return all;
+}
+
+} // namespace ssla::ssl

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The RSA-key-exchange cipher suites this stack implements, including
+ * DES-CBC3-SHA — the suite the paper measures throughout.
+ */
+
+#ifndef SSLA_SSL_CIPHERSUITE_HH
+#define SSLA_SSL_CIPHERSUITE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/cipher.hh"
+#include "crypto/digest.hh"
+
+namespace ssla::ssl
+{
+
+/** How the pre-master secret is established. */
+enum class KeyExchange
+{
+    Rsa,    ///< client encrypts the pre-master to the server RSA key
+    DheRsa, ///< ephemeral Diffie-Hellman, params RSA-signed
+};
+
+/** Standard cipher-suite code points. */
+enum class CipherSuiteId : uint16_t
+{
+    RSA_NULL_MD5 = 0x0001,
+    RSA_RC4_128_MD5 = 0x0004,
+    RSA_RC4_128_SHA = 0x0005,
+    RSA_DES_CBC_SHA = 0x0009,
+    RSA_3DES_EDE_CBC_SHA = 0x000a, ///< the paper's DES-CBC3-SHA
+    DHE_RSA_3DES_EDE_CBC_SHA = 0x0016,
+    RSA_AES_128_CBC_SHA = 0x002f,
+    DHE_RSA_AES_128_CBC_SHA = 0x0033,
+    RSA_AES_256_CBC_SHA = 0x0035,
+    DHE_RSA_AES_256_CBC_SHA = 0x0039,
+};
+
+/** Resolved parameters of a cipher suite. */
+struct CipherSuite
+{
+    CipherSuiteId id;
+    const char *name;
+    crypto::CipherAlg cipher;
+    crypto::DigestAlg mac;
+    KeyExchange kx = KeyExchange::Rsa;
+
+    size_t macLen() const { return crypto::Digest::digestSize(mac); }
+    size_t keyLen() const { return crypto::cipherInfo(cipher).keyLen; }
+    size_t ivLen() const { return crypto::cipherInfo(cipher).ivLen; }
+    size_t blockLen() const
+    {
+        return crypto::cipherInfo(cipher).blockLen;
+    }
+};
+
+/**
+ * Look up a suite by id.
+ * @throws std::invalid_argument for unknown code points
+ */
+const CipherSuite &cipherSuite(CipherSuiteId id);
+
+/** True when @p id names an implemented suite. */
+bool cipherSuiteKnown(uint16_t id);
+
+/** All implemented suites, strongest first. */
+const std::vector<CipherSuiteId> &allCipherSuites();
+
+} // namespace ssla::ssl
+
+#endif // SSLA_SSL_CIPHERSUITE_HH

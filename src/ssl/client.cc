@@ -1,0 +1,385 @@
+#include "ssl/client.hh"
+
+#include "perf/probe.hh"
+#include "ssl/kx.hh"
+#include "util/bytes.hh"
+
+namespace ssla::ssl
+{
+
+SslClient::SslClient(ClientConfig config, BioEndpoint bio)
+    : SslEndpoint(bio, config.randomPool), config_(std::move(config))
+{
+    if (config_.suites.empty())
+        throw std::invalid_argument("SslClient: no cipher suites");
+    if (config_.maxVersion < ssl3Version ||
+        config_.maxVersion > tls1Version) {
+        throw std::invalid_argument(
+            "SslClient: unsupported maxVersion");
+    }
+}
+
+bool
+SslClient::step()
+{
+    switch (state_) {
+      case State::SendClientHello:
+        return stepSendClientHello();
+      case State::GetServerHello:
+        return stepGetServerHello();
+      case State::GetServerCert:
+        return stepGetServerCert();
+      case State::GetServerKeyExchange:
+        return stepGetServerKeyExchange();
+      case State::GetServerDone:
+        return stepGetServerDone();
+      case State::SendClientKeyExchange:
+        return stepSendClientKeyExchange();
+      case State::SendCcsFinished:
+        return stepSendCcsFinished();
+      case State::GetFinished:
+        return stepGetFinished();
+      case State::ResumeGetFinished:
+        return stepResumeGetFinished();
+      case State::ResumeSendCcsFinished:
+        return stepResumeSendCcsFinished();
+      case State::Done:
+        return false;
+    }
+    return false;
+}
+
+bool
+SslClient::stepSendClientHello()
+{
+    clientRandom_.resize(32);
+    pool().generate(clientRandom_.data(), clientRandom_.size());
+
+    ClientHelloMsg hello;
+    hello.version = config_.maxVersion;
+    hello.random = clientRandom_;
+    if (config_.resumeSession && config_.resumeSession->valid())
+        hello.sessionId = config_.resumeSession->id;
+    for (CipherSuiteId id : config_.suites)
+        hello.cipherSuites.push_back(static_cast<uint16_t>(id));
+    sendHandshake(HandshakeType::ClientHello, hello.encode());
+    record_.flush();
+
+    state_ = State::GetServerHello;
+    return true;
+}
+
+bool
+SslClient::stepGetServerHello()
+{
+    auto msg = nextHandshakeMessage();
+    if (!msg)
+        return false;
+    if (msg->type != HandshakeType::ServerHello)
+        fail(AlertDescription::UnexpectedMessage,
+             "expected ServerHello");
+    ServerHelloMsg hello = ServerHelloMsg::parse(msg->body);
+
+    if (hello.version < ssl3Version ||
+        hello.version > config_.maxVersion) {
+        fail(AlertDescription::IllegalParameter,
+             "unsupported server version");
+    }
+    version_ = hello.version;
+    record_.setVersion(version_);
+    if (!cipherSuiteKnown(hello.cipherSuite))
+        fail(AlertDescription::IllegalParameter,
+             "server chose an unknown suite");
+    bool offered = false;
+    for (CipherSuiteId id : config_.suites)
+        offered |= (static_cast<uint16_t>(id) == hello.cipherSuite);
+    if (!offered)
+        fail(AlertDescription::IllegalParameter,
+             "server chose a suite we did not offer");
+
+    serverRandom_ = hello.random;
+    suite_ = &cipherSuite(static_cast<CipherSuiteId>(hello.cipherSuite));
+
+    resuming_ = config_.resumeSession &&
+                config_.resumeSession->valid() &&
+                hello.sessionId == config_.resumeSession->id;
+    if (resuming_) {
+        if (config_.resumeSession->suiteId != hello.cipherSuite ||
+            config_.resumeSession->version != version_) {
+            fail(AlertDescription::IllegalParameter,
+                 "resumed session parameter mismatch");
+        }
+        session_ = *config_.resumeSession;
+        master_ = session_.masterSecret;
+        state_ = State::ResumeGetFinished;
+    } else {
+        session_ = Session();
+        session_.id = hello.sessionId;
+        session_.suiteId = hello.cipherSuite;
+        session_.version = version_;
+        state_ = State::GetServerCert;
+    }
+    return true;
+}
+
+bool
+SslClient::stepGetServerCert()
+{
+    auto msg = nextHandshakeMessage();
+    if (!msg)
+        return false;
+    if (msg->type != HandshakeType::Certificate)
+        fail(AlertDescription::UnexpectedMessage,
+             "expected Certificate");
+    CertificateMsg cm = CertificateMsg::parse(msg->body);
+    if (cm.chain.empty())
+        fail(AlertDescription::NoCertificate,
+             "empty certificate chain");
+
+    std::vector<pki::Certificate> chain;
+    try {
+        for (const Bytes &encoded : cm.chain)
+            chain.push_back(pki::Certificate::parse(encoded));
+    } catch (const std::exception &) {
+        fail(AlertDescription::BadCertificate,
+             "unparseable server certificate");
+    }
+    cert_ = chain.front();
+
+    if (chain.size() > 1) {
+        // A real chain: every link must verify up to the trust anchor
+        // (or a self-signed terminal when no anchor is configured).
+        if (!pki::verifyChain(chain, config_.trustedIssuer,
+                              config_.currentTime)) {
+            fail(AlertDescription::BadCertificate,
+                 "certificate chain verification failed");
+        }
+    } else if (config_.trustedIssuer &&
+               !cert_.verify(*config_.trustedIssuer)) {
+        fail(AlertDescription::BadCertificate,
+             "certificate signature check failed");
+    }
+    if (!config_.expectedSubject.empty() &&
+        cert_.info().subject != config_.expectedSubject) {
+        fail(AlertDescription::CertificateUnknown,
+             "certificate subject mismatch");
+    }
+    if (config_.currentTime && !cert_.validAt(config_.currentTime))
+        fail(AlertDescription::CertificateExpired,
+             "certificate outside its validity window");
+
+    state_ = suite_->kx == KeyExchange::DheRsa
+                 ? State::GetServerKeyExchange
+                 : State::GetServerDone;
+    return true;
+}
+
+bool
+SslClient::stepGetServerKeyExchange()
+{
+    auto msg = nextHandshakeMessage();
+    if (!msg)
+        return false;
+    if (msg->type != HandshakeType::ServerKeyExchange)
+        fail(AlertDescription::UnexpectedMessage,
+             "expected ServerKeyExchange");
+    ServerKeyExchangeMsg skx = ServerKeyExchangeMsg::parse(msg->body);
+
+    // The ephemeral parameters are only trustworthy if the signature
+    // under the certificate key checks out.
+    if (!verifyServerKeyExchange(cert_.info().publicKey, clientRandom_,
+                                 serverRandom_, skx.signedParams(),
+                                 skx.signature)) {
+        fail(AlertDescription::HandshakeFailure,
+             "ServerKeyExchange signature check failed");
+    }
+    dhGroup_.p = bn::BigNum::fromBytesBE(skx.p);
+    dhGroup_.g = bn::BigNum::fromBytesBE(skx.g);
+    dhServerPublic_ = bn::BigNum::fromBytesBE(skx.publicValue);
+    if (dhGroup_.p.bitLength() < 512 || dhGroup_.g < bn::BigNum(2))
+        fail(AlertDescription::IllegalParameter,
+             "implausible DH group");
+
+    state_ = State::GetServerDone;
+    return true;
+}
+
+bool
+SslClient::stepGetServerDone()
+{
+    auto msg = nextHandshakeMessage();
+    if (!msg)
+        return false;
+    if (msg->type == HandshakeType::CertificateRequest) {
+        // The server wants client authentication; remember it and
+        // keep waiting for ServerHelloDone.
+        CertificateRequestMsg::parse(msg->body);
+        certificateRequested_ = true;
+        return true;
+    }
+    if (msg->type != HandshakeType::ServerHelloDone)
+        fail(AlertDescription::UnexpectedMessage,
+             "expected ServerHelloDone");
+    state_ = State::SendClientKeyExchange;
+    return true;
+}
+
+bool
+SslClient::stepSendClientKeyExchange()
+{
+    // If the server asked for a certificate, it goes first (possibly
+    // an empty list when we have none to offer).
+    bool sending_client_cert = false;
+    if (certificateRequested_) {
+        CertificateMsg cm;
+        if (config_.clientCertificate && config_.clientKey) {
+            cm.chain.push_back(config_.clientCertificate->encoded());
+            sending_client_cert = true;
+        }
+        sendHandshake(HandshakeType::Certificate, cm.encode());
+    }
+
+    Bytes premaster;
+    if (suite_->kx == KeyExchange::DheRsa) {
+        // DHE: generate our ephemeral value and agree on the secret.
+        crypto::DhKeyPair mine = crypto::dhGenerateKey(dhGroup_, pool());
+        try {
+            premaster = crypto::dhComputeShared(dhGroup_,
+                                                dhServerPublic_,
+                                                mine.priv);
+        } catch (const std::exception &) {
+            fail(AlertDescription::IllegalParameter,
+                 "degenerate server DH value");
+        }
+        sendHandshake(
+            HandshakeType::ClientKeyExchange,
+            ClientKeyExchangeMsg::encodeDhe(mine.pub.toBytesBE()));
+    } else {
+        // 48-byte pre-master: the OFFERED client version, then 46
+        // random bytes (rollback protection, RFC 2246 7.4.7.1).
+        premaster.resize(48);
+        premaster[0] = static_cast<uint8_t>(config_.maxVersion >> 8);
+        premaster[1] = static_cast<uint8_t>(config_.maxVersion);
+        pool().generate(premaster.data() + 2, 46);
+
+        ClientKeyExchangeMsg ckx;
+        {
+            perf::FuncProbe probe("rsa_public_encryption");
+            ckx.encryptedPreMaster = crypto::rsaPublicEncrypt(
+                cert_.info().publicKey, premaster, pool());
+        }
+        sendHandshake(HandshakeType::ClientKeyExchange, ckx.encode());
+    }
+
+    master_ = deriveMasterSecret(version_, premaster, clientRandom_,
+                                 serverRandom_);
+    secureWipe(premaster);
+    session_.masterSecret = master_;
+
+    // Prove possession of the certificate key (CertificateVerify).
+    if (sending_client_cert) {
+        CertificateVerifyMsg cv;
+        cv.signature = crypto::rsaSign(
+            *config_.clientKey,
+            hsHash_.certVerifyHash(version_, master_));
+        sendHandshake(HandshakeType::CertificateVerify, cv.encode());
+    }
+
+    state_ = State::SendCcsFinished;
+    return true;
+}
+
+bool
+SslClient::stepSendCcsFinished()
+{
+    sendChangeCipherSpec();
+    const KeyBlock &kb = keyBlock();
+    record_.enableSendCipher(*suite_, kb.clientMacSecret, kb.clientKey,
+                             kb.clientIv);
+    FinishedMsg fin;
+    fin.verifyData =
+        hsHash_.finishedHash(version_, master_, FinishedSender::Client);
+    sendHandshake(HandshakeType::Finished, fin.encode());
+    record_.flush();
+    state_ = State::GetFinished;
+    return true;
+}
+
+void
+SslClient::onChangeCipherSpec()
+{
+    if (state_ != State::GetFinished &&
+        state_ != State::ResumeGetFinished) {
+        fail(AlertDescription::UnexpectedMessage, "unexpected CCS");
+    }
+    const KeyBlock &kb = keyBlock();
+    record_.enableRecvCipher(*suite_, kb.serverMacSecret, kb.serverKey,
+                             kb.serverIv);
+    expectedPeerFinished_ =
+        hsHash_.finishedHash(version_, master_, FinishedSender::Server);
+}
+
+bool
+SslClient::stepGetFinished()
+{
+    if (!record_.recvCipherActive()) {
+        if (!takeCcsReceived())
+            return false;
+    } else {
+        takeCcsReceived();
+    }
+    auto msg = nextHandshakeMessage();
+    if (!msg)
+        return false;
+    if (msg->type != HandshakeType::Finished)
+        fail(AlertDescription::UnexpectedMessage, "expected Finished");
+    auto fin = FinishedMsg::parse(msg->body);
+    if (!constantTimeEquals(fin.verifyData, expectedPeerFinished_))
+        fail(AlertDescription::HandshakeFailure,
+             "server finished hash mismatch");
+    state_ = State::Done;
+    done_ = true;
+    return true;
+}
+
+bool
+SslClient::stepResumeGetFinished()
+{
+    if (!record_.recvCipherActive()) {
+        if (!takeCcsReceived())
+            return false;
+    } else {
+        takeCcsReceived();
+    }
+    auto msg = nextHandshakeMessage();
+    if (!msg)
+        return false;
+    if (msg->type != HandshakeType::Finished)
+        fail(AlertDescription::UnexpectedMessage, "expected Finished");
+    auto fin = FinishedMsg::parse(msg->body);
+    if (!constantTimeEquals(fin.verifyData, expectedPeerFinished_))
+        fail(AlertDescription::HandshakeFailure,
+             "server finished hash mismatch");
+    state_ = State::ResumeSendCcsFinished;
+    return true;
+}
+
+bool
+SslClient::stepResumeSendCcsFinished()
+{
+    sendChangeCipherSpec();
+    const KeyBlock &kb = keyBlock();
+    record_.enableSendCipher(*suite_, kb.clientMacSecret, kb.clientKey,
+                             kb.clientIv);
+    FinishedMsg fin;
+    fin.verifyData =
+        hsHash_.finishedHash(version_, master_, FinishedSender::Client);
+    sendHandshake(HandshakeType::Finished, fin.encode());
+    record_.flush();
+    resumed_ = true;
+    state_ = State::Done;
+    done_ = true;
+    return true;
+}
+
+} // namespace ssla::ssl

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The client-side SSLv3 handshake state machine.
+ *
+ * The client generates the 48-byte pre-master, RSA-encrypts it with
+ * the key from the server certificate (the operation whose decryption
+ * dominates the paper's Table 2 on the server side), and supports
+ * abbreviated (resumed) handshakes.
+ */
+
+#ifndef SSLA_SSL_CLIENT_HH
+#define SSLA_SSL_CLIENT_HH
+
+#include <optional>
+#include <string>
+
+#include "crypto/dh.hh"
+#include "pki/cert.hh"
+#include "ssl/endpoint.hh"
+
+namespace ssla::ssl
+{
+
+/** Client-side configuration. */
+struct ClientConfig
+{
+    /** Suites to offer, most preferred first. */
+    std::vector<CipherSuiteId> suites = allCipherSuites();
+    /**
+     * Issuer key to verify the server certificate against; when null
+     * the certificate is accepted unverified (like curl -k).
+     */
+    const crypto::RsaPublicKey *trustedIssuer = nullptr;
+    /** Expected certificate subject ("" disables the check). */
+    std::string expectedSubject;
+    /** Time for the validity-window check (0 disables it). */
+    uint64_t currentTime = 0;
+    /** Session to offer for resumption. */
+    std::optional<Session> resumeSession;
+    /** Randomness source (defaults to the global pool). */
+    crypto::RandomPool *randomPool = nullptr;
+    /**
+     * Protocol version to offer. Defaults to SSLv3 — the version the
+     * paper characterizes; set tls1Version to negotiate TLS 1.0.
+     */
+    uint16_t maxVersion = ssl3Version;
+    /** Certificate to present if the server requests one. */
+    std::optional<pki::Certificate> clientCertificate;
+    /** Private key matching clientCertificate (for CertificateVerify). */
+    std::shared_ptr<crypto::RsaPrivateKey> clientKey;
+};
+
+/** One client-side connection endpoint. */
+class SslClient : public SslEndpoint
+{
+  public:
+    SslClient(ClientConfig config, BioEndpoint bio);
+
+    /** The server certificate received during the handshake. */
+    const pki::Certificate &serverCertificate() const { return cert_; }
+
+  protected:
+    bool step() override;
+    void onChangeCipherSpec() override;
+
+  private:
+    enum class State
+    {
+        SendClientHello,
+        GetServerHello,
+        GetServerCert,
+        GetServerKeyExchange,
+        GetServerDone,
+        SendClientKeyExchange,
+        SendCcsFinished,
+        GetFinished,
+        // Resumption path.
+        ResumeGetFinished,
+        ResumeSendCcsFinished,
+        Done,
+    };
+
+    bool stepSendClientHello();
+    bool stepGetServerHello();
+    bool stepGetServerCert();
+    bool stepGetServerKeyExchange();
+    bool stepGetServerDone();
+    bool stepSendClientKeyExchange();
+    bool stepSendCcsFinished();
+    bool stepGetFinished();
+    bool stepResumeGetFinished();
+    bool stepResumeSendCcsFinished();
+
+    ClientConfig config_;
+    State state_ = State::SendClientHello;
+    pki::Certificate cert_;
+    bool resuming_ = false;
+    crypto::DhParams dhGroup_;      ///< server-announced DHE group
+    bn::BigNum dhServerPublic_;     ///< server's ephemeral value
+    bool certificateRequested_ = false;
+};
+
+} // namespace ssla::ssl
+
+#endif // SSLA_SSL_CLIENT_HH

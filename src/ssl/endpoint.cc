@@ -1,0 +1,211 @@
+#include "ssl/endpoint.hh"
+
+#include "util/logging.hh"
+
+namespace ssla::ssl
+{
+
+SslEndpoint::SslEndpoint(BioEndpoint bio, crypto::RandomPool *pool)
+    : record_(bio), pool_(pool ? pool : &crypto::globalRandomPool())
+{
+}
+
+const CipherSuite &
+SslEndpoint::suite() const
+{
+    if (!suite_)
+        throw std::logic_error("SslEndpoint: no suite negotiated yet");
+    return *suite_;
+}
+
+bool
+SslEndpoint::pumpOneRecord()
+{
+    auto rec = record_.receive();
+    if (!rec)
+        return false;
+
+    switch (rec->type) {
+      case ContentType::Handshake:
+        if (done_)
+            fail(AlertDescription::UnexpectedMessage,
+                 "renegotiation not supported");
+        // Compact the reassembly buffer before appending.
+        if (hsOffset_) {
+            hsBuffer_.erase(hsBuffer_.begin(),
+                            hsBuffer_.begin() + hsOffset_);
+            hsOffset_ = 0;
+        }
+        append(hsBuffer_, rec->payload);
+        return true;
+
+      case ContentType::ChangeCipherSpec:
+        if (rec->payload.size() != 1 || rec->payload[0] != 1)
+            fail(AlertDescription::IllegalParameter,
+                 "malformed ChangeCipherSpec");
+        onChangeCipherSpec();
+        ccsReceived_ = true;
+        return true;
+
+      case ContentType::Alert:
+        handleAlert(rec->payload);
+        return true;
+
+      case ContentType::ApplicationData:
+        if (!done_)
+            fail(AlertDescription::UnexpectedMessage,
+                 "application data during handshake");
+        appData_.push_back(std::move(rec->payload));
+        return true;
+    }
+    fail(AlertDescription::UnexpectedMessage, "unknown record type");
+}
+
+void
+SslEndpoint::handleAlert(const Bytes &payload)
+{
+    if (payload.size() != 2)
+        fail(AlertDescription::IllegalParameter, "malformed alert");
+    auto level = static_cast<AlertLevel>(payload[0]);
+    auto desc = static_cast<AlertDescription>(payload[1]);
+    if (desc == AlertDescription::CloseNotify) {
+        peerClosed_ = true;
+        return;
+    }
+    if (level == AlertLevel::Fatal) {
+        throw SslError(desc, "peer sent fatal alert");
+    }
+    warn(std::string("ignoring warning alert: ") + alertName(desc));
+}
+
+std::optional<HandshakeMessage>
+SslEndpoint::nextHandshakeMessage(bool update_hash)
+{
+    for (;;) {
+        auto msg = HandshakeMessage::parse(hsBuffer_, hsOffset_);
+        if (msg) {
+            if (update_hash) {
+                // Hash the framed form (header + body), as SSLv3 does.
+                hsHash_.update(msg->encode());
+            }
+            return msg;
+        }
+        if (ccsReceived_)
+            return std::nullopt; // let the state machine handle CCS
+        if (!pumpOneRecord())
+            return std::nullopt;
+    }
+}
+
+bool
+SslEndpoint::takeCcsReceived()
+{
+    if (!ccsReceived_) {
+        // Try to pull a record in case the CCS is still buffered.
+        if (!pumpOneRecord())
+            return false;
+        if (!ccsReceived_)
+            return false;
+    }
+    ccsReceived_ = false;
+    return true;
+}
+
+void
+SslEndpoint::sendHandshake(HandshakeType type, const Bytes &body)
+{
+    HandshakeMessage msg{type, body};
+    Bytes wire = msg.encode();
+    hsHash_.update(wire);
+    record_.send(ContentType::Handshake, wire);
+}
+
+void
+SslEndpoint::sendChangeCipherSpec()
+{
+    Bytes one{1};
+    record_.send(ContentType::ChangeCipherSpec, one);
+}
+
+void
+SslEndpoint::sendAlert(AlertLevel level, AlertDescription desc)
+{
+    Bytes payload{static_cast<uint8_t>(level),
+                  static_cast<uint8_t>(desc)};
+    record_.send(ContentType::Alert, payload);
+}
+
+void
+SslEndpoint::fail(AlertDescription desc, const std::string &msg)
+{
+    try {
+        sendAlert(AlertLevel::Fatal, desc);
+    } catch (...) {
+        // Failing to notify the peer must not mask the original error.
+    }
+    throw SslError(desc, msg);
+}
+
+const KeyBlock &
+SslEndpoint::keyBlock()
+{
+    if (!keyBlock_) {
+        keyBlock_ = deriveKeyBlock(version_, master_, clientRandom_,
+                                   serverRandom_, *suite_);
+    }
+    return *keyBlock_;
+}
+
+bool
+SslEndpoint::advance()
+{
+    bool progressed = false;
+    while (!done_ && step())
+        progressed = true;
+    return progressed;
+}
+
+void
+SslEndpoint::writeApplicationData(const Bytes &data)
+{
+    if (!done_)
+        throw std::logic_error("writeApplicationData before handshake");
+    record_.send(ContentType::ApplicationData, data);
+}
+
+std::optional<Bytes>
+SslEndpoint::readApplicationData()
+{
+    while (appData_.empty()) {
+        if (peerClosed_)
+            return std::nullopt;
+        if (!pumpOneRecord())
+            return std::nullopt;
+    }
+    Bytes out = std::move(appData_.front());
+    appData_.pop_front();
+    return out;
+}
+
+void
+SslEndpoint::close()
+{
+    if (closeSent_)
+        return;
+    sendAlert(AlertLevel::Warning, AlertDescription::CloseNotify);
+    closeSent_ = true;
+}
+
+void
+runLockstep(SslEndpoint &a, SslEndpoint &b)
+{
+    while (!a.handshakeDone() || !b.handshakeDone()) {
+        bool progress = a.advance();
+        progress |= b.advance();
+        if (!progress)
+            throw std::runtime_error(
+                "runLockstep: handshake deadlocked");
+    }
+}
+
+} // namespace ssla::ssl

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Shared machinery of the client and server handshake state machines:
+ * record pumping, handshake-message reassembly, transcript hashing,
+ * ChangeCipherSpec staging, alerts and application data.
+ *
+ * Endpoints are non-blocking: advance() makes as much progress as the
+ * transport allows and returns, so an in-process client/server pair
+ * (the paper's ssltest arrangement) is driven by alternating calls —
+ * see runLockstep().
+ */
+
+#ifndef SSLA_SSL_ENDPOINT_HH
+#define SSLA_SSL_ENDPOINT_HH
+
+#include <deque>
+#include <optional>
+
+#include "crypto/rand.hh"
+#include "ssl/handshake_hash.hh"
+#include "ssl/kdf.hh"
+#include "ssl/messages.hh"
+#include "ssl/record.hh"
+#include "ssl/session.hh"
+
+namespace ssla::ssl
+{
+
+/** Common base of SslClient and SslServer. */
+class SslEndpoint
+{
+  public:
+    virtual ~SslEndpoint() = default;
+
+    /**
+     * Drive the handshake/state machine as far as buffered input
+     * allows. @return true if any progress was made.
+     * @throws SslError on fatal protocol failures (an alert is sent
+     *         to the peer first)
+     */
+    bool advance();
+
+    /** True once the handshake completed. */
+    bool handshakeDone() const { return done_; }
+
+    /** Negotiated suite (valid once chosen during the handshake). */
+    const CipherSuite &suite() const;
+
+    /** The established session (for caching / resumption). */
+    const Session &session() const { return session_; }
+
+    /** True when this handshake resumed a previous session. */
+    bool resumed() const { return resumed_; }
+
+    /** Negotiated protocol version (ssl3Version or tls1Version). */
+    uint16_t negotiatedVersion() const { return version_; }
+
+    /** Encrypt and send application data (handshake must be done). */
+    void writeApplicationData(const Bytes &data);
+
+    /**
+     * Fetch decrypted application data. Returns nullopt when no
+     * complete record is available; check peerClosed() for clean EOF.
+     */
+    std::optional<Bytes> readApplicationData();
+
+    /** Send close_notify (idempotent). */
+    void close();
+
+    bool peerClosed() const { return peerClosed_; }
+
+    /** The record layer (exposed for traffic accounting). */
+    RecordLayer &record() { return record_; }
+
+  protected:
+    SslEndpoint(BioEndpoint bio, crypto::RandomPool *pool);
+
+    /** One state-machine step; true if progress was made. */
+    virtual bool step() = 0;
+
+    /**
+     * Called when a ChangeCipherSpec record arrives; implementations
+     * must enable the receive cipher and snapshot the expected peer
+     * finished hash.
+     * @throws SslError if CCS is not legal in the current state
+     */
+    virtual void onChangeCipherSpec() = 0;
+
+    /**
+     * Pull the next complete handshake message, pumping records as
+     * needed. Returns nullopt when input is exhausted. The message is
+     * absorbed into the transcript hash unless @p update_hash is false.
+     */
+    std::optional<HandshakeMessage>
+    nextHandshakeMessage(bool update_hash = true);
+
+    /** True once a CCS record has been processed (one-shot flag). */
+    bool takeCcsReceived();
+
+    /** Encode, hash and send a handshake message. */
+    void sendHandshake(HandshakeType type, const Bytes &body);
+
+    /** Send the one-byte ChangeCipherSpec record. */
+    void sendChangeCipherSpec();
+
+    /** Send an alert record. */
+    void sendAlert(AlertLevel level, AlertDescription desc);
+
+    /** Send a fatal alert and throw SslError. */
+    [[noreturn]] void fail(AlertDescription desc, const std::string &msg);
+
+    /** Lazily derive (and cache) the key block for this session. */
+    const KeyBlock &keyBlock();
+
+    /** Random source for this endpoint. */
+    crypto::RandomPool &pool() { return *pool_; }
+
+    RecordLayer record_;
+    HandshakeHash hsHash_;
+    const CipherSuite *suite_ = nullptr;
+    uint16_t version_ = ssl3Version; ///< negotiated protocol version
+    Bytes clientRandom_;
+    Bytes serverRandom_;
+    Bytes master_;
+    Bytes expectedPeerFinished_;
+    Session session_;
+    bool done_ = false;
+    bool resumed_ = false;
+
+  private:
+    /** Read and dispatch one record; false when none available. */
+    bool pumpOneRecord();
+
+    void handleAlert(const Bytes &payload);
+
+    crypto::RandomPool *pool_;
+    Bytes hsBuffer_; ///< handshake-stream reassembly
+    size_t hsOffset_ = 0;
+    bool ccsReceived_ = false;
+    std::deque<Bytes> appData_;
+    bool peerClosed_ = false;
+    bool closeSent_ = false;
+    std::optional<KeyBlock> keyBlock_;
+};
+
+/**
+ * Drive two in-process endpoints to handshake completion by
+ * alternating advance() calls (the ssltest relay loop).
+ * @throws SslError if either side fails, std::runtime_error on
+ *         deadlock (neither side can progress)
+ */
+void runLockstep(SslEndpoint &a, SslEndpoint &b);
+
+} // namespace ssla::ssl
+
+#endif // SSLA_SSL_ENDPOINT_HH

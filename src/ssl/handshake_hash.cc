@@ -1,0 +1,141 @@
+#include "ssl/handshake_hash.hh"
+
+#include "perf/probe.hh"
+#include "ssl/kdf.hh"
+#include "util/bytes.hh"
+#include "util/endian.hh"
+
+namespace ssla::ssl
+{
+
+namespace
+{
+
+constexpr size_t md5PadLen = 48;
+constexpr size_t sha1PadLen = 40;
+
+} // anonymous namespace
+
+HandshakeHash::HandshakeHash()
+{
+    perf::FuncProbe probe("init_finished_mac");
+    md5_.init();
+    sha1_.init();
+}
+
+void
+HandshakeHash::update(const uint8_t *data, size_t len)
+{
+    perf::FuncProbe probe("finish_mac");
+    md5_.update(data, len);
+    sha1_.update(data, len);
+}
+
+void
+HandshakeHash::update(const Bytes &message)
+{
+    update(message.data(), message.size());
+}
+
+Bytes
+HandshakeHash::pairHash(const Bytes &master, const Bytes &sender_bytes)
+    const
+{
+    // SSLv3:
+    //   inner = H(transcript || sender || master || pad1)
+    //   outer = H(master || pad2 || inner)
+    // for H in {MD5 (48-byte pads), SHA1 (40-byte pads)}.
+    Bytes out;
+    out.reserve(36);
+
+    {
+        auto inner = md5_.clone();
+        inner->update(sender_bytes);
+        inner->update(master);
+        Bytes pad1(md5PadLen, 0x36);
+        inner->update(pad1);
+        Bytes inner_digest = inner->final();
+
+        crypto::Md5 outer;
+        outer.update(master);
+        Bytes pad2(md5PadLen, 0x5c);
+        outer.update(pad2);
+        outer.update(inner_digest);
+        append(out, outer.final());
+    }
+    {
+        auto inner = sha1_.clone();
+        inner->update(sender_bytes);
+        inner->update(master);
+        Bytes pad1(sha1PadLen, 0x36);
+        inner->update(pad1);
+        Bytes inner_digest = inner->final();
+
+        crypto::Sha1 outer;
+        outer.update(master);
+        Bytes pad2(sha1PadLen, 0x5c);
+        outer.update(pad2);
+        outer.update(inner_digest);
+        append(out, outer.final());
+    }
+    return out;
+}
+
+Bytes
+HandshakeHash::finishedHash(const Bytes &master,
+                            FinishedSender sender) const
+{
+    perf::FuncProbe probe("final_finish_mac");
+    Bytes sender_bytes(4);
+    store32be(sender_bytes.data(), static_cast<uint32_t>(sender));
+    return pairHash(master, sender_bytes);
+}
+
+Bytes
+HandshakeHash::certVerifyHash(const Bytes &master) const
+{
+    perf::FuncProbe probe("cert_verify_mac");
+    return pairHash(master, Bytes());
+}
+
+Bytes
+HandshakeHash::tlsCertVerifyHash() const
+{
+    perf::FuncProbe probe("cert_verify_mac");
+    Bytes digest = md5_.clone()->final();
+    append(digest, sha1_.clone()->final());
+    return digest;
+}
+
+Bytes
+HandshakeHash::certVerifyHash(uint16_t version,
+                              const Bytes &master) const
+{
+    if (version >= tls1Version)
+        return tlsCertVerifyHash();
+    return certVerifyHash(master);
+}
+
+Bytes
+HandshakeHash::tlsFinishedHash(const Bytes &master,
+                               FinishedSender sender) const
+{
+    perf::FuncProbe probe("final_finish_mac");
+    Bytes transcript = md5_.clone()->final();
+    append(transcript, sha1_.clone()->final());
+    const char *label = sender == FinishedSender::Client
+                            ? "client finished"
+                            : "server finished";
+    return tls1Prf(master, label, transcript, 12);
+}
+
+Bytes
+HandshakeHash::finishedHash(uint16_t version, const Bytes &master,
+                            FinishedSender sender) const
+{
+    if (version >= tls1Version)
+        return tlsFinishedHash(master, sender);
+    return finishedHash(master, sender);
+}
+
+} // namespace ssla::ssl

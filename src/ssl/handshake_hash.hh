@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The running MD5+SHA-1 hashes over all handshake messages.
+ *
+ * As the paper explains (Section 4.2), OpenSSL updates these two
+ * hashes whenever a handshake message is sent or received — which is
+ * why "finish_mac" appears in almost every step of Table 2 — and
+ * finalizes them with the 'CLNT'/'SRVR' sender labels for the finished
+ * messages. The probes here use the paper's function names.
+ */
+
+#ifndef SSLA_SSL_HANDSHAKE_HASH_HH
+#define SSLA_SSL_HANDSHAKE_HASH_HH
+
+#include "crypto/md5.hh"
+#include "crypto/sha1.hh"
+#include "util/types.hh"
+
+namespace ssla::ssl
+{
+
+/** Finished-message sender labels (RFC 6101: 0x434C4E54 / 0x53525652). */
+enum class FinishedSender : uint32_t
+{
+    Client = 0x434c4e54, ///< 'CLNT'
+    Server = 0x53525652, ///< 'SRVR'
+};
+
+/** Tracks the two digests over the handshake transcript. */
+class HandshakeHash
+{
+  public:
+    /** Initialize fresh digests (probed as init_finished_mac). */
+    HandshakeHash();
+
+    /** Absorb one handshake message (probed as finish_mac). */
+    void update(const Bytes &message);
+    void update(const uint8_t *data, size_t len);
+
+    /**
+     * Compute the 36-byte SSLv3 finished hash for @p sender over the
+     * transcript so far (probed as final_finish_mac). The running
+     * digests are snapshot-cloned, not consumed.
+     */
+    Bytes finishedHash(const Bytes &master, FinishedSender sender) const;
+
+    /**
+     * The certificate-verify variant (no sender label); probed as
+     * cert_verify_mac. Unused by the server-auth-only handshake but
+     * part of the SSLv3 surface.
+     */
+    Bytes certVerifyHash(const Bytes &master) const;
+
+    /**
+     * The TLS 1.0 finished hash: PRF(master, "client finished" /
+     * "server finished", MD5(transcript)||SHA1(transcript), 12).
+     * Probed as final_finish_mac like the SSLv3 form.
+     */
+    Bytes tlsFinishedHash(const Bytes &master,
+                          FinishedSender sender) const;
+
+    /** Version-dispatching finished hash. */
+    Bytes finishedHash(uint16_t version, const Bytes &master,
+                       FinishedSender sender) const;
+
+    /**
+     * TLS 1.0 CertificateVerify digest: MD5(transcript)||SHA1(transcript)
+     * with no master-secret involvement (RFC 2246 7.4.8).
+     */
+    Bytes tlsCertVerifyHash() const;
+
+    /** Version-dispatching CertificateVerify digest. */
+    Bytes certVerifyHash(uint16_t version, const Bytes &master) const;
+
+  private:
+    Bytes pairHash(const Bytes &master, const Bytes &sender_bytes) const;
+
+    crypto::Md5 md5_;
+    crypto::Sha1 sha1_;
+};
+
+} // namespace ssla::ssl
+
+#endif // SSLA_SSL_HANDSHAKE_HASH_HH

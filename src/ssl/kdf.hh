@@ -1,0 +1,85 @@
+/**
+ * @file
+ * SSLv3 key derivation (RFC 6101 section 6.1/6.2.2).
+ *
+ * Both derivations the paper measures in handshake steps 5 and 6 live
+ * here: the 48-byte master secret from the pre-master
+ * (gen_master_secret) and the key block that becomes MAC secrets,
+ * cipher keys and IVs (gen_key_block). Both are the nested
+ * MD5(secret || SHA1('A'.. label || secret || randoms)) construction.
+ */
+
+#ifndef SSLA_SSL_KDF_HH
+#define SSLA_SSL_KDF_HH
+
+#include "ssl/ciphersuite.hh"
+#include "ssl/record.hh"
+#include "util/types.hh"
+
+namespace ssla::ssl
+{
+
+/**
+ * The SSLv3 expansion: out = MD5(secret||SHA1("A"||secret||r1||r2)) ||
+ * MD5(secret||SHA1("BB"||...)) || ... truncated to @p out_len.
+ */
+Bytes ssl3Expand(const Bytes &secret, const Bytes &rand1,
+                 const Bytes &rand2, size_t out_len);
+
+/**
+ * Derive the 48-byte master secret (probed as gen_master_secret).
+ *
+ * @param premaster the 48-byte pre-master from the client key exchange
+ */
+Bytes ssl3MasterSecret(const Bytes &premaster, const Bytes &client_random,
+                       const Bytes &server_random);
+
+/** Key material split out of the key block, per direction. */
+struct KeyBlock
+{
+    Bytes clientMacSecret;
+    Bytes serverMacSecret;
+    Bytes clientKey;
+    Bytes serverKey;
+    Bytes clientIv;
+    Bytes serverIv;
+};
+
+/** Derive and split the key block (probed as gen_key_block). */
+KeyBlock ssl3KeyBlock(const Bytes &master, const Bytes &client_random,
+                      const Bytes &server_random, const CipherSuite &suite);
+
+// ---- TLS 1.0 (RFC 2246) ----------------------------------------------
+// The paper's library also spoke TLS v1; the TLS derivations replace
+// SSLv3's ad-hoc MD5/SHA nesting with the HMAC-based PRF.
+
+/**
+ * The TLS 1.0 PRF: P_MD5(S1, label||seed) XOR P_SHA1(S2, label||seed)
+ * with the secret split into (overlapping when odd) halves.
+ */
+Bytes tls1Prf(const Bytes &secret, std::string_view label,
+              const Bytes &seed, size_t out_len);
+
+/** TLS master secret: PRF(pre, "master secret", cr||sr, 48). */
+Bytes tls1MasterSecret(const Bytes &premaster, const Bytes &client_random,
+                       const Bytes &server_random);
+
+/** TLS key block: PRF(master, "key expansion", sr||cr, len), split. */
+KeyBlock tls1KeyBlock(const Bytes &master, const Bytes &client_random,
+                      const Bytes &server_random,
+                      const CipherSuite &suite);
+
+/** Version-dispatching master-secret derivation. */
+Bytes deriveMasterSecret(uint16_t version, const Bytes &premaster,
+                         const Bytes &client_random,
+                         const Bytes &server_random);
+
+/** Version-dispatching key-block derivation. */
+KeyBlock deriveKeyBlock(uint16_t version, const Bytes &master,
+                        const Bytes &client_random,
+                        const Bytes &server_random,
+                        const CipherSuite &suite);
+
+} // namespace ssla::ssl
+
+#endif // SSLA_SSL_KDF_HH

@@ -1,0 +1,50 @@
+#include "ssl/kx.hh"
+
+#include "crypto/md5.hh"
+#include "crypto/sha1.hh"
+#include "perf/probe.hh"
+#include "util/bytes.hh"
+
+namespace ssla::ssl
+{
+
+Bytes
+serverKxDigest(const Bytes &client_random, const Bytes &server_random,
+               const Bytes &params)
+{
+    crypto::Md5 md5;
+    md5.update(client_random);
+    md5.update(server_random);
+    md5.update(params);
+    Bytes digest = md5.final();
+
+    crypto::Sha1 sha;
+    sha.update(client_random);
+    sha.update(server_random);
+    sha.update(params);
+    append(digest, sha.final());
+    return digest;
+}
+
+Bytes
+signServerKeyExchange(const crypto::RsaPrivateKey &key,
+                      const Bytes &client_random,
+                      const Bytes &server_random, const Bytes &params)
+{
+    // rsaSign self-probes as rsa_private_encryption.
+    return crypto::rsaSign(
+        key, serverKxDigest(client_random, server_random, params));
+}
+
+bool
+verifyServerKeyExchange(const crypto::RsaPublicKey &key,
+                        const Bytes &client_random,
+                        const Bytes &server_random, const Bytes &params,
+                        const Bytes &signature)
+{
+    return crypto::rsaVerify(
+        key, serverKxDigest(client_random, server_random, params),
+        signature);
+}
+
+} // namespace ssla::ssl

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Key-exchange helpers for the DHE_RSA suites: the RSA signature over
+ * the ephemeral parameters (SSLv3/TLS1.0 style — MD5 || SHA1 of
+ * client_random || server_random || params, PKCS#1 type 1, no
+ * DigestInfo).
+ */
+
+#ifndef SSLA_SSL_KX_HH
+#define SSLA_SSL_KX_HH
+
+#include "crypto/rsa.hh"
+#include "util/types.hh"
+
+namespace ssla::ssl
+{
+
+/** The 36-byte MD5||SHA1 digest the ServerKeyExchange signature covers. */
+Bytes serverKxDigest(const Bytes &client_random,
+                     const Bytes &server_random, const Bytes &params);
+
+/**
+ * Sign ephemeral parameters with the server's RSA key (probed as
+ * rsa_private_encryption — the signing counterpart of Table 2's
+ * rsa_private_decryption).
+ */
+Bytes signServerKeyExchange(const crypto::RsaPrivateKey &key,
+                            const Bytes &client_random,
+                            const Bytes &server_random,
+                            const Bytes &params);
+
+/** Verify a ServerKeyExchange signature against the certificate key. */
+bool verifyServerKeyExchange(const crypto::RsaPublicKey &key,
+                             const Bytes &client_random,
+                             const Bytes &server_random,
+                             const Bytes &params, const Bytes &signature);
+
+} // namespace ssla::ssl
+
+#endif // SSLA_SSL_KX_HH

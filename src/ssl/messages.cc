@@ -1,0 +1,275 @@
+#include "ssl/messages.hh"
+
+namespace ssla::ssl
+{
+
+namespace
+{
+
+/** Convert reader exhaustion into decode alerts. */
+template <class Fn>
+auto
+decodeGuard(const char *what, Fn &&fn)
+{
+    try {
+        return fn();
+    } catch (const std::out_of_range &) {
+        throw SslError(AlertDescription::IllegalParameter,
+                       std::string("malformed ") + what);
+    }
+}
+
+} // anonymous namespace
+
+Bytes
+HandshakeMessage::encode() const
+{
+    ByteWriter w;
+    w.putU8(static_cast<uint8_t>(type));
+    w.putU24(static_cast<uint32_t>(body.size()));
+    w.putBytes(body);
+    return w.take();
+}
+
+std::optional<HandshakeMessage>
+HandshakeMessage::parse(const Bytes &data, size_t &offset)
+{
+    if (data.size() - offset < 4)
+        return std::nullopt;
+    uint8_t type = data[offset];
+    size_t len = (static_cast<size_t>(data[offset + 1]) << 16) |
+                 (static_cast<size_t>(data[offset + 2]) << 8) |
+                 data[offset + 3];
+    if (data.size() - offset < 4 + len)
+        return std::nullopt;
+    HandshakeMessage msg;
+    msg.type = static_cast<HandshakeType>(type);
+    msg.body.assign(data.begin() + offset + 4,
+                    data.begin() + offset + 4 + len);
+    offset += 4 + len;
+    return msg;
+}
+
+Bytes
+ClientHelloMsg::encode() const
+{
+    ByteWriter w;
+    w.putU16(version);
+    w.putBytes(random);
+    w.putVector8(sessionId);
+    w.putU16(static_cast<uint16_t>(cipherSuites.size() * 2));
+    for (uint16_t s : cipherSuites)
+        w.putU16(s);
+    Bytes comp(compressionMethods.begin(), compressionMethods.end());
+    w.putVector8(comp);
+    return w.take();
+}
+
+ClientHelloMsg
+ClientHelloMsg::parse(const Bytes &body)
+{
+    return decodeGuard("ClientHello", [&] {
+        ClientHelloMsg msg;
+        ByteReader r(body);
+        msg.version = r.getU16();
+        msg.random = r.getBytes(32);
+        msg.sessionId = r.getVector8();
+        if (msg.sessionId.size() > 32)
+            throw SslError(AlertDescription::IllegalParameter,
+                           "ClientHello: session id too long");
+        uint16_t suites_len = r.getU16();
+        if (suites_len % 2)
+            throw SslError(AlertDescription::IllegalParameter,
+                           "ClientHello: odd cipher suite length");
+        msg.cipherSuites.clear();
+        for (unsigned i = 0; i < suites_len / 2; ++i)
+            msg.cipherSuites.push_back(r.getU16());
+        Bytes comp = r.getVector8();
+        msg.compressionMethods.assign(comp.begin(), comp.end());
+        return msg;
+    });
+}
+
+Bytes
+ServerHelloMsg::encode() const
+{
+    ByteWriter w;
+    w.putU16(version);
+    w.putBytes(random);
+    w.putVector8(sessionId);
+    w.putU16(cipherSuite);
+    w.putU8(compressionMethod);
+    return w.take();
+}
+
+ServerHelloMsg
+ServerHelloMsg::parse(const Bytes &body)
+{
+    return decodeGuard("ServerHello", [&] {
+        ServerHelloMsg msg;
+        ByteReader r(body);
+        msg.version = r.getU16();
+        msg.random = r.getBytes(32);
+        msg.sessionId = r.getVector8();
+        msg.cipherSuite = r.getU16();
+        msg.compressionMethod = r.getU8();
+        return msg;
+    });
+}
+
+Bytes
+CertificateMsg::encode() const
+{
+    ByteWriter inner;
+    for (const auto &cert : chain)
+        inner.putVector24(cert);
+    ByteWriter w;
+    w.putVector24(inner.take());
+    return w.take();
+}
+
+CertificateMsg
+CertificateMsg::parse(const Bytes &body)
+{
+    return decodeGuard("Certificate", [&] {
+        CertificateMsg msg;
+        ByteReader r(body);
+        Bytes list = r.getVector24();
+        ByteReader lr(list);
+        while (!lr.empty())
+            msg.chain.push_back(lr.getVector24());
+        return msg;
+    });
+}
+
+Bytes
+ClientKeyExchangeMsg::encode() const
+{
+    return encryptedPreMaster;
+}
+
+ClientKeyExchangeMsg
+ClientKeyExchangeMsg::parse(const Bytes &body)
+{
+    ClientKeyExchangeMsg msg;
+    msg.encryptedPreMaster = body;
+    return msg;
+}
+
+Bytes
+ClientKeyExchangeMsg::encodeDhe(const Bytes &public_value)
+{
+    ByteWriter w;
+    w.putVector16(public_value);
+    return w.take();
+}
+
+Bytes
+ClientKeyExchangeMsg::parseDhe(const Bytes &body)
+{
+    return decodeGuard("ClientKeyExchange(DHE)", [&] {
+        ByteReader r(body);
+        Bytes value = r.getVector16();
+        if (!r.empty())
+            throw SslError(AlertDescription::IllegalParameter,
+                           "ClientKeyExchange: trailing bytes");
+        return value;
+    });
+}
+
+Bytes
+ServerKeyExchangeMsg::signedParams() const
+{
+    ByteWriter w;
+    w.putVector16(p);
+    w.putVector16(g);
+    w.putVector16(publicValue);
+    return w.take();
+}
+
+Bytes
+ServerKeyExchangeMsg::encode() const
+{
+    ByteWriter w;
+    w.putVector16(p);
+    w.putVector16(g);
+    w.putVector16(publicValue);
+    w.putVector16(signature);
+    return w.take();
+}
+
+ServerKeyExchangeMsg
+ServerKeyExchangeMsg::parse(const Bytes &body)
+{
+    return decodeGuard("ServerKeyExchange", [&] {
+        ServerKeyExchangeMsg msg;
+        ByteReader r(body);
+        msg.p = r.getVector16();
+        msg.g = r.getVector16();
+        msg.publicValue = r.getVector16();
+        msg.signature = r.getVector16();
+        return msg;
+    });
+}
+
+Bytes
+CertificateRequestMsg::encode() const
+{
+    ByteWriter w;
+    Bytes types(certificateTypes.begin(), certificateTypes.end());
+    w.putVector8(types);
+    w.putU16(0); // empty certificate_authorities list
+    return w.take();
+}
+
+CertificateRequestMsg
+CertificateRequestMsg::parse(const Bytes &body)
+{
+    return decodeGuard("CertificateRequest", [&] {
+        CertificateRequestMsg msg;
+        ByteReader r(body);
+        Bytes types = r.getVector8();
+        msg.certificateTypes.assign(types.begin(), types.end());
+        r.getVector16(); // ignore the CA names
+        return msg;
+    });
+}
+
+Bytes
+CertificateVerifyMsg::encode() const
+{
+    ByteWriter w;
+    w.putVector16(signature);
+    return w.take();
+}
+
+CertificateVerifyMsg
+CertificateVerifyMsg::parse(const Bytes &body)
+{
+    return decodeGuard("CertificateVerify", [&] {
+        CertificateVerifyMsg msg;
+        ByteReader r(body);
+        msg.signature = r.getVector16();
+        return msg;
+    });
+}
+
+Bytes
+FinishedMsg::encode() const
+{
+    return verifyData;
+}
+
+FinishedMsg
+FinishedMsg::parse(const Bytes &body)
+{
+    // 36 bytes for SSLv3 (MD5||SHA1), 12 for TLS 1.0 (PRF output).
+    if (body.size() != 36 && body.size() != 12)
+        throw SslError(AlertDescription::IllegalParameter,
+                       "Finished: bad verify-data length");
+    FinishedMsg msg;
+    msg.verifyData = body;
+    return msg;
+}
+
+} // namespace ssla::ssl

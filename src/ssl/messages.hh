@@ -1,0 +1,161 @@
+/**
+ * @file
+ * SSLv3 handshake message encodings (RFC 6101 section 5.6).
+ *
+ * Each message struct carries its semantic fields and knows how to
+ * encode itself into / parse itself out of the 4-byte-header handshake
+ * framing. The server-authentication RSA flow needs exactly the
+ * messages of the paper's Figure 1.
+ */
+
+#ifndef SSLA_SSL_MESSAGES_HH
+#define SSLA_SSL_MESSAGES_HH
+
+#include <optional>
+#include <vector>
+
+#include "ssl/alert.hh"
+#include "ssl/ciphersuite.hh"
+#include "util/bytes.hh"
+
+namespace ssla::ssl
+{
+
+/** Handshake message types. */
+enum class HandshakeType : uint8_t
+{
+    HelloRequest = 0,
+    ClientHello = 1,
+    ServerHello = 2,
+    Certificate = 11,
+    ServerKeyExchange = 12,
+    CertificateRequest = 13,
+    ServerHelloDone = 14,
+    CertificateVerify = 15,
+    ClientKeyExchange = 16,
+    Finished = 20,
+};
+
+/** A framed handshake message: type, then the body. */
+struct HandshakeMessage
+{
+    HandshakeType type;
+    Bytes body;
+
+    /** Serialize with the 1-byte type + 3-byte length header. */
+    Bytes encode() const;
+
+    /**
+     * Parse one message from the front of @p data at @p offset.
+     * Returns nullopt when the buffer holds only part of a message;
+     * advances @p offset past the message otherwise.
+     */
+    static std::optional<HandshakeMessage> parse(const Bytes &data,
+                                                 size_t &offset);
+};
+
+/** ClientHello. */
+struct ClientHelloMsg
+{
+    uint16_t version = 0x0300;
+    Bytes random;    ///< 32 bytes
+    Bytes sessionId; ///< 0..32 bytes
+    std::vector<uint16_t> cipherSuites;
+    std::vector<uint8_t> compressionMethods = {0};
+
+    Bytes encode() const;
+    static ClientHelloMsg parse(const Bytes &body);
+};
+
+/** ServerHello. */
+struct ServerHelloMsg
+{
+    uint16_t version = 0x0300;
+    Bytes random;
+    Bytes sessionId;
+    uint16_t cipherSuite = 0;
+    uint8_t compressionMethod = 0;
+
+    Bytes encode() const;
+    static ServerHelloMsg parse(const Bytes &body);
+};
+
+/** Certificate: a chain of encoded certificates, leaf first. */
+struct CertificateMsg
+{
+    std::vector<Bytes> chain;
+
+    Bytes encode() const;
+    static CertificateMsg parse(const Bytes &body);
+};
+
+/**
+ * ClientKeyExchange. In SSLv3 the RSA-encrypted pre-master fills the
+ * body with no length prefix; for DHE suites the body is instead the
+ * client's public value as a 16-bit-length vector (use the dhe
+ * encode/parse pair).
+ */
+struct ClientKeyExchangeMsg
+{
+    Bytes encryptedPreMaster;
+
+    Bytes encode() const;
+    static ClientKeyExchangeMsg parse(const Bytes &body);
+
+    /** DHE form: dh_Yc as an opaque<1..2^16-1>. */
+    static Bytes encodeDhe(const Bytes &public_value);
+    static Bytes parseDhe(const Bytes &body);
+};
+
+/**
+ * ServerKeyExchange (DHE_RSA form): the ephemeral group and public
+ * value, followed by the RSA signature over the randoms and params
+ * (MD5 || SHA1 digest pair, PKCS#1 type 1).
+ */
+struct ServerKeyExchangeMsg
+{
+    Bytes p;         ///< dh_p, big-endian
+    Bytes g;         ///< dh_g
+    Bytes publicValue; ///< dh_Ys
+    Bytes signature;
+
+    Bytes encode() const;
+    static ServerKeyExchangeMsg parse(const Bytes &body);
+
+    /** The byte string the signature covers (the three params). */
+    Bytes signedParams() const;
+};
+
+/**
+ * CertificateRequest: the certificate types the server accepts (only
+ * rsa_sign here) and an (unused, empty) CA-name list.
+ */
+struct CertificateRequestMsg
+{
+    std::vector<uint8_t> certificateTypes = {1}; // rsa_sign
+
+    Bytes encode() const;
+    static CertificateRequestMsg parse(const Bytes &body);
+};
+
+/** CertificateVerify: the client's signature over the transcript. */
+struct CertificateVerifyMsg
+{
+    Bytes signature;
+
+    Bytes encode() const;
+    static CertificateVerifyMsg parse(const Bytes &body);
+};
+
+/** Finished: 36-byte (SSLv3) or 12-byte (TLS 1.0) verify data. */
+struct FinishedMsg
+{
+    Bytes verifyData;
+
+    Bytes encode() const;
+    static FinishedMsg parse(const Bytes &body);
+};
+
+} // namespace ssla::ssl
+
+#endif // SSLA_SSL_MESSAGES_HH

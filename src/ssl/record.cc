@@ -1,0 +1,237 @@
+#include "ssl/record.hh"
+
+#include "crypto/digest.hh"
+#include "crypto/hmac.hh"
+#include "perf/probe.hh"
+#include "util/bytes.hh"
+#include "util/endian.hh"
+
+namespace ssla::ssl
+{
+
+namespace
+{
+
+/** Pad length bytes for the SSLv3 MAC (48 for MD5, 40 for SHA-1). */
+size_t
+macPadLen(crypto::DigestAlg alg)
+{
+    return alg == crypto::DigestAlg::MD5 ? 48 : 40;
+}
+
+} // anonymous namespace
+
+Bytes
+ssl3Mac(crypto::DigestAlg alg, const Bytes &secret, uint64_t seq,
+        uint8_t type, const uint8_t *data, size_t len)
+{
+    perf::FuncProbe probe("mac");
+    size_t pad_len = macPadLen(alg);
+
+    uint8_t header[11];
+    store64be(header, seq);
+    header[8] = type;
+    header[9] = static_cast<uint8_t>(len >> 8);
+    header[10] = static_cast<uint8_t>(len);
+
+    auto inner = crypto::Digest::create(alg);
+    inner->update(secret);
+    Bytes pad1(pad_len, 0x36);
+    inner->update(pad1);
+    inner->update(header, sizeof(header));
+    inner->update(data, len);
+    Bytes inner_digest = inner->final();
+
+    auto outer = crypto::Digest::create(alg);
+    outer->update(secret);
+    Bytes pad2(pad_len, 0x5c);
+    outer->update(pad2);
+    outer->update(inner_digest);
+    return outer->final();
+}
+
+Bytes
+tls1Mac(crypto::DigestAlg alg, const Bytes &secret, uint64_t seq,
+        uint8_t type, uint16_t version, const uint8_t *data, size_t len)
+{
+    perf::FuncProbe probe("mac");
+    uint8_t header[13];
+    store64be(header, seq);
+    header[8] = type;
+    header[9] = static_cast<uint8_t>(version >> 8);
+    header[10] = static_cast<uint8_t>(version);
+    header[11] = static_cast<uint8_t>(len >> 8);
+    header[12] = static_cast<uint8_t>(len);
+
+    crypto::Hmac hmac(alg, secret);
+    hmac.update(header, sizeof(header));
+    hmac.update(data, len);
+    return hmac.final();
+}
+
+void
+RecordLayer::setVersion(uint16_t version)
+{
+    if (version != ssl3Version && version != tls1Version)
+        throw SslError(AlertDescription::IllegalParameter,
+                       "record: unsupported protocol version");
+    version_ = version;
+    versionLocked_ = true;
+}
+
+Bytes
+RecordLayer::computeMac(const RecordCipherState &dir, uint8_t type,
+                        const uint8_t *data, size_t len,
+                        uint64_t seq) const
+{
+    if (version_ >= tls1Version) {
+        return tls1Mac(dir.suite->mac, dir.macSecret, seq, type,
+                       version_, data, len);
+    }
+    return ssl3Mac(dir.suite->mac, dir.macSecret, seq, type, data, len);
+}
+
+void
+RecordLayer::enableSendCipher(const CipherSuite &suite, Bytes mac_secret,
+                              const Bytes &key, const Bytes &iv)
+{
+    send_.suite = &suite;
+    send_.macSecret = std::move(mac_secret);
+    send_.cipher = crypto::Cipher::create(suite.cipher, key, iv, true);
+    send_.seq = 0;
+}
+
+void
+RecordLayer::enableRecvCipher(const CipherSuite &suite, Bytes mac_secret,
+                              const Bytes &key, const Bytes &iv)
+{
+    recv_.suite = &suite;
+    recv_.macSecret = std::move(mac_secret);
+    recv_.cipher = crypto::Cipher::create(suite.cipher, key, iv, false);
+    recv_.seq = 0;
+}
+
+void
+RecordLayer::send(ContentType type, const uint8_t *data, size_t len)
+{
+    size_t off = 0;
+    do {
+        size_t chunk = std::min(len - off, maxFragment);
+        sendOne(type, data + off, chunk);
+        off += chunk;
+    } while (off < len);
+}
+
+void
+RecordLayer::send(ContentType type, const Bytes &data)
+{
+    send(type, data.data(), data.size());
+}
+
+void
+RecordLayer::sendOne(ContentType type, const uint8_t *data, size_t len)
+{
+    Bytes fragment;
+    if (send_.active()) {
+        // fragment = data || MAC || padding.
+        fragment.assign(data, data + len);
+        Bytes mac = computeMac(send_, static_cast<uint8_t>(type), data,
+                               len, send_.seq++);
+        append(fragment, mac);
+
+        size_t block = send_.suite->blockLen();
+        if (block > 1) {
+            // SSLv3 padding: fill to a block multiple; the final byte
+            // counts the padding bytes before it.
+            size_t total = fragment.size() + 1;
+            size_t pad = (block - total % block) % block;
+            fragment.insert(fragment.end(), pad + 1,
+                            static_cast<uint8_t>(pad));
+        }
+        {
+            perf::FuncProbe probe("pri_encryption");
+            send_.cipher->process(fragment.data(), fragment.data(),
+                                  fragment.size());
+        }
+    } else {
+        fragment.assign(data, data + len);
+    }
+
+    uint8_t header[5];
+    header[0] = static_cast<uint8_t>(type);
+    header[1] = static_cast<uint8_t>(version_ >> 8);
+    header[2] = static_cast<uint8_t>(version_);
+    header[3] = static_cast<uint8_t>(fragment.size() >> 8);
+    header[4] = static_cast<uint8_t>(fragment.size());
+
+    bio_.write(header, sizeof(header));
+    bio_.write(fragment);
+    bytesSent_ += len;
+    ++recordsSent_;
+}
+
+std::optional<Record>
+RecordLayer::receive()
+{
+    uint8_t header[5];
+    if (bio_.peek(header, 5) < 5)
+        return std::nullopt;
+
+    auto type = static_cast<ContentType>(header[0]);
+    uint16_t version = static_cast<uint16_t>((header[1] << 8) | header[2]);
+    size_t frag_len = static_cast<size_t>((header[3] << 8) | header[4]);
+
+    if (versionLocked_ ? version != version_
+                       : (version >> 8) != 0x03)
+        throw SslError(AlertDescription::IllegalParameter,
+                       "record: bad protocol version");
+    if (frag_len > maxFragment + 1024 + 256)
+        throw SslError(AlertDescription::IllegalParameter,
+                       "record: oversized fragment");
+    if (bio_.available() < 5 + frag_len)
+        return std::nullopt;
+
+    bio_.consume(5);
+    Bytes fragment(frag_len);
+    bio_.read(fragment.data(), frag_len);
+
+    if (!recv_.active())
+        return Record{type, std::move(fragment)};
+
+    {
+        perf::FuncProbe probe("pri_decryption");
+        recv_.cipher->process(fragment.data(), fragment.data(),
+                              fragment.size());
+    }
+
+    size_t mac_len = recv_.suite->macLen();
+    size_t block = recv_.suite->blockLen();
+    size_t data_len = fragment.size();
+
+    if (block > 1) {
+        if (fragment.empty() || fragment.size() % block)
+            throw SslError(AlertDescription::BadRecordMac,
+                           "record: bad block length");
+        size_t pad = fragment.back();
+        if (pad + 1 + mac_len > fragment.size())
+            throw SslError(AlertDescription::BadRecordMac,
+                           "record: bad padding length");
+        data_len = fragment.size() - pad - 1;
+    }
+    if (data_len < mac_len)
+        throw SslError(AlertDescription::BadRecordMac,
+                       "record: fragment shorter than MAC");
+    data_len -= mac_len;
+
+    Bytes expect = computeMac(recv_, static_cast<uint8_t>(type),
+                              fragment.data(), data_len, recv_.seq++);
+    if (!constantTimeEquals(expect.data(), fragment.data() + data_len,
+                            mac_len))
+        throw SslError(AlertDescription::BadRecordMac,
+                       "record: MAC mismatch");
+
+    fragment.resize(data_len);
+    return Record{type, std::move(fragment)};
+}
+
+} // namespace ssla::ssl

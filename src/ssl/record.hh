@@ -1,0 +1,145 @@
+/**
+ * @file
+ * The SSLv3 record layer: fragmentation, MAC, padding, encryption.
+ *
+ * This is where the bulk-data-transfer costs the paper measures live:
+ * the "mac" probe covers the SSLv3 pad-concatenation MAC, and
+ * "pri_encryption"/"pri_decryption" cover the symmetric cipher work.
+ */
+
+#ifndef SSLA_SSL_RECORD_HH
+#define SSLA_SSL_RECORD_HH
+
+#include <memory>
+#include <optional>
+
+#include "ssl/alert.hh"
+#include "ssl/bio.hh"
+#include "ssl/ciphersuite.hh"
+
+namespace ssla::ssl
+{
+
+/** SSLv3 record content types. */
+enum class ContentType : uint8_t
+{
+    ChangeCipherSpec = 20,
+    Alert = 21,
+    Handshake = 22,
+    ApplicationData = 23,
+};
+
+/** SSL 3.0 — the version the paper measures, and the default. */
+constexpr uint16_t ssl3Version = 0x0300;
+
+/** TLS 1.0 (RFC 2246), negotiable via the endpoint configs. */
+constexpr uint16_t tls1Version = 0x0301;
+
+/** Maximum plaintext fragment per record. */
+constexpr size_t maxFragment = 16384;
+
+/** A decrypted, authenticated record. */
+struct Record
+{
+    ContentType type;
+    Bytes payload;
+};
+
+/**
+ * Compute the SSLv3 MAC:
+ * hash(secret || pad2 || hash(secret || pad1 || seq || type || len ||
+ * data)). Probed as "mac".
+ */
+Bytes ssl3Mac(crypto::DigestAlg alg, const Bytes &secret, uint64_t seq,
+              uint8_t type, const uint8_t *data, size_t len);
+
+/**
+ * Compute the TLS 1.0 record MAC:
+ * HMAC(secret, seq || type || version || length || data). Probed as
+ * "mac".
+ */
+Bytes tls1Mac(crypto::DigestAlg alg, const Bytes &secret, uint64_t seq,
+              uint8_t type, uint16_t version, const uint8_t *data,
+              size_t len);
+
+/** One direction's active cipher state. */
+struct RecordCipherState
+{
+    const CipherSuite *suite = nullptr;
+    std::unique_ptr<crypto::Cipher> cipher;
+    Bytes macSecret;
+    uint64_t seq = 0;
+
+    bool active() const { return suite != nullptr; }
+};
+
+/**
+ * A full-duplex SSLv3 record channel over a BioEndpoint.
+ *
+ * Starts in plaintext; each direction switches to its pending cipher
+ * state when the corresponding ChangeCipherSpec is processed.
+ */
+class RecordLayer
+{
+  public:
+    explicit RecordLayer(BioEndpoint bio) : bio_(bio) {}
+
+    /** Send @p data as one or more records of @p type. */
+    void send(ContentType type, const Bytes &data);
+    void send(ContentType type, const uint8_t *data, size_t len);
+
+    /**
+     * Try to read one record. Returns nullopt when the transport does
+     * not yet hold a complete record (the would-block case).
+     * @throws SslError on MAC/padding/format failures
+     */
+    std::optional<Record> receive();
+
+    /** Install the write-direction cipher (after sending CCS). */
+    void enableSendCipher(const CipherSuite &suite, Bytes mac_secret,
+                          const Bytes &key, const Bytes &iv);
+
+    /** Install the read-direction cipher (after receiving CCS). */
+    void enableRecvCipher(const CipherSuite &suite, Bytes mac_secret,
+                          const Bytes &key, const Bytes &iv);
+
+    bool sendCipherActive() const { return send_.active(); }
+    bool recvCipherActive() const { return recv_.active(); }
+
+    /** Flush the transport (probed buffer control, like Table 2). */
+    void flush() { bio_.flush(); }
+
+    /**
+     * Lock the negotiated protocol version (0x0300 or 0x0301).
+     * Before locking, incoming records of any 3.x version are
+     * accepted (a TLS client's first flight may arrive before the
+     * hello is parsed); afterwards the version must match exactly.
+     */
+    void setVersion(uint16_t version);
+
+    /** Currently negotiated (or default SSLv3) version. */
+    uint16_t version() const { return version_; }
+
+    /** Plaintext application/handshake bytes sent (for the web sim). */
+    uint64_t bytesSent() const { return bytesSent_; }
+    uint64_t recordsSent() const { return recordsSent_; }
+
+  private:
+    void sendOne(ContentType type, const uint8_t *data, size_t len);
+
+    /** MAC dispatch on the negotiated version. */
+    Bytes computeMac(const RecordCipherState &dir, uint8_t type,
+                     const uint8_t *data, size_t len, uint64_t seq) const;
+
+    BioEndpoint bio_;
+    RecordCipherState send_;
+    RecordCipherState recv_;
+    uint16_t version_ = ssl3Version;
+    bool versionLocked_ = false;
+    uint64_t bytesSent_ = 0;
+    uint64_t recordsSent_ = 0;
+};
+
+} // namespace ssla::ssl
+
+#endif // SSLA_SSL_RECORD_HH

@@ -1,0 +1,472 @@
+#include "ssl/server.hh"
+
+#include <algorithm>
+
+#include "perf/probe.hh"
+#include "ssl/kx.hh"
+#include "util/bytes.hh"
+
+namespace ssla::ssl
+{
+
+SslServer::SslServer(ServerConfig config, BioEndpoint bio)
+    : SslEndpoint(bio, config.randomPool), config_(std::move(config))
+{
+    perf::FuncProbe probe("step0_init");
+    if (!config_.privateKey)
+        throw std::invalid_argument("SslServer: private key required");
+    if (config_.suites.empty())
+        throw std::invalid_argument("SslServer: no cipher suites");
+    // The handshake transcript hash was initialized by the base class
+    // (init_finished_mac); reserve the randoms here.
+    clientRandom_.reserve(32);
+    serverRandom_.reserve(32);
+}
+
+bool
+SslServer::step()
+{
+    switch (state_) {
+      case State::GetClientHello:
+        return stepGetClientHello();
+      case State::SendServerHello:
+        return stepSendServerHello();
+      case State::SendServerCert:
+        return stepSendServerCert();
+      case State::SendServerKeyExchange:
+        return stepSendServerKeyExchange();
+      case State::SendCertificateRequest:
+        return stepSendCertificateRequest();
+      case State::SendServerDone:
+        return stepSendServerDone();
+      case State::GetClientCertificate:
+        return stepGetClientCertificate();
+      case State::GetClientKeyExchange:
+        return stepGetClientKeyExchange();
+      case State::GetCertificateVerify:
+        return stepGetCertificateVerify();
+      case State::GetFinished:
+        return stepGetFinished();
+      case State::SendCipherSpec:
+        return stepSendCipherSpec();
+      case State::SendFinished:
+        return stepSendFinished();
+      case State::Flush:
+        return stepFlush();
+      case State::ResumeSendCcsFinished:
+        return stepResumeSendCcsFinished();
+      case State::ResumeGetFinished:
+        return stepResumeGetFinished();
+      case State::Done:
+        return false;
+    }
+    return false;
+}
+
+bool
+SslServer::stepGetClientHello()
+{
+    perf::FuncProbe probe("step1_get_client_hello");
+    auto msg = nextHandshakeMessage();
+    if (!msg)
+        return false;
+    if (msg->type != HandshakeType::ClientHello)
+        fail(AlertDescription::UnexpectedMessage,
+             "expected ClientHello");
+    ClientHelloMsg hello = ClientHelloMsg::parse(msg->body);
+
+    if (hello.version < ssl3Version)
+        fail(AlertDescription::HandshakeFailure,
+             "client version too old");
+    clientOfferedVersion_ = hello.version;
+    version_ = std::min(hello.version, config_.maxVersion);
+    if (version_ > tls1Version)
+        version_ = tls1Version;
+    record_.setVersion(version_);
+    clientRandom_ = hello.random;
+
+    // Choose the first suite from our preference the client offers.
+    suite_ = nullptr;
+    for (CipherSuiteId pref : config_.suites) {
+        for (uint16_t offered : hello.cipherSuites) {
+            if (offered == static_cast<uint16_t>(pref)) {
+                suite_ = &cipherSuite(pref);
+                break;
+            }
+        }
+        if (suite_)
+            break;
+    }
+    if (!suite_)
+        fail(AlertDescription::HandshakeFailure,
+             "no common cipher suite");
+
+    // Compression: only null is supported (as the paper's setup).
+    bool null_compression = false;
+    for (uint8_t c : hello.compressionMethods)
+        null_compression |= (c == 0);
+    if (!null_compression)
+        fail(AlertDescription::HandshakeFailure,
+             "no common compression method");
+
+    // Resumption lookup.
+    resuming_ = false;
+    if (config_.sessionCache && !hello.sessionId.empty()) {
+        if (auto cached = config_.sessionCache->find(hello.sessionId)) {
+            if (cached->suiteId == static_cast<uint16_t>(suite_->id) &&
+                cached->version == version_) {
+                session_ = *cached;
+                master_ = cached->masterSecret;
+                resuming_ = true;
+            }
+        }
+    }
+    if (!resuming_) {
+        // Generate a fresh session id. It must differ from the one the
+        // client offered, or the client would believe the session was
+        // resumed while we run the full handshake.
+        session_ = Session();
+        session_.id.resize(32);
+        do {
+            pool().generate(session_.id.data(), session_.id.size());
+        } while (session_.id == hello.sessionId);
+        session_.suiteId = static_cast<uint16_t>(suite_->id);
+        session_.version = version_;
+    }
+
+    state_ = State::SendServerHello;
+    return true;
+}
+
+bool
+SslServer::stepSendServerHello()
+{
+    perf::FuncProbe probe("step2_send_server_hello");
+    serverRandom_.resize(32);
+    pool().generate(serverRandom_.data(), serverRandom_.size());
+
+    ServerHelloMsg hello;
+    hello.version = version_;
+    hello.random = serverRandom_;
+    hello.sessionId = session_.id;
+    hello.cipherSuite = static_cast<uint16_t>(suite_->id);
+    sendHandshake(HandshakeType::ServerHello, hello.encode());
+
+    state_ = resuming_ ? State::ResumeSendCcsFinished
+                       : State::SendServerCert;
+    return true;
+}
+
+bool
+SslServer::stepSendServerCert()
+{
+    perf::FuncProbe probe("step3_send_server_cert");
+    CertificateMsg msg;
+    msg.chain.push_back(config_.certificate.encoded());
+    for (const auto &intermediate : config_.intermediates)
+        msg.chain.push_back(intermediate.encoded());
+    sendHandshake(HandshakeType::Certificate, msg.encode());
+    // For the RSA suites the certificate carries the key exchange, so
+    // ServerKeyExchange and CertificateRequest are skipped — exactly
+    // the "skip server_kx / skip cert_req" rows of Table 2. The DHE
+    // suites take the extra step.
+    state_ = suite_->kx == KeyExchange::DheRsa
+                 ? State::SendServerKeyExchange
+                 : (config_.requestClientCertificate
+                        ? State::SendCertificateRequest
+                        : State::SendServerDone);
+    return true;
+}
+
+bool
+SslServer::stepSendServerKeyExchange()
+{
+    perf::FuncProbe probe("step3b_send_server_kx");
+    const crypto::DhParams &group = crypto::oakleyGroup2();
+    dhKey_ = crypto::dhGenerateKey(group, pool());
+
+    ServerKeyExchangeMsg msg;
+    msg.p = group.p.toBytesBE();
+    msg.g = group.g.toBytesBE();
+    msg.publicValue = dhKey_.pub.toBytesBE();
+    msg.signature = signServerKeyExchange(
+        *config_.privateKey, clientRandom_, serverRandom_,
+        msg.signedParams());
+    sendHandshake(HandshakeType::ServerKeyExchange, msg.encode());
+    state_ = config_.requestClientCertificate
+                 ? State::SendCertificateRequest
+                 : State::SendServerDone;
+    return true;
+}
+
+bool
+SslServer::stepSendCertificateRequest()
+{
+    perf::FuncProbe probe("step3c_send_cert_request");
+    CertificateRequestMsg msg;
+    sendHandshake(HandshakeType::CertificateRequest, msg.encode());
+    state_ = State::SendServerDone;
+    return true;
+}
+
+bool
+SslServer::stepSendServerDone()
+{
+    perf::FuncProbe probe("step4_send_server_done");
+    sendHandshake(HandshakeType::ServerHelloDone, Bytes());
+    record_.flush();
+    state_ = config_.requestClientCertificate
+                 ? State::GetClientCertificate
+                 : State::GetClientKeyExchange;
+    return true;
+}
+
+bool
+SslServer::stepGetClientCertificate()
+{
+    perf::FuncProbe probe("step5a_get_client_cert");
+    auto msg = nextHandshakeMessage();
+    if (!msg)
+        return false;
+    if (msg->type != HandshakeType::Certificate)
+        fail(AlertDescription::UnexpectedMessage,
+             "expected client Certificate");
+    CertificateMsg cm = CertificateMsg::parse(msg->body);
+
+    clientCertPresent_ = !cm.chain.empty();
+    if (!clientCertPresent_) {
+        if (config_.requireClientCertificate)
+            fail(AlertDescription::NoCertificate,
+                 "client certificate required");
+        state_ = State::GetClientKeyExchange;
+        return true;
+    }
+
+    try {
+        clientCert_ = pki::Certificate::parse(cm.chain.front());
+    } catch (const std::exception &) {
+        fail(AlertDescription::BadCertificate,
+             "unparseable client certificate");
+    }
+    if (config_.clientTrustedIssuer) {
+        if (!clientCert_.verify(*config_.clientTrustedIssuer))
+            fail(AlertDescription::BadCertificate,
+                 "client certificate signature check failed");
+    } else if (!clientCert_.isSelfSigned()) {
+        fail(AlertDescription::BadCertificate,
+             "client certificate has no trust anchor");
+    }
+    state_ = State::GetClientKeyExchange;
+    return true;
+}
+
+bool
+SslServer::stepGetClientKeyExchange()
+{
+    perf::FuncProbe probe("step5_get_client_kx");
+    auto msg = nextHandshakeMessage();
+    if (!msg)
+        return false;
+    if (msg->type != HandshakeType::ClientKeyExchange)
+        fail(AlertDescription::UnexpectedMessage,
+             "expected ClientKeyExchange");
+    Bytes premaster;
+    if (suite_->kx == KeyExchange::DheRsa) {
+        // DHE: the body is the client's public value; the shared
+        // secret is the pre-master (dh_compute_key).
+        try {
+            Bytes yc = ClientKeyExchangeMsg::parseDhe(msg->body);
+            premaster = crypto::dhComputeShared(
+                crypto::oakleyGroup2(), bn::BigNum::fromBytesBE(yc),
+                dhKey_.priv);
+        } catch (const SslError &) {
+            throw;
+        } catch (const std::exception &) {
+            fail(AlertDescription::HandshakeFailure,
+                 "DH key agreement failed");
+        }
+    } else {
+        // RSA-decrypt the 48-byte pre-master (rsa_private_decryption).
+        auto ckx = ClientKeyExchangeMsg::parse(msg->body);
+        try {
+            premaster = crypto::rsaPrivateDecrypt(
+                *config_.privateKey, ckx.encryptedPreMaster);
+        } catch (const std::exception &) {
+            fail(AlertDescription::HandshakeFailure,
+                 "pre-master decryption failed");
+        }
+        // The embedded version must echo what the client OFFERED
+        // (the classic version-rollback defence).
+        if (premaster.size() != 48 ||
+            premaster[0] !=
+                static_cast<uint8_t>(clientOfferedVersion_ >> 8) ||
+            premaster[1] !=
+                static_cast<uint8_t>(clientOfferedVersion_)) {
+            fail(AlertDescription::HandshakeFailure,
+                 "malformed pre-master secret");
+        }
+    }
+
+    // Derive the master secret (gen_master_secret).
+    master_ = deriveMasterSecret(version_, premaster, clientRandom_,
+                                 serverRandom_);
+    secureWipe(premaster);
+    session_.masterSecret = master_;
+
+    state_ = clientCertPresent_ ? State::GetCertificateVerify
+                                : State::GetFinished;
+    return true;
+}
+
+bool
+SslServer::stepGetCertificateVerify()
+{
+    perf::FuncProbe probe("step5b_get_cert_verify");
+    // The signed digest covers the transcript up to (excluding) the
+    // CertificateVerify itself — snapshot before reading the message.
+    Bytes expected = hsHash_.certVerifyHash(version_, master_);
+    auto msg = nextHandshakeMessage();
+    if (!msg)
+        return false;
+    if (msg->type != HandshakeType::CertificateVerify)
+        fail(AlertDescription::UnexpectedMessage,
+             "expected CertificateVerify");
+    auto cv = CertificateVerifyMsg::parse(msg->body);
+    if (!crypto::rsaVerify(clientCert_.info().publicKey, expected,
+                           cv.signature)) {
+        fail(AlertDescription::HandshakeFailure,
+             "CertificateVerify signature check failed");
+    }
+    state_ = State::GetFinished;
+    return true;
+}
+
+void
+SslServer::onChangeCipherSpec()
+{
+    // Legal while waiting for the client finished (step 6a) on both
+    // the full and the abbreviated path.
+    if (state_ != State::GetFinished && state_ != State::ResumeGetFinished)
+        fail(AlertDescription::UnexpectedMessage, "unexpected CCS");
+
+    // "At this moment, the server calculates the key blocks" — and the
+    // expected client finished hash, before reading the message.
+    const KeyBlock &kb = keyBlock();
+    record_.enableRecvCipher(*suite_, kb.clientMacSecret, kb.clientKey,
+                             kb.clientIv);
+    expectedPeerFinished_ =
+        hsHash_.finishedHash(version_, master_, FinishedSender::Client);
+}
+
+bool
+SslServer::stepGetFinished()
+{
+    perf::FuncProbe probe("step6_get_finished");
+    if (!record_.recvCipherActive()) {
+        // Waiting for the client's ChangeCipherSpec (step 6a).
+        if (!takeCcsReceived())
+            return false;
+    } else {
+        // A buffered CCS flag may still be pending from the pump.
+        takeCcsReceived();
+    }
+
+    // Step 6b: the client finished message, the first encrypted record
+    // (pri_decryption + mac happen inside the record layer).
+    auto msg = nextHandshakeMessage();
+    if (!msg)
+        return false;
+    if (msg->type != HandshakeType::Finished)
+        fail(AlertDescription::UnexpectedMessage, "expected Finished");
+    auto fin = FinishedMsg::parse(msg->body);
+    if (!constantTimeEquals(fin.verifyData, expectedPeerFinished_))
+        fail(AlertDescription::HandshakeFailure,
+             "client finished hash mismatch");
+
+    state_ = State::SendCipherSpec;
+    return true;
+}
+
+bool
+SslServer::stepSendCipherSpec()
+{
+    perf::FuncProbe probe("step7_send_cipher_spec");
+    sendChangeCipherSpec();
+    const KeyBlock &kb = keyBlock();
+    record_.enableSendCipher(*suite_, kb.serverMacSecret, kb.serverKey,
+                             kb.serverIv);
+    state_ = State::SendFinished;
+    return true;
+}
+
+bool
+SslServer::stepSendFinished()
+{
+    perf::FuncProbe probe("step8_send_finished");
+    FinishedMsg fin;
+    fin.verifyData =
+        hsHash_.finishedHash(version_, master_, FinishedSender::Server);
+    sendHandshake(HandshakeType::Finished, fin.encode());
+    state_ = State::Flush;
+    return true;
+}
+
+bool
+SslServer::stepFlush()
+{
+    perf::FuncProbe probe("step9_flush");
+    record_.flush();
+    if (config_.sessionCache)
+        config_.sessionCache->store(session_);
+    state_ = State::Done;
+    done_ = true;
+    return true;
+}
+
+bool
+SslServer::stepResumeSendCcsFinished()
+{
+    perf::FuncProbe probe("step7_send_cipher_spec");
+    // Abbreviated handshake: the server switches ciphers and finishes
+    // first, straight after its hello.
+    sendChangeCipherSpec();
+    const KeyBlock &kb = keyBlock();
+    record_.enableSendCipher(*suite_, kb.serverMacSecret, kb.serverKey,
+                             kb.serverIv);
+    FinishedMsg fin;
+    fin.verifyData =
+        hsHash_.finishedHash(version_, master_, FinishedSender::Server);
+    sendHandshake(HandshakeType::Finished, fin.encode());
+    record_.flush();
+    state_ = State::ResumeGetFinished;
+    return true;
+}
+
+bool
+SslServer::stepResumeGetFinished()
+{
+    perf::FuncProbe probe("step6_get_finished");
+    if (!record_.recvCipherActive()) {
+        if (!takeCcsReceived())
+            return false;
+    } else {
+        takeCcsReceived();
+    }
+    auto msg = nextHandshakeMessage();
+    if (!msg)
+        return false;
+    if (msg->type != HandshakeType::Finished)
+        fail(AlertDescription::UnexpectedMessage, "expected Finished");
+    auto fin = FinishedMsg::parse(msg->body);
+    if (!constantTimeEquals(fin.verifyData, expectedPeerFinished_))
+        fail(AlertDescription::HandshakeFailure,
+             "client finished hash mismatch");
+    resumed_ = true;
+    if (config_.sessionCache)
+        config_.sessionCache->store(session_);
+    state_ = State::Done;
+    done_ = true;
+    return true;
+}
+
+} // namespace ssla::ssl

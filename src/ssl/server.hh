@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The server-side SSLv3 handshake state machine, decomposed into the
+ * ten steps of the paper's Table 2. Every state body runs under a
+ * step-named cycle probe, and every crypto entry point it calls is
+ * probed under the paper's function names, so the handshake-anatomy
+ * bench reproduces the table directly from a real handshake.
+ */
+
+#ifndef SSLA_SSL_SERVER_HH
+#define SSLA_SSL_SERVER_HH
+
+#include <memory>
+
+#include "crypto/dh.hh"
+#include "pki/cert.hh"
+#include "ssl/endpoint.hh"
+
+namespace ssla::ssl
+{
+
+/** Server-side configuration. */
+struct ServerConfig
+{
+    pki::Certificate certificate;
+    /** Intermediate CA certificates sent after the leaf (in order). */
+    std::vector<pki::Certificate> intermediates;
+    std::shared_ptr<crypto::RsaPrivateKey> privateKey;
+    /** Suite preference, most preferred first. */
+    std::vector<CipherSuiteId> suites = {
+        CipherSuiteId::RSA_3DES_EDE_CBC_SHA};
+    /** Optional session cache enabling resumption. */
+    SessionCache *sessionCache = nullptr;
+    /** Randomness source (defaults to the global pool). */
+    crypto::RandomPool *randomPool = nullptr;
+    /**
+     * Highest protocol version to accept (the server speaks both
+     * SSLv3 and TLS 1.0 and follows the client down).
+     */
+    uint16_t maxVersion = tls1Version;
+    /** Ask the client for a certificate (CertificateRequest). */
+    bool requestClientCertificate = false;
+    /** Refuse clients that answer with no certificate. */
+    bool requireClientCertificate = false;
+    /**
+     * Issuer key to verify the client certificate against; null
+     * accepts any self-signed client certificate.
+     */
+    const crypto::RsaPublicKey *clientTrustedIssuer = nullptr;
+};
+
+/** One server-side connection endpoint. */
+class SslServer : public SslEndpoint
+{
+  public:
+    /**
+     * Construct over @p bio. This is the paper's step 0 (Init):
+     * state/variable initialization including init_finished_mac.
+     */
+    SslServer(ServerConfig config, BioEndpoint bio);
+
+  protected:
+    bool step() override;
+    void onChangeCipherSpec() override;
+
+  private:
+    enum class State
+    {
+        GetClientHello,
+        SendServerHello,
+        SendServerCert,
+        SendServerKeyExchange,
+        SendCertificateRequest,
+        SendServerDone,
+        GetClientCertificate,
+        GetClientKeyExchange,
+        GetCertificateVerify,
+        GetFinished,
+        SendCipherSpec,
+        SendFinished,
+        Flush,
+        // Resumption path (abbreviated handshake).
+        ResumeSendCcsFinished,
+        ResumeGetFinished,
+        Done,
+    };
+
+    bool stepGetClientHello();
+    bool stepSendServerHello();
+    bool stepSendServerCert();
+    bool stepSendServerKeyExchange();
+    bool stepSendCertificateRequest();
+    bool stepSendServerDone();
+    bool stepGetClientCertificate();
+    bool stepGetClientKeyExchange();
+    bool stepGetCertificateVerify();
+    bool stepGetFinished();
+    bool stepSendCipherSpec();
+    bool stepSendFinished();
+    bool stepFlush();
+    bool stepResumeSendCcsFinished();
+    bool stepResumeGetFinished();
+
+    ServerConfig config_;
+    State state_ = State::GetClientHello;
+    bool resuming_ = false;
+    uint16_t clientOfferedVersion_ = 0;
+    crypto::DhKeyPair dhKey_; ///< ephemeral key for DHE suites
+    pki::Certificate clientCert_; ///< received client certificate
+    bool clientCertPresent_ = false;
+};
+
+} // namespace ssla::ssl
+
+#endif // SSLA_SSL_SERVER_HH

@@ -1,0 +1,67 @@
+#include "ssl/session.hh"
+
+#include <chrono>
+
+namespace ssla::ssl
+{
+
+uint64_t
+SessionCache::now() const
+{
+    if (clock_)
+        return clock_();
+    auto t = std::chrono::steady_clock::now().time_since_epoch();
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::seconds>(t).count());
+}
+
+void
+SessionCache::store(const Session &session)
+{
+    if (!session.valid())
+        return;
+    auto it = entries_.find(session.id);
+    if (it != entries_.end()) {
+        lru_.erase(it->second);
+        entries_.erase(it);
+    }
+    lru_.push_front(Entry{session, now()});
+    entries_[session.id] = lru_.begin();
+    while (entries_.size() > maxEntries_) {
+        entries_.erase(lru_.back().session.id);
+        lru_.pop_back();
+    }
+}
+
+std::optional<Session>
+SessionCache::find(const Bytes &id)
+{
+    auto it = entries_.find(id);
+    if (it == entries_.end()) {
+        ++misses_;
+        return std::nullopt;
+    }
+    if (ttlSeconds_ && now() - it->second->storedAt > ttlSeconds_) {
+        lru_.erase(it->second);
+        entries_.erase(it);
+        ++expirations_;
+        ++misses_;
+        return std::nullopt;
+    }
+    ++hits_;
+    // Refresh LRU position.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->session;
+}
+
+void
+SessionCache::remove(const Bytes &id)
+{
+    auto it = entries_.find(id);
+    if (it == entries_.end())
+        return;
+    lru_.erase(it->second);
+    entries_.erase(it);
+}
+
+} // namespace ssla::ssl

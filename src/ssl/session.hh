@@ -1,0 +1,102 @@
+/**
+ * @file
+ * SSL sessions and the server-side session cache.
+ *
+ * Resumption is the optimization the paper points to in Section 4.1:
+ * "Session re-negotiation using the previously setup keys can avoid
+ * the public key encryption, therefore greatly reduces the handshake
+ * overhead." The bench_resumption binary quantifies exactly that.
+ *
+ * The cache bounds both entry count (LRU eviction) and entry age
+ * (paper-era servers expired sessions after ~5 minutes so stolen
+ * master secrets have a bounded window).
+ */
+
+#ifndef SSLA_SSL_SESSION_HH
+#define SSLA_SSL_SESSION_HH
+
+#include <functional>
+#include <list>
+#include <map>
+#include <optional>
+
+#include "ssl/ciphersuite.hh"
+#include "util/types.hh"
+
+namespace ssla::ssl
+{
+
+/** The resumable state of an established SSL session. */
+struct Session
+{
+    Bytes id;            ///< server-assigned session id (32 bytes)
+    uint16_t suiteId = 0;
+    uint16_t version = 0x0300; ///< protocol version of the session
+    Bytes masterSecret;  ///< 48 bytes
+
+    bool valid() const { return !id.empty() && !masterSecret.empty(); }
+};
+
+/**
+ * A bounded LRU cache of resumable sessions, keyed by session id,
+ * with optional age-based expiry.
+ */
+class SessionCache
+{
+  public:
+    /**
+     * @param max_entries LRU capacity
+     * @param ttl_seconds entry lifetime; 0 disables expiry
+     */
+    explicit SessionCache(size_t max_entries = 1024,
+                          uint64_t ttl_seconds = 0)
+        : maxEntries_(max_entries), ttlSeconds_(ttl_seconds)
+    {}
+
+    /** Insert or refresh a session (restamps its age). */
+    void store(const Session &session);
+
+    /** Look up by id; refreshes LRU position on a (non-expired) hit. */
+    std::optional<Session> find(const Bytes &id);
+
+    /** Drop a session (e.g. after a fatal alert on it). */
+    void remove(const Bytes &id);
+
+    size_t size() const { return entries_.size(); }
+
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
+    uint64_t expirations() const { return expirations_; }
+
+    /**
+     * Override the time source (seconds); for deterministic tests.
+     * The default reads the steady clock.
+     */
+    void setClock(std::function<uint64_t()> clock)
+    {
+        clock_ = std::move(clock);
+    }
+
+  private:
+    struct Entry
+    {
+        Session session;
+        uint64_t storedAt = 0;
+    };
+
+    uint64_t now() const;
+
+    size_t maxEntries_;
+    uint64_t ttlSeconds_;
+    // LRU list, most recent first, with an index into it.
+    std::list<Entry> lru_;
+    std::map<Bytes, std::list<Entry>::iterator> entries_;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+    uint64_t expirations_ = 0;
+    std::function<uint64_t()> clock_;
+};
+
+} // namespace ssla::ssl
+
+#endif // SSLA_SSL_SESSION_HH

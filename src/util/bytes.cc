@@ -1,0 +1,144 @@
+#include "util/bytes.hh"
+
+#include <stdexcept>
+
+namespace ssla
+{
+
+bool
+constantTimeEquals(const uint8_t *a, const uint8_t *b, size_t len)
+{
+    uint8_t diff = 0;
+    for (size_t i = 0; i < len; ++i)
+        diff |= static_cast<uint8_t>(a[i] ^ b[i]);
+    return diff == 0;
+}
+
+bool
+constantTimeEquals(const Bytes &a, const Bytes &b)
+{
+    if (a.size() != b.size())
+        return false;
+    return constantTimeEquals(a.data(), b.data(), a.size());
+}
+
+void
+secureWipe(void *data, size_t len)
+{
+    volatile uint8_t *p = static_cast<volatile uint8_t *>(data);
+    for (size_t i = 0; i < len; ++i)
+        p[i] = 0;
+}
+
+void
+secureWipe(Bytes &data)
+{
+    if (!data.empty())
+        secureWipe(data.data(), data.size());
+    data.clear();
+}
+
+void
+ByteWriter::putVector8(const Bytes &b)
+{
+    if (b.size() > 0xff)
+        throw std::length_error("putVector8: vector too long");
+    putU8(static_cast<uint8_t>(b.size()));
+    putBytes(b);
+}
+
+void
+ByteWriter::putVector16(const Bytes &b)
+{
+    if (b.size() > 0xffff)
+        throw std::length_error("putVector16: vector too long");
+    putU16(static_cast<uint16_t>(b.size()));
+    putBytes(b);
+}
+
+void
+ByteWriter::putVector24(const Bytes &b)
+{
+    if (b.size() > 0xffffff)
+        throw std::length_error("putVector24: vector too long");
+    putU24(static_cast<uint32_t>(b.size()));
+    putBytes(b);
+}
+
+void
+ByteReader::require(size_t n) const
+{
+    if (remaining() < n)
+        throw std::out_of_range("ByteReader: truncated input");
+}
+
+uint8_t
+ByteReader::getU8()
+{
+    require(1);
+    return data_[pos_++];
+}
+
+uint16_t
+ByteReader::getU16()
+{
+    require(2);
+    uint16_t v = static_cast<uint16_t>((data_[pos_] << 8) | data_[pos_ + 1]);
+    pos_ += 2;
+    return v;
+}
+
+uint32_t
+ByteReader::getU24()
+{
+    require(3);
+    uint32_t v = (static_cast<uint32_t>(data_[pos_]) << 16) |
+                 (static_cast<uint32_t>(data_[pos_ + 1]) << 8) |
+                 data_[pos_ + 2];
+    pos_ += 3;
+    return v;
+}
+
+uint32_t
+ByteReader::getU32()
+{
+    uint32_t hi = getU16();
+    uint32_t lo = getU16();
+    return (hi << 16) | lo;
+}
+
+Bytes
+ByteReader::getBytes(size_t n)
+{
+    require(n);
+    Bytes out(data_ + pos_, data_ + pos_ + n);
+    pos_ += n;
+    return out;
+}
+
+Bytes
+ByteReader::getVector8()
+{
+    return getBytes(getU8());
+}
+
+Bytes
+ByteReader::getVector16()
+{
+    return getBytes(getU16());
+}
+
+Bytes
+ByteReader::getVector24()
+{
+    return getBytes(getU24());
+}
+
+void
+ByteReader::skip(size_t n)
+{
+    require(n);
+    pos_ += n;
+}
+
+} // namespace ssla

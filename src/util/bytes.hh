@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Byte-buffer helpers: serialization cursors, constant-time comparison
+ * and secure wiping.
+ *
+ * ByteWriter/ByteReader are the wire-format workhorses for the SSL record
+ * and handshake layers (src/ssl) and the DER-style codec (src/pki). SSL
+ * uses big-endian ("network order") multi-byte integers throughout.
+ */
+
+#ifndef SSLA_UTIL_BYTES_HH
+#define SSLA_UTIL_BYTES_HH
+
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "util/types.hh"
+
+namespace ssla
+{
+
+/** Append the contents of @p src to @p dst. */
+inline void
+append(Bytes &dst, const Bytes &src)
+{
+    dst.insert(dst.end(), src.begin(), src.end());
+}
+
+/** Append @p len raw bytes at @p src to @p dst. */
+inline void
+append(Bytes &dst, const uint8_t *src, size_t len)
+{
+    dst.insert(dst.end(), src, src + len);
+}
+
+/** Convert a string to bytes (no terminator). */
+inline Bytes
+toBytes(std::string_view s)
+{
+    return Bytes(s.begin(), s.end());
+}
+
+/** Convert bytes to a std::string (may contain NULs). */
+inline std::string
+toString(const Bytes &b)
+{
+    return std::string(b.begin(), b.end());
+}
+
+/**
+ * Compare two equal-length buffers without data-dependent branches.
+ *
+ * Used for MAC and finished-hash verification so that the comparison
+ * itself does not leak the position of the first mismatch.
+ *
+ * @return true iff the buffers are byte-identical.
+ */
+bool constantTimeEquals(const uint8_t *a, const uint8_t *b, size_t len);
+
+/** Constant-time comparison of two Bytes; false if lengths differ. */
+bool constantTimeEquals(const Bytes &a, const Bytes &b);
+
+/**
+ * Overwrite sensitive material with zeros in a way the optimizer must
+ * not elide (the OPENSSL_cleanse analogue from the paper's Table 8).
+ */
+void secureWipe(void *data, size_t len);
+
+/** Wipe and clear a byte buffer holding key material. */
+void secureWipe(Bytes &data);
+
+/**
+ * Serialization cursor producing big-endian wire format.
+ *
+ * All put* calls append to an internal buffer retrievable via take().
+ */
+class ByteWriter
+{
+  public:
+    ByteWriter() = default;
+
+    void putU8(uint8_t v) { buf_.push_back(v); }
+
+    void
+    putU16(uint16_t v)
+    {
+        buf_.push_back(static_cast<uint8_t>(v >> 8));
+        buf_.push_back(static_cast<uint8_t>(v));
+    }
+
+    void
+    putU24(uint32_t v)
+    {
+        buf_.push_back(static_cast<uint8_t>(v >> 16));
+        buf_.push_back(static_cast<uint8_t>(v >> 8));
+        buf_.push_back(static_cast<uint8_t>(v));
+    }
+
+    void
+    putU32(uint32_t v)
+    {
+        putU16(static_cast<uint16_t>(v >> 16));
+        putU16(static_cast<uint16_t>(v));
+    }
+
+    void putBytes(const Bytes &b) { append(buf_, b); }
+    void putBytes(const uint8_t *p, size_t n) { append(buf_, p, n); }
+
+    /** Append a length-prefixed vector with an 8-bit length. */
+    void putVector8(const Bytes &b);
+    /** Append a length-prefixed vector with a 16-bit length. */
+    void putVector16(const Bytes &b);
+    /** Append a length-prefixed vector with a 24-bit length. */
+    void putVector24(const Bytes &b);
+
+    size_t size() const { return buf_.size(); }
+    const Bytes &peek() const { return buf_; }
+
+    /** Move the accumulated buffer out of the writer. */
+    Bytes take() { return std::move(buf_); }
+
+  private:
+    Bytes buf_;
+};
+
+/**
+ * Deserialization cursor over a byte buffer (big-endian wire format).
+ *
+ * All get* calls throw std::out_of_range when the input is exhausted;
+ * protocol code converts that into a decode alert.
+ */
+class ByteReader
+{
+  public:
+    ByteReader(const uint8_t *data, size_t len) : data_(data), len_(len) {}
+    explicit ByteReader(const Bytes &b) : data_(b.data()), len_(b.size()) {}
+
+    size_t remaining() const { return len_ - pos_; }
+    bool empty() const { return pos_ == len_; }
+    size_t position() const { return pos_; }
+
+    uint8_t getU8();
+    uint16_t getU16();
+    uint32_t getU24();
+    uint32_t getU32();
+
+    /** Read exactly @p n raw bytes. */
+    Bytes getBytes(size_t n);
+
+    /** Read a vector with an 8-bit length prefix. */
+    Bytes getVector8();
+    /** Read a vector with a 16-bit length prefix. */
+    Bytes getVector16();
+    /** Read a vector with a 24-bit length prefix. */
+    Bytes getVector24();
+
+    /** Skip @p n bytes. */
+    void skip(size_t n);
+
+  private:
+    void require(size_t n) const;
+
+    const uint8_t *data_;
+    size_t len_;
+    size_t pos_ = 0;
+};
+
+} // namespace ssla
+
+#endif // SSLA_UTIL_BYTES_HH

@@ -1,0 +1,59 @@
+#include "util/cycles.hh"
+
+#include <chrono>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+#endif
+
+namespace ssla
+{
+
+uint64_t
+rdcycles()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    return __rdtsc();
+#else
+    auto now = std::chrono::steady_clock::now().time_since_epoch();
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now).count());
+#endif
+}
+
+namespace
+{
+
+/** Measure TSC ticks across a known wall-clock interval. */
+double
+calibrate()
+{
+    using clock = std::chrono::steady_clock;
+    auto t0 = clock::now();
+    uint64_t c0 = rdcycles();
+    // Spin for ~20ms; long enough to average out scheduling noise,
+    // short enough not to annoy test startup.
+    while (clock::now() - t0 < std::chrono::milliseconds(20)) {
+    }
+    auto t1 = clock::now();
+    uint64_t c1 = rdcycles();
+    double secs = std::chrono::duration<double>(t1 - t0).count();
+    return static_cast<double>(c1 - c0) / secs;
+}
+
+} // anonymous namespace
+
+double
+cycleHz()
+{
+    static const double hz = calibrate();
+    return hz;
+}
+
+double
+cyclesToSeconds(uint64_t cycles)
+{
+    return static_cast<double>(cycles) / cycleHz();
+}
+
+} // namespace ssla

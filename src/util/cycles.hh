@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Cycle-accurate timing, the reproduction's replacement for the paper's
+ * "read timestamp instruction" methodology (Section 3.2).
+ *
+ * On x86-64 we read the TSC directly; elsewhere we fall back to
+ * steady_clock scaled by a calibrated frequency so all reports stay in
+ * units of CPU cycles like the paper's tables.
+ */
+
+#ifndef SSLA_UTIL_CYCLES_HH
+#define SSLA_UTIL_CYCLES_HH
+
+#include <cstdint>
+
+namespace ssla
+{
+
+/** Read the current cycle counter. */
+uint64_t rdcycles();
+
+/**
+ * Estimated cycle-counter frequency in Hz (calibrated once, lazily).
+ *
+ * Used to convert cycle counts into seconds for throughput reporting
+ * (Table 11 of the paper).
+ */
+double cycleHz();
+
+/** Convert a cycle delta to seconds using the calibrated frequency. */
+double cyclesToSeconds(uint64_t cycles);
+
+/**
+ * Simple start/stop cycle timer.
+ *
+ * The paper brackets code regions with rdtsc reads; CycleTimer is the
+ * same idea with accumulate/reset convenience for repeated regions.
+ */
+class CycleTimer
+{
+  public:
+    void start() { startTime_ = rdcycles(); }
+
+    /** Stop and add the elapsed span to the accumulated total. */
+    uint64_t
+    stop()
+    {
+        uint64_t delta = rdcycles() - startTime_;
+        total_ += delta;
+        return delta;
+    }
+
+    uint64_t total() const { return total_; }
+    void reset() { total_ = 0; }
+
+  private:
+    uint64_t startTime_ = 0;
+    uint64_t total_ = 0;
+};
+
+} // namespace ssla
+
+#endif // SSLA_UTIL_CYCLES_HH

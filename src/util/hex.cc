@@ -1,0 +1,70 @@
+#include "util/hex.hh"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace ssla
+{
+
+namespace
+{
+
+const char hexDigits[] = "0123456789abcdef";
+
+int
+nibble(char c)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F')
+        return c - 'A' + 10;
+    return -1;
+}
+
+} // anonymous namespace
+
+std::string
+hexEncode(const uint8_t *data, size_t len)
+{
+    std::string out;
+    out.reserve(len * 2);
+    for (size_t i = 0; i < len; ++i) {
+        out.push_back(hexDigits[data[i] >> 4]);
+        out.push_back(hexDigits[data[i] & 0x0f]);
+    }
+    return out;
+}
+
+std::string
+hexEncode(const Bytes &data)
+{
+    return hexEncode(data.data(), data.size());
+}
+
+Bytes
+hexDecode(std::string_view hex)
+{
+    Bytes out;
+    out.reserve(hex.size() / 2);
+    int hi = -1;
+    for (char c : hex) {
+        if (std::isspace(static_cast<unsigned char>(c)))
+            continue;
+        int v = nibble(c);
+        if (v < 0)
+            throw std::invalid_argument("hexDecode: non-hex character");
+        if (hi < 0) {
+            hi = v;
+        } else {
+            out.push_back(static_cast<uint8_t>((hi << 4) | v));
+            hi = -1;
+        }
+    }
+    if (hi >= 0)
+        throw std::invalid_argument("hexDecode: odd number of digits");
+    return out;
+}
+
+} // namespace ssla

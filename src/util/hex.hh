@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Hexadecimal encoding/decoding of byte buffers.
+ */
+
+#ifndef SSLA_UTIL_HEX_HH
+#define SSLA_UTIL_HEX_HH
+
+#include <string>
+#include <string_view>
+
+#include "util/types.hh"
+
+namespace ssla
+{
+
+/** Encode @p data as a lower-case hex string. */
+std::string hexEncode(const uint8_t *data, size_t len);
+
+/** Encode @p data as a lower-case hex string. */
+std::string hexEncode(const Bytes &data);
+
+/**
+ * Decode a hex string into bytes.
+ *
+ * Whitespace is permitted and skipped; an odd number of hex digits or a
+ * non-hex character throws std::invalid_argument.
+ */
+Bytes hexDecode(std::string_view hex);
+
+} // namespace ssla
+
+#endif // SSLA_UTIL_HEX_HH

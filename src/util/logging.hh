@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Minimal gem5-style status/error reporting: panic, fatal, warn, inform.
+ *
+ * panic() is for internal invariant violations (library bugs); fatal()
+ * is for unrecoverable user/configuration errors. Both terminate.
+ */
+
+#ifndef SSLA_UTIL_LOGGING_HH
+#define SSLA_UTIL_LOGGING_HH
+
+#include <string>
+
+namespace ssla
+{
+
+/** Abort with a message; something that should never happen happened. */
+[[noreturn]] void panic(const std::string &msg);
+
+/** Exit with an error message; the caller misused the library. */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Emit a non-fatal warning to stderr. */
+void warn(const std::string &msg);
+
+/** Emit an informational message to stderr. */
+void inform(const std::string &msg);
+
+/** Globally silence warn()/inform() (benchmarks want clean stdout). */
+void setQuiet(bool quiet);
+
+} // namespace ssla
+
+#endif // SSLA_UTIL_LOGGING_HH

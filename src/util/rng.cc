@@ -1,0 +1,91 @@
+#include "util/rng.hh"
+
+namespace ssla
+{
+
+namespace
+{
+
+uint64_t
+splitmix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl64(uint64_t v, int n)
+{
+    return (v << n) | (v >> (64 - n));
+}
+
+} // anonymous namespace
+
+Xoshiro256::Xoshiro256(uint64_t seed)
+{
+    for (auto &s : s_)
+        s = splitmix64(seed);
+}
+
+uint64_t
+Xoshiro256::next()
+{
+    uint64_t result = rotl64(s_[1] * 5, 7) * 9;
+    uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl64(s_[3], 45);
+    return result;
+}
+
+uint64_t
+Xoshiro256::nextBelow(uint64_t bound)
+{
+    // Rejection sampling to avoid modulo bias.
+    uint64_t threshold = (0 - bound) % bound;
+    uint64_t r;
+    do {
+        r = next();
+    } while (r < threshold);
+    return r % bound;
+}
+
+double
+Xoshiro256::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+void
+Xoshiro256::fill(uint8_t *out, size_t len)
+{
+    size_t i = 0;
+    while (i + 8 <= len) {
+        uint64_t v = next();
+        for (int b = 0; b < 8; ++b)
+            out[i++] = static_cast<uint8_t>(v >> (8 * b));
+    }
+    if (i < len) {
+        uint64_t v = next();
+        while (i < len) {
+            out[i++] = static_cast<uint8_t>(v);
+            v >>= 8;
+        }
+    }
+}
+
+Bytes
+Xoshiro256::bytes(size_t len)
+{
+    Bytes out(len);
+    fill(out.data(), len);
+    return out;
+}
+
+} // namespace ssla

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Deterministic fast RNG for tests, workload generation and key-material
+ * seeding.
+ *
+ * This is NOT the SSL random-byte source; the protocol layer uses the
+ * MD5-based crypto::RandomPool (the md_rand analogue the paper profiles
+ * as rand_pseudo_bytes). Xoshiro exists so that tests and workloads are
+ * reproducible and fast.
+ */
+
+#ifndef SSLA_UTIL_RNG_HH
+#define SSLA_UTIL_RNG_HH
+
+#include <cstdint>
+
+#include "util/types.hh"
+
+namespace ssla
+{
+
+/** xoshiro256** — small, fast, splittable deterministic generator. */
+class Xoshiro256
+{
+  public:
+    /** Seed via splitmix64 expansion of @p seed. */
+    explicit Xoshiro256(uint64_t seed = 0x5eed5eed5eed5eedULL);
+
+    /** Next 64 uniformly distributed bits. */
+    uint64_t next();
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    uint64_t nextBelow(uint64_t bound);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Fill @p out with @p len pseudo-random bytes. */
+    void fill(uint8_t *out, size_t len);
+
+    /** Produce @p len pseudo-random bytes. */
+    Bytes bytes(size_t len);
+
+  private:
+    uint64_t s_[4];
+};
+
+} // namespace ssla
+
+#endif // SSLA_UTIL_RNG_HH

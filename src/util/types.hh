@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Fundamental type aliases shared across the library.
+ */
+
+#ifndef SSLA_UTIL_TYPES_HH
+#define SSLA_UTIL_TYPES_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ssla
+{
+
+/** A growable buffer of raw bytes; the library's basic currency. */
+using Bytes = std::vector<uint8_t>;
+
+} // namespace ssla
+
+#endif // SSLA_UTIL_TYPES_HH

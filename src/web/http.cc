@@ -1,0 +1,117 @@
+#include "web/http.hh"
+
+#include <stdexcept>
+
+#include "util/bytes.hh"
+
+namespace ssla::web
+{
+
+namespace
+{
+
+/** Split header lines out of a CRLF-delimited head section. */
+void
+parseHeaders(const std::string &head, size_t start,
+             std::map<std::string, std::string> &out)
+{
+    size_t pos = start;
+    while (pos < head.size()) {
+        size_t eol = head.find("\r\n", pos);
+        if (eol == std::string::npos)
+            eol = head.size();
+        std::string line = head.substr(pos, eol - pos);
+        pos = eol + 2;
+        if (line.empty())
+            break;
+        size_t colon = line.find(':');
+        if (colon == std::string::npos)
+            throw std::runtime_error("http: malformed header line");
+        std::string name = line.substr(0, colon);
+        size_t vstart = colon + 1;
+        while (vstart < line.size() && line[vstart] == ' ')
+            ++vstart;
+        out[name] = line.substr(vstart);
+    }
+}
+
+} // anonymous namespace
+
+Bytes
+HttpRequest::encode() const
+{
+    std::string out = method + " " + path + " " + version + "\r\n";
+    for (const auto &[name, value] : headers)
+        out += name + ": " + value + "\r\n";
+    out += "\r\n";
+    return toBytes(out);
+}
+
+HttpRequest
+HttpRequest::parse(const Bytes &wire)
+{
+    std::string text = toString(wire);
+    size_t eol = text.find("\r\n");
+    if (eol == std::string::npos)
+        throw std::runtime_error("http: truncated request line");
+    std::string line = text.substr(0, eol);
+
+    HttpRequest req;
+    size_t sp1 = line.find(' ');
+    size_t sp2 = line.rfind(' ');
+    if (sp1 == std::string::npos || sp2 == sp1)
+        throw std::runtime_error("http: malformed request line");
+    req.method = line.substr(0, sp1);
+    req.path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    req.version = line.substr(sp2 + 1);
+    parseHeaders(text, eol + 2, req.headers);
+    return req;
+}
+
+Bytes
+HttpResponse::encode() const
+{
+    std::string head = "HTTP/1.0 " + std::to_string(status) + " " +
+                       reason + "\r\n";
+    auto hdrs = headers;
+    hdrs["Content-Length"] = std::to_string(body.size());
+    for (const auto &[name, value] : hdrs)
+        head += name + ": " + value + "\r\n";
+    head += "\r\n";
+    Bytes out = toBytes(head);
+    append(out, body);
+    return out;
+}
+
+HttpResponse
+HttpResponse::parse(const Bytes &wire)
+{
+    std::string text = toString(wire);
+    size_t head_end = text.find("\r\n\r\n");
+    if (head_end == std::string::npos)
+        throw std::runtime_error("http: truncated response head");
+
+    HttpResponse resp;
+    size_t eol = text.find("\r\n");
+    std::string status_line = text.substr(0, eol);
+    size_t sp1 = status_line.find(' ');
+    if (sp1 == std::string::npos)
+        throw std::runtime_error("http: malformed status line");
+    resp.status = std::stoi(status_line.substr(sp1 + 1));
+    size_t sp2 = status_line.find(' ', sp1 + 1);
+    if (sp2 != std::string::npos)
+        resp.reason = status_line.substr(sp2 + 1);
+    parseHeaders(text, eol + 2, resp.headers);
+
+    resp.body.assign(wire.begin() + head_end + 4, wire.end());
+    auto it = resp.headers.find("Content-Length");
+    if (it != resp.headers.end()) {
+        size_t want = std::stoul(it->second);
+        if (resp.body.size() < want)
+            throw std::runtime_error("http: truncated body");
+        resp.body.resize(want);
+    }
+    return resp;
+}
+
+} // namespace ssla::web

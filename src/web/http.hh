@@ -1,0 +1,52 @@
+/**
+ * @file
+ * A minimal HTTP/1.0 layer: enough request/response handling to make
+ * the simulated web server serve real byte streams over SSL, the way
+ * the paper's Apache + curl setup exchanged pages.
+ */
+
+#ifndef SSLA_WEB_HTTP_HH
+#define SSLA_WEB_HTTP_HH
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "util/types.hh"
+
+namespace ssla::web
+{
+
+/** A parsed HTTP request. */
+struct HttpRequest
+{
+    std::string method = "GET";
+    std::string path = "/";
+    std::string version = "HTTP/1.0";
+    std::map<std::string, std::string> headers;
+
+    /** Serialize to wire form. */
+    Bytes encode() const;
+
+    /**
+     * Parse a complete request (through the blank line).
+     * @throws std::runtime_error on malformed input
+     */
+    static HttpRequest parse(const Bytes &wire);
+};
+
+/** An HTTP response with a body. */
+struct HttpResponse
+{
+    int status = 200;
+    std::string reason = "OK";
+    std::map<std::string, std::string> headers;
+    Bytes body;
+
+    Bytes encode() const;
+    static HttpResponse parse(const Bytes &wire);
+};
+
+} // namespace ssla::web
+
+#endif // SSLA_WEB_HTTP_HH

@@ -1,0 +1,32 @@
+#include "web/kernelmodel.hh"
+
+namespace ssla::web
+{
+
+uint64_t
+estimatePackets(uint64_t wire_bytes, const KernelModelParams &p)
+{
+    // Data segments plus delayed ACKs (one per two data segments).
+    uint64_t data_segments = (wire_bytes + p.mss - 1) / p.mss;
+    return data_segments + data_segments / 2;
+}
+
+ModeledCycles
+modelNonSslCycles(const TrafficShape &traffic, const KernelModelParams &p)
+{
+    ModeledCycles out;
+    // Connection setup/teardown adds the 3-way handshake and FIN
+    // exchange on top of the data segments.
+    uint64_t packets = traffic.packets + traffic.connections * 7;
+
+    out.kernel = p.kernelPerConnection * traffic.connections +
+                 p.kernelPerPacket * packets +
+                 p.kernelPerByte * traffic.wireBytes;
+    out.httpd = p.httpdPerRequest * traffic.requests +
+                p.httpdPerByte * traffic.wireBytes;
+    out.other = p.otherPerConnection * traffic.connections +
+                p.otherPerByte * traffic.wireBytes;
+    return out;
+}
+
+} // namespace ssla::web

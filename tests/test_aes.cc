@@ -1,0 +1,165 @@
+/**
+ * @file
+ * AES tests: FIPS 197 appendix C known-answer vectors for all three
+ * key sizes, table self-consistency, and encrypt/decrypt sweeps.
+ */
+
+#include <gtest/gtest.h>
+
+#include "crypto/aes.hh"
+#include "util/hex.hh"
+#include "util/rng.hh"
+
+namespace
+{
+
+using namespace ssla;
+using crypto::Aes;
+
+const Bytes fipsPlain = hexDecode("00112233445566778899aabbccddeeff");
+
+TEST(Aes, Fips197Aes128)
+{
+    Aes aes(hexDecode("000102030405060708090a0b0c0d0e0f"));
+    uint8_t out[16];
+    aes.encryptBlock(fipsPlain.data(), out);
+    EXPECT_EQ(hexEncode(out, 16), "69c4e0d86a7b0430d8cdb78070b4c55a");
+    uint8_t back[16];
+    aes.decryptBlock(out, back);
+    EXPECT_EQ(Bytes(back, back + 16), fipsPlain);
+}
+
+TEST(Aes, Fips197Aes192)
+{
+    Aes aes(hexDecode("000102030405060708090a0b0c0d0e0f1011121314151617"));
+    uint8_t out[16];
+    aes.encryptBlock(fipsPlain.data(), out);
+    EXPECT_EQ(hexEncode(out, 16), "dda97ca4864cdfe06eaf70a0ec0d7191");
+    uint8_t back[16];
+    aes.decryptBlock(out, back);
+    EXPECT_EQ(Bytes(back, back + 16), fipsPlain);
+}
+
+TEST(Aes, Fips197Aes256)
+{
+    Aes aes(hexDecode("000102030405060708090a0b0c0d0e0f"
+                      "101112131415161718191a1b1c1d1e1f"));
+    uint8_t out[16];
+    aes.encryptBlock(fipsPlain.data(), out);
+    EXPECT_EQ(hexEncode(out, 16), "8ea2b7ca516745bfeafc49904b496089");
+    uint8_t back[16];
+    aes.decryptBlock(out, back);
+    EXPECT_EQ(Bytes(back, back + 16), fipsPlain);
+}
+
+TEST(Aes, RoundCounts)
+{
+    EXPECT_EQ(Aes(Bytes(16)).rounds(), 10);
+    EXPECT_EQ(Aes(Bytes(24)).rounds(), 12);
+    EXPECT_EQ(Aes(Bytes(32)).rounds(), 14);
+}
+
+TEST(Aes, BadKeySizeThrows)
+{
+    EXPECT_THROW(Aes(Bytes(15)), std::invalid_argument);
+    EXPECT_THROW(Aes(Bytes(0)), std::invalid_argument);
+    EXPECT_THROW(Aes(Bytes(33)), std::invalid_argument);
+}
+
+TEST(Aes, SboxIsAPermutationWithInverse)
+{
+    const auto &t = crypto::aesTables();
+    bool seen[256] = {};
+    for (int i = 0; i < 256; ++i) {
+        EXPECT_FALSE(seen[t.sbox[i]]);
+        seen[t.sbox[i]] = true;
+        EXPECT_EQ(t.inv_sbox[t.sbox[i]], i);
+    }
+    // Known anchor values of the AES S-box.
+    EXPECT_EQ(t.sbox[0x00], 0x63);
+    EXPECT_EQ(t.sbox[0x01], 0x7c);
+    EXPECT_EQ(t.sbox[0x53], 0xed);
+}
+
+TEST(Aes, TablesAreRotationsOfEachOther)
+{
+    const auto &t = crypto::aesTables();
+    for (int i = 0; i < 256; ++i) {
+        uint32_t w = t.te0[i];
+        EXPECT_EQ(t.te1[i], (w >> 8) | (w << 24));
+        EXPECT_EQ(t.te2[i], (w >> 16) | (w << 16));
+        EXPECT_EQ(t.te3[i], (w >> 24) | (w << 8));
+    }
+}
+
+/** Roundtrip sweep across key sizes. */
+class AesRoundTrip : public ::testing::TestWithParam<size_t>
+{};
+
+TEST_P(AesRoundTrip, RandomBlocks)
+{
+    size_t key_len = GetParam();
+    Xoshiro256 rng(key_len);
+    for (int i = 0; i < 100; ++i) {
+        Aes aes(rng.bytes(key_len));
+        Bytes pt = rng.bytes(16);
+        uint8_t ct[16], back[16];
+        aes.encryptBlock(pt.data(), ct);
+        aes.decryptBlock(ct, back);
+        EXPECT_EQ(Bytes(back, back + 16), pt);
+        // Encryption must not be the identity.
+        EXPECT_NE(Bytes(ct, ct + 16), pt);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(KeySizes, AesRoundTrip,
+                         ::testing::Values(16, 24, 32));
+
+TEST(Aes, KeySensitivity)
+{
+    Bytes k1(16, 0);
+    Bytes k2(16, 0);
+    k2[15] = 1; // single-bit-ish difference
+    Aes a1(k1), a2(k2);
+    Bytes pt(16, 0x42);
+    uint8_t c1[16], c2[16];
+    a1.encryptBlock(pt.data(), c1);
+    a2.encryptBlock(pt.data(), c2);
+    EXPECT_NE(Bytes(c1, c1 + 16), Bytes(c2, c2 + 16));
+}
+
+TEST(Aes, AvalancheOnPlaintext)
+{
+    Aes aes(Bytes(16, 0x77));
+    Bytes pt(16, 0);
+    uint8_t c1[16], c2[16];
+    aes.encryptBlock(pt.data(), c1);
+    pt[0] ^= 1;
+    aes.encryptBlock(pt.data(), c2);
+    // A single input bit should flip roughly half the output bits.
+    int flipped = 0;
+    for (int i = 0; i < 16; ++i)
+        flipped += __builtin_popcount(c1[i] ^ c2[i]);
+    EXPECT_GT(flipped, 32);
+    EXPECT_LT(flipped, 96);
+}
+
+TEST(Aes, MeteredKernelMatchesPlain)
+{
+    // The CountingMeter instantiation must compute identical output.
+    Xoshiro256 rng(88);
+    Bytes key = rng.bytes(16);
+    Aes aes(key);
+    Bytes pt = rng.bytes(16);
+    uint8_t plain_out[16], metered_out[16];
+    aes.encryptBlock(pt.data(), plain_out);
+
+    perf::CountingMeter meter;
+    crypto::aesEncryptBlockT(aes.encKey(), pt.data(), metered_out,
+                             meter);
+    EXPECT_EQ(Bytes(metered_out, metered_out + 16),
+              Bytes(plain_out, plain_out + 16));
+    EXPECT_GT(meter.hist.total(), 0u);
+}
+
+} // anonymous namespace

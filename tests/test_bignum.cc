@@ -1,0 +1,351 @@
+/**
+ * @file
+ * Tests for the BigNum layer: representation, string/byte conversions,
+ * arithmetic identities and randomized property sweeps against the
+ * division invariant a == q*b + r.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bn/bignum.hh"
+#include "util/hex.hh"
+#include "util/rng.hh"
+
+namespace
+{
+
+using namespace ssla;
+using bn::BigNum;
+
+TEST(BigNum, ZeroProperties)
+{
+    BigNum z;
+    EXPECT_TRUE(z.isZero());
+    EXPECT_FALSE(z.isOne());
+    EXPECT_FALSE(z.isOdd());
+    EXPECT_FALSE(z.isNegative());
+    EXPECT_EQ(z.bitLength(), 0u);
+    EXPECT_EQ(z.byteLength(), 0u);
+    EXPECT_EQ(z.toHex(), "0");
+    EXPECT_EQ(z.toDecimal(), "0");
+    EXPECT_TRUE(z.toBytesBE().empty());
+}
+
+TEST(BigNum, SmallValues)
+{
+    BigNum one(1);
+    EXPECT_TRUE(one.isOne());
+    EXPECT_TRUE(one.isOdd());
+    EXPECT_EQ(one.bitLength(), 1u);
+
+    BigNum big(0x123456789abcdef0ULL);
+    EXPECT_EQ(big.toHex(), "123456789abcdef0");
+    EXPECT_EQ(big.bitLength(), 61u);
+}
+
+TEST(BigNum, FromInt)
+{
+    EXPECT_EQ(BigNum::fromInt(-5).toDecimal(), "-5");
+    EXPECT_EQ(BigNum::fromInt(5).toDecimal(), "5");
+    EXPECT_EQ(BigNum::fromInt(0).toDecimal(), "0");
+    EXPECT_EQ(BigNum::fromInt(INT64_MIN).toDecimal(),
+              "-9223372036854775808");
+}
+
+TEST(BigNum, HexRoundTrip)
+{
+    const char *cases[] = {
+        "1", "ff", "100", "deadbeef", "123456789abcdef0123456789abcdef",
+        "-1234", "ffffffff", "100000000",
+    };
+    for (const char *c : cases)
+        EXPECT_EQ(BigNum::fromHex(c).toHex(), c);
+}
+
+TEST(BigNum, DecimalRoundTrip)
+{
+    const char *cases[] = {
+        "0", "1", "10", "4294967295", "4294967296",
+        "340282366920938463463374607431768211456", "-99999999999999999",
+    };
+    for (const char *c : cases)
+        EXPECT_EQ(BigNum::fromDecimal(c).toDecimal(), c);
+}
+
+TEST(BigNum, BadStringsThrow)
+{
+    EXPECT_THROW(BigNum::fromHex(""), std::invalid_argument);
+    EXPECT_THROW(BigNum::fromHex("xyz"), std::invalid_argument);
+    EXPECT_THROW(BigNum::fromDecimal(""), std::invalid_argument);
+    EXPECT_THROW(BigNum::fromDecimal("12a"), std::invalid_argument);
+}
+
+TEST(BigNum, BytesRoundTrip)
+{
+    Bytes data = hexDecode("0102030405060708090a0b0c0d0e0f");
+    BigNum n = BigNum::fromBytesBE(data);
+    EXPECT_EQ(n.toBytesBE(), data);
+}
+
+TEST(BigNum, BytesLeadingZerosStripped)
+{
+    Bytes data = hexDecode("0000ff01");
+    BigNum n = BigNum::fromBytesBE(data);
+    EXPECT_EQ(n.toBytesBE(), hexDecode("ff01"));
+    EXPECT_EQ(n.byteLength(), 2u);
+}
+
+TEST(BigNum, BytesFixedWidth)
+{
+    BigNum n = BigNum::fromHex("abcd");
+    EXPECT_EQ(hexEncode(n.toBytesBE(4)), "0000abcd");
+    EXPECT_THROW(n.toBytesBE(1), std::length_error);
+}
+
+TEST(BigNum, Comparison)
+{
+    BigNum a = BigNum::fromDecimal("100");
+    BigNum b = BigNum::fromDecimal("200");
+    BigNum na = BigNum::fromInt(-100);
+    BigNum nb = BigNum::fromInt(-200);
+    EXPECT_LT(a, b);
+    EXPECT_GT(b, a);
+    EXPECT_LT(na, a);
+    EXPECT_LT(nb, na);
+    EXPECT_EQ(a, BigNum(100));
+    EXPECT_EQ(a.cmpAbs(na), 0);
+}
+
+TEST(BigNum, AdditionSigns)
+{
+    BigNum a(7), b(5);
+    EXPECT_EQ((a + b).toDecimal(), "12");
+    EXPECT_EQ((a - b).toDecimal(), "2");
+    EXPECT_EQ((b - a).toDecimal(), "-2");
+    EXPECT_EQ((-a + b).toDecimal(), "-2");
+    EXPECT_EQ((-a - b).toDecimal(), "-12");
+    EXPECT_EQ((a - a).toDecimal(), "0");
+}
+
+TEST(BigNum, CarryPropagation)
+{
+    BigNum max32 = BigNum::fromHex("ffffffff");
+    EXPECT_EQ((max32 + BigNum(1)).toHex(), "100000000");
+    BigNum max96 = BigNum::fromHex("ffffffffffffffffffffffff");
+    EXPECT_EQ((max96 + BigNum(1)).toHex(), "1000000000000000000000000");
+    EXPECT_EQ((max96 + BigNum(1) - BigNum(1)).toHex(),
+              "ffffffffffffffffffffffff");
+}
+
+TEST(BigNum, MultiplySmall)
+{
+    EXPECT_EQ((BigNum(6) * BigNum(7)).toDecimal(), "42");
+    EXPECT_EQ((BigNum(6) * BigNum()).toDecimal(), "0");
+    EXPECT_EQ((BigNum::fromInt(-6) * BigNum(7)).toDecimal(), "-42");
+    EXPECT_EQ((BigNum::fromInt(-6) * BigNum::fromInt(-7)).toDecimal(),
+              "42");
+}
+
+TEST(BigNum, MultiplyKnownLarge)
+{
+    BigNum a = BigNum::fromDecimal("123456789012345678901234567890");
+    BigNum b = BigNum::fromDecimal("987654321098765432109876543210");
+    EXPECT_EQ((a * b).toDecimal(),
+              "1219326311370217952261850327336229233"
+              "32237463801111263526900");
+}
+
+TEST(BigNum, SqrMatchesMul)
+{
+    Xoshiro256 rng(11);
+    for (int i = 0; i < 100; ++i) {
+        BigNum a = BigNum::fromBytesBE(rng.bytes(1 + rng.nextBelow(40)));
+        EXPECT_EQ(a.sqr(), a * a);
+    }
+}
+
+TEST(BigNum, ShiftsInverse)
+{
+    BigNum a = BigNum::fromHex("123456789abcdef");
+    for (size_t s : {1u, 7u, 31u, 32u, 33u, 64u, 100u}) {
+        EXPECT_EQ(a.shiftLeft(s).shiftRight(s), a) << "shift " << s;
+        // Left shift multiplies by 2^s.
+        BigNum pow2 = BigNum(1).shiftLeft(s);
+        EXPECT_EQ(a.shiftLeft(s), a * pow2);
+    }
+}
+
+TEST(BigNum, ShiftRightDropsBits)
+{
+    EXPECT_EQ(BigNum(0xff).shiftRight(4).toHex(), "f");
+    EXPECT_TRUE(BigNum(1).shiftRight(1).isZero());
+    EXPECT_TRUE(BigNum(0xff).shiftRight(100).isZero());
+}
+
+TEST(BigNum, TestSetBit)
+{
+    BigNum n;
+    n.setBit(100);
+    EXPECT_TRUE(n.testBit(100));
+    EXPECT_FALSE(n.testBit(99));
+    EXPECT_EQ(n.bitLength(), 101u);
+    EXPECT_EQ(n, BigNum(1).shiftLeft(100));
+}
+
+TEST(BigNum, DivisionSmall)
+{
+    EXPECT_EQ((BigNum(42) / BigNum(7)).toDecimal(), "6");
+    EXPECT_EQ((BigNum(43) % BigNum(7)).toDecimal(), "1");
+    EXPECT_EQ((BigNum(5) / BigNum(7)).toDecimal(), "0");
+    EXPECT_EQ((BigNum(5) % BigNum(7)).toDecimal(), "5");
+}
+
+TEST(BigNum, DivisionByZeroThrows)
+{
+    EXPECT_THROW(BigNum(1) / BigNum(), std::domain_error);
+    EXPECT_THROW(BigNum(1) % BigNum(), std::domain_error);
+}
+
+TEST(BigNum, DivisionCSemantics)
+{
+    // Truncated quotient, remainder follows the dividend.
+    EXPECT_EQ((BigNum::fromInt(-7) / BigNum(2)).toDecimal(), "-3");
+    EXPECT_EQ((BigNum::fromInt(-7) % BigNum(2)).toDecimal(), "-1");
+    EXPECT_EQ((BigNum(7) / BigNum::fromInt(-2)).toDecimal(), "-3");
+    EXPECT_EQ((BigNum(7) % BigNum::fromInt(-2)).toDecimal(), "1");
+}
+
+TEST(BigNum, ModIsNonNegative)
+{
+    EXPECT_EQ(BigNum::fromInt(-7).mod(BigNum(5)).toDecimal(), "3");
+    EXPECT_EQ(BigNum(7).mod(BigNum(5)).toDecimal(), "2");
+    EXPECT_THROW(BigNum(7).mod(BigNum()), std::domain_error);
+    EXPECT_THROW(BigNum(7).mod(BigNum::fromInt(-5)), std::domain_error);
+}
+
+/** Property sweep: a == q*b + r with 0 <= |r| < |b| across sizes. */
+class BigNumDivisionProperty
+    : public ::testing::TestWithParam<std::pair<size_t, size_t>>
+{};
+
+TEST_P(BigNumDivisionProperty, Invariant)
+{
+    auto [a_bytes, b_bytes] = GetParam();
+    Xoshiro256 rng(a_bytes * 1000 + b_bytes);
+    for (int i = 0; i < 200; ++i) {
+        BigNum a = BigNum::fromBytesBE(rng.bytes(a_bytes));
+        BigNum b = BigNum::fromBytesBE(rng.bytes(b_bytes));
+        if (b.isZero())
+            continue;
+        BigNum q, r;
+        BigNum::divMod(a, b, q, r);
+        EXPECT_EQ(q * b + r, a);
+        EXPECT_LT(r.cmpAbs(b), 0);
+        EXPECT_FALSE(r.isNegative());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, BigNumDivisionProperty,
+    ::testing::Values(std::pair<size_t, size_t>{1, 1},
+                      std::pair<size_t, size_t>{4, 4},
+                      std::pair<size_t, size_t>{8, 3},
+                      std::pair<size_t, size_t>{16, 8},
+                      std::pair<size_t, size_t>{32, 16},
+                      std::pair<size_t, size_t>{64, 33},
+                      std::pair<size_t, size_t>{7, 13},
+                      std::pair<size_t, size_t>{128, 64}));
+
+TEST(BigNum, MulDivRoundTrip)
+{
+    Xoshiro256 rng(3);
+    for (int i = 0; i < 100; ++i) {
+        BigNum a = BigNum::fromBytesBE(rng.bytes(1 + rng.nextBelow(32)));
+        BigNum b = BigNum::fromBytesBE(rng.bytes(1 + rng.nextBelow(32)));
+        if (b.isZero())
+            continue;
+        EXPECT_EQ((a * b) / b, a);
+        EXPECT_TRUE(((a * b) % b).isZero());
+    }
+}
+
+TEST(BigNum, Gcd)
+{
+    EXPECT_EQ(BigNum::gcd(BigNum(12), BigNum(18)).toDecimal(), "6");
+    EXPECT_EQ(BigNum::gcd(BigNum(17), BigNum(5)).toDecimal(), "1");
+    EXPECT_EQ(BigNum::gcd(BigNum(), BigNum(5)).toDecimal(), "5");
+    EXPECT_EQ(BigNum::gcd(BigNum(5), BigNum()).toDecimal(), "5");
+}
+
+TEST(BigNum, GcdDividesBoth)
+{
+    Xoshiro256 rng(17);
+    for (int i = 0; i < 50; ++i) {
+        BigNum a = BigNum::fromBytesBE(rng.bytes(12));
+        BigNum b = BigNum::fromBytesBE(rng.bytes(10));
+        BigNum g = BigNum::gcd(a, b);
+        if (g.isZero())
+            continue;
+        EXPECT_TRUE((a % g).isZero());
+        EXPECT_TRUE((b % g).isZero());
+    }
+}
+
+TEST(BigNum, ModInverseKnown)
+{
+    EXPECT_EQ(BigNum::modInverse(BigNum(3), BigNum(7)).toDecimal(), "5");
+    EXPECT_EQ(BigNum::modInverse(BigNum(7), BigNum(31)).toDecimal(), "9");
+}
+
+TEST(BigNum, ModInverseProperty)
+{
+    Xoshiro256 rng(23);
+    BigNum m = BigNum::fromDecimal("1000000007"); // prime
+    for (int i = 0; i < 50; ++i) {
+        BigNum a = BigNum::fromBytesBE(rng.bytes(8)).mod(m);
+        if (a.isZero())
+            continue;
+        BigNum inv = BigNum::modInverse(a, m);
+        EXPECT_TRUE(BigNum::modMul(a, inv, m).isOne());
+        EXPECT_LT(inv, m);
+        EXPECT_FALSE(inv.isNegative());
+    }
+}
+
+TEST(BigNum, ModInverseNotInvertibleThrows)
+{
+    EXPECT_THROW(BigNum::modInverse(BigNum(6), BigNum(9)),
+                 std::domain_error);
+    EXPECT_THROW(BigNum::modInverse(BigNum(0), BigNum(9)),
+                 std::domain_error);
+}
+
+TEST(BigNum, ModAddSubMul)
+{
+    BigNum m(97);
+    EXPECT_EQ(BigNum::modAdd(BigNum(90), BigNum(10), m).toDecimal(),
+              "3");
+    EXPECT_EQ(BigNum::modSub(BigNum(5), BigNum(10), m).toDecimal(),
+              "92");
+    EXPECT_EQ(BigNum::modMul(BigNum(50), BigNum(2), m).toDecimal(), "3");
+}
+
+TEST(BigNum, LimbAccessors)
+{
+    BigNum n = BigNum::fromHex("112233445566778899");
+    EXPECT_EQ(n.size(), 3u);
+    EXPECT_EQ(n.loWord(), 0x66778899u);
+    EXPECT_EQ(n.limbs()[2], 0x11u);
+}
+
+TEST(BigNum, FromLimbsNormalizes)
+{
+    BigNum n = BigNum::fromLimbs({5, 0, 0});
+    EXPECT_EQ(n.size(), 1u);
+    EXPECT_EQ(n.toDecimal(), "5");
+    BigNum z = BigNum::fromLimbs({0, 0}, true);
+    EXPECT_TRUE(z.isZero());
+    EXPECT_FALSE(z.isNegative());
+}
+
+} // anonymous namespace

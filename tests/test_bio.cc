@@ -1,0 +1,160 @@
+/**
+ * @file
+ * MemBio / BioPair tests: FIFO semantics, peek/consume, compaction,
+ * traffic accounting and the flush probe.
+ */
+
+#include <gtest/gtest.h>
+
+#include "perf/probe.hh"
+#include "ssl/bio.hh"
+#include "util/bytes.hh"
+#include "util/rng.hh"
+
+namespace
+{
+
+using namespace ssla;
+using namespace ssla::ssl;
+
+TEST(MemBio, FifoOrder)
+{
+    MemBio bio;
+    bio.write(toBytes("hello "));
+    bio.write(toBytes("world"));
+    uint8_t buf[16];
+    size_t n = bio.read(buf, sizeof(buf));
+    EXPECT_EQ(std::string(buf, buf + n), "hello world");
+    EXPECT_EQ(bio.available(), 0u);
+}
+
+TEST(MemBio, PartialReads)
+{
+    MemBio bio;
+    bio.write(toBytes("abcdef"));
+    uint8_t buf[2];
+    EXPECT_EQ(bio.read(buf, 2), 2u);
+    EXPECT_EQ(buf[0], 'a');
+    EXPECT_EQ(bio.read(buf, 2), 2u);
+    EXPECT_EQ(buf[0], 'c');
+    EXPECT_EQ(bio.available(), 2u);
+}
+
+TEST(MemBio, ReadFromEmpty)
+{
+    MemBio bio;
+    uint8_t buf[4];
+    EXPECT_EQ(bio.read(buf, 4), 0u);
+}
+
+TEST(MemBio, PeekDoesNotConsume)
+{
+    MemBio bio;
+    bio.write(toBytes("peekable"));
+    uint8_t a[8], b[8];
+    EXPECT_EQ(bio.peek(a, 8), 8u);
+    EXPECT_EQ(bio.peek(b, 8), 8u);
+    EXPECT_EQ(Bytes(a, a + 8), Bytes(b, b + 8));
+    EXPECT_EQ(bio.available(), 8u);
+    bio.consume(4);
+    EXPECT_EQ(bio.available(), 4u);
+    EXPECT_EQ(bio.peek(a, 8), 4u);
+    EXPECT_EQ(a[0], 'a');
+}
+
+TEST(MemBio, ConsumeBeyondAvailableIsClamped)
+{
+    MemBio bio;
+    bio.write(toBytes("xy"));
+    bio.consume(100);
+    EXPECT_EQ(bio.available(), 0u);
+}
+
+TEST(MemBio, TotalWrittenAccumulates)
+{
+    MemBio bio;
+    bio.write(Bytes(100));
+    uint8_t buf[50];
+    bio.read(buf, 50);
+    bio.write(Bytes(20));
+    EXPECT_EQ(bio.totalWritten(), 120u);
+    EXPECT_EQ(bio.available(), 70u);
+}
+
+TEST(MemBio, CompactionPreservesData)
+{
+    // Force many small reads over a large buffer so compaction (head
+    // pruning) must trigger without corrupting the remainder.
+    MemBio bio;
+    Xoshiro256 rng(42);
+    Bytes data = rng.bytes(100000);
+    bio.write(data);
+    Bytes out;
+    uint8_t buf[777];
+    while (bio.available()) {
+        size_t n = bio.read(buf, sizeof(buf));
+        append(out, buf, n);
+    }
+    EXPECT_EQ(out, data);
+}
+
+TEST(MemBio, InterleavedWriteRead)
+{
+    MemBio bio;
+    Xoshiro256 rng(43);
+    Bytes sent, received;
+    uint8_t buf[64];
+    for (int i = 0; i < 500; ++i) {
+        Bytes chunk = rng.bytes(rng.nextBelow(40));
+        bio.write(chunk);
+        append(sent, chunk);
+        size_t n = bio.read(buf, rng.nextBelow(sizeof(buf)));
+        append(received, buf, n);
+    }
+    while (bio.available()) {
+        size_t n = bio.read(buf, sizeof(buf));
+        append(received, buf, n);
+    }
+    EXPECT_EQ(received, sent);
+}
+
+TEST(BioPair, EndpointsAreCrossed)
+{
+    BioPair pair;
+    BioEndpoint client = pair.clientEnd();
+    BioEndpoint server = pair.serverEnd();
+
+    client.write(toBytes("to server"));
+    uint8_t buf[16];
+    size_t n = server.read(buf, sizeof(buf));
+    EXPECT_EQ(std::string(buf, buf + n), "to server");
+
+    server.write(toBytes("to client"));
+    n = client.read(buf, sizeof(buf));
+    EXPECT_EQ(std::string(buf, buf + n), "to client");
+}
+
+TEST(BioPair, TrafficAccounting)
+{
+    BioPair pair;
+    pair.clientEnd().write(Bytes(10));
+    pair.serverEnd().write(Bytes(25));
+    EXPECT_EQ(pair.clientBytesSent(), 10u);
+    EXPECT_EQ(pair.serverBytesSent(), 25u);
+}
+
+TEST(BioEndpoint, FlushIsProbed)
+{
+    perf::PerfContext ctx;
+    BioPair pair;
+    {
+        perf::ContextScope scope(&ctx);
+        BioEndpoint e = pair.clientEnd();
+        e.flush();
+        e.flush();
+    }
+    ASSERT_TRUE(ctx.counters().count("BIO_flush"));
+    EXPECT_EQ(ctx.counters().at("BIO_flush").calls, 2u);
+}
+
+} // anonymous namespace

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Certificate tests: issue/encode/parse/verify, CA-signed chains,
+ * tamper rejection and validity windows.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pki/cert.hh"
+#include "util/bytes.hh"
+
+#include "testkeys.hh"
+
+namespace
+{
+
+using namespace ssla;
+using namespace ssla::pki;
+
+CertificateInfo
+baseInfo()
+{
+    CertificateInfo info;
+    info.serial = 99;
+    info.issuer = "Issuer Org";
+    info.subject = "subject.example";
+    info.notBefore = 100;
+    info.notAfter = 200;
+    info.publicKey = test::testKey1024().pub;
+    return info;
+}
+
+TEST(Cert, IssueParseRoundTrip)
+{
+    Certificate cert =
+        Certificate::issue(baseInfo(), *test::testKey1024().priv);
+    Certificate parsed = Certificate::parse(cert.encoded());
+    EXPECT_EQ(parsed.info().serial, 99u);
+    EXPECT_EQ(parsed.info().issuer, "Issuer Org");
+    EXPECT_EQ(parsed.info().subject, "subject.example");
+    EXPECT_EQ(parsed.info().notBefore, 100u);
+    EXPECT_EQ(parsed.info().notAfter, 200u);
+    EXPECT_EQ(parsed.info().publicKey.n, test::testKey1024().pub.n);
+    EXPECT_EQ(parsed.info().publicKey.e, test::testKey1024().pub.e);
+    EXPECT_EQ(parsed.encoded(), cert.encoded());
+}
+
+TEST(Cert, SelfSignedVerifies)
+{
+    Certificate cert =
+        Certificate::issue(baseInfo(), *test::testKey1024().priv);
+    EXPECT_TRUE(cert.verify(test::testKey1024().pub));
+}
+
+TEST(Cert, CaSignedChainVerifies)
+{
+    // CA (otherKey) signs a server cert whose subject key is testKey.
+    CertificateInfo info = baseInfo();
+    info.issuer = "Root CA";
+    Certificate cert =
+        Certificate::issue(info, *test::otherKey1024().priv);
+    EXPECT_TRUE(cert.verify(test::otherKey1024().pub));
+    EXPECT_FALSE(cert.verify(test::testKey1024().pub));
+}
+
+TEST(Cert, ParsedCertificateVerifies)
+{
+    Certificate cert =
+        Certificate::issue(baseInfo(), *test::testKey1024().priv);
+    Certificate parsed = Certificate::parse(cert.encoded());
+    EXPECT_TRUE(parsed.verify(test::testKey1024().pub));
+}
+
+TEST(Cert, TamperedBodyFailsVerification)
+{
+    Certificate cert =
+        Certificate::issue(baseInfo(), *test::testKey1024().priv);
+    Bytes bytes = cert.encoded();
+    // Flip a byte inside the subject name region.
+    bool flipped = false;
+    for (size_t i = 0; i + 7 < bytes.size(); ++i) {
+        if (std::equal(bytes.begin() + i, bytes.begin() + i + 7,
+                       toBytes("subject").begin())) {
+            bytes[i] ^= 0x01;
+            flipped = true;
+            break;
+        }
+    }
+    ASSERT_TRUE(flipped);
+    Certificate parsed = Certificate::parse(bytes);
+    EXPECT_FALSE(parsed.verify(test::testKey1024().pub));
+}
+
+TEST(Cert, TamperedSignatureFailsVerification)
+{
+    Certificate cert =
+        Certificate::issue(baseInfo(), *test::testKey1024().priv);
+    Bytes bytes = cert.encoded();
+    bytes.back() ^= 0x01; // signature is the trailing field
+    Certificate parsed = Certificate::parse(bytes);
+    EXPECT_FALSE(parsed.verify(test::testKey1024().pub));
+}
+
+TEST(Cert, GarbageInputThrows)
+{
+    EXPECT_THROW(Certificate::parse(toBytes("not a certificate")),
+                 std::runtime_error);
+    EXPECT_THROW(Certificate::parse(Bytes{}), std::runtime_error);
+}
+
+TEST(Cert, TrailingGarbageRejected)
+{
+    Certificate cert =
+        Certificate::issue(baseInfo(), *test::testKey1024().priv);
+    Bytes bytes = cert.encoded();
+    bytes.push_back(0x00);
+    EXPECT_THROW(Certificate::parse(bytes), std::runtime_error);
+}
+
+TEST(Cert, ValidityWindow)
+{
+    Certificate cert =
+        Certificate::issue(baseInfo(), *test::testKey1024().priv);
+    EXPECT_FALSE(cert.validAt(99));
+    EXPECT_TRUE(cert.validAt(100));
+    EXPECT_TRUE(cert.validAt(150));
+    EXPECT_TRUE(cert.validAt(200));
+    EXPECT_FALSE(cert.validAt(201));
+}
+
+TEST(Cert, ImplausiblySmallKeyRejected)
+{
+    CertificateInfo info = baseInfo();
+    info.publicKey.n = bn::BigNum(12345);
+    info.publicKey.e = bn::BigNum(3);
+    // Issue will produce a cert whose embedded key is tiny; parsing
+    // must reject it.
+    Certificate cert =
+        Certificate::issue(info, *test::testKey1024().priv);
+    EXPECT_THROW(Certificate::parse(cert.encoded()), std::runtime_error);
+}
+
+} // anonymous namespace

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Certificate-chain tests: root -> intermediate -> leaf verification,
+ * broken links, and full handshakes presenting a chain.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pki/cert.hh"
+#include "ssl/client.hh"
+#include "ssl/server.hh"
+#include "util/bytes.hh"
+
+#include "testkeys.hh"
+
+namespace
+{
+
+using namespace ssla;
+using namespace ssla::pki;
+
+/** A three-level PKI built once: root CA -> intermediate -> leaf. */
+struct TestPki
+{
+    crypto::RsaKeyPair rootKey;
+    crypto::RsaKeyPair intermediateKey;
+    crypto::RsaKeyPair leafKey;
+    Certificate root;         ///< self-signed
+    Certificate intermediate; ///< signed by root
+    Certificate leaf;         ///< signed by intermediate
+
+    TestPki()
+    {
+        rootKey = crypto::rsaGenerateKey(512, test::seededRng(0xca));
+        intermediateKey =
+            crypto::rsaGenerateKey(512, test::seededRng(0xcb));
+        leafKey = crypto::rsaGenerateKey(512, test::seededRng(0xcc));
+
+        CertificateInfo info;
+        info.notBefore = 0;
+        info.notAfter = 2000000000;
+
+        info.serial = 1;
+        info.issuer = "Root CA";
+        info.subject = "Root CA";
+        info.publicKey = rootKey.pub;
+        root = Certificate::issue(info, *rootKey.priv);
+
+        info.serial = 2;
+        info.issuer = "Root CA";
+        info.subject = "Intermediate CA";
+        info.publicKey = intermediateKey.pub;
+        intermediate = Certificate::issue(info, *rootKey.priv);
+
+        info.serial = 3;
+        info.issuer = "Intermediate CA";
+        info.subject = "chained.example";
+        info.publicKey = leafKey.pub;
+        leaf = Certificate::issue(info, *intermediateKey.priv);
+    }
+};
+
+TestPki &
+pkiFixture()
+{
+    static TestPki pki;
+    return pki;
+}
+
+TEST(Chain, FullChainVerifiesAgainstRoot)
+{
+    TestPki &pki = pkiFixture();
+    std::vector<Certificate> chain = {pki.leaf, pki.intermediate};
+    EXPECT_TRUE(verifyChain(chain, &pki.rootKey.pub));
+    // Including the self-signed root as the terminal also works when
+    // anchored to the same key.
+    chain.push_back(pki.root);
+    EXPECT_TRUE(verifyChain(chain, &pki.rootKey.pub));
+}
+
+TEST(Chain, SelfSignedTerminalAcceptedWithoutAnchor)
+{
+    TestPki &pki = pkiFixture();
+    std::vector<Certificate> chain = {pki.leaf, pki.intermediate,
+                                      pki.root};
+    EXPECT_TRUE(verifyChain(chain, nullptr));
+    // Without the root the terminal (intermediate) is not self-signed.
+    std::vector<Certificate> no_root = {pki.leaf, pki.intermediate};
+    EXPECT_FALSE(verifyChain(no_root, nullptr));
+}
+
+TEST(Chain, WrongRootRejected)
+{
+    TestPki &pki = pkiFixture();
+    std::vector<Certificate> chain = {pki.leaf, pki.intermediate};
+    EXPECT_FALSE(verifyChain(chain, &test::otherKey1024().pub));
+}
+
+TEST(Chain, BrokenLinkRejected)
+{
+    TestPki &pki = pkiFixture();
+    // Leaf directly under root: the signature does not match.
+    std::vector<Certificate> chain = {pki.leaf, pki.root};
+    EXPECT_FALSE(verifyChain(chain, &pki.rootKey.pub));
+}
+
+TEST(Chain, NameMismatchRejected)
+{
+    TestPki &pki = pkiFixture();
+    // An intermediate whose subject does not match the leaf's issuer.
+    CertificateInfo info;
+    info.serial = 9;
+    info.issuer = "Root CA";
+    info.subject = "Some Other CA";
+    info.notBefore = 0;
+    info.notAfter = 2000000000;
+    info.publicKey = pki.intermediateKey.pub;
+    Certificate misnamed =
+        Certificate::issue(info, *pki.rootKey.priv);
+    std::vector<Certificate> chain = {pki.leaf, misnamed};
+    EXPECT_FALSE(verifyChain(chain, &pki.rootKey.pub));
+}
+
+TEST(Chain, ExpiredLinkRejected)
+{
+    TestPki &pki = pkiFixture();
+    std::vector<Certificate> chain = {pki.leaf, pki.intermediate};
+    EXPECT_TRUE(verifyChain(chain, &pki.rootKey.pub, 1000));
+    EXPECT_FALSE(verifyChain(chain, &pki.rootKey.pub, 3000000000ull));
+}
+
+TEST(Chain, EmptyChainRejected)
+{
+    EXPECT_FALSE(verifyChain({}, nullptr));
+}
+
+TEST(Chain, HandshakeWithIntermediate)
+{
+    TestPki &pki = pkiFixture();
+    ssl::BioPair wires;
+    ssl::ServerConfig scfg;
+    scfg.certificate = pki.leaf;
+    scfg.intermediates = {pki.intermediate};
+    scfg.privateKey = pki.leafKey.priv;
+    ssl::SslServer server(scfg, wires.serverEnd());
+
+    ssl::ClientConfig ccfg;
+    ccfg.trustedIssuer = &pki.rootKey.pub;
+    ccfg.expectedSubject = "chained.example";
+    ccfg.currentTime = 1000;
+    ssl::SslClient client(ccfg, wires.clientEnd());
+
+    runLockstep(client, server);
+    EXPECT_TRUE(client.handshakeDone());
+    EXPECT_EQ(client.serverCertificate().info().subject,
+              "chained.example");
+
+    client.writeApplicationData(toBytes("via chain"));
+    auto got = server.readApplicationData();
+    ASSERT_TRUE(got);
+    EXPECT_EQ(toString(*got), "via chain");
+}
+
+TEST(Chain, HandshakeRejectsBrokenChain)
+{
+    TestPki &pki = pkiFixture();
+    ssl::BioPair wires;
+    ssl::ServerConfig scfg;
+    scfg.certificate = pki.leaf;
+    // Server presents the wrong intermediate (the root), breaking the
+    // leaf's signature link.
+    scfg.intermediates = {pki.root};
+    scfg.privateKey = pki.leafKey.priv;
+    ssl::SslServer server(scfg, wires.serverEnd());
+
+    ssl::ClientConfig ccfg;
+    ccfg.trustedIssuer = &pki.rootKey.pub;
+    ssl::SslClient client(ccfg, wires.clientEnd());
+
+    try {
+        runLockstep(client, server);
+        FAIL() << "handshake should have failed";
+    } catch (const ssl::SslError &e) {
+        EXPECT_EQ(e.alert(), ssl::AlertDescription::BadCertificate);
+    }
+}
+
+TEST(Chain, HandshakeRejectsExpiredIntermediate)
+{
+    TestPki &pki = pkiFixture();
+    ssl::BioPair wires;
+    ssl::ServerConfig scfg;
+    scfg.certificate = pki.leaf;
+    scfg.intermediates = {pki.intermediate};
+    scfg.privateKey = pki.leafKey.priv;
+    ssl::SslServer server(scfg, wires.serverEnd());
+
+    ssl::ClientConfig ccfg;
+    ccfg.trustedIssuer = &pki.rootKey.pub;
+    ccfg.currentTime = 3000000000ull; // after notAfter
+    ssl::SslClient client(ccfg, wires.clientEnd());
+
+    EXPECT_THROW(runLockstep(client, server), ssl::SslError);
+}
+
+} // anonymous namespace

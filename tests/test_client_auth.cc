@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Mutual (client-certificate) authentication tests: the
+ * CertificateRequest / client Certificate / CertificateVerify path
+ * the paper's Table 2 shows as "skip cert_req" and "get_cert_verify"
+ * for its server-auth-only suite.
+ */
+
+#include <gtest/gtest.h>
+
+#include "perf/probe.hh"
+#include "ssl/client.hh"
+#include "ssl/server.hh"
+#include "util/bytes.hh"
+
+#include "testkeys.hh"
+
+namespace
+{
+
+using namespace ssla;
+using namespace ssla::ssl;
+
+/** Client identity: self-signed certificate over its own key. */
+struct ClientIdentity
+{
+    crypto::RsaKeyPair key;
+    pki::Certificate cert;
+
+    ClientIdentity()
+    {
+        key = crypto::rsaGenerateKey(512, test::seededRng(0xc11e));
+        pki::CertificateInfo info;
+        info.serial = 77;
+        info.issuer = "client.user";
+        info.subject = "client.user";
+        info.notBefore = 0;
+        info.notAfter = 2000000000;
+        info.publicKey = key.pub;
+        cert = pki::Certificate::issue(info, *key.priv);
+    }
+};
+
+ClientIdentity &
+clientIdentity()
+{
+    static ClientIdentity id;
+    return id;
+}
+
+struct MutualHarness
+{
+    BioPair wires;
+    ServerConfig scfg;
+    ClientConfig ccfg;
+
+    MutualHarness()
+    {
+        scfg.certificate = test::testServerCert();
+        scfg.privateKey = test::testKey1024().priv;
+        scfg.requestClientCertificate = true;
+        ccfg.clientCertificate = clientIdentity().cert;
+        ccfg.clientKey = clientIdentity().key.priv;
+    }
+};
+
+TEST(ClientAuth, MutualHandshakeCompletes)
+{
+    MutualHarness h;
+    SslServer server(h.scfg, h.wires.serverEnd());
+    SslClient client(h.ccfg, h.wires.clientEnd());
+    runLockstep(client, server);
+    EXPECT_TRUE(client.handshakeDone());
+    EXPECT_TRUE(server.handshakeDone());
+
+    client.writeApplicationData(toBytes("mutually authenticated"));
+    auto got = server.readApplicationData();
+    ASSERT_TRUE(got);
+    EXPECT_EQ(toString(*got), "mutually authenticated");
+}
+
+TEST(ClientAuth, MutualHandshakeOverTls)
+{
+    MutualHarness h;
+    h.ccfg.maxVersion = tls1Version;
+    SslServer server(h.scfg, h.wires.serverEnd());
+    SslClient client(h.ccfg, h.wires.clientEnd());
+    runLockstep(client, server);
+    EXPECT_EQ(client.negotiatedVersion(), tls1Version);
+    EXPECT_TRUE(server.handshakeDone());
+}
+
+TEST(ClientAuth, CertVerifyProbesFire)
+{
+    perf::PerfContext ctx;
+    MutualHarness h;
+    std::unique_ptr<SslServer> server;
+    {
+        perf::ContextScope scope(&ctx);
+        server =
+            std::make_unique<SslServer>(h.scfg, h.wires.serverEnd());
+    }
+    SslClient client(h.ccfg, h.wires.clientEnd());
+    while (!client.handshakeDone() || !server->handshakeDone()) {
+        bool progress = client.advance();
+        {
+            perf::ContextScope scope(&ctx);
+            progress |= server->advance();
+        }
+        ASSERT_TRUE(progress);
+    }
+    EXPECT_TRUE(ctx.counters().count("step3c_send_cert_request"));
+    EXPECT_TRUE(ctx.counters().count("step5a_get_client_cert"));
+    EXPECT_TRUE(ctx.counters().count("step5b_get_cert_verify"));
+    EXPECT_TRUE(ctx.counters().count("cert_verify_mac"));
+}
+
+TEST(ClientAuth, ClientWithoutCertAcceptedWhenOptional)
+{
+    MutualHarness h;
+    h.ccfg.clientCertificate.reset();
+    h.ccfg.clientKey.reset();
+    SslServer server(h.scfg, h.wires.serverEnd());
+    SslClient client(h.ccfg, h.wires.clientEnd());
+    runLockstep(client, server);
+    EXPECT_TRUE(server.handshakeDone());
+}
+
+TEST(ClientAuth, ClientWithoutCertRejectedWhenRequired)
+{
+    MutualHarness h;
+    h.scfg.requireClientCertificate = true;
+    h.ccfg.clientCertificate.reset();
+    h.ccfg.clientKey.reset();
+    SslServer server(h.scfg, h.wires.serverEnd());
+    SslClient client(h.ccfg, h.wires.clientEnd());
+    try {
+        runLockstep(client, server);
+        FAIL() << "handshake should have failed";
+    } catch (const SslError &e) {
+        EXPECT_EQ(e.alert(), AlertDescription::NoCertificate);
+    }
+}
+
+TEST(ClientAuth, WrongClientKeyRejected)
+{
+    // Client presents a certificate but signs CertificateVerify with
+    // a different key: the server must reject the proof.
+    MutualHarness h;
+    h.ccfg.clientKey = test::otherKey1024().priv; // mismatched
+    SslServer server(h.scfg, h.wires.serverEnd());
+    SslClient client(h.ccfg, h.wires.clientEnd());
+    try {
+        runLockstep(client, server);
+        FAIL() << "handshake should have failed";
+    } catch (const SslError &e) {
+        EXPECT_EQ(e.alert(), AlertDescription::HandshakeFailure);
+    }
+}
+
+TEST(ClientAuth, UntrustedClientCertRejected)
+{
+    // Server anchors client certs to a specific issuer; a self-signed
+    // cert from someone else fails.
+    MutualHarness h;
+    h.scfg.clientTrustedIssuer = &test::otherKey1024().pub;
+    SslServer server(h.scfg, h.wires.serverEnd());
+    SslClient client(h.ccfg, h.wires.clientEnd());
+    try {
+        runLockstep(client, server);
+        FAIL() << "handshake should have failed";
+    } catch (const SslError &e) {
+        EXPECT_EQ(e.alert(), AlertDescription::BadCertificate);
+    }
+}
+
+TEST(ClientAuth, TrustedIssuerAccepted)
+{
+    // Anchor the server to the client's own key (self-signed cert).
+    MutualHarness h;
+    h.scfg.clientTrustedIssuer = &clientIdentity().key.pub;
+    SslServer server(h.scfg, h.wires.serverEnd());
+    SslClient client(h.ccfg, h.wires.clientEnd());
+    runLockstep(client, server);
+    EXPECT_TRUE(server.handshakeDone());
+}
+
+TEST(ClientAuth, NoRequestMeansNoClientCert)
+{
+    // Without CertificateRequest the client must not volunteer its
+    // certificate; the handshake is the plain server-auth one.
+    MutualHarness h;
+    h.scfg.requestClientCertificate = false;
+    perf::PerfContext ctx;
+    std::unique_ptr<SslServer> server;
+    {
+        perf::ContextScope scope(&ctx);
+        server =
+            std::make_unique<SslServer>(h.scfg, h.wires.serverEnd());
+    }
+    SslClient client(h.ccfg, h.wires.clientEnd());
+    while (!client.handshakeDone() || !server->handshakeDone()) {
+        bool progress = client.advance();
+        {
+            perf::ContextScope scope(&ctx);
+            progress |= server->advance();
+        }
+        ASSERT_TRUE(progress);
+    }
+    EXPECT_FALSE(ctx.counters().count("step5a_get_client_cert"));
+    EXPECT_FALSE(ctx.counters().count("step5b_get_cert_verify"));
+}
+
+TEST(ClientAuth, MutualWithDheSuite)
+{
+    MutualHarness h;
+    h.scfg.suites = {CipherSuiteId::DHE_RSA_AES_128_CBC_SHA};
+    SslServer server(h.scfg, h.wires.serverEnd());
+    SslClient client(h.ccfg, h.wires.clientEnd());
+    runLockstep(client, server);
+    EXPECT_TRUE(server.handshakeDone());
+    EXPECT_EQ(server.suite().kx, KeyExchange::DheRsa);
+}
+
+} // anonymous namespace

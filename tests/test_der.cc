@@ -1,0 +1,163 @@
+/**
+ * @file
+ * DER codec tests: encoding layout, long-form lengths, parser error
+ * handling and ownership semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pki/der.hh"
+#include "util/bytes.hh"
+#include "util/hex.hh"
+
+namespace
+{
+
+using namespace ssla;
+using namespace ssla::pki;
+using bn::BigNum;
+
+TEST(Der, ShortFormLayout)
+{
+    EXPECT_EQ(hexEncode(derInteger(uint64_t(7))), "020107");
+    EXPECT_EQ(hexEncode(derOctetString(Bytes{0xaa, 0xbb})), "0402aabb");
+    EXPECT_EQ(hexEncode(derUtf8("Hi")), "0c024869");
+}
+
+TEST(Der, IntegerHighBitGetsZeroPrefix)
+{
+    // 0x80 would read as negative without the leading zero octet.
+    EXPECT_EQ(hexEncode(derInteger(uint64_t(0x80))), "02020080");
+    EXPECT_EQ(hexEncode(derInteger(uint64_t(0x7f))), "02017f");
+}
+
+TEST(Der, IntegerZero)
+{
+    EXPECT_EQ(hexEncode(derInteger(uint64_t(0))), "020100");
+    DerParser p(derInteger(uint64_t(0)));
+    EXPECT_TRUE(p.readInteger().isZero());
+}
+
+TEST(Der, NegativeIntegerRejected)
+{
+    EXPECT_THROW(derInteger(BigNum::fromInt(-1)), std::invalid_argument);
+}
+
+TEST(Der, LongFormLength)
+{
+    Bytes big(300, 0x55);
+    Bytes encoded = derOctetString(big);
+    // 0x04, 0x82 (2 length bytes), 0x01 0x2c (300), content.
+    EXPECT_EQ(encoded[0], 0x04);
+    EXPECT_EQ(encoded[1], 0x82);
+    EXPECT_EQ(encoded[2], 0x01);
+    EXPECT_EQ(encoded[3], 0x2c);
+    DerParser p(encoded);
+    EXPECT_EQ(p.readOctetString(), big);
+}
+
+TEST(Der, SequenceRoundTrip)
+{
+    Bytes seq = derSequence({derInteger(uint64_t(1)),
+                             derUtf8("two"),
+                             derOctetString(Bytes{3})});
+    DerParser p(seq);
+    DerParser inner(p.readSequence());
+    EXPECT_TRUE(p.atEnd());
+    EXPECT_EQ(inner.readSmallInteger(), 1u);
+    EXPECT_EQ(inner.readUtf8(), "two");
+    EXPECT_EQ(inner.readOctetString(), (Bytes{3}));
+    EXPECT_TRUE(inner.atEnd());
+}
+
+TEST(Der, BigIntegerRoundTrip)
+{
+    BigNum n = BigNum::fromHex("ffeeddccbbaa0099887766554433221100");
+    DerParser p(derInteger(n));
+    EXPECT_EQ(p.readInteger(), n);
+}
+
+TEST(Der, NestedSequences)
+{
+    Bytes inner = derSequence({derInteger(uint64_t(42))});
+    Bytes outer = derSequence({inner, inner});
+    DerParser p(outer);
+    DerParser o(p.readSequence());
+    DerParser a(o.readSequence());
+    DerParser b(o.readSequence());
+    EXPECT_EQ(a.readSmallInteger(), 42u);
+    EXPECT_EQ(b.readSmallInteger(), 42u);
+    EXPECT_TRUE(o.atEnd());
+}
+
+TEST(Der, PeekTagDoesNotConsume)
+{
+    Bytes enc = derUtf8("peek");
+    DerParser p(enc);
+    EXPECT_EQ(p.peekTag(), 0x0c);
+    EXPECT_EQ(p.peekTag(), 0x0c);
+    EXPECT_EQ(p.readUtf8(), "peek");
+}
+
+TEST(Der, WrongTagThrows)
+{
+    DerParser p(derUtf8("x"));
+    EXPECT_THROW(p.readInteger(), std::runtime_error);
+}
+
+TEST(Der, TruncatedContentThrows)
+{
+    Bytes enc = derOctetString(Bytes(10));
+    enc.resize(5); // cut the content short
+    DerParser p(enc);
+    EXPECT_THROW(p.readOctetString(), std::runtime_error);
+}
+
+TEST(Der, TruncatedLengthThrows)
+{
+    Bytes enc = {0x04, 0x82, 0x01}; // long form missing a byte
+    DerParser p(enc);
+    EXPECT_THROW(p.readOctetString(), std::runtime_error);
+}
+
+TEST(Der, AbsurdLengthFormThrows)
+{
+    Bytes enc = {0x04, 0x89, 1, 1, 1, 1, 1, 1, 1, 1, 1}; // 9 len bytes
+    DerParser p(enc);
+    EXPECT_THROW(p.readOctetString(), std::runtime_error);
+}
+
+TEST(Der, EmptyInputThrows)
+{
+    Bytes empty;
+    DerParser p(empty);
+    EXPECT_TRUE(p.atEnd());
+    EXPECT_THROW(p.peekTag(), std::runtime_error);
+}
+
+TEST(Der, NegativeWireIntegerRejected)
+{
+    Bytes enc = {0x02, 0x01, 0x80}; // -128 in DER
+    DerParser p(enc);
+    EXPECT_THROW(p.readInteger(), std::runtime_error);
+}
+
+TEST(Der, SmallIntegerOverflowThrows)
+{
+    BigNum wide = BigNum(1).shiftLeft(80);
+    DerParser p(derInteger(wide));
+    EXPECT_THROW(p.readSmallInteger(), std::runtime_error);
+}
+
+TEST(Der, OwningParserOutlivesTemporary)
+{
+    // The rvalue constructor must copy the buffer (regression test for
+    // the dangling-pointer bug found during bring-up).
+    Bytes outer = derSequence({derSequence({derInteger(uint64_t(9))})});
+    DerParser p(outer);
+    DerParser inner(p.readSequence()); // binds a temporary
+    DerParser innermost(inner.readSequence());
+    EXPECT_EQ(innermost.readSmallInteger(), 9u);
+}
+
+} // anonymous namespace

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * HMAC tests against the RFC 2202 vectors for both MD5 and SHA-1.
+ */
+
+#include <gtest/gtest.h>
+
+#include "crypto/hmac.hh"
+#include "util/bytes.hh"
+#include "util/hex.hh"
+
+namespace
+{
+
+using namespace ssla;
+using crypto::DigestAlg;
+using crypto::Hmac;
+
+TEST(Hmac, Rfc2202Md5Case1)
+{
+    Bytes key(16, 0x0b);
+    EXPECT_EQ(hexEncode(Hmac::compute(DigestAlg::MD5, key,
+                                      toBytes("Hi There"))),
+              "9294727a3638bb1c13f48ef8158bfc9d");
+}
+
+TEST(Hmac, Rfc2202Md5Case2)
+{
+    EXPECT_EQ(hexEncode(Hmac::compute(
+                  DigestAlg::MD5, toBytes("Jefe"),
+                  toBytes("what do ya want for nothing?"))),
+              "750c783e6ab0b503eaa86e310a5db738");
+}
+
+TEST(Hmac, Rfc2202Md5Case3)
+{
+    Bytes key(16, 0xaa);
+    Bytes data(50, 0xdd);
+    EXPECT_EQ(hexEncode(Hmac::compute(DigestAlg::MD5, key, data)),
+              "56be34521d144c88dbb8c733f0e8b3f6");
+}
+
+TEST(Hmac, Rfc2202Sha1Case1)
+{
+    Bytes key(20, 0x0b);
+    EXPECT_EQ(hexEncode(Hmac::compute(DigestAlg::SHA1, key,
+                                      toBytes("Hi There"))),
+              "b617318655057264e28bc0b6fb378c8ef146be00");
+}
+
+TEST(Hmac, Rfc2202Sha1Case2)
+{
+    EXPECT_EQ(hexEncode(Hmac::compute(
+                  DigestAlg::SHA1, toBytes("Jefe"),
+                  toBytes("what do ya want for nothing?"))),
+              "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79");
+}
+
+TEST(Hmac, Rfc2202Sha1Case3)
+{
+    Bytes key(20, 0xaa);
+    Bytes data(50, 0xdd);
+    EXPECT_EQ(hexEncode(Hmac::compute(DigestAlg::SHA1, key, data)),
+              "125d7342b9ac11cd91a39af48aa17b4f63f175d3");
+}
+
+TEST(Hmac, LongKeyIsHashedFirst)
+{
+    // Keys longer than the block size are hashed down (RFC 2202 case 6).
+    Bytes key(80, 0xaa);
+    EXPECT_EQ(hexEncode(Hmac::compute(
+                  DigestAlg::SHA1, key,
+                  toBytes("Test Using Larger Than Block-Size Key - "
+                          "Hash Key First"))),
+              "aa4ae5e15272d00e95705637ce8a3b55ed402112");
+}
+
+TEST(Hmac, IncrementalMatchesOneShot)
+{
+    Bytes key = toBytes("secret-key");
+    Bytes data = toBytes("the quick brown fox jumps over the lazy dog");
+    Bytes oneshot = Hmac::compute(DigestAlg::SHA1, key, data);
+
+    Hmac h(DigestAlg::SHA1, key);
+    h.update(data.data(), 10);
+    h.update(data.data() + 10, data.size() - 10);
+    EXPECT_EQ(h.final(), oneshot);
+}
+
+TEST(Hmac, InitAllowsReuse)
+{
+    Bytes key = toBytes("k");
+    Hmac h(DigestAlg::MD5, key);
+    h.update(toBytes("first"));
+    Bytes a = h.final();
+    h.init();
+    h.update(toBytes("first"));
+    EXPECT_EQ(h.final(), a);
+}
+
+TEST(Hmac, KeySensitivity)
+{
+    Bytes data = toBytes("payload");
+    Bytes a = Hmac::compute(DigestAlg::SHA1, toBytes("key-a"), data);
+    Bytes b = Hmac::compute(DigestAlg::SHA1, toBytes("key-b"), data);
+    EXPECT_NE(a, b);
+}
+
+TEST(Hmac, TagSizes)
+{
+    Hmac md5(DigestAlg::MD5, toBytes("k"));
+    Hmac sha(DigestAlg::SHA1, toBytes("k"));
+    EXPECT_EQ(md5.tagSize(), 16u);
+    EXPECT_EQ(sha.tagSize(), 20u);
+}
+
+} // anonymous namespace

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * SSLv3 KDF tests: expansion structure, master secret and key block
+ * derivation, client/server consistency.
+ */
+
+#include <gtest/gtest.h>
+
+#include "crypto/md5.hh"
+#include "crypto/sha1.hh"
+#include "ssl/kdf.hh"
+#include "util/bytes.hh"
+#include "util/rng.hh"
+
+namespace
+{
+
+using namespace ssla;
+using namespace ssla::ssl;
+
+Bytes
+testSecret()
+{
+    return Bytes(48, 0x47);
+}
+
+TEST(Kdf, ExpandLengths)
+{
+    Bytes r1(32, 1), r2(32, 2);
+    for (size_t len : {1u, 15u, 16u, 17u, 48u, 104u, 160u}) {
+        Bytes out = ssl3Expand(testSecret(), r1, r2, len);
+        EXPECT_EQ(out.size(), len);
+    }
+}
+
+TEST(Kdf, ExpandIsDeterministic)
+{
+    Bytes r1(32, 1), r2(32, 2);
+    EXPECT_EQ(ssl3Expand(testSecret(), r1, r2, 48),
+              ssl3Expand(testSecret(), r1, r2, 48));
+}
+
+TEST(Kdf, ExpandPrefixConsistency)
+{
+    // Longer output must extend, not change, shorter output.
+    Bytes r1(32, 1), r2(32, 2);
+    Bytes short_out = ssl3Expand(testSecret(), r1, r2, 30);
+    Bytes long_out = ssl3Expand(testSecret(), r1, r2, 90);
+    EXPECT_EQ(Bytes(long_out.begin(), long_out.begin() + 30), short_out);
+}
+
+TEST(Kdf, ExpandMatchesManualConstruction)
+{
+    // First 16 bytes must equal MD5(secret || SHA1('A'||secret||r1||r2)).
+    Bytes secret = testSecret();
+    Bytes r1(32, 0xaa), r2(32, 0xbb);
+
+    crypto::Sha1 sha;
+    sha.update(toBytes("A"));
+    sha.update(secret);
+    sha.update(r1);
+    sha.update(r2);
+    Bytes inner = sha.final();
+    crypto::Md5 md;
+    md.update(secret);
+    md.update(inner);
+    Bytes expect = md.final();
+
+    Bytes got = ssl3Expand(secret, r1, r2, 16);
+    EXPECT_EQ(got, expect);
+}
+
+TEST(Kdf, ExpandSecondBlockUsesBBLabel)
+{
+    Bytes secret = testSecret();
+    Bytes r1(32, 0xaa), r2(32, 0xbb);
+
+    crypto::Sha1 sha;
+    sha.update(toBytes("BB"));
+    sha.update(secret);
+    sha.update(r1);
+    sha.update(r2);
+    Bytes inner = sha.final();
+    crypto::Md5 md;
+    md.update(secret);
+    md.update(inner);
+    Bytes expect = md.final();
+
+    Bytes got = ssl3Expand(secret, r1, r2, 32);
+    EXPECT_EQ(Bytes(got.begin() + 16, got.end()), expect);
+}
+
+TEST(Kdf, ExpandRejectsAbsurdLength)
+{
+    Bytes r1(32, 1), r2(32, 2);
+    EXPECT_THROW(ssl3Expand(testSecret(), r1, r2, 27 * 16),
+                 std::length_error);
+}
+
+TEST(Kdf, MasterSecretIs48Bytes)
+{
+    Bytes pre(48, 3), cr(32, 4), sr(32, 5);
+    Bytes master = ssl3MasterSecret(pre, cr, sr);
+    EXPECT_EQ(master.size(), 48u);
+}
+
+TEST(Kdf, MasterSecretSensitivity)
+{
+    Bytes pre(48, 3), cr(32, 4), sr(32, 5);
+    Bytes base = ssl3MasterSecret(pre, cr, sr);
+
+    Bytes pre2 = pre;
+    pre2[0] ^= 1;
+    EXPECT_NE(ssl3MasterSecret(pre2, cr, sr), base);
+
+    Bytes cr2 = cr;
+    cr2[0] ^= 1;
+    EXPECT_NE(ssl3MasterSecret(pre, cr2, sr), base);
+
+    Bytes sr2 = sr;
+    sr2[0] ^= 1;
+    EXPECT_NE(ssl3MasterSecret(pre, cr, sr2), base);
+}
+
+TEST(Kdf, RandomOrderMatters)
+{
+    // Master secret uses client||server; swapping must change it.
+    Bytes pre(48, 3), cr(32, 4), sr(32, 5);
+    EXPECT_NE(ssl3MasterSecret(pre, cr, sr),
+              ssl3MasterSecret(pre, sr, cr));
+}
+
+class KdfKeyBlock : public ::testing::TestWithParam<CipherSuiteId>
+{};
+
+TEST_P(KdfKeyBlock, PartitionSizes)
+{
+    const CipherSuite &suite = cipherSuite(GetParam());
+    Bytes master(48, 9), cr(32, 1), sr(32, 2);
+    KeyBlock kb = ssl3KeyBlock(master, cr, sr, suite);
+
+    EXPECT_EQ(kb.clientMacSecret.size(), suite.macLen());
+    EXPECT_EQ(kb.serverMacSecret.size(), suite.macLen());
+    EXPECT_EQ(kb.clientKey.size(), suite.keyLen());
+    EXPECT_EQ(kb.serverKey.size(), suite.keyLen());
+    EXPECT_EQ(kb.clientIv.size(), suite.ivLen());
+    EXPECT_EQ(kb.serverIv.size(), suite.ivLen());
+
+    // Client and server material must differ.
+    EXPECT_NE(kb.clientMacSecret, kb.serverMacSecret);
+    if (suite.keyLen()) {
+        EXPECT_NE(kb.clientKey, kb.serverKey);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suites, KdfKeyBlock,
+    ::testing::Values(CipherSuiteId::RSA_NULL_MD5,
+                      CipherSuiteId::RSA_RC4_128_MD5,
+                      CipherSuiteId::RSA_DES_CBC_SHA,
+                      CipherSuiteId::RSA_3DES_EDE_CBC_SHA,
+                      CipherSuiteId::RSA_AES_128_CBC_SHA,
+                      CipherSuiteId::RSA_AES_256_CBC_SHA));
+
+TEST(Kdf, KeyBlockDeterministic)
+{
+    const CipherSuite &suite =
+        cipherSuite(CipherSuiteId::RSA_3DES_EDE_CBC_SHA);
+    Bytes master(48, 9), cr(32, 1), sr(32, 2);
+    KeyBlock a = ssl3KeyBlock(master, cr, sr, suite);
+    KeyBlock b = ssl3KeyBlock(master, cr, sr, suite);
+    EXPECT_EQ(a.clientKey, b.clientKey);
+    EXPECT_EQ(a.serverIv, b.serverIv);
+}
+
+TEST(CipherSuites, LookupAndMetadata)
+{
+    const CipherSuite &s =
+        cipherSuite(CipherSuiteId::RSA_3DES_EDE_CBC_SHA);
+    EXPECT_STREQ(s.name, "DES-CBC3-SHA");
+    EXPECT_EQ(s.keyLen(), 24u);
+    EXPECT_EQ(s.macLen(), 20u);
+    EXPECT_EQ(s.ivLen(), 8u);
+    EXPECT_EQ(s.blockLen(), 8u);
+
+    EXPECT_TRUE(cipherSuiteKnown(0x000a));
+    EXPECT_FALSE(cipherSuiteKnown(0x1234));
+    EXPECT_THROW(cipherSuite(static_cast<CipherSuiteId>(0x1234)),
+                 std::invalid_argument);
+    EXPECT_FALSE(allCipherSuites().empty());
+}
+
+} // anonymous namespace

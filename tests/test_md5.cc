@@ -1,0 +1,133 @@
+/**
+ * @file
+ * MD5 tests: the RFC 1321 appendix vectors plus incremental-update,
+ * clone and boundary-length properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include "crypto/md5.hh"
+#include "util/bytes.hh"
+#include "util/hex.hh"
+#include "util/rng.hh"
+
+namespace
+{
+
+using namespace ssla;
+using crypto::Md5;
+
+std::string
+md5Hex(const std::string &input)
+{
+    return hexEncode(Md5::hash(toBytes(input)));
+}
+
+TEST(Md5, Rfc1321Vectors)
+{
+    // The complete test suite from RFC 1321 appendix A.5.
+    EXPECT_EQ(md5Hex(""), "d41d8cd98f00b204e9800998ecf8427e");
+    EXPECT_EQ(md5Hex("a"), "0cc175b9c0f1b6a831c399e269772661");
+    EXPECT_EQ(md5Hex("abc"), "900150983cd24fb0d6963f7d28e17f72");
+    EXPECT_EQ(md5Hex("message digest"),
+              "f96b697d7cb7938d525a2f31aaf161d0");
+    EXPECT_EQ(md5Hex("abcdefghijklmnopqrstuvwxyz"),
+              "c3fcd3d76192e4007dfb496cca67e13b");
+    EXPECT_EQ(md5Hex("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuv"
+                     "wxyz0123456789"),
+              "d174ab98d277d9f5a5611c2c9f419d9f");
+    EXPECT_EQ(md5Hex("1234567890123456789012345678901234567890123456789"
+                     "0123456789012345678901234567890"),
+              "57edf4a22be3c955ac49da2e2107b67a");
+}
+
+TEST(Md5, IncrementalMatchesOneShot)
+{
+    Xoshiro256 rng(1);
+    Bytes data = rng.bytes(1000);
+    Bytes oneshot = Md5::hash(data);
+
+    // Feed in awkward chunk sizes.
+    for (size_t chunk : {1u, 3u, 63u, 64u, 65u, 127u, 999u}) {
+        Md5 md;
+        for (size_t off = 0; off < data.size(); off += chunk) {
+            size_t n = std::min(chunk, data.size() - off);
+            md.update(data.data() + off, n);
+        }
+        EXPECT_EQ(md.final(), oneshot) << "chunk " << chunk;
+    }
+}
+
+TEST(Md5, BoundaryLengths)
+{
+    // Padding boundaries: 55/56/57 bytes straddle the length field.
+    for (size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 128u}) {
+        Bytes data(len, 'x');
+        Bytes d1 = Md5::hash(data);
+        Md5 md;
+        md.update(data);
+        EXPECT_EQ(md.final(), d1) << "len " << len;
+        EXPECT_EQ(d1.size(), 16u);
+    }
+}
+
+TEST(Md5, InitResets)
+{
+    Md5 md;
+    md.update(toBytes("garbage"));
+    md.init();
+    md.update(toBytes("abc"));
+    EXPECT_EQ(hexEncode(md.final()),
+              "900150983cd24fb0d6963f7d28e17f72");
+}
+
+TEST(Md5, CloneForksState)
+{
+    Md5 md;
+    md.update(toBytes("ab"));
+    auto fork = md.clone();
+    md.update(toBytes("c"));
+    fork->update(toBytes("c"));
+    Bytes a = md.final();
+    Bytes b = fork->final();
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(hexEncode(a), "900150983cd24fb0d6963f7d28e17f72");
+}
+
+TEST(Md5, CloneIsIndependent)
+{
+    Md5 md;
+    md.update(toBytes("abc"));
+    auto fork = md.clone();
+    fork->update(toBytes("extra"));
+    // The original must be unaffected by the fork's updates.
+    EXPECT_EQ(hexEncode(md.final()),
+              "900150983cd24fb0d6963f7d28e17f72");
+}
+
+TEST(Md5, DifferentInputsDiffer)
+{
+    EXPECT_NE(Md5::hash(toBytes("abc")), Md5::hash(toBytes("abd")));
+    EXPECT_NE(Md5::hash(toBytes("")), Md5::hash(Bytes{0}));
+}
+
+TEST(Md5, InterfaceMetadata)
+{
+    Md5 md;
+    EXPECT_EQ(md.digestSize(), 16u);
+    EXPECT_EQ(md.blockSize(), 64u);
+    EXPECT_STREQ(md.name(), "MD5");
+}
+
+TEST(Md5, LargeInput)
+{
+    // "a" x 1,000,000 — the classic million-a vector.
+    Md5 md;
+    Bytes chunk(1000, 'a');
+    for (int i = 0; i < 1000; ++i)
+        md.update(chunk);
+    EXPECT_EQ(hexEncode(md.final()),
+              "7707d6ae4e027c70eea2a935c2296f21");
+}
+
+} // anonymous namespace

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Handshake message encode/parse tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ssl/messages.hh"
+#include "util/hex.hh"
+#include "util/rng.hh"
+
+namespace
+{
+
+using namespace ssla;
+using namespace ssla::ssl;
+
+TEST(HandshakeFraming, EncodeLayout)
+{
+    HandshakeMessage msg{HandshakeType::ClientHello, Bytes{1, 2, 3}};
+    Bytes wire = msg.encode();
+    EXPECT_EQ(hexEncode(wire), "01000003010203");
+}
+
+TEST(HandshakeFraming, ParseRoundTrip)
+{
+    HandshakeMessage msg{HandshakeType::Finished, Bytes(36, 0xaa)};
+    Bytes wire = msg.encode();
+    size_t offset = 0;
+    auto parsed = HandshakeMessage::parse(wire, offset);
+    ASSERT_TRUE(parsed);
+    EXPECT_EQ(parsed->type, HandshakeType::Finished);
+    EXPECT_EQ(parsed->body, msg.body);
+    EXPECT_EQ(offset, wire.size());
+}
+
+TEST(HandshakeFraming, PartialMessageReturnsNullopt)
+{
+    HandshakeMessage msg{HandshakeType::Certificate, Bytes(100)};
+    Bytes wire = msg.encode();
+    for (size_t cut : {0u, 1u, 3u, 4u, 50u, 103u}) {
+        Bytes partial(wire.begin(), wire.begin() + cut);
+        size_t offset = 0;
+        EXPECT_FALSE(HandshakeMessage::parse(partial, offset));
+        EXPECT_EQ(offset, 0u);
+    }
+}
+
+TEST(HandshakeFraming, MultipleMessagesInOneBuffer)
+{
+    HandshakeMessage a{HandshakeType::ServerHello, Bytes{1}};
+    HandshakeMessage b{HandshakeType::ServerHelloDone, Bytes{}};
+    Bytes wire = a.encode();
+    append(wire, b.encode());
+
+    size_t offset = 0;
+    auto first = HandshakeMessage::parse(wire, offset);
+    auto second = HandshakeMessage::parse(wire, offset);
+    ASSERT_TRUE(first);
+    ASSERT_TRUE(second);
+    EXPECT_EQ(first->type, HandshakeType::ServerHello);
+    EXPECT_EQ(second->type, HandshakeType::ServerHelloDone);
+    EXPECT_EQ(offset, wire.size());
+    EXPECT_FALSE(HandshakeMessage::parse(wire, offset));
+}
+
+TEST(ClientHello, EncodeParseRoundTrip)
+{
+    ClientHelloMsg msg;
+    msg.random = Xoshiro256(1).bytes(32);
+    msg.sessionId = Xoshiro256(2).bytes(16);
+    msg.cipherSuites = {0x000a, 0x002f, 0x0005};
+    msg.compressionMethods = {0};
+
+    ClientHelloMsg back = ClientHelloMsg::parse(msg.encode());
+    EXPECT_EQ(back.version, 0x0300);
+    EXPECT_EQ(back.random, msg.random);
+    EXPECT_EQ(back.sessionId, msg.sessionId);
+    EXPECT_EQ(back.cipherSuites, msg.cipherSuites);
+    EXPECT_EQ(back.compressionMethods, msg.compressionMethods);
+}
+
+TEST(ClientHello, EmptySessionId)
+{
+    ClientHelloMsg msg;
+    msg.random = Bytes(32, 7);
+    msg.cipherSuites = {0x000a};
+    ClientHelloMsg back = ClientHelloMsg::parse(msg.encode());
+    EXPECT_TRUE(back.sessionId.empty());
+}
+
+TEST(ClientHello, MalformedThrows)
+{
+    EXPECT_THROW(ClientHelloMsg::parse(Bytes{0x03}), SslError);
+    // Odd cipher-suite length.
+    ClientHelloMsg msg;
+    msg.random = Bytes(32, 7);
+    msg.cipherSuites = {0x000a};
+    Bytes wire = msg.encode();
+    wire[2 + 32 + 1] = 0x00; // session id len stays 0
+    wire[2 + 32 + 1 + 1] = 0x03; // suite bytes length = 3 (odd)
+    EXPECT_THROW(ClientHelloMsg::parse(wire), SslError);
+}
+
+TEST(ServerHello, EncodeParseRoundTrip)
+{
+    ServerHelloMsg msg;
+    msg.random = Xoshiro256(3).bytes(32);
+    msg.sessionId = Xoshiro256(4).bytes(32);
+    msg.cipherSuite = 0x0035;
+
+    ServerHelloMsg back = ServerHelloMsg::parse(msg.encode());
+    EXPECT_EQ(back.random, msg.random);
+    EXPECT_EQ(back.sessionId, msg.sessionId);
+    EXPECT_EQ(back.cipherSuite, 0x0035);
+    EXPECT_EQ(back.compressionMethod, 0);
+}
+
+TEST(ServerHello, TruncatedThrows)
+{
+    ServerHelloMsg msg;
+    msg.random = Bytes(32, 1);
+    Bytes wire = msg.encode();
+    wire.resize(10);
+    EXPECT_THROW(ServerHelloMsg::parse(wire), SslError);
+}
+
+TEST(CertificateMsg, ChainRoundTrip)
+{
+    CertificateMsg msg;
+    msg.chain.push_back(Xoshiro256(5).bytes(300));
+    msg.chain.push_back(Xoshiro256(6).bytes(280));
+
+    CertificateMsg back = CertificateMsg::parse(msg.encode());
+    ASSERT_EQ(back.chain.size(), 2u);
+    EXPECT_EQ(back.chain[0], msg.chain[0]);
+    EXPECT_EQ(back.chain[1], msg.chain[1]);
+}
+
+TEST(CertificateMsg, EmptyChain)
+{
+    CertificateMsg msg;
+    CertificateMsg back = CertificateMsg::parse(msg.encode());
+    EXPECT_TRUE(back.chain.empty());
+}
+
+TEST(ClientKeyExchange, BodyIsRawCiphertext)
+{
+    // SSLv3 carries the encrypted pre-master with no length prefix.
+    ClientKeyExchangeMsg msg;
+    msg.encryptedPreMaster = Xoshiro256(7).bytes(128);
+    Bytes wire = msg.encode();
+    EXPECT_EQ(wire, msg.encryptedPreMaster);
+    EXPECT_EQ(ClientKeyExchangeMsg::parse(wire).encryptedPreMaster,
+              msg.encryptedPreMaster);
+}
+
+TEST(Finished, RoundTripAndValidation)
+{
+    FinishedMsg msg;
+    msg.verifyData = Bytes(36, 0x77);
+    EXPECT_EQ(FinishedMsg::parse(msg.encode()).verifyData,
+              msg.verifyData);
+    EXPECT_THROW(FinishedMsg::parse(Bytes(35)), SslError);
+    EXPECT_THROW(FinishedMsg::parse(Bytes(37)), SslError);
+}
+
+} // anonymous namespace

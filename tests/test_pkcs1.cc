@@ -1,0 +1,125 @@
+/**
+ * @file
+ * PKCS#1 v1.5 padding tests (the "block_parsing" step of Table 7).
+ */
+
+#include <gtest/gtest.h>
+
+#include "crypto/pkcs1.hh"
+#include "util/bytes.hh"
+
+namespace
+{
+
+using namespace ssla;
+using namespace ssla::crypto;
+
+RandomPool &
+testPool()
+{
+    static RandomPool pool(toBytes("pkcs1-tests"));
+    return pool;
+}
+
+TEST(Pkcs1, Type2RoundTrip)
+{
+    Bytes data = toBytes("forty-eight byte premaster secret payload!!");
+    Bytes block = pkcs1PadType2(data, 128, testPool());
+    EXPECT_EQ(block.size(), 128u);
+    EXPECT_EQ(block[0], 0x00);
+    EXPECT_EQ(block[1], 0x02);
+    EXPECT_EQ(pkcs1UnpadType2(block), data);
+}
+
+TEST(Pkcs1, Type2PaddingIsNonZero)
+{
+    Bytes data = toBytes("x");
+    Bytes block = pkcs1PadType2(data, 64, testPool());
+    // Bytes 2..N-2 are the random pad; none may be zero.
+    size_t separator = block.size() - data.size() - 1;
+    for (size_t i = 2; i < separator; ++i)
+        EXPECT_NE(block[i], 0) << "at " << i;
+    EXPECT_EQ(block[separator], 0);
+}
+
+TEST(Pkcs1, Type1RoundTrip)
+{
+    Bytes digest(36, 0xab);
+    Bytes block = pkcs1PadType1(digest, 128);
+    EXPECT_EQ(block.size(), 128u);
+    EXPECT_EQ(block[0], 0x00);
+    EXPECT_EQ(block[1], 0x01);
+    EXPECT_EQ(pkcs1UnpadType1(block), digest);
+}
+
+TEST(Pkcs1, Type1PaddingIsFF)
+{
+    Bytes digest(20, 0x11);
+    Bytes block = pkcs1PadType1(digest, 64);
+    size_t separator = block.size() - digest.size() - 1;
+    for (size_t i = 2; i < separator; ++i)
+        EXPECT_EQ(block[i], 0xff);
+}
+
+TEST(Pkcs1, PayloadTooLongThrows)
+{
+    Bytes data(54); // needs 54 + 11 = 65 > 64
+    EXPECT_THROW(pkcs1PadType2(data, 64, testPool()), std::length_error);
+    EXPECT_THROW(pkcs1PadType1(data, 64), std::length_error);
+    // Exactly at the limit is fine.
+    Bytes fits(53);
+    EXPECT_NO_THROW(pkcs1PadType2(fits, 64, testPool()));
+}
+
+TEST(Pkcs1, UnpadRejectsBadHeader)
+{
+    Bytes data = toBytes("payload");
+    Bytes block = pkcs1PadType2(data, 64, testPool());
+    Bytes bad = block;
+    bad[0] = 0x01;
+    EXPECT_THROW(pkcs1UnpadType2(bad), std::runtime_error);
+    bad = block;
+    bad[1] = 0x03;
+    EXPECT_THROW(pkcs1UnpadType2(bad), std::runtime_error);
+}
+
+TEST(Pkcs1, UnpadRejectsWrongType)
+{
+    Bytes block2 = pkcs1PadType2(toBytes("abc"), 64, testPool());
+    EXPECT_THROW(pkcs1UnpadType1(block2), std::runtime_error);
+    Bytes block1 = pkcs1PadType1(toBytes("abc"), 64);
+    EXPECT_THROW(pkcs1UnpadType2(block1), std::runtime_error);
+}
+
+TEST(Pkcs1, UnpadRejectsMissingSeparator)
+{
+    Bytes block(64, 0xff);
+    block[0] = 0x00;
+    block[1] = 0x02;
+    EXPECT_THROW(pkcs1UnpadType2(block), std::runtime_error);
+}
+
+TEST(Pkcs1, UnpadRejectsShortPadding)
+{
+    // Separator too early: fewer than 8 pad bytes.
+    Bytes block(64, 0xaa);
+    block[0] = 0x00;
+    block[1] = 0x02;
+    block[5] = 0x00; // only 3 pad bytes
+    EXPECT_THROW(pkcs1UnpadType2(block), std::runtime_error);
+}
+
+TEST(Pkcs1, UnpadRejectsCorruptType1Padding)
+{
+    Bytes block = pkcs1PadType1(toBytes("sig"), 64);
+    block[10] = 0xfe; // type-1 padding must be all 0xff
+    EXPECT_THROW(pkcs1UnpadType1(block), std::runtime_error);
+}
+
+TEST(Pkcs1, EmptyPayloadRoundTrip)
+{
+    Bytes block = pkcs1PadType2(Bytes{}, 64, testPool());
+    EXPECT_TRUE(pkcs1UnpadType2(block).empty());
+}
+
+} // anonymous namespace

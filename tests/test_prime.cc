@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Tests for primality testing and prime generation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bn/prime.hh"
+#include "util/rng.hh"
+
+#include "testkeys.hh"
+
+namespace
+{
+
+using namespace ssla;
+using bn::BigNum;
+
+TEST(Prime, SmallKnownPrimes)
+{
+    auto rng = test::seededRng(1);
+    for (uint64_t p : {2, 3, 5, 7, 11, 13, 97, 101, 997})
+        EXPECT_TRUE(bn::isProbablePrime(BigNum(p), rng)) << p;
+}
+
+TEST(Prime, SmallKnownComposites)
+{
+    auto rng = test::seededRng(2);
+    for (uint64_t c : {1, 4, 6, 9, 15, 21, 100, 561, 1001, 999})
+        EXPECT_FALSE(bn::isProbablePrime(BigNum(c), rng)) << c;
+}
+
+TEST(Prime, CarmichaelNumbersRejected)
+{
+    // Carmichael numbers fool Fermat but not Miller-Rabin.
+    auto rng = test::seededRng(3);
+    for (uint64_t c : {561, 1105, 1729, 2465, 2821, 6601, 8911})
+        EXPECT_FALSE(bn::millerRabin(BigNum(c), 20, rng)) << c;
+}
+
+TEST(Prime, LargeKnownPrime)
+{
+    auto rng = test::seededRng(4);
+    // 2^127 - 1 is a Mersenne prime.
+    BigNum m127 = BigNum(1).shiftLeft(127) - BigNum(1);
+    EXPECT_TRUE(bn::millerRabin(m127, 10, rng));
+    // 2^128 + 1 is composite (F7 factors are known).
+    BigNum f7 = BigNum(1).shiftLeft(128) + BigNum(1);
+    EXPECT_FALSE(bn::millerRabin(f7, 10, rng));
+}
+
+TEST(Prime, ProductOfPrimesIsComposite)
+{
+    auto rng = test::seededRng(5);
+    BigNum p = bn::generatePrime(64, rng);
+    BigNum q = bn::generatePrime(64, rng);
+    EXPECT_FALSE(bn::isProbablePrime(p * q, rng));
+}
+
+TEST(Prime, TrialDivision)
+{
+    EXPECT_TRUE(bn::passesTrialDivision(BigNum(997)));
+    EXPECT_FALSE(bn::passesTrialDivision(BigNum(996)));
+    // Passing trial division is necessary but not sufficient:
+    // 1009*1013 has no small factors.
+    EXPECT_TRUE(bn::passesTrialDivision(BigNum(1009 * 1013)));
+}
+
+TEST(Prime, RandomBitsExactLength)
+{
+    auto rng = test::seededRng(6);
+    for (size_t bits : {16u, 17u, 31u, 32u, 33u, 64u, 100u}) {
+        BigNum n = bn::randomBits(bits, rng);
+        EXPECT_EQ(n.bitLength(), bits);
+    }
+}
+
+TEST(Prime, RandomBelowInRange)
+{
+    auto rng = test::seededRng(7);
+    BigNum bound = BigNum::fromDecimal("1000000000000");
+    for (int i = 0; i < 100; ++i) {
+        BigNum v = bn::randomBelow(bound, rng);
+        EXPECT_LT(v, bound);
+        EXPECT_FALSE(v.isNegative());
+    }
+    EXPECT_THROW(bn::randomBelow(BigNum(), rng), std::domain_error);
+}
+
+/** Generation sweep across sizes. */
+class PrimeGeneration : public ::testing::TestWithParam<size_t>
+{};
+
+TEST_P(PrimeGeneration, ExactSizeTopBitsSet)
+{
+    size_t bits = GetParam();
+    auto rng = test::seededRng(bits);
+    BigNum p = bn::generatePrime(bits, rng);
+    EXPECT_EQ(p.bitLength(), bits);
+    EXPECT_TRUE(p.testBit(bits - 1));
+    EXPECT_TRUE(p.testBit(bits - 2));
+    EXPECT_TRUE(p.isOdd());
+    EXPECT_TRUE(bn::isProbablePrime(p, rng));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PrimeGeneration,
+                         ::testing::Values(32, 64, 128, 256));
+
+TEST(Prime, GenerateRejectsTinySizes)
+{
+    auto rng = test::seededRng(9);
+    EXPECT_THROW(bn::generatePrime(8, rng), std::domain_error);
+}
+
+TEST(Prime, DeterministicWithSeed)
+{
+    BigNum a = bn::generatePrime(64, test::seededRng(42));
+    BigNum b = bn::generatePrime(64, test::seededRng(42));
+    EXPECT_EQ(a, b);
+}
+
+} // anonymous namespace

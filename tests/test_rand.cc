@@ -1,0 +1,96 @@
+/**
+ * @file
+ * RandomPool (md_rand analogue) tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "crypto/rand.hh"
+#include "util/bytes.hh"
+
+namespace
+{
+
+using namespace ssla;
+using crypto::RandomPool;
+
+TEST(RandomPool, DeterministicWithSameSeed)
+{
+    RandomPool a(toBytes("seed"));
+    RandomPool b(toBytes("seed"));
+    EXPECT_EQ(a.bytes(100), b.bytes(100));
+}
+
+TEST(RandomPool, DifferentSeedsDiffer)
+{
+    RandomPool a(toBytes("seed-a"));
+    RandomPool b(toBytes("seed-b"));
+    EXPECT_NE(a.bytes(32), b.bytes(32));
+}
+
+TEST(RandomPool, StreamAdvances)
+{
+    RandomPool p(toBytes("x"));
+    Bytes first = p.bytes(16);
+    Bytes second = p.bytes(16);
+    EXPECT_NE(first, second);
+}
+
+TEST(RandomPool, ChunkingDoesNotChangeStream)
+{
+    RandomPool a(toBytes("chunk"));
+    RandomPool b(toBytes("chunk"));
+    Bytes whole = a.bytes(50);
+    Bytes parts;
+    append(parts, b.bytes(7));
+    append(parts, b.bytes(13));
+    append(parts, b.bytes(30));
+    EXPECT_EQ(parts, whole);
+}
+
+TEST(RandomPool, ReseedChangesStream)
+{
+    RandomPool a(toBytes("base"));
+    RandomPool b(toBytes("base"));
+    b.seed(toBytes("extra entropy"));
+    EXPECT_NE(a.bytes(32), b.bytes(32));
+}
+
+TEST(RandomPool, ZeroLengthGenerate)
+{
+    RandomPool p(toBytes("z"));
+    Bytes empty = p.bytes(0);
+    EXPECT_TRUE(empty.empty());
+}
+
+TEST(RandomPool, BitBalance)
+{
+    RandomPool p(toBytes("balance"));
+    Bytes stream = p.bytes(100000);
+    uint64_t ones = 0;
+    for (uint8_t b : stream)
+        ones += __builtin_popcount(b);
+    double fraction = static_cast<double>(ones) / (stream.size() * 8);
+    EXPECT_GT(fraction, 0.49);
+    EXPECT_LT(fraction, 0.51);
+}
+
+TEST(RandomPool, NoObviousCycles)
+{
+    // Consecutive 16-byte outputs over a long stream must be distinct.
+    RandomPool p(toBytes("cycle"));
+    std::set<Bytes> seen;
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_TRUE(seen.insert(p.bytes(16)).second) << "cycle at " << i;
+}
+
+TEST(RandomPool, GlobalHelpers)
+{
+    Bytes a(16), b(16);
+    crypto::randPseudoBytes(a.data(), a.size());
+    crypto::randPseudoBytes(b.data(), b.size());
+    EXPECT_NE(a, b);
+    EXPECT_EQ(&crypto::globalRandomPool(), &crypto::globalRandomPool());
+}
+
+} // anonymous namespace

@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Record-layer tests: framing, encryption, MAC verification, padding,
+ * fragmentation and sequence numbers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ssl/record.hh"
+#include "util/bytes.hh"
+#include "util/rng.hh"
+
+namespace
+{
+
+using namespace ssla;
+using namespace ssla::ssl;
+
+struct RecordHarness
+{
+    BioPair wires;
+    RecordLayer client{wires.clientEnd()};
+    RecordLayer server{wires.serverEnd()};
+
+    /** Install matching ciphers on client-send / server-recv. */
+    void
+    arm(CipherSuiteId id, uint64_t seed = 1)
+    {
+        const CipherSuite &suite = cipherSuite(id);
+        Xoshiro256 rng(seed);
+        Bytes mac = rng.bytes(suite.macLen());
+        Bytes key = rng.bytes(suite.keyLen());
+        Bytes iv = rng.bytes(suite.ivLen());
+        client.enableSendCipher(suite, mac, key, iv);
+        server.enableRecvCipher(suite, mac, key, iv);
+    }
+};
+
+TEST(Record, PlaintextRoundTrip)
+{
+    RecordHarness h;
+    Bytes payload = toBytes("hello record layer");
+    h.client.send(ContentType::Handshake, payload);
+    auto rec = h.server.receive();
+    ASSERT_TRUE(rec);
+    EXPECT_EQ(rec->type, ContentType::Handshake);
+    EXPECT_EQ(rec->payload, payload);
+}
+
+TEST(Record, ReceiveReturnsNulloptOnEmptyTransport)
+{
+    RecordHarness h;
+    EXPECT_FALSE(h.server.receive());
+}
+
+TEST(Record, ReceiveWaitsForCompleteRecord)
+{
+    RecordHarness h;
+    // Hand-write a partial record: header claims 10 bytes, send 3.
+    Bytes partial = {22, 0x03, 0x00, 0x00, 0x0a, 1, 2, 3};
+    BioPair &w = h.wires;
+    w.clientEnd().write(partial);
+    EXPECT_FALSE(h.server.receive());
+    // Complete it.
+    Bytes rest = {4, 5, 6, 7, 8, 9, 10};
+    w.clientEnd().write(rest);
+    auto rec = h.server.receive();
+    ASSERT_TRUE(rec);
+    EXPECT_EQ(rec->payload.size(), 10u);
+}
+
+TEST(Record, RejectsBadVersion)
+{
+    RecordHarness h;
+    Bytes bogus = {22, 0x04, 0x00, 0x00, 0x01, 0x00};
+    h.wires.clientEnd().write(bogus);
+    EXPECT_THROW(h.server.receive(), SslError);
+}
+
+TEST(Record, RejectsOversizedFragment)
+{
+    RecordHarness h;
+    Bytes bogus = {22, 0x03, 0x00, 0xff, 0xff};
+    h.wires.clientEnd().write(bogus);
+    EXPECT_THROW(h.server.receive(), SslError);
+}
+
+class RecordCipherSweep : public ::testing::TestWithParam<CipherSuiteId>
+{};
+
+TEST_P(RecordCipherSweep, EncryptedRoundTrip)
+{
+    RecordHarness h;
+    h.arm(GetParam());
+    Xoshiro256 rng(7);
+    for (size_t len : {0u, 1u, 7u, 8u, 100u, 1000u}) {
+        Bytes payload = rng.bytes(len);
+        h.client.send(ContentType::ApplicationData, payload);
+        auto rec = h.server.receive();
+        ASSERT_TRUE(rec) << "len " << len;
+        EXPECT_EQ(rec->payload, payload) << "len " << len;
+        EXPECT_EQ(rec->type, ContentType::ApplicationData);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suites, RecordCipherSweep,
+    ::testing::Values(CipherSuiteId::RSA_NULL_MD5,
+                      CipherSuiteId::RSA_RC4_128_MD5,
+                      CipherSuiteId::RSA_RC4_128_SHA,
+                      CipherSuiteId::RSA_DES_CBC_SHA,
+                      CipherSuiteId::RSA_3DES_EDE_CBC_SHA,
+                      CipherSuiteId::RSA_AES_128_CBC_SHA,
+                      CipherSuiteId::RSA_AES_256_CBC_SHA));
+
+TEST(Record, CiphertextDiffersFromPlaintext)
+{
+    RecordHarness h;
+    h.arm(CipherSuiteId::RSA_3DES_EDE_CBC_SHA);
+    Bytes payload(64, 0x42);
+    h.client.send(ContentType::ApplicationData, payload);
+    // Inspect the wire: beyond the 5-byte header nothing should equal
+    // the plaintext run.
+    Bytes wire(5 + 64 + 20 + 8);
+    size_t got = h.wires.serverEnd().peek(wire.data(), wire.size());
+    ASSERT_GT(got, 10u);
+    EXPECT_NE(Bytes(wire.begin() + 5, wire.begin() + 15),
+              Bytes(payload.begin(), payload.begin() + 10));
+}
+
+TEST(Record, MacTamperDetected)
+{
+    RecordHarness h;
+    h.arm(CipherSuiteId::RSA_AES_128_CBC_SHA);
+    Bytes payload = toBytes("authentic data");
+    h.client.send(ContentType::ApplicationData, payload);
+
+    // Corrupt one ciphertext byte in flight.
+    BioEndpoint sv = h.wires.serverEnd();
+    Bytes buf(4096);
+    size_t n = sv.peek(buf.data(), buf.size());
+    sv.consume(n);
+    buf[5 + 3] ^= 0x01;
+    h.wires.clientEnd();
+    // Write the corrupted record back into the server's inbox by
+    // sending from the client side's raw queue.
+    // (BioPair has no raw injection; emulate via a fresh pair.)
+    BioPair fresh;
+    RecordLayer victim(fresh.serverEnd());
+    const CipherSuite &suite =
+        cipherSuite(CipherSuiteId::RSA_AES_128_CBC_SHA);
+    Xoshiro256 rng(1);
+    Bytes mac = rng.bytes(suite.macLen());
+    Bytes key = rng.bytes(suite.keyLen());
+    Bytes iv = rng.bytes(suite.ivLen());
+    victim.enableRecvCipher(suite, mac, key, iv);
+    fresh.clientEnd().write(buf.data(), n);
+    EXPECT_THROW(victim.receive(), SslError);
+}
+
+TEST(Record, WrongMacSecretDetected)
+{
+    BioPair wires;
+    RecordLayer sender(wires.clientEnd());
+    RecordLayer receiver(wires.serverEnd());
+    const CipherSuite &suite =
+        cipherSuite(CipherSuiteId::RSA_RC4_128_SHA);
+    Xoshiro256 rng(2);
+    Bytes key = rng.bytes(suite.keyLen());
+    Bytes mac1 = rng.bytes(suite.macLen());
+    Bytes mac2 = rng.bytes(suite.macLen());
+    sender.enableSendCipher(suite, mac1, key, Bytes());
+    receiver.enableRecvCipher(suite, mac2, key, Bytes());
+    sender.send(ContentType::ApplicationData, toBytes("data"));
+    EXPECT_THROW(receiver.receive(), SslError);
+}
+
+TEST(Record, SequenceNumberPreventsReplayReordering)
+{
+    // Two records decrypted in order succeed; the MAC binds seq, so
+    // the same bytes replayed into a fresh receiver at seq 0 fail for
+    // the second record.
+    BioPair wires;
+    RecordLayer sender(wires.clientEnd());
+    const CipherSuite &suite =
+        cipherSuite(CipherSuiteId::RSA_RC4_128_SHA);
+    Xoshiro256 rng(3);
+    Bytes key = rng.bytes(suite.keyLen());
+    Bytes mac = rng.bytes(suite.macLen());
+    sender.enableSendCipher(suite, mac, key, Bytes());
+    sender.send(ContentType::ApplicationData, toBytes("first"));
+    sender.send(ContentType::ApplicationData, toBytes("second"));
+
+    Bytes wire(4096);
+    size_t n = wires.serverEnd().peek(wire.data(), wire.size());
+    wire.resize(n);
+
+    // Deliver only the SECOND record to a fresh receiver: its MAC was
+    // computed with seq=1 but the receiver expects seq=0.
+    size_t first_len = 5 + ((wire[3] << 8) | wire[4]);
+    BioPair fresh;
+    RecordLayer receiver(fresh.serverEnd());
+    receiver.enableRecvCipher(suite, mac, key, Bytes());
+    fresh.clientEnd().write(wire.data() + first_len, n - first_len);
+    EXPECT_THROW(receiver.receive(), SslError);
+}
+
+TEST(Record, FragmentsLargePayloads)
+{
+    RecordHarness h;
+    Bytes big(40000, 0x33);
+    h.client.send(ContentType::ApplicationData, big);
+    Bytes got;
+    int records = 0;
+    while (auto rec = h.server.receive()) {
+        EXPECT_LE(rec->payload.size(), maxFragment);
+        append(got, rec->payload);
+        ++records;
+    }
+    EXPECT_EQ(got, big);
+    EXPECT_EQ(records, 3);
+    EXPECT_EQ(h.client.recordsSent(), 3u);
+    EXPECT_EQ(h.client.bytesSent(), big.size());
+}
+
+TEST(Record, EmptyPayloadStillProducesRecord)
+{
+    RecordHarness h;
+    h.client.send(ContentType::Handshake, Bytes());
+    auto rec = h.server.receive();
+    ASSERT_TRUE(rec);
+    EXPECT_TRUE(rec->payload.empty());
+}
+
+TEST(Ssl3Mac, DependsOnAllInputs)
+{
+    Bytes secret(20, 1);
+    Bytes data = toBytes("payload");
+    Bytes base = ssl3Mac(crypto::DigestAlg::SHA1, secret, 0, 23,
+                         data.data(), data.size());
+    EXPECT_EQ(base.size(), 20u);
+
+    EXPECT_NE(ssl3Mac(crypto::DigestAlg::SHA1, secret, 1, 23,
+                      data.data(), data.size()),
+              base);
+    EXPECT_NE(ssl3Mac(crypto::DigestAlg::SHA1, secret, 0, 22,
+                      data.data(), data.size()),
+              base);
+    Bytes secret2(20, 2);
+    EXPECT_NE(ssl3Mac(crypto::DigestAlg::SHA1, secret2, 0, 23,
+                      data.data(), data.size()),
+              base);
+    EXPECT_EQ(ssl3Mac(crypto::DigestAlg::MD5, secret, 0, 23,
+                      data.data(), data.size())
+                  .size(),
+              16u);
+}
+
+} // anonymous namespace

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Session and session-cache tests (LRU behaviour, hit/miss stats).
+ */
+
+#include <gtest/gtest.h>
+
+#include "ssl/session.hh"
+#include "util/rng.hh"
+
+namespace
+{
+
+using namespace ssla;
+using namespace ssla::ssl;
+
+Session
+makeSession(uint8_t tag)
+{
+    Session s;
+    s.id = Bytes(32, tag);
+    s.suiteId = 0x000a;
+    s.masterSecret = Bytes(48, tag);
+    return s;
+}
+
+TEST(Session, Validity)
+{
+    EXPECT_FALSE(Session().valid());
+    EXPECT_TRUE(makeSession(1).valid());
+    Session no_master;
+    no_master.id = Bytes(32, 1);
+    EXPECT_FALSE(no_master.valid());
+}
+
+TEST(SessionCache, StoreAndFind)
+{
+    SessionCache cache;
+    cache.store(makeSession(1));
+    auto found = cache.find(Bytes(32, 1));
+    ASSERT_TRUE(found);
+    EXPECT_EQ(found->masterSecret, Bytes(48, 1));
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_FALSE(cache.find(Bytes(32, 9)));
+    EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(SessionCache, InvalidSessionsNotStored)
+{
+    SessionCache cache;
+    cache.store(Session());
+    EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(SessionCache, StoreRefreshesExisting)
+{
+    SessionCache cache;
+    cache.store(makeSession(1));
+    Session updated = makeSession(1);
+    updated.masterSecret = Bytes(48, 0xee);
+    cache.store(updated);
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.find(Bytes(32, 1))->masterSecret, Bytes(48, 0xee));
+}
+
+TEST(SessionCache, Remove)
+{
+    SessionCache cache;
+    cache.store(makeSession(1));
+    cache.remove(Bytes(32, 1));
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_FALSE(cache.find(Bytes(32, 1)));
+    // Removing a missing id is a no-op.
+    cache.remove(Bytes(32, 2));
+}
+
+TEST(SessionCache, EvictsLeastRecentlyUsed)
+{
+    SessionCache cache(3);
+    cache.store(makeSession(1));
+    cache.store(makeSession(2));
+    cache.store(makeSession(3));
+    // Touch 1 so 2 becomes the LRU victim.
+    EXPECT_TRUE(cache.find(Bytes(32, 1)));
+    cache.store(makeSession(4));
+    EXPECT_EQ(cache.size(), 3u);
+    EXPECT_TRUE(cache.find(Bytes(32, 1)));
+    EXPECT_FALSE(cache.find(Bytes(32, 2)));
+    EXPECT_TRUE(cache.find(Bytes(32, 3)));
+    EXPECT_TRUE(cache.find(Bytes(32, 4)));
+}
+
+TEST(SessionCache, TtlExpiresEntries)
+{
+    SessionCache cache(16, 300); // 5-minute lifetime
+    uint64_t fake_now = 1000;
+    cache.setClock([&] { return fake_now; });
+
+    cache.store(makeSession(1));
+    fake_now = 1200; // 200s later: still fresh
+    EXPECT_TRUE(cache.find(Bytes(32, 1)));
+    fake_now = 1400; // 400s after store: expired
+    EXPECT_FALSE(cache.find(Bytes(32, 1)));
+    EXPECT_EQ(cache.expirations(), 1u);
+    EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(SessionCache, StoreRestampsAge)
+{
+    SessionCache cache(16, 300);
+    uint64_t fake_now = 0;
+    cache.setClock([&] { return fake_now; });
+
+    cache.store(makeSession(1));
+    fake_now = 250;
+    cache.store(makeSession(1)); // refresh restamps
+    fake_now = 500;              // 250s after refresh: fresh
+    EXPECT_TRUE(cache.find(Bytes(32, 1)));
+}
+
+TEST(SessionCache, ZeroTtlNeverExpires)
+{
+    SessionCache cache(16, 0);
+    uint64_t fake_now = 0;
+    cache.setClock([&] { return fake_now; });
+    cache.store(makeSession(1));
+    fake_now = 1u << 30;
+    EXPECT_TRUE(cache.find(Bytes(32, 1)));
+}
+
+TEST(SessionCache, ManyEntries)
+{
+    SessionCache cache(64);
+    for (int i = 0; i < 200; ++i)
+        cache.store(makeSession(static_cast<uint8_t>(i)));
+    EXPECT_EQ(cache.size(), 64u);
+    // The most recent 64 distinct tags survive; note tags wrap at 256
+    // so tags 136..199 are present.
+    EXPECT_TRUE(cache.find(Bytes(32, 199)));
+    EXPECT_FALSE(cache.find(Bytes(32, 10)));
+}
+
+} // anonymous namespace

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * SHA-1 tests: FIPS 180-2 vectors plus incremental/clone/boundary
+ * properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include "crypto/sha1.hh"
+#include "util/bytes.hh"
+#include "util/hex.hh"
+#include "util/rng.hh"
+
+namespace
+{
+
+using namespace ssla;
+using crypto::Sha1;
+
+std::string
+sha1Hex(const std::string &input)
+{
+    return hexEncode(Sha1::hash(toBytes(input)));
+}
+
+TEST(Sha1, Fips180Vectors)
+{
+    EXPECT_EQ(sha1Hex("abc"), "a9993e364706816aba3e25717850c26c9cd0d89d");
+    EXPECT_EQ(sha1Hex(""), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+    EXPECT_EQ(sha1Hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmno"
+                      "mnopnopq"),
+              "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1, MillionA)
+{
+    Sha1 sha;
+    Bytes chunk(1000, 'a');
+    for (int i = 0; i < 1000; ++i)
+        sha.update(chunk);
+    EXPECT_EQ(hexEncode(sha.final()),
+              "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1, IncrementalMatchesOneShot)
+{
+    Xoshiro256 rng(2);
+    Bytes data = rng.bytes(1537);
+    Bytes oneshot = Sha1::hash(data);
+    for (size_t chunk : {1u, 7u, 63u, 64u, 65u, 512u}) {
+        Sha1 sha;
+        for (size_t off = 0; off < data.size(); off += chunk) {
+            size_t n = std::min(chunk, data.size() - off);
+            sha.update(data.data() + off, n);
+        }
+        EXPECT_EQ(sha.final(), oneshot) << "chunk " << chunk;
+    }
+}
+
+TEST(Sha1, BoundaryLengths)
+{
+    for (size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 128u}) {
+        Bytes data(len, 'y');
+        EXPECT_EQ(Sha1::hash(data).size(), 20u) << len;
+        // Appending one byte must change the digest.
+        Bytes longer = data;
+        longer.push_back('y');
+        EXPECT_NE(Sha1::hash(data), Sha1::hash(longer));
+    }
+}
+
+TEST(Sha1, InitResets)
+{
+    Sha1 sha;
+    sha.update(toBytes("junk"));
+    sha.init();
+    sha.update(toBytes("abc"));
+    EXPECT_EQ(hexEncode(sha.final()),
+              "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1, CloneForksState)
+{
+    Sha1 sha;
+    sha.update(toBytes("ab"));
+    auto fork = sha.clone();
+    sha.update(toBytes("c"));
+    fork->update(toBytes("c"));
+    EXPECT_EQ(sha.final(), fork->final());
+}
+
+TEST(Sha1, CloneIsIndependent)
+{
+    Sha1 sha;
+    sha.update(toBytes("abc"));
+    auto fork = sha.clone();
+    fork->update(toBytes("tail"));
+    EXPECT_EQ(hexEncode(sha.final()),
+              "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1, InterfaceMetadata)
+{
+    Sha1 sha;
+    EXPECT_EQ(sha.digestSize(), 20u);
+    EXPECT_EQ(sha.blockSize(), 64u);
+    EXPECT_STREQ(sha.name(), "SHA-1");
+}
+
+TEST(DigestFactory, CreatesBothAlgorithms)
+{
+    auto md5 = crypto::Digest::create(crypto::DigestAlg::MD5);
+    auto sha = crypto::Digest::create(crypto::DigestAlg::SHA1);
+    EXPECT_EQ(md5->digestSize(), 16u);
+    EXPECT_EQ(sha->digestSize(), 20u);
+    EXPECT_EQ(crypto::Digest::digestSize(crypto::DigestAlg::MD5), 16u);
+    EXPECT_EQ(crypto::Digest::digestSize(crypto::DigestAlg::SHA1), 20u);
+}
+
+TEST(DigestFactory, OneShotHelper)
+{
+    EXPECT_EQ(hexEncode(crypto::digestOneShot(crypto::DigestAlg::SHA1,
+                                              toBytes("abc"))),
+              "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+} // anonymous namespace

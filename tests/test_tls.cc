@@ -1,0 +1,308 @@
+/**
+ * @file
+ * TLS 1.0 tests: the PRF construction, the HMAC record MAC, version
+ * negotiation (including rollback handling) and full TLS handshakes
+ * across suites with resumption.
+ */
+
+#include <gtest/gtest.h>
+
+#include "crypto/hmac.hh"
+#include "ssl/client.hh"
+#include "ssl/server.hh"
+#include "util/bytes.hh"
+#include "util/hex.hh"
+
+#include "testkeys.hh"
+
+namespace
+{
+
+using namespace ssla;
+using namespace ssla::ssl;
+
+TEST(Tls1Prf, OutputLengths)
+{
+    Bytes secret(48, 0x0b);
+    Bytes seed(64, 0x42);
+    for (size_t len : {1u, 12u, 16u, 47u, 48u, 104u, 200u})
+        EXPECT_EQ(tls1Prf(secret, "test label", seed, len).size(), len);
+}
+
+TEST(Tls1Prf, Deterministic)
+{
+    Bytes secret(48, 1), seed(64, 2);
+    EXPECT_EQ(tls1Prf(secret, "l", seed, 48),
+              tls1Prf(secret, "l", seed, 48));
+}
+
+TEST(Tls1Prf, LabelMatters)
+{
+    Bytes secret(48, 1), seed(64, 2);
+    EXPECT_NE(tls1Prf(secret, "client finished", seed, 12),
+              tls1Prf(secret, "server finished", seed, 12));
+}
+
+TEST(Tls1Prf, SecretAndSeedMatter)
+{
+    Bytes secret(48, 1), seed(64, 2);
+    Bytes base = tls1Prf(secret, "l", seed, 32);
+    Bytes secret2 = secret;
+    secret2[0] ^= 1;
+    EXPECT_NE(tls1Prf(secret2, "l", seed, 32), base);
+    Bytes seed2 = seed;
+    seed2[0] ^= 1;
+    EXPECT_NE(tls1Prf(secret, "l", seed2, 32), base);
+}
+
+TEST(Tls1Prf, PrefixConsistency)
+{
+    // P_hash streams: a longer request extends the shorter one.
+    Bytes secret(48, 9), seed(32, 7);
+    Bytes short_out = tls1Prf(secret, "x", seed, 20);
+    Bytes long_out = tls1Prf(secret, "x", seed, 60);
+    EXPECT_EQ(Bytes(long_out.begin(), long_out.begin() + 20),
+              short_out);
+}
+
+TEST(Tls1Prf, XorStructure)
+{
+    // With an even-length secret the two halves are disjoint; the PRF
+    // must differ from either P_hash stream alone (sanity that the
+    // XOR of both streams is really happening).
+    Bytes secret(48, 5), seed(16, 6);
+    Bytes out = tls1Prf(secret, "y", seed, 16);
+    Bytes s1(secret.begin(), secret.begin() + 24);
+    Bytes label_seed = toBytes("y");
+    append(label_seed, seed);
+    Bytes a = crypto::Hmac::compute(crypto::DigestAlg::MD5, s1,
+                                    label_seed);
+    EXPECT_NE(out, a);
+}
+
+TEST(Tls1Mac, DependsOnVersionField)
+{
+    Bytes secret(20, 1);
+    Bytes data = toBytes("record payload");
+    Bytes mac_tls = tls1Mac(crypto::DigestAlg::SHA1, secret, 0, 23,
+                            0x0301, data.data(), data.size());
+    Bytes mac_other = tls1Mac(crypto::DigestAlg::SHA1, secret, 0, 23,
+                              0x0300, data.data(), data.size());
+    EXPECT_NE(mac_tls, mac_other);
+    EXPECT_EQ(mac_tls.size(), 20u);
+    // And differs from the SSLv3 construction entirely.
+    EXPECT_NE(mac_tls, ssl3Mac(crypto::DigestAlg::SHA1, secret, 0, 23,
+                               data.data(), data.size()));
+}
+
+TEST(TlsKdf, DiffersFromSsl3)
+{
+    Bytes pre(48, 3), cr(32, 4), sr(32, 5);
+    EXPECT_NE(tls1MasterSecret(pre, cr, sr),
+              ssl3MasterSecret(pre, cr, sr));
+    EXPECT_EQ(tls1MasterSecret(pre, cr, sr).size(), 48u);
+
+    const CipherSuite &suite =
+        cipherSuite(CipherSuiteId::RSA_3DES_EDE_CBC_SHA);
+    Bytes master(48, 9);
+    KeyBlock ssl3 = ssl3KeyBlock(master, cr, sr, suite);
+    KeyBlock tls = tls1KeyBlock(master, cr, sr, suite);
+    EXPECT_NE(ssl3.clientKey, tls.clientKey);
+    EXPECT_EQ(tls.clientKey.size(), suite.keyLen());
+}
+
+TEST(TlsKdf, VersionDispatch)
+{
+    Bytes pre(48, 3), cr(32, 4), sr(32, 5);
+    EXPECT_EQ(deriveMasterSecret(ssl3Version, pre, cr, sr),
+              ssl3MasterSecret(pre, cr, sr));
+    EXPECT_EQ(deriveMasterSecret(tls1Version, pre, cr, sr),
+              tls1MasterSecret(pre, cr, sr));
+}
+
+// ---- full TLS handshakes ----------------------------------------------
+
+struct TlsHarness
+{
+    BioPair wires;
+    ServerConfig scfg;
+    ClientConfig ccfg;
+    crypto::RandomPool pool{toBytes("tls-tests")};
+
+    TlsHarness()
+    {
+        scfg.certificate = test::testServerCert();
+        scfg.privateKey = test::testKey1024().priv;
+        scfg.randomPool = &pool;
+        ccfg.randomPool = &pool;
+        ccfg.maxVersion = tls1Version;
+    }
+
+    std::pair<std::unique_ptr<SslClient>, std::unique_ptr<SslServer>>
+    connect()
+    {
+        auto server =
+            std::make_unique<SslServer>(scfg, wires.serverEnd());
+        auto client =
+            std::make_unique<SslClient>(ccfg, wires.clientEnd());
+        runLockstep(*client, *server);
+        return {std::move(client), std::move(server)};
+    }
+};
+
+class TlsHandshakeSuites
+    : public ::testing::TestWithParam<CipherSuiteId>
+{};
+
+TEST_P(TlsHandshakeSuites, CompletesAndTransfersData)
+{
+    TlsHarness h;
+    h.scfg.suites = {GetParam()};
+    h.ccfg.suites = {GetParam()};
+    auto [client, server] = h.connect();
+
+    EXPECT_EQ(client->negotiatedVersion(), tls1Version);
+    EXPECT_EQ(server->negotiatedVersion(), tls1Version);
+    EXPECT_EQ(client->session().version, tls1Version);
+
+    client->writeApplicationData(toBytes("tls ping"));
+    auto got = server->readApplicationData();
+    ASSERT_TRUE(got);
+    EXPECT_EQ(toString(*got), "tls ping");
+    server->writeApplicationData(toBytes("tls pong"));
+    got = client->readApplicationData();
+    ASSERT_TRUE(got);
+    EXPECT_EQ(toString(*got), "tls pong");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSuites, TlsHandshakeSuites,
+    ::testing::Values(CipherSuiteId::RSA_NULL_MD5,
+                      CipherSuiteId::RSA_RC4_128_MD5,
+                      CipherSuiteId::RSA_3DES_EDE_CBC_SHA,
+                      CipherSuiteId::RSA_AES_128_CBC_SHA,
+                      CipherSuiteId::RSA_AES_256_CBC_SHA));
+
+TEST(TlsHandshake, Ssl3ClientGetsSsl3)
+{
+    TlsHarness h;
+    h.ccfg.maxVersion = ssl3Version;
+    auto [client, server] = h.connect();
+    EXPECT_EQ(client->negotiatedVersion(), ssl3Version);
+    EXPECT_EQ(server->negotiatedVersion(), ssl3Version);
+}
+
+TEST(TlsHandshake, Ssl3OnlyServerNegotiatesDown)
+{
+    TlsHarness h;
+    h.scfg.maxVersion = ssl3Version; // server refuses TLS
+    auto [client, server] = h.connect();
+    EXPECT_EQ(client->negotiatedVersion(), ssl3Version);
+    EXPECT_EQ(server->negotiatedVersion(), ssl3Version);
+    client->writeApplicationData(toBytes("downgraded"));
+    auto got = server->readApplicationData();
+    ASSERT_TRUE(got);
+    EXPECT_EQ(toString(*got), "downgraded");
+}
+
+TEST(TlsHandshake, BogusClientMaxVersionRejected)
+{
+    TlsHarness h;
+    h.ccfg.maxVersion = 0x0305;
+    EXPECT_THROW(SslClient(h.ccfg, h.wires.clientEnd()),
+                 std::invalid_argument);
+}
+
+TEST(TlsHandshake, TlsResumption)
+{
+    SessionCache cache;
+    TlsHarness h;
+    h.scfg.sessionCache = &cache;
+    auto [client1, server1] = h.connect();
+    Session sess = client1->session();
+    EXPECT_EQ(sess.version, tls1Version);
+
+    TlsHarness h2;
+    h2.scfg.sessionCache = &cache;
+    h2.ccfg.resumeSession = sess;
+    auto [client2, server2] = h2.connect();
+    EXPECT_TRUE(client2->resumed());
+    EXPECT_TRUE(server2->resumed());
+    EXPECT_EQ(client2->negotiatedVersion(), tls1Version);
+
+    client2->writeApplicationData(toBytes("resumed tls"));
+    auto got = server2->readApplicationData();
+    ASSERT_TRUE(got);
+    EXPECT_EQ(toString(*got), "resumed tls");
+}
+
+TEST(TlsHandshake, Ssl3SessionNotResumedOverTls)
+{
+    // A session established at SSLv3 must not resume when the client
+    // now negotiates TLS (version is part of the session identity).
+    SessionCache cache;
+    TlsHarness h;
+    h.scfg.sessionCache = &cache;
+    h.ccfg.maxVersion = ssl3Version;
+    auto [client1, server1] = h.connect();
+    Session sess = client1->session();
+    EXPECT_EQ(sess.version, ssl3Version);
+
+    TlsHarness h2;
+    h2.scfg.sessionCache = &cache;
+    h2.ccfg.maxVersion = tls1Version;
+    h2.ccfg.resumeSession = sess;
+    auto [client2, server2] = h2.connect();
+    EXPECT_FALSE(server2->resumed());
+    EXPECT_TRUE(client2->handshakeDone());
+}
+
+TEST(TlsHandshake, FinishedIs12Bytes)
+{
+    // Indirect check of the TLS finished format: an SSLv3-style
+    // 36-byte verify would fail the handshake entirely, so success
+    // plus distinct KDF outputs pins the construction; also check the
+    // hash helper directly.
+    HandshakeHash hash;
+    hash.update(toBytes("transcript"));
+    Bytes master(48, 1);
+    EXPECT_EQ(
+        hash.finishedHash(tls1Version, master, FinishedSender::Client)
+            .size(),
+        12u);
+    EXPECT_EQ(
+        hash.finishedHash(ssl3Version, master, FinishedSender::Client)
+            .size(),
+        36u);
+    EXPECT_NE(
+        hash.finishedHash(tls1Version, master, FinishedSender::Client),
+        hash.finishedHash(tls1Version, master, FinishedSender::Server));
+}
+
+TEST(TlsHandshake, LargeTransferOverTls)
+{
+    TlsHarness h;
+    auto [client, server] = h.connect();
+    Xoshiro256 rng(55);
+    Bytes big = rng.bytes(70000);
+    client->writeApplicationData(big);
+    Bytes got;
+    while (got.size() < big.size()) {
+        auto chunk = server->readApplicationData();
+        ASSERT_TRUE(chunk);
+        append(got, *chunk);
+    }
+    EXPECT_EQ(got, big);
+}
+
+TEST(TlsHandshake, RecordVersionLocked)
+{
+    TlsHarness h;
+    auto [client, server] = h.connect();
+    // Inject an SSLv3-versioned record after TLS negotiation.
+    Bytes bogus = {23, 0x03, 0x00, 0x00, 0x01, 0x42};
+    h.wires.clientEnd().write(bogus);
+    EXPECT_THROW(server->readApplicationData(), SslError);
+}
+
+} // anonymous namespace
