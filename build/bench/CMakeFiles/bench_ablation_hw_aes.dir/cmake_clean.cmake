@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_hw_aes.dir/bench_ablation_hw_aes.cc.o"
+  "CMakeFiles/bench_ablation_hw_aes.dir/bench_ablation_hw_aes.cc.o.d"
+  "bench_ablation_hw_aes"
+  "bench_ablation_hw_aes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hw_aes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dhe.dir/bench_dhe.cc.o"
+  "CMakeFiles/bench_dhe.dir/bench_dhe.cc.o.d"
+  "bench_dhe"
+  "bench_dhe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dhe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

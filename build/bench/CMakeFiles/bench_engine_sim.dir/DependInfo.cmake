@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_engine_sim.cc" "bench/CMakeFiles/bench_engine_sim.dir/bench_engine_sim.cc.o" "gcc" "bench/CMakeFiles/bench_engine_sim.dir/bench_engine_sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/web/CMakeFiles/ssla_web.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssl/CMakeFiles/ssla_ssl.dir/DependInfo.cmake"
+  "/root/repo/build/src/pki/CMakeFiles/ssla_pki.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ssla_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/bn/CMakeFiles/ssla_bn.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/ssla_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ssla_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

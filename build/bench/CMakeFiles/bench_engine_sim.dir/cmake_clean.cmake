@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_engine_sim.dir/bench_engine_sim.cc.o"
+  "CMakeFiles/bench_engine_sim.dir/bench_engine_sim.cc.o.d"
+  "bench_engine_sim"
+  "bench_engine_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_engine_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

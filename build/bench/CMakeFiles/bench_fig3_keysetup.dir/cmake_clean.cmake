@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_keysetup.dir/bench_fig3_keysetup.cc.o"
+  "CMakeFiles/bench_fig3_keysetup.dir/bench_fig3_keysetup.cc.o.d"
+  "bench_fig3_keysetup"
+  "bench_fig3_keysetup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_keysetup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

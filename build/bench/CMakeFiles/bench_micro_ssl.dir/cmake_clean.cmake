@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_ssl.dir/bench_micro_ssl.cc.o"
+  "CMakeFiles/bench_micro_ssl.dir/bench_micro_ssl.cc.o.d"
+  "bench_micro_ssl"
+  "bench_micro_ssl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_ssl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_resumption.dir/bench_resumption.cc.o"
+  "CMakeFiles/bench_resumption.dir/bench_resumption.cc.o.d"
+  "bench_resumption"
+  "bench_resumption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_resumption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table10_hash.dir/bench_table10_hash.cc.o"
+  "CMakeFiles/bench_table10_hash.dir/bench_table10_hash.cc.o.d"
+  "bench_table10_hash"
+  "bench_table10_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table10_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

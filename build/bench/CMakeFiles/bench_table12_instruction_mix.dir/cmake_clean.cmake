@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table12_instruction_mix.dir/bench_table12_instruction_mix.cc.o"
+  "CMakeFiles/bench_table12_instruction_mix.dir/bench_table12_instruction_mix.cc.o.d"
+  "bench_table12_instruction_mix"
+  "bench_table12_instruction_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table12_instruction_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

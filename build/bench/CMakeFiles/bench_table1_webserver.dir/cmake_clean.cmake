@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_webserver.dir/bench_table1_webserver.cc.o"
+  "CMakeFiles/bench_table1_webserver.dir/bench_table1_webserver.cc.o.d"
+  "bench_table1_webserver"
+  "bench_table1_webserver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_webserver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

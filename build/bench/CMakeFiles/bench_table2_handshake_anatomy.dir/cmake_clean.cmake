@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_handshake_anatomy.dir/bench_table2_handshake_anatomy.cc.o"
+  "CMakeFiles/bench_table2_handshake_anatomy.dir/bench_table2_handshake_anatomy.cc.o.d"
+  "bench_table2_handshake_anatomy"
+  "bench_table2_handshake_anatomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_handshake_anatomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_handshake_crypto.dir/bench_table3_handshake_crypto.cc.o"
+  "CMakeFiles/bench_table3_handshake_crypto.dir/bench_table3_handshake_crypto.cc.o.d"
+  "bench_table3_handshake_crypto"
+  "bench_table3_handshake_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_handshake_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

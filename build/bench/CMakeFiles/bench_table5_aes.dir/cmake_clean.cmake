@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_aes.dir/bench_table5_aes.cc.o"
+  "CMakeFiles/bench_table5_aes.dir/bench_table5_aes.cc.o.d"
+  "bench_table5_aes"
+  "bench_table5_aes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_aes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_des.dir/bench_table6_des.cc.o"
+  "CMakeFiles/bench_table6_des.dir/bench_table6_des.cc.o.d"
+  "bench_table6_des"
+  "bench_table6_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

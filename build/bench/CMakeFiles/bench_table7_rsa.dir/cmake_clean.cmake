@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_rsa.dir/bench_table7_rsa.cc.o"
+  "CMakeFiles/bench_table7_rsa.dir/bench_table7_rsa.cc.o.d"
+  "bench_table7_rsa"
+  "bench_table7_rsa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_rsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

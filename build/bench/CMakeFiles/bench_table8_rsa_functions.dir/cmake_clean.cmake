@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_rsa_functions.dir/bench_table8_rsa_functions.cc.o"
+  "CMakeFiles/bench_table8_rsa_functions.dir/bench_table8_rsa_functions.cc.o.d"
+  "bench_table8_rsa_functions"
+  "bench_table8_rsa_functions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_rsa_functions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

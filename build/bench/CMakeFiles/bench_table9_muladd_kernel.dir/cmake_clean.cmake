@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table9_muladd_kernel.dir/bench_table9_muladd_kernel.cc.o"
+  "CMakeFiles/bench_table9_muladd_kernel.dir/bench_table9_muladd_kernel.cc.o.d"
+  "bench_table9_muladd_kernel"
+  "bench_table9_muladd_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_muladd_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_speed.dir/crypto_speed.cpp.o"
+  "CMakeFiles/crypto_speed.dir/crypto_speed.cpp.o.d"
+  "crypto_speed"
+  "crypto_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

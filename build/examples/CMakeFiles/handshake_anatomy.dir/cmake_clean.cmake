@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/handshake_anatomy.dir/handshake_anatomy.cpp.o"
+  "CMakeFiles/handshake_anatomy.dir/handshake_anatomy.cpp.o.d"
+  "handshake_anatomy"
+  "handshake_anatomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/handshake_anatomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/https_workload.dir/https_workload.cpp.o"
+  "CMakeFiles/https_workload.dir/https_workload.cpp.o.d"
+  "https_workload"
+  "https_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/https_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

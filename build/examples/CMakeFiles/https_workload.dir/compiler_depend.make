@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for https_workload.
+# This may be replaced when dependencies are built.

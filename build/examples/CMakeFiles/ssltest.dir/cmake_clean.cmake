@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssltest.dir/ssltest.cpp.o"
+  "CMakeFiles/ssltest.dir/ssltest.cpp.o.d"
+  "ssltest"
+  "ssltest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssltest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

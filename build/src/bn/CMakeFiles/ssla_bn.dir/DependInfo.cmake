@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bn/bignum.cc" "src/bn/CMakeFiles/ssla_bn.dir/bignum.cc.o" "gcc" "src/bn/CMakeFiles/ssla_bn.dir/bignum.cc.o.d"
+  "/root/repo/src/bn/kernels.cc" "src/bn/CMakeFiles/ssla_bn.dir/kernels.cc.o" "gcc" "src/bn/CMakeFiles/ssla_bn.dir/kernels.cc.o.d"
+  "/root/repo/src/bn/modexp.cc" "src/bn/CMakeFiles/ssla_bn.dir/modexp.cc.o" "gcc" "src/bn/CMakeFiles/ssla_bn.dir/modexp.cc.o.d"
+  "/root/repo/src/bn/montgomery.cc" "src/bn/CMakeFiles/ssla_bn.dir/montgomery.cc.o" "gcc" "src/bn/CMakeFiles/ssla_bn.dir/montgomery.cc.o.d"
+  "/root/repo/src/bn/prime.cc" "src/bn/CMakeFiles/ssla_bn.dir/prime.cc.o" "gcc" "src/bn/CMakeFiles/ssla_bn.dir/prime.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ssla_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/ssla_perf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssla_bn.dir/bignum.cc.o"
+  "CMakeFiles/ssla_bn.dir/bignum.cc.o.d"
+  "CMakeFiles/ssla_bn.dir/kernels.cc.o"
+  "CMakeFiles/ssla_bn.dir/kernels.cc.o.d"
+  "CMakeFiles/ssla_bn.dir/modexp.cc.o"
+  "CMakeFiles/ssla_bn.dir/modexp.cc.o.d"
+  "CMakeFiles/ssla_bn.dir/montgomery.cc.o"
+  "CMakeFiles/ssla_bn.dir/montgomery.cc.o.d"
+  "CMakeFiles/ssla_bn.dir/prime.cc.o"
+  "CMakeFiles/ssla_bn.dir/prime.cc.o.d"
+  "libssla_bn.a"
+  "libssla_bn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssla_bn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

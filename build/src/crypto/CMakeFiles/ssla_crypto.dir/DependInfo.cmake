@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aes.cc" "src/crypto/CMakeFiles/ssla_crypto.dir/aes.cc.o" "gcc" "src/crypto/CMakeFiles/ssla_crypto.dir/aes.cc.o.d"
+  "/root/repo/src/crypto/cipher.cc" "src/crypto/CMakeFiles/ssla_crypto.dir/cipher.cc.o" "gcc" "src/crypto/CMakeFiles/ssla_crypto.dir/cipher.cc.o.d"
+  "/root/repo/src/crypto/des.cc" "src/crypto/CMakeFiles/ssla_crypto.dir/des.cc.o" "gcc" "src/crypto/CMakeFiles/ssla_crypto.dir/des.cc.o.d"
+  "/root/repo/src/crypto/dh.cc" "src/crypto/CMakeFiles/ssla_crypto.dir/dh.cc.o" "gcc" "src/crypto/CMakeFiles/ssla_crypto.dir/dh.cc.o.d"
+  "/root/repo/src/crypto/digest.cc" "src/crypto/CMakeFiles/ssla_crypto.dir/digest.cc.o" "gcc" "src/crypto/CMakeFiles/ssla_crypto.dir/digest.cc.o.d"
+  "/root/repo/src/crypto/hmac.cc" "src/crypto/CMakeFiles/ssla_crypto.dir/hmac.cc.o" "gcc" "src/crypto/CMakeFiles/ssla_crypto.dir/hmac.cc.o.d"
+  "/root/repo/src/crypto/md5.cc" "src/crypto/CMakeFiles/ssla_crypto.dir/md5.cc.o" "gcc" "src/crypto/CMakeFiles/ssla_crypto.dir/md5.cc.o.d"
+  "/root/repo/src/crypto/pkcs1.cc" "src/crypto/CMakeFiles/ssla_crypto.dir/pkcs1.cc.o" "gcc" "src/crypto/CMakeFiles/ssla_crypto.dir/pkcs1.cc.o.d"
+  "/root/repo/src/crypto/rand.cc" "src/crypto/CMakeFiles/ssla_crypto.dir/rand.cc.o" "gcc" "src/crypto/CMakeFiles/ssla_crypto.dir/rand.cc.o.d"
+  "/root/repo/src/crypto/rc4.cc" "src/crypto/CMakeFiles/ssla_crypto.dir/rc4.cc.o" "gcc" "src/crypto/CMakeFiles/ssla_crypto.dir/rc4.cc.o.d"
+  "/root/repo/src/crypto/rsa.cc" "src/crypto/CMakeFiles/ssla_crypto.dir/rsa.cc.o" "gcc" "src/crypto/CMakeFiles/ssla_crypto.dir/rsa.cc.o.d"
+  "/root/repo/src/crypto/sha1.cc" "src/crypto/CMakeFiles/ssla_crypto.dir/sha1.cc.o" "gcc" "src/crypto/CMakeFiles/ssla_crypto.dir/sha1.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ssla_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/ssla_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/bn/CMakeFiles/ssla_bn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

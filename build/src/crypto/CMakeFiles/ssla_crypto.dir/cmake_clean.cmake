@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssla_crypto.dir/aes.cc.o"
+  "CMakeFiles/ssla_crypto.dir/aes.cc.o.d"
+  "CMakeFiles/ssla_crypto.dir/cipher.cc.o"
+  "CMakeFiles/ssla_crypto.dir/cipher.cc.o.d"
+  "CMakeFiles/ssla_crypto.dir/des.cc.o"
+  "CMakeFiles/ssla_crypto.dir/des.cc.o.d"
+  "CMakeFiles/ssla_crypto.dir/dh.cc.o"
+  "CMakeFiles/ssla_crypto.dir/dh.cc.o.d"
+  "CMakeFiles/ssla_crypto.dir/digest.cc.o"
+  "CMakeFiles/ssla_crypto.dir/digest.cc.o.d"
+  "CMakeFiles/ssla_crypto.dir/hmac.cc.o"
+  "CMakeFiles/ssla_crypto.dir/hmac.cc.o.d"
+  "CMakeFiles/ssla_crypto.dir/md5.cc.o"
+  "CMakeFiles/ssla_crypto.dir/md5.cc.o.d"
+  "CMakeFiles/ssla_crypto.dir/pkcs1.cc.o"
+  "CMakeFiles/ssla_crypto.dir/pkcs1.cc.o.d"
+  "CMakeFiles/ssla_crypto.dir/rand.cc.o"
+  "CMakeFiles/ssla_crypto.dir/rand.cc.o.d"
+  "CMakeFiles/ssla_crypto.dir/rc4.cc.o"
+  "CMakeFiles/ssla_crypto.dir/rc4.cc.o.d"
+  "CMakeFiles/ssla_crypto.dir/rsa.cc.o"
+  "CMakeFiles/ssla_crypto.dir/rsa.cc.o.d"
+  "CMakeFiles/ssla_crypto.dir/sha1.cc.o"
+  "CMakeFiles/ssla_crypto.dir/sha1.cc.o.d"
+  "libssla_crypto.a"
+  "libssla_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssla_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perf/ablation.cc" "src/perf/CMakeFiles/ssla_perf.dir/ablation.cc.o" "gcc" "src/perf/CMakeFiles/ssla_perf.dir/ablation.cc.o.d"
+  "/root/repo/src/perf/cpimodel.cc" "src/perf/CMakeFiles/ssla_perf.dir/cpimodel.cc.o" "gcc" "src/perf/CMakeFiles/ssla_perf.dir/cpimodel.cc.o.d"
+  "/root/repo/src/perf/enginesim.cc" "src/perf/CMakeFiles/ssla_perf.dir/enginesim.cc.o" "gcc" "src/perf/CMakeFiles/ssla_perf.dir/enginesim.cc.o.d"
+  "/root/repo/src/perf/opcount.cc" "src/perf/CMakeFiles/ssla_perf.dir/opcount.cc.o" "gcc" "src/perf/CMakeFiles/ssla_perf.dir/opcount.cc.o.d"
+  "/root/repo/src/perf/probe.cc" "src/perf/CMakeFiles/ssla_perf.dir/probe.cc.o" "gcc" "src/perf/CMakeFiles/ssla_perf.dir/probe.cc.o.d"
+  "/root/repo/src/perf/report.cc" "src/perf/CMakeFiles/ssla_perf.dir/report.cc.o" "gcc" "src/perf/CMakeFiles/ssla_perf.dir/report.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ssla_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

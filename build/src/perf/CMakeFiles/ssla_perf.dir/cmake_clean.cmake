@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssla_perf.dir/ablation.cc.o"
+  "CMakeFiles/ssla_perf.dir/ablation.cc.o.d"
+  "CMakeFiles/ssla_perf.dir/cpimodel.cc.o"
+  "CMakeFiles/ssla_perf.dir/cpimodel.cc.o.d"
+  "CMakeFiles/ssla_perf.dir/enginesim.cc.o"
+  "CMakeFiles/ssla_perf.dir/enginesim.cc.o.d"
+  "CMakeFiles/ssla_perf.dir/opcount.cc.o"
+  "CMakeFiles/ssla_perf.dir/opcount.cc.o.d"
+  "CMakeFiles/ssla_perf.dir/probe.cc.o"
+  "CMakeFiles/ssla_perf.dir/probe.cc.o.d"
+  "CMakeFiles/ssla_perf.dir/report.cc.o"
+  "CMakeFiles/ssla_perf.dir/report.cc.o.d"
+  "libssla_perf.a"
+  "libssla_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssla_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssla_pki.dir/cert.cc.o"
+  "CMakeFiles/ssla_pki.dir/cert.cc.o.d"
+  "CMakeFiles/ssla_pki.dir/der.cc.o"
+  "CMakeFiles/ssla_pki.dir/der.cc.o.d"
+  "libssla_pki.a"
+  "libssla_pki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssla_pki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

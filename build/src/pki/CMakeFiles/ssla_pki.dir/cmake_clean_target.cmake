@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libssla_pki.a"
+)

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ssl/alert.cc" "src/ssl/CMakeFiles/ssla_ssl.dir/alert.cc.o" "gcc" "src/ssl/CMakeFiles/ssla_ssl.dir/alert.cc.o.d"
+  "/root/repo/src/ssl/bio.cc" "src/ssl/CMakeFiles/ssla_ssl.dir/bio.cc.o" "gcc" "src/ssl/CMakeFiles/ssla_ssl.dir/bio.cc.o.d"
+  "/root/repo/src/ssl/ciphersuite.cc" "src/ssl/CMakeFiles/ssla_ssl.dir/ciphersuite.cc.o" "gcc" "src/ssl/CMakeFiles/ssla_ssl.dir/ciphersuite.cc.o.d"
+  "/root/repo/src/ssl/client.cc" "src/ssl/CMakeFiles/ssla_ssl.dir/client.cc.o" "gcc" "src/ssl/CMakeFiles/ssla_ssl.dir/client.cc.o.d"
+  "/root/repo/src/ssl/endpoint.cc" "src/ssl/CMakeFiles/ssla_ssl.dir/endpoint.cc.o" "gcc" "src/ssl/CMakeFiles/ssla_ssl.dir/endpoint.cc.o.d"
+  "/root/repo/src/ssl/handshake_hash.cc" "src/ssl/CMakeFiles/ssla_ssl.dir/handshake_hash.cc.o" "gcc" "src/ssl/CMakeFiles/ssla_ssl.dir/handshake_hash.cc.o.d"
+  "/root/repo/src/ssl/kdf.cc" "src/ssl/CMakeFiles/ssla_ssl.dir/kdf.cc.o" "gcc" "src/ssl/CMakeFiles/ssla_ssl.dir/kdf.cc.o.d"
+  "/root/repo/src/ssl/kx.cc" "src/ssl/CMakeFiles/ssla_ssl.dir/kx.cc.o" "gcc" "src/ssl/CMakeFiles/ssla_ssl.dir/kx.cc.o.d"
+  "/root/repo/src/ssl/messages.cc" "src/ssl/CMakeFiles/ssla_ssl.dir/messages.cc.o" "gcc" "src/ssl/CMakeFiles/ssla_ssl.dir/messages.cc.o.d"
+  "/root/repo/src/ssl/record.cc" "src/ssl/CMakeFiles/ssla_ssl.dir/record.cc.o" "gcc" "src/ssl/CMakeFiles/ssla_ssl.dir/record.cc.o.d"
+  "/root/repo/src/ssl/server.cc" "src/ssl/CMakeFiles/ssla_ssl.dir/server.cc.o" "gcc" "src/ssl/CMakeFiles/ssla_ssl.dir/server.cc.o.d"
+  "/root/repo/src/ssl/session.cc" "src/ssl/CMakeFiles/ssla_ssl.dir/session.cc.o" "gcc" "src/ssl/CMakeFiles/ssla_ssl.dir/session.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/ssla_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/pki/CMakeFiles/ssla_pki.dir/DependInfo.cmake"
+  "/root/repo/build/src/bn/CMakeFiles/ssla_bn.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/ssla_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ssla_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssla_ssl.dir/alert.cc.o"
+  "CMakeFiles/ssla_ssl.dir/alert.cc.o.d"
+  "CMakeFiles/ssla_ssl.dir/bio.cc.o"
+  "CMakeFiles/ssla_ssl.dir/bio.cc.o.d"
+  "CMakeFiles/ssla_ssl.dir/ciphersuite.cc.o"
+  "CMakeFiles/ssla_ssl.dir/ciphersuite.cc.o.d"
+  "CMakeFiles/ssla_ssl.dir/client.cc.o"
+  "CMakeFiles/ssla_ssl.dir/client.cc.o.d"
+  "CMakeFiles/ssla_ssl.dir/endpoint.cc.o"
+  "CMakeFiles/ssla_ssl.dir/endpoint.cc.o.d"
+  "CMakeFiles/ssla_ssl.dir/handshake_hash.cc.o"
+  "CMakeFiles/ssla_ssl.dir/handshake_hash.cc.o.d"
+  "CMakeFiles/ssla_ssl.dir/kdf.cc.o"
+  "CMakeFiles/ssla_ssl.dir/kdf.cc.o.d"
+  "CMakeFiles/ssla_ssl.dir/kx.cc.o"
+  "CMakeFiles/ssla_ssl.dir/kx.cc.o.d"
+  "CMakeFiles/ssla_ssl.dir/messages.cc.o"
+  "CMakeFiles/ssla_ssl.dir/messages.cc.o.d"
+  "CMakeFiles/ssla_ssl.dir/record.cc.o"
+  "CMakeFiles/ssla_ssl.dir/record.cc.o.d"
+  "CMakeFiles/ssla_ssl.dir/server.cc.o"
+  "CMakeFiles/ssla_ssl.dir/server.cc.o.d"
+  "CMakeFiles/ssla_ssl.dir/session.cc.o"
+  "CMakeFiles/ssla_ssl.dir/session.cc.o.d"
+  "libssla_ssl.a"
+  "libssla_ssl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssla_ssl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

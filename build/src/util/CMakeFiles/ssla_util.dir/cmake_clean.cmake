@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssla_util.dir/bytes.cc.o"
+  "CMakeFiles/ssla_util.dir/bytes.cc.o.d"
+  "CMakeFiles/ssla_util.dir/cycles.cc.o"
+  "CMakeFiles/ssla_util.dir/cycles.cc.o.d"
+  "CMakeFiles/ssla_util.dir/hex.cc.o"
+  "CMakeFiles/ssla_util.dir/hex.cc.o.d"
+  "CMakeFiles/ssla_util.dir/logging.cc.o"
+  "CMakeFiles/ssla_util.dir/logging.cc.o.d"
+  "CMakeFiles/ssla_util.dir/rng.cc.o"
+  "CMakeFiles/ssla_util.dir/rng.cc.o.d"
+  "libssla_util.a"
+  "libssla_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssla_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

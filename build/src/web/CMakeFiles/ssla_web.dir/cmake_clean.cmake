@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssla_web.dir/http.cc.o"
+  "CMakeFiles/ssla_web.dir/http.cc.o.d"
+  "CMakeFiles/ssla_web.dir/httpsim.cc.o"
+  "CMakeFiles/ssla_web.dir/httpsim.cc.o.d"
+  "CMakeFiles/ssla_web.dir/kernelmodel.cc.o"
+  "CMakeFiles/ssla_web.dir/kernelmodel.cc.o.d"
+  "libssla_web.a"
+  "libssla_web.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssla_web.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

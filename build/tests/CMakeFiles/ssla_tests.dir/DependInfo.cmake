@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_aes.cc" "tests/CMakeFiles/ssla_tests.dir/test_aes.cc.o" "gcc" "tests/CMakeFiles/ssla_tests.dir/test_aes.cc.o.d"
+  "/root/repo/tests/test_bignum.cc" "tests/CMakeFiles/ssla_tests.dir/test_bignum.cc.o" "gcc" "tests/CMakeFiles/ssla_tests.dir/test_bignum.cc.o.d"
+  "/root/repo/tests/test_bio.cc" "tests/CMakeFiles/ssla_tests.dir/test_bio.cc.o" "gcc" "tests/CMakeFiles/ssla_tests.dir/test_bio.cc.o.d"
+  "/root/repo/tests/test_cert.cc" "tests/CMakeFiles/ssla_tests.dir/test_cert.cc.o" "gcc" "tests/CMakeFiles/ssla_tests.dir/test_cert.cc.o.d"
+  "/root/repo/tests/test_chain.cc" "tests/CMakeFiles/ssla_tests.dir/test_chain.cc.o" "gcc" "tests/CMakeFiles/ssla_tests.dir/test_chain.cc.o.d"
+  "/root/repo/tests/test_cipher.cc" "tests/CMakeFiles/ssla_tests.dir/test_cipher.cc.o" "gcc" "tests/CMakeFiles/ssla_tests.dir/test_cipher.cc.o.d"
+  "/root/repo/tests/test_client_auth.cc" "tests/CMakeFiles/ssla_tests.dir/test_client_auth.cc.o" "gcc" "tests/CMakeFiles/ssla_tests.dir/test_client_auth.cc.o.d"
+  "/root/repo/tests/test_der.cc" "tests/CMakeFiles/ssla_tests.dir/test_der.cc.o" "gcc" "tests/CMakeFiles/ssla_tests.dir/test_der.cc.o.d"
+  "/root/repo/tests/test_des.cc" "tests/CMakeFiles/ssla_tests.dir/test_des.cc.o" "gcc" "tests/CMakeFiles/ssla_tests.dir/test_des.cc.o.d"
+  "/root/repo/tests/test_dh.cc" "tests/CMakeFiles/ssla_tests.dir/test_dh.cc.o" "gcc" "tests/CMakeFiles/ssla_tests.dir/test_dh.cc.o.d"
+  "/root/repo/tests/test_fuzz.cc" "tests/CMakeFiles/ssla_tests.dir/test_fuzz.cc.o" "gcc" "tests/CMakeFiles/ssla_tests.dir/test_fuzz.cc.o.d"
+  "/root/repo/tests/test_handshake.cc" "tests/CMakeFiles/ssla_tests.dir/test_handshake.cc.o" "gcc" "tests/CMakeFiles/ssla_tests.dir/test_handshake.cc.o.d"
+  "/root/repo/tests/test_hmac.cc" "tests/CMakeFiles/ssla_tests.dir/test_hmac.cc.o" "gcc" "tests/CMakeFiles/ssla_tests.dir/test_hmac.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/ssla_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/ssla_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_kdf.cc" "tests/CMakeFiles/ssla_tests.dir/test_kdf.cc.o" "gcc" "tests/CMakeFiles/ssla_tests.dir/test_kdf.cc.o.d"
+  "/root/repo/tests/test_md5.cc" "tests/CMakeFiles/ssla_tests.dir/test_md5.cc.o" "gcc" "tests/CMakeFiles/ssla_tests.dir/test_md5.cc.o.d"
+  "/root/repo/tests/test_messages.cc" "tests/CMakeFiles/ssla_tests.dir/test_messages.cc.o" "gcc" "tests/CMakeFiles/ssla_tests.dir/test_messages.cc.o.d"
+  "/root/repo/tests/test_modexp.cc" "tests/CMakeFiles/ssla_tests.dir/test_modexp.cc.o" "gcc" "tests/CMakeFiles/ssla_tests.dir/test_modexp.cc.o.d"
+  "/root/repo/tests/test_perf.cc" "tests/CMakeFiles/ssla_tests.dir/test_perf.cc.o" "gcc" "tests/CMakeFiles/ssla_tests.dir/test_perf.cc.o.d"
+  "/root/repo/tests/test_pkcs1.cc" "tests/CMakeFiles/ssla_tests.dir/test_pkcs1.cc.o" "gcc" "tests/CMakeFiles/ssla_tests.dir/test_pkcs1.cc.o.d"
+  "/root/repo/tests/test_prime.cc" "tests/CMakeFiles/ssla_tests.dir/test_prime.cc.o" "gcc" "tests/CMakeFiles/ssla_tests.dir/test_prime.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/ssla_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/ssla_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_rand.cc" "tests/CMakeFiles/ssla_tests.dir/test_rand.cc.o" "gcc" "tests/CMakeFiles/ssla_tests.dir/test_rand.cc.o.d"
+  "/root/repo/tests/test_rc4.cc" "tests/CMakeFiles/ssla_tests.dir/test_rc4.cc.o" "gcc" "tests/CMakeFiles/ssla_tests.dir/test_rc4.cc.o.d"
+  "/root/repo/tests/test_record.cc" "tests/CMakeFiles/ssla_tests.dir/test_record.cc.o" "gcc" "tests/CMakeFiles/ssla_tests.dir/test_record.cc.o.d"
+  "/root/repo/tests/test_rsa.cc" "tests/CMakeFiles/ssla_tests.dir/test_rsa.cc.o" "gcc" "tests/CMakeFiles/ssla_tests.dir/test_rsa.cc.o.d"
+  "/root/repo/tests/test_session.cc" "tests/CMakeFiles/ssla_tests.dir/test_session.cc.o" "gcc" "tests/CMakeFiles/ssla_tests.dir/test_session.cc.o.d"
+  "/root/repo/tests/test_sha1.cc" "tests/CMakeFiles/ssla_tests.dir/test_sha1.cc.o" "gcc" "tests/CMakeFiles/ssla_tests.dir/test_sha1.cc.o.d"
+  "/root/repo/tests/test_tls.cc" "tests/CMakeFiles/ssla_tests.dir/test_tls.cc.o" "gcc" "tests/CMakeFiles/ssla_tests.dir/test_tls.cc.o.d"
+  "/root/repo/tests/test_util.cc" "tests/CMakeFiles/ssla_tests.dir/test_util.cc.o" "gcc" "tests/CMakeFiles/ssla_tests.dir/test_util.cc.o.d"
+  "/root/repo/tests/test_webserver.cc" "tests/CMakeFiles/ssla_tests.dir/test_webserver.cc.o" "gcc" "tests/CMakeFiles/ssla_tests.dir/test_webserver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/web/CMakeFiles/ssla_web.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssl/CMakeFiles/ssla_ssl.dir/DependInfo.cmake"
+  "/root/repo/build/src/pki/CMakeFiles/ssla_pki.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ssla_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/bn/CMakeFiles/ssla_bn.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/ssla_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ssla_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
