@@ -46,7 +46,7 @@ main()
             },
             30);
         auto cipher =
-            crypto::Cipher::create(suite.cipher, key, iv, true);
+            benchProvider().createCipher(suite.cipher, key, iv, true);
         Bytes buf = data;
         buf.resize((len + suite.macLen() + suite.blockLen()) /
                    suite.blockLen() * suite.blockLen());

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Extension bench (paper Section 6.2): the pipelined crypto engine
+ * measured end-to-end through the record layer, not simulated.
+ *
+ * For each CBC suite and payload size, a bulk transfer is sent through
+ * two identically-keyed RecordLayers — one on the scalar provider, one
+ * on the PipelinedProvider whose worker computes the MAC of record n+1
+ * while record n is CBC-encrypted. Two metrics are reported per run:
+ *
+ *  - cpu cycles/byte: CPU time of the *sending thread* only
+ *    (threadCpuCycles()), the cost the engine removes from the paper's
+ *    "main CPU" regardless of whether a spare core exists to absorb
+ *    the offloaded MAC;
+ *  - wall cycles/byte: end-to-end latency, which only improves when
+ *    the host can actually run the worker in parallel.
+ *
+ * The wire bytes of both providers are asserted identical before any
+ * timing — the overlap is an implementation detail, not a protocol
+ * change. Output is a JSON document on stdout.
+ *
+ *   ./bench_engine_pipeline [--smoke]
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "common.hh"
+#include "crypto/provider.hh"
+#include "ssl/record.hh"
+#include "util/cycles.hh"
+
+using namespace ssla;
+using namespace ssla::bench;
+using namespace ssla::ssl;
+
+namespace
+{
+
+struct Sender
+{
+    BioPair wires;
+    RecordLayer layer;
+
+    Sender(crypto::Provider &provider, CipherSuiteId id, uint64_t seed)
+        : layer(wires.clientEnd(), &provider)
+    {
+        const CipherSuite &suite = cipherSuite(id);
+        Xoshiro256 rng(seed);
+        Bytes mac = rng.bytes(suite.macLen());
+        Bytes key = rng.bytes(suite.keyLen());
+        Bytes iv = rng.bytes(suite.ivLen());
+        layer.enableSendCipher(suite, mac, key, iv);
+    }
+
+    Bytes
+    drain()
+    {
+        BioEndpoint end = wires.serverEnd();
+        Bytes wire(end.available());
+        end.read(wire.data(), wire.size());
+        return wire;
+    }
+};
+
+struct Sample
+{
+    double cpuCyclesPerByte = 0.0;
+    double wallCyclesPerByte = 0.0;
+};
+
+/** Median cpu/wall cycles-per-byte of sending @p payload @p reps times. */
+Sample
+measure(crypto::Provider &provider, CipherSuiteId id,
+        const Bytes &payload, int reps)
+{
+    Sender s(provider, id, /*seed=*/77);
+    std::vector<uint64_t> cpu, wall;
+    cpu.reserve(reps);
+    wall.reserve(reps);
+    // Warm-up send primes caches, the worker thread and the allocator.
+    s.layer.send(ContentType::ApplicationData, payload);
+    s.drain();
+    for (int i = 0; i < reps; ++i) {
+        uint64_t c0 = threadCpuCycles();
+        uint64_t w0 = rdcycles();
+        s.layer.send(ContentType::ApplicationData, payload);
+        uint64_t w1 = rdcycles();
+        uint64_t c1 = threadCpuCycles();
+        cpu.push_back(c1 - c0);
+        wall.push_back(w1 - w0);
+        s.drain();
+    }
+    std::sort(cpu.begin(), cpu.end());
+    std::sort(wall.begin(), wall.end());
+    Sample r;
+    r.cpuCyclesPerByte = static_cast<double>(cpu[cpu.size() / 2]) /
+                         static_cast<double>(payload.size());
+    r.wallCyclesPerByte = static_cast<double>(wall[wall.size() / 2]) /
+                          static_cast<double>(payload.size());
+    return r;
+}
+
+/** Same payload through both providers must yield identical bytes. */
+bool
+wireIdentical(crypto::Provider &scalar, crypto::Provider &pipelined,
+              CipherSuiteId id, const Bytes &payload)
+{
+    Sender a(scalar, id, /*seed=*/77);
+    Sender b(pipelined, id, /*seed=*/77);
+    // Two sends so sequence numbers and the CBC chain both advance
+    // through the overlapped path.
+    for (int i = 0; i < 2; ++i) {
+        a.layer.send(ContentType::ApplicationData, payload);
+        b.layer.send(ContentType::ApplicationData, payload);
+        if (a.drain() != b.drain())
+            return false;
+    }
+    return true;
+}
+
+const char *
+suiteName(CipherSuiteId id)
+{
+    switch (id) {
+    case CipherSuiteId::RSA_3DES_EDE_CBC_SHA:
+        return "RSA_3DES_EDE_CBC_SHA";
+    case CipherSuiteId::RSA_AES_128_CBC_SHA:
+        return "RSA_AES_128_CBC_SHA";
+    case CipherSuiteId::RSA_RC4_128_SHA:
+        return "RSA_RC4_128_SHA";
+    default:
+        return "?";
+    }
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i)
+        if (!std::strcmp(argv[i], "--smoke"))
+            smoke = true;
+
+    warmUpCpu();
+
+    const CipherSuiteId suites[] = {
+        CipherSuiteId::RSA_3DES_EDE_CBC_SHA,
+        CipherSuiteId::RSA_AES_128_CBC_SHA,
+        CipherSuiteId::RSA_RC4_128_SHA,
+    };
+    std::vector<size_t> sizes =
+        smoke ? std::vector<size_t>{16384, 65536}
+              : std::vector<size_t>{4096, 16384, 32768, 65536, 131072};
+    const int reps = smoke ? 7 : 21;
+
+    crypto::Provider &scalar = crypto::scalarProvider();
+    crypto::PipelinedProvider pipelined;
+
+    bool all_identical = true;
+    std::printf("{\n  \"bench\": \"engine_pipeline\",\n");
+    std::printf("  \"cycle_hz\": %.0f,\n", cycleHz());
+    std::printf("  \"smoke\": %s,\n", smoke ? "true" : "false");
+    std::printf("  \"results\": [\n");
+    bool first = true;
+    // Per-suite worst (largest) cpu ratio over the >= 32 KB payloads:
+    // the quantity the Section 6.2 acceptance bound (<= 0.9x) gates.
+    std::vector<double> worst(std::size(suites), 0.0);
+    for (size_t si = 0; si < std::size(suites); ++si) {
+        CipherSuiteId id = suites[si];
+        for (size_t size : sizes) {
+            Bytes payload = benchPayload(size, size * 31 + 7);
+            bool identical =
+                wireIdentical(scalar, pipelined, id, payload);
+            all_identical = all_identical && identical;
+            Sample sc = measure(scalar, id, payload, reps);
+            Sample pi = measure(pipelined, id, payload, reps);
+            std::printf(
+                "%s    {\"suite\": \"%s\", \"payload_bytes\": %zu, "
+                "\"wire_identical\": %s,\n"
+                "     \"scalar\": {\"cpu_cycles_per_byte\": %.3f, "
+                "\"wall_cycles_per_byte\": %.3f},\n"
+                "     \"pipelined\": {\"cpu_cycles_per_byte\": %.3f, "
+                "\"wall_cycles_per_byte\": %.3f},\n"
+                "     \"cpu_ratio\": %.3f, \"wall_ratio\": %.3f}",
+                first ? "" : ",\n", suiteName(id), size,
+                identical ? "true" : "false", sc.cpuCyclesPerByte,
+                sc.wallCyclesPerByte, pi.cpuCyclesPerByte,
+                pi.wallCyclesPerByte,
+                pi.cpuCyclesPerByte / sc.cpuCyclesPerByte,
+                pi.wallCyclesPerByte / sc.wallCyclesPerByte);
+            first = false;
+            if (size >= 32768)
+                worst[si] = std::max(
+                    worst[si], pi.cpuCyclesPerByte / sc.cpuCyclesPerByte);
+        }
+    }
+    std::printf("\n  ],\n");
+
+    // Section 6.2 summary. The offload can only remove the MAC's share
+    // of the bulk cost, so suites where the cipher dwarfs the hash
+    // (3DES at ~170 software cycles/byte vs ~10 for SHA-1) sit near
+    // 1.0 by Amdahl's law; the overlap win criterion is demonstrated
+    // on the suites whose MAC share is substantial (AES-CBC, RC4).
+    bool win = false;
+    std::printf("  \"overlap_win_32k\": {");
+    for (size_t si = 0; si < std::size(suites); ++si) {
+        bool pass = worst[si] > 0.0 && worst[si] <= 0.9;
+        win = win || pass;
+        std::printf("%s\"%s\": {\"worst_cpu_ratio\": %.3f, "
+                    "\"le_0_9\": %s}",
+                    si ? ", " : "", suiteName(suites[si]), worst[si],
+                    pass ? "true" : "false");
+    }
+    std::printf("},\n");
+    std::printf("  \"overlap_win_demonstrated\": %s,\n",
+                win ? "true" : "false");
+    std::printf("  \"all_wire_identical\": %s\n}\n",
+                all_identical ? "true" : "false");
+
+    if (!all_identical) {
+        std::fprintf(stderr, "FAIL: pipelined wire bytes diverged from "
+                             "the scalar path\n");
+        return 1;
+    }
+    if (!win) {
+        std::fprintf(stderr, "FAIL: no suite met the <= 0.9x overlap "
+                             "bound at >= 32 KB\n");
+        return 1;
+    }
+    return 0;
+}

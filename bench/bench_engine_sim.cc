@@ -29,7 +29,7 @@ cipherCyclesPerByte(crypto::CipherAlg alg)
     Bytes key = benchPayload(info.keyLen, 61);
     Bytes iv = benchPayload(info.ivLen, 62);
     Bytes data = benchPayload(16384, 63);
-    auto cipher = crypto::Cipher::create(alg, key, iv, true);
+    auto cipher = benchProvider().createCipher(alg, key, iv, true);
     return cyclesPerCall(
                [&] {
                    cipher->process(data.data(), data.data(),

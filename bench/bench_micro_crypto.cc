@@ -128,7 +128,7 @@ BM_CbcBulk(benchmark::State &state)
     Bytes key = bench::benchPayload(info.keyLen, 6);
     Bytes iv = bench::benchPayload(info.ivLen, 7);
     Bytes data = bench::benchPayload(16384, 8);
-    auto cipher = Cipher::create(alg, key, iv, true);
+    auto cipher = bench::benchProvider().createCipher(alg, key, iv, true);
     for (auto _ : state) {
         cipher->process(data.data(), data.data(), data.size());
         benchmark::DoNotOptimize(data.data());

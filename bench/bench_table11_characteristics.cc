@@ -30,7 +30,7 @@ cipherThroughput(crypto::CipherAlg alg, size_t len = 64 * 1024)
     Bytes key = benchPayload(info.keyLen, 21);
     Bytes iv = benchPayload(info.ivLen, 22);
     Bytes data = benchPayload(len, 23);
-    auto cipher = crypto::Cipher::create(alg, key, iv, true);
+    auto cipher = benchProvider().createCipher(alg, key, iv, true);
     return throughputMBps(
         [&] { cipher->process(data.data(), data.data(), len); }, len,
         30);

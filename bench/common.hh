@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "crypto/provider.hh"
 #include "crypto/rsa.hh"
 #include "pki/cert.hh"
 #include "util/cycles.hh"
@@ -72,6 +73,17 @@ throughputMBps(F &&fn, size_t bytes, int iters)
     double cycles = cyclesPerCall(fn, iters);
     double seconds = cycles / cycleHz();
     return (static_cast<double>(bytes) / 1e6) / seconds;
+}
+
+/**
+ * Provider the benches construct cipher/digest objects through: the
+ * bare scalar kernels, so kernel measurements carry no
+ * instrumentation wrappers.
+ */
+inline crypto::Provider &
+benchProvider()
+{
+    return crypto::scalarProvider();
 }
 
 /** A deterministic RSA key of @p bits (cached per size). */

@@ -11,6 +11,7 @@
 
 #include "crypto/cipher.hh"
 #include "crypto/md5.hh"
+#include "crypto/provider.hh"
 #include "crypto/rsa.hh"
 #include "crypto/sha1.hh"
 #include "perf/report.hh"
@@ -57,7 +58,7 @@ main()
     perf::TablePrinter digests("Digest throughput (MB/s)");
     digests.setHeader({"algorithm", "64B", "256B", "1KB", "8KB"});
     for (DigestAlg alg : {DigestAlg::MD5, DigestAlg::SHA1}) {
-        auto d = Digest::create(alg);
+        auto d = scalarProvider().createDigest(alg);
         std::vector<std::string> row{d->name()};
         for (size_t len : sizes) {
             Bytes data = payload(len);
@@ -85,7 +86,7 @@ main()
         Xoshiro256 rng(static_cast<uint64_t>(alg));
         Bytes key = rng.bytes(info.keyLen);
         Bytes iv = rng.bytes(info.ivLen);
-        auto cipher = Cipher::create(alg, key, iv, true);
+        auto cipher = scalarProvider().createCipher(alg, key, iv, true);
         std::vector<std::string> row{info.name};
         for (size_t len : sizes) {
             Bytes data = payload(len);

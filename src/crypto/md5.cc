@@ -37,6 +37,8 @@ Md5::init()
 void
 Md5::update(const uint8_t *data, size_t len)
 {
+    if (!len)
+        return; // empty Bytes may hand us data == nullptr
     totalLen_ += len;
     if (bufferLen_) {
         size_t take = std::min(len, blockBytes - bufferLen_);

@@ -1,0 +1,436 @@
+#include "crypto/provider.hh"
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "perf/probe.hh"
+
+namespace ssla::crypto
+{
+
+// ---------------------------------------------------------------------
+// MacJob
+
+struct MacJob::State
+{
+    // Job inputs (spec copied so the job is self-contained; the data
+    // pointer is the caller's responsibility until wait() returns).
+    RecordMacSpec spec;
+    uint64_t seq = 0;
+    uint8_t type = 0;
+    const uint8_t *data = nullptr;
+    size_t len = 0;
+
+    // Result rendezvous.
+    std::mutex m;
+    std::condition_variable cv;
+    bool ready = false;
+    Bytes mac;
+    std::exception_ptr error;
+
+    void
+    finish(Bytes result, std::exception_ptr err)
+    {
+        {
+            std::lock_guard<std::mutex> lock(m);
+            mac = std::move(result);
+            error = std::move(err);
+            ready = true;
+        }
+        cv.notify_all();
+    }
+};
+
+Bytes
+MacJob::wait()
+{
+    if (!state_)
+        throw std::logic_error("MacJob::wait: empty job");
+    std::unique_lock<std::mutex> lock(state_->m);
+    state_->cv.wait(lock, [&] { return state_->ready; });
+    if (state_->error)
+        std::rethrow_exception(state_->error);
+    return state_->mac;
+}
+
+// ---------------------------------------------------------------------
+// Record MAC constructions (SSLv3 pad-concatenation MAC / TLS HMAC)
+
+namespace
+{
+
+/** Pad length bytes for the SSLv3 MAC (48 for MD5, 40 for SHA-1). */
+size_t
+macPadLen(DigestAlg alg)
+{
+    return alg == DigestAlg::MD5 ? 48 : 40;
+}
+
+/**
+ * hash(secret || pad2 || hash(secret || pad1 || seq || type || len ||
+ * data)) — the SSLv3 record MAC, built from @p p 's digests.
+ */
+Bytes
+ssl3RecordMac(Provider &p, const RecordMacSpec &spec, uint64_t seq,
+              uint8_t type, const uint8_t *data, size_t len)
+{
+    size_t pad_len = macPadLen(spec.alg);
+
+    uint8_t header[11];
+    for (int i = 7; i >= 0; --i)
+        header[7 - i] = static_cast<uint8_t>(seq >> (8 * i));
+    header[8] = type;
+    header[9] = static_cast<uint8_t>(len >> 8);
+    header[10] = static_cast<uint8_t>(len);
+
+    auto inner = p.createDigest(spec.alg);
+    inner->update(spec.secret);
+    Bytes pad1(pad_len, 0x36);
+    inner->update(pad1);
+    inner->update(header, sizeof(header));
+    inner->update(data, len);
+    Bytes inner_digest = inner->final();
+
+    auto outer = p.createDigest(spec.alg);
+    outer->update(spec.secret);
+    Bytes pad2(pad_len, 0x5c);
+    outer->update(pad2);
+    outer->update(inner_digest);
+    return outer->final();
+}
+
+/** HMAC(secret, seq || type || version || length || data) — TLS 1.0. */
+Bytes
+tls1RecordMac(Provider &p, const RecordMacSpec &spec, uint64_t seq,
+              uint8_t type, const uint8_t *data, size_t len)
+{
+    uint8_t header[13];
+    for (int i = 7; i >= 0; --i)
+        header[7 - i] = static_cast<uint8_t>(seq >> (8 * i));
+    header[8] = type;
+    header[9] = static_cast<uint8_t>(spec.version >> 8);
+    header[10] = static_cast<uint8_t>(spec.version);
+    header[11] = static_cast<uint8_t>(len >> 8);
+    header[12] = static_cast<uint8_t>(len);
+
+    auto hmac = p.createHmac(spec.alg, spec.secret);
+    hmac->update(header, sizeof(header));
+    hmac->update(data, len);
+    return hmac->final();
+}
+
+Bytes
+computeRecordMacWith(Provider &p, const RecordMacSpec &spec,
+                     uint64_t seq, uint8_t type, const uint8_t *data,
+                     size_t len)
+{
+    if (spec.version >= 0x0301)
+        return tls1RecordMac(p, spec, seq, type, data, len);
+    return ssl3RecordMac(p, spec, seq, type, data, len);
+}
+
+} // anonymous namespace
+
+MacJob
+Provider::submitRecordMac(const RecordMacSpec &spec, uint64_t seq,
+                          uint8_t type, const uint8_t *data, size_t len)
+{
+    // Synchronous providers resolve at submit time.
+    auto state = std::make_shared<MacJob::State>();
+    try {
+        state->mac = recordMac(spec, seq, type, data, len);
+    } catch (...) {
+        state->error = std::current_exception();
+    }
+    state->ready = true;
+    return MacJob(std::move(state));
+}
+
+// ---------------------------------------------------------------------
+// ScalarProvider
+
+std::unique_ptr<Cipher>
+ScalarProvider::createCipher(CipherAlg alg, const Bytes &key,
+                             const Bytes &iv, bool encrypt)
+{
+    return Cipher::create(alg, key, iv, encrypt);
+}
+
+std::unique_ptr<Digest>
+ScalarProvider::createDigest(DigestAlg alg)
+{
+    return Digest::create(alg);
+}
+
+std::unique_ptr<Hmac>
+ScalarProvider::createHmac(DigestAlg alg, const Bytes &key)
+{
+    return std::make_unique<Hmac>(alg, key);
+}
+
+Bytes
+ScalarProvider::recordMac(const RecordMacSpec &spec, uint64_t seq,
+                          uint8_t type, const uint8_t *data, size_t len)
+{
+    return computeRecordMacWith(*this, spec, seq, type, data, len);
+}
+
+Bytes
+ScalarProvider::rsaDecrypt(const RsaPrivateKey &key, const Bytes &cipher)
+{
+    return rsaPrivateDecrypt(key, cipher);
+}
+
+Bytes
+ScalarProvider::rsaSign(const RsaPrivateKey &key,
+                        const Bytes &digest_data)
+{
+    return crypto::rsaSign(key, digest_data);
+}
+
+// ---------------------------------------------------------------------
+// InstrumentedProvider
+
+namespace
+{
+
+/** Probes each process() call under the paper's record-cipher names. */
+class ProbedCipher final : public Cipher
+{
+  public:
+    ProbedCipher(std::unique_ptr<Cipher> inner, const char *probe)
+        : inner_(std::move(inner)), probe_(probe)
+    {}
+
+    const CipherInfo &info() const override { return inner_->info(); }
+
+    void
+    process(const uint8_t *in, uint8_t *out, size_t len) override
+    {
+        perf::FuncProbe probe(probe_);
+        inner_->process(in, out, len);
+    }
+
+  private:
+    std::unique_ptr<Cipher> inner_;
+    const char *probe_; ///< static storage (probe contract)
+};
+
+} // anonymous namespace
+
+std::unique_ptr<Cipher>
+InstrumentedProvider::createCipher(CipherAlg alg, const Bytes &key,
+                                   const Bytes &iv, bool encrypt)
+{
+    return std::make_unique<ProbedCipher>(
+        inner_.createCipher(alg, key, iv, encrypt),
+        encrypt ? "pri_encryption" : "pri_decryption");
+}
+
+std::unique_ptr<Digest>
+InstrumentedProvider::createDigest(DigestAlg alg)
+{
+    return inner_.createDigest(alg);
+}
+
+std::unique_ptr<Hmac>
+InstrumentedProvider::createHmac(DigestAlg alg, const Bytes &key)
+{
+    return inner_.createHmac(alg, key);
+}
+
+Bytes
+InstrumentedProvider::recordMac(const RecordMacSpec &spec, uint64_t seq,
+                                uint8_t type, const uint8_t *data,
+                                size_t len)
+{
+    perf::FuncProbe probe("mac");
+    return inner_.recordMac(spec, seq, type, data, len);
+}
+
+Bytes
+InstrumentedProvider::rsaDecrypt(const RsaPrivateKey &key,
+                                 const Bytes &cipher)
+{
+    // rsaPrivateDecrypt self-probes ("rsa_private_decryption" and the
+    // six Table 7 step probes); no extra bracket here.
+    return inner_.rsaDecrypt(key, cipher);
+}
+
+Bytes
+InstrumentedProvider::rsaSign(const RsaPrivateKey &key,
+                              const Bytes &digest_data)
+{
+    return inner_.rsaSign(key, digest_data);
+}
+
+// ---------------------------------------------------------------------
+// PipelinedProvider
+
+struct PipelinedProvider::Engine
+{
+    explicit Engine(ScalarProvider &scalar) : scalar(scalar)
+    {
+        worker = std::thread([this] { run(); });
+    }
+
+    ~Engine()
+    {
+        {
+            std::lock_guard<std::mutex> lock(m);
+            stopping = true;
+        }
+        cv.notify_all();
+        worker.join();
+    }
+
+    void
+    submit(std::shared_ptr<MacJob::State> job)
+    {
+        {
+            std::lock_guard<std::mutex> lock(m);
+            queue.push_back(std::move(job));
+        }
+        cv.notify_one();
+    }
+
+    void
+    run()
+    {
+        for (;;) {
+            std::shared_ptr<MacJob::State> job;
+            {
+                std::unique_lock<std::mutex> lock(m);
+                cv.wait(lock,
+                        [&] { return stopping || !queue.empty(); });
+                if (queue.empty())
+                    return; // stopping and drained
+                job = std::move(queue.front());
+                queue.pop_front();
+            }
+            Bytes mac;
+            std::exception_ptr err;
+            try {
+                mac = computeRecordMacWith(scalar, job->spec, job->seq,
+                                           job->type, job->data,
+                                           job->len);
+            } catch (...) {
+                err = std::current_exception();
+            }
+            job->finish(std::move(mac), std::move(err));
+        }
+    }
+
+    ScalarProvider &scalar;
+    std::mutex m;
+    std::condition_variable cv;
+    std::deque<std::shared_ptr<MacJob::State>> queue;
+    bool stopping = false;
+    std::thread worker;
+};
+
+PipelinedProvider::PipelinedProvider()
+    : engine_(std::make_unique<Engine>(scalar_))
+{
+}
+
+PipelinedProvider::~PipelinedProvider() = default;
+
+std::unique_ptr<Cipher>
+PipelinedProvider::createCipher(CipherAlg alg, const Bytes &key,
+                                const Bytes &iv, bool encrypt)
+{
+    return scalar_.createCipher(alg, key, iv, encrypt);
+}
+
+std::unique_ptr<Digest>
+PipelinedProvider::createDigest(DigestAlg alg)
+{
+    return scalar_.createDigest(alg);
+}
+
+std::unique_ptr<Hmac>
+PipelinedProvider::createHmac(DigestAlg alg, const Bytes &key)
+{
+    return scalar_.createHmac(alg, key);
+}
+
+Bytes
+PipelinedProvider::recordMac(const RecordMacSpec &spec, uint64_t seq,
+                             uint8_t type, const uint8_t *data,
+                             size_t len)
+{
+    return computeRecordMacWith(scalar_, spec, seq, type, data, len);
+}
+
+MacJob
+PipelinedProvider::submitRecordMac(const RecordMacSpec &spec,
+                                   uint64_t seq, uint8_t type,
+                                   const uint8_t *data, size_t len)
+{
+    auto state = std::make_shared<MacJob::State>();
+    state->spec = spec;
+    state->seq = seq;
+    state->type = type;
+    state->data = data;
+    state->len = len;
+    engine_->submit(state);
+    return MacJob(std::move(state));
+}
+
+Bytes
+PipelinedProvider::rsaDecrypt(const RsaPrivateKey &key,
+                              const Bytes &cipher)
+{
+    return scalar_.rsaDecrypt(key, cipher);
+}
+
+Bytes
+PipelinedProvider::rsaSign(const RsaPrivateKey &key,
+                           const Bytes &digest_data)
+{
+    return scalar_.rsaSign(key, digest_data);
+}
+
+// ---------------------------------------------------------------------
+// Registry
+
+Provider &
+scalarProvider()
+{
+    static ScalarProvider provider;
+    return provider;
+}
+
+Provider &
+defaultProvider()
+{
+    static InstrumentedProvider provider(scalarProvider());
+    return provider;
+}
+
+std::unique_ptr<Provider>
+createProvider(const std::string &name)
+{
+    if (name == "scalar")
+        return std::make_unique<ScalarProvider>();
+    if (name == "instrumented")
+        return std::make_unique<InstrumentedProvider>(scalarProvider());
+    if (name == "pipelined")
+        return std::make_unique<PipelinedProvider>();
+    throw std::invalid_argument("createProvider: unknown provider '" +
+                                name + "'");
+}
+
+const std::vector<std::string> &
+providerNames()
+{
+    static const std::vector<std::string> names = {
+        "scalar", "instrumented", "pipelined"};
+    return names;
+}
+
+} // namespace ssla::crypto

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Pluggable crypto provider layer — the dispatch seam between the SSL
+ * stack and the crypto kernels.
+ *
+ * Every cipher, digest and HMAC instance (and every RSA private-key
+ * operation) used by the record layer, the handshake state machines,
+ * the web simulator and the benches is created through a Provider.
+ * Three providers ship:
+ *
+ *  - ScalarProvider: today's synchronous scalar kernels, unchanged.
+ *  - InstrumentedProvider: a decorator that brackets each record-level
+ *    operation with the perf probes the paper's Table 2/3 breakdowns
+ *    use ("mac", "pri_encryption", "pri_decryption"), so the cycle
+ *    accounting lives in the dispatch layer instead of ad-hoc call
+ *    sites.
+ *  - PipelinedProvider: a worker-thread crypto engine implementing the
+ *    paper's Section 6.2 optimization — the record MAC of record n+1
+ *    is computed while record n is being CBC-encrypted (see
+ *    RecordLayer::sendMany()).
+ *
+ * The record MAC is a first-class provider operation (rather than a
+ * digest-level composition at the call site) because it is the unit a
+ * hardware engine would accept: the paper's Figure 6 control unit
+ * fetches whole record descriptors, not individual hash blocks.
+ */
+
+#ifndef SSLA_CRYPTO_PROVIDER_HH
+#define SSLA_CRYPTO_PROVIDER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "crypto/cipher.hh"
+#include "crypto/digest.hh"
+#include "crypto/hmac.hh"
+#include "crypto/rsa.hh"
+
+namespace ssla::crypto
+{
+
+/**
+ * Immutable parameters of one direction's record MAC: which digest,
+ * the MAC secret, and the protocol version selecting the construction
+ * (0x0300 = SSLv3 pad-concatenation MAC, 0x0301+ = TLS 1.0 HMAC).
+ */
+struct RecordMacSpec
+{
+    DigestAlg alg = DigestAlg::SHA1;
+    Bytes secret;
+    uint16_t version = 0x0300;
+};
+
+/**
+ * Handle to a (possibly asynchronous) record-MAC computation.
+ *
+ * Synchronous providers resolve the job at submit time; the pipelined
+ * provider resolves it on its worker thread. wait() blocks until the
+ * MAC is available and rethrows any exception the job raised.
+ */
+class MacJob
+{
+  public:
+    struct State;
+
+    MacJob() = default;
+    explicit MacJob(std::shared_ptr<State> state)
+        : state_(std::move(state))
+    {}
+
+    /** Block until the MAC is ready and return it. */
+    Bytes wait();
+
+    bool valid() const { return state_ != nullptr; }
+
+  private:
+    std::shared_ptr<State> state_;
+};
+
+/**
+ * A crypto engine: the factory for all cipher/digest/HMAC instances
+ * plus the dispatch point for record MACs and RSA private-key
+ * operations.
+ */
+class Provider
+{
+  public:
+    virtual ~Provider() = default;
+
+    /** Registry name ("scalar", "instrumented", "pipelined"). */
+    virtual const char *name() const = 0;
+
+    /** Create a bulk-cipher instance (see Cipher). */
+    virtual std::unique_ptr<Cipher> createCipher(CipherAlg alg,
+                                                 const Bytes &key,
+                                                 const Bytes &iv,
+                                                 bool encrypt) = 0;
+
+    /** Create a hash instance (see Digest). */
+    virtual std::unique_ptr<Digest> createDigest(DigestAlg alg) = 0;
+
+    /** Create an HMAC instance keyed with @p key. */
+    virtual std::unique_ptr<Hmac> createHmac(DigestAlg alg,
+                                             const Bytes &key) = 0;
+
+    /**
+     * Compute the record MAC for one fragment (construction selected
+     * by spec.version; see RecordMacSpec).
+     */
+    virtual Bytes recordMac(const RecordMacSpec &spec, uint64_t seq,
+                            uint8_t type, const uint8_t *data,
+                            size_t len) = 0;
+
+    /**
+     * Submit a record MAC for (possibly asynchronous) computation.
+     * @p data must stay valid until the returned job's wait() returns.
+     * The base implementation computes inline.
+     */
+    virtual MacJob submitRecordMac(const RecordMacSpec &spec,
+                                   uint64_t seq, uint8_t type,
+                                   const uint8_t *data, size_t len);
+
+    /** RSA private-key decryption (PKCS#1 v1.5). */
+    virtual Bytes rsaDecrypt(const RsaPrivateKey &key,
+                             const Bytes &cipher) = 0;
+
+    /** RSA private-key signature (PKCS#1 type 1). */
+    virtual Bytes rsaSign(const RsaPrivateKey &key,
+                          const Bytes &digest_data) = 0;
+
+    /**
+     * True when submitRecordMac() overlaps with the caller — i.e. the
+     * record layer should use the scatter/gather pipeline in
+     * sendMany() to realize the paper's Section 6.2 MAC/encrypt
+     * overlap.
+     */
+    virtual bool pipelined() const { return false; }
+};
+
+/** The plain synchronous scalar-kernel provider. */
+class ScalarProvider final : public Provider
+{
+  public:
+    const char *name() const override { return "scalar"; }
+    std::unique_ptr<Cipher> createCipher(CipherAlg alg, const Bytes &key,
+                                         const Bytes &iv,
+                                         bool encrypt) override;
+    std::unique_ptr<Digest> createDigest(DigestAlg alg) override;
+    std::unique_ptr<Hmac> createHmac(DigestAlg alg,
+                                     const Bytes &key) override;
+    Bytes recordMac(const RecordMacSpec &spec, uint64_t seq,
+                    uint8_t type, const uint8_t *data,
+                    size_t len) override;
+    Bytes rsaDecrypt(const RsaPrivateKey &key,
+                     const Bytes &cipher) override;
+    Bytes rsaSign(const RsaPrivateKey &key,
+                  const Bytes &digest_data) override;
+};
+
+/**
+ * Decorator adding the paper's per-operation cycle probes around
+ * another provider's record-level operations. Ciphers created through
+ * it self-report as "pri_encryption"/"pri_decryption" per process()
+ * call and record MACs as "mac" — the names Table 2/3 and the web
+ * simulator's Figure 2 breakdown aggregate.
+ */
+class InstrumentedProvider final : public Provider
+{
+  public:
+    /** Wrap @p inner (not owned; must outlive this provider). */
+    explicit InstrumentedProvider(Provider &inner) : inner_(inner) {}
+
+    const char *name() const override { return "instrumented"; }
+    std::unique_ptr<Cipher> createCipher(CipherAlg alg, const Bytes &key,
+                                         const Bytes &iv,
+                                         bool encrypt) override;
+    std::unique_ptr<Digest> createDigest(DigestAlg alg) override;
+    std::unique_ptr<Hmac> createHmac(DigestAlg alg,
+                                     const Bytes &key) override;
+    Bytes recordMac(const RecordMacSpec &spec, uint64_t seq,
+                    uint8_t type, const uint8_t *data,
+                    size_t len) override;
+    Bytes rsaDecrypt(const RsaPrivateKey &key,
+                     const Bytes &cipher) override;
+    Bytes rsaSign(const RsaPrivateKey &key,
+                  const Bytes &digest_data) override;
+
+  private:
+    Provider &inner_;
+};
+
+/**
+ * The asynchronous engine of the paper's Section 6.2: a worker thread
+ * computes submitted record MACs while the caller keeps encrypting.
+ * Object creation delegates to the scalar kernels; only the record-MAC
+ * operation is offloaded (the CBC chain serializes encryption on the
+ * submitting thread, exactly the constraint the paper notes).
+ */
+class PipelinedProvider final : public Provider
+{
+  public:
+    PipelinedProvider();
+    ~PipelinedProvider() override;
+
+    PipelinedProvider(const PipelinedProvider &) = delete;
+    PipelinedProvider &operator=(const PipelinedProvider &) = delete;
+
+    const char *name() const override { return "pipelined"; }
+    std::unique_ptr<Cipher> createCipher(CipherAlg alg, const Bytes &key,
+                                         const Bytes &iv,
+                                         bool encrypt) override;
+    std::unique_ptr<Digest> createDigest(DigestAlg alg) override;
+    std::unique_ptr<Hmac> createHmac(DigestAlg alg,
+                                     const Bytes &key) override;
+    Bytes recordMac(const RecordMacSpec &spec, uint64_t seq,
+                    uint8_t type, const uint8_t *data,
+                    size_t len) override;
+    MacJob submitRecordMac(const RecordMacSpec &spec, uint64_t seq,
+                           uint8_t type, const uint8_t *data,
+                           size_t len) override;
+    Bytes rsaDecrypt(const RsaPrivateKey &key,
+                     const Bytes &cipher) override;
+    Bytes rsaSign(const RsaPrivateKey &key,
+                  const Bytes &digest_data) override;
+    bool pipelined() const override { return true; }
+
+  private:
+    struct Engine;
+    ScalarProvider scalar_;
+    std::unique_ptr<Engine> engine_;
+};
+
+/** The process-wide scalar provider singleton. */
+Provider &scalarProvider();
+
+/**
+ * The default provider: the instrumented scalar provider, preserving
+ * the library's always-on probe points (a probe with no PerfContext
+ * installed costs one branch).
+ */
+Provider &defaultProvider();
+
+/**
+ * Create an owned provider by registry name: "scalar", "instrumented"
+ * (wrapping the scalar singleton) or "pipelined".
+ * @throws std::invalid_argument for unknown names
+ */
+std::unique_ptr<Provider> createProvider(const std::string &name);
+
+/** All registry names, in presentation order. */
+const std::vector<std::string> &providerNames();
+
+} // namespace ssla::crypto
+
+#endif // SSLA_CRYPTO_PROVIDER_HH

@@ -25,6 +25,8 @@ Sha1::init()
 void
 Sha1::update(const uint8_t *data, size_t len)
 {
+    if (!len)
+        return; // empty Bytes may hand us data == nullptr
     totalLen_ += len;
     if (bufferLen_) {
         size_t take = std::min(len, blockBytes - bufferLen_);

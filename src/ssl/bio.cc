@@ -31,7 +31,8 @@ size_t
 MemBio::read(uint8_t *out, size_t len)
 {
     size_t take = std::min(len, available());
-    std::memcpy(out, buf_.data() + head_, take);
+    if (take)
+        std::memcpy(out, buf_.data() + head_, take);
     head_ += take;
     compact();
     return take;
@@ -41,7 +42,8 @@ size_t
 MemBio::peek(uint8_t *out, size_t len) const
 {
     size_t take = std::min(len, available());
-    std::memcpy(out, buf_.data() + head_, take);
+    if (take)
+        std::memcpy(out, buf_.data() + head_, take);
     return take;
 }
 

@@ -8,7 +8,8 @@ namespace ssla::ssl
 {
 
 SslClient::SslClient(ClientConfig config, BioEndpoint bio)
-    : SslEndpoint(bio, config.randomPool), config_(std::move(config))
+    : SslEndpoint(bio, config.randomPool, config.provider),
+      config_(std::move(config))
 {
     if (config_.suites.empty())
         throw std::invalid_argument("SslClient: no cipher suites");
@@ -279,7 +280,7 @@ SslClient::stepSendClientKeyExchange()
     // Prove possession of the certificate key (CertificateVerify).
     if (sending_client_cert) {
         CertificateVerifyMsg cv;
-        cv.signature = crypto::rsaSign(
+        cv.signature = provider().rsaSign(
             *config_.clientKey,
             hsHash_.certVerifyHash(version_, master_));
         sendHandshake(HandshakeType::CertificateVerify, cv.encode());

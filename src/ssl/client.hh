@@ -40,6 +40,12 @@ struct ClientConfig
     /** Randomness source (defaults to the global pool). */
     crypto::RandomPool *randomPool = nullptr;
     /**
+     * Crypto engine for all cipher/digest/MAC/RSA work on this
+     * connection (see crypto/provider.hh); null selects
+     * crypto::defaultProvider().
+     */
+    crypto::Provider *provider = nullptr;
+    /**
      * Protocol version to offer. Defaults to SSLv3 — the version the
      * paper characterizes; set tls1Version to negotiate TLS 1.0.
      */

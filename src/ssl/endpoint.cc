@@ -5,8 +5,10 @@
 namespace ssla::ssl
 {
 
-SslEndpoint::SslEndpoint(BioEndpoint bio, crypto::RandomPool *pool)
-    : record_(bio), pool_(pool ? pool : &crypto::globalRandomPool())
+SslEndpoint::SslEndpoint(BioEndpoint bio, crypto::RandomPool *pool,
+                         crypto::Provider *provider)
+    : record_(bio, provider),
+      pool_(pool ? pool : &crypto::globalRandomPool())
 {
 }
 

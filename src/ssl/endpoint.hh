@@ -72,8 +72,12 @@ class SslEndpoint
     /** The record layer (exposed for traffic accounting). */
     RecordLayer &record() { return record_; }
 
+    /** The crypto provider this endpoint dispatches through. */
+    crypto::Provider &provider() { return record_.provider(); }
+
   protected:
-    SslEndpoint(BioEndpoint bio, crypto::RandomPool *pool);
+    SslEndpoint(BioEndpoint bio, crypto::RandomPool *pool,
+                crypto::Provider *provider = nullptr);
 
     /** One state-machine step; true if progress was made. */
     virtual bool step() = 0;

@@ -27,12 +27,13 @@ serverKxDigest(const Bytes &client_random, const Bytes &server_random,
 }
 
 Bytes
-signServerKeyExchange(const crypto::RsaPrivateKey &key,
+signServerKeyExchange(crypto::Provider &provider,
+                      const crypto::RsaPrivateKey &key,
                       const Bytes &client_random,
                       const Bytes &server_random, const Bytes &params)
 {
-    // rsaSign self-probes as rsa_private_encryption.
-    return crypto::rsaSign(
+    // The provider's sign op self-probes as rsa_private_encryption.
+    return provider.rsaSign(
         key, serverKxDigest(client_random, server_random, params));
 }
 

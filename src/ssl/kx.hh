@@ -9,6 +9,7 @@
 #ifndef SSLA_SSL_KX_HH
 #define SSLA_SSL_KX_HH
 
+#include "crypto/provider.hh"
 #include "crypto/rsa.hh"
 #include "util/types.hh"
 
@@ -20,11 +21,12 @@ Bytes serverKxDigest(const Bytes &client_random,
                      const Bytes &server_random, const Bytes &params);
 
 /**
- * Sign ephemeral parameters with the server's RSA key (probed as
- * rsa_private_encryption — the signing counterpart of Table 2's
- * rsa_private_decryption).
+ * Sign ephemeral parameters with the server's RSA key, dispatched
+ * through @p provider (probed as rsa_private_encryption — the signing
+ * counterpart of Table 2's rsa_private_decryption).
  */
-Bytes signServerKeyExchange(const crypto::RsaPrivateKey &key,
+Bytes signServerKeyExchange(crypto::Provider &provider,
+                            const crypto::RsaPrivateKey &key,
                             const Bytes &client_random,
                             const Bytes &server_random,
                             const Bytes &params);

@@ -1,72 +1,26 @@
 #include "ssl/record.hh"
 
-#include "crypto/digest.hh"
-#include "crypto/hmac.hh"
-#include "perf/probe.hh"
 #include "util/bytes.hh"
-#include "util/endian.hh"
 
 namespace ssla::ssl
 {
-
-namespace
-{
-
-/** Pad length bytes for the SSLv3 MAC (48 for MD5, 40 for SHA-1). */
-size_t
-macPadLen(crypto::DigestAlg alg)
-{
-    return alg == crypto::DigestAlg::MD5 ? 48 : 40;
-}
-
-} // anonymous namespace
 
 Bytes
 ssl3Mac(crypto::DigestAlg alg, const Bytes &secret, uint64_t seq,
         uint8_t type, const uint8_t *data, size_t len)
 {
-    perf::FuncProbe probe("mac");
-    size_t pad_len = macPadLen(alg);
-
-    uint8_t header[11];
-    store64be(header, seq);
-    header[8] = type;
-    header[9] = static_cast<uint8_t>(len >> 8);
-    header[10] = static_cast<uint8_t>(len);
-
-    auto inner = crypto::Digest::create(alg);
-    inner->update(secret);
-    Bytes pad1(pad_len, 0x36);
-    inner->update(pad1);
-    inner->update(header, sizeof(header));
-    inner->update(data, len);
-    Bytes inner_digest = inner->final();
-
-    auto outer = crypto::Digest::create(alg);
-    outer->update(secret);
-    Bytes pad2(pad_len, 0x5c);
-    outer->update(pad2);
-    outer->update(inner_digest);
-    return outer->final();
+    crypto::RecordMacSpec spec{alg, secret, ssl3Version};
+    return crypto::defaultProvider().recordMac(spec, seq, type, data,
+                                               len);
 }
 
 Bytes
 tls1Mac(crypto::DigestAlg alg, const Bytes &secret, uint64_t seq,
         uint8_t type, uint16_t version, const uint8_t *data, size_t len)
 {
-    perf::FuncProbe probe("mac");
-    uint8_t header[13];
-    store64be(header, seq);
-    header[8] = type;
-    header[9] = static_cast<uint8_t>(version >> 8);
-    header[10] = static_cast<uint8_t>(version);
-    header[11] = static_cast<uint8_t>(len >> 8);
-    header[12] = static_cast<uint8_t>(len);
-
-    crypto::Hmac hmac(alg, secret);
-    hmac.update(header, sizeof(header));
-    hmac.update(data, len);
-    return hmac.final();
+    crypto::RecordMacSpec spec{alg, secret, version};
+    return crypto::defaultProvider().recordMac(spec, seq, type, data,
+                                               len);
 }
 
 void
@@ -84,11 +38,7 @@ RecordLayer::computeMac(const RecordCipherState &dir, uint8_t type,
                         const uint8_t *data, size_t len,
                         uint64_t seq) const
 {
-    if (version_ >= tls1Version) {
-        return tls1Mac(dir.suite->mac, dir.macSecret, seq, type,
-                       version_, data, len);
-    }
-    return ssl3Mac(dir.suite->mac, dir.macSecret, seq, type, data, len);
+    return dir.provider->recordMac(dir.macSpec, seq, type, data, len);
 }
 
 void
@@ -96,8 +46,11 @@ RecordLayer::enableSendCipher(const CipherSuite &suite, Bytes mac_secret,
                               const Bytes &key, const Bytes &iv)
 {
     send_.suite = &suite;
-    send_.macSecret = std::move(mac_secret);
-    send_.cipher = crypto::Cipher::create(suite.cipher, key, iv, true);
+    send_.provider = provider_;
+    send_.macSpec =
+        crypto::RecordMacSpec{suite.mac, std::move(mac_secret),
+                              version_};
+    send_.cipher = provider_->createCipher(suite.cipher, key, iv, true);
     send_.seq = 0;
 }
 
@@ -106,20 +59,19 @@ RecordLayer::enableRecvCipher(const CipherSuite &suite, Bytes mac_secret,
                               const Bytes &key, const Bytes &iv)
 {
     recv_.suite = &suite;
-    recv_.macSecret = std::move(mac_secret);
-    recv_.cipher = crypto::Cipher::create(suite.cipher, key, iv, false);
+    recv_.provider = provider_;
+    recv_.macSpec =
+        crypto::RecordMacSpec{suite.mac, std::move(mac_secret),
+                              version_};
+    recv_.cipher = provider_->createCipher(suite.cipher, key, iv, false);
     recv_.seq = 0;
 }
 
 void
 RecordLayer::send(ContentType type, const uint8_t *data, size_t len)
 {
-    size_t off = 0;
-    do {
-        size_t chunk = std::min(len - off, maxFragment);
-        sendOne(type, data + off, chunk);
-        off += chunk;
-    } while (off < len);
+    std::span<const uint8_t> one{data, len};
+    sendMany(type, &one, 1);
 }
 
 void
@@ -129,34 +81,84 @@ RecordLayer::send(ContentType type, const Bytes &data)
 }
 
 void
-RecordLayer::sendOne(ContentType type, const uint8_t *data, size_t len)
+RecordLayer::sendMany(ContentType type, const std::vector<Bytes> &bufs)
 {
-    Bytes fragment;
-    if (send_.active()) {
-        // fragment = data || MAC || padding.
-        fragment.assign(data, data + len);
-        Bytes mac = computeMac(send_, static_cast<uint8_t>(type), data,
-                               len, send_.seq++);
-        append(fragment, mac);
+    std::vector<std::span<const uint8_t>> iov;
+    iov.reserve(bufs.size());
+    for (const Bytes &b : bufs)
+        iov.emplace_back(b.data(), b.size());
+    sendMany(type, iov.data(), iov.size());
+}
 
-        size_t block = send_.suite->blockLen();
-        if (block > 1) {
-            // SSLv3 padding: fill to a block multiple; the final byte
-            // counts the padding bytes before it.
-            size_t total = fragment.size() + 1;
-            size_t pad = (block - total % block) % block;
-            fragment.insert(fragment.end(), pad + 1,
-                            static_cast<uint8_t>(pad));
-        }
-        {
-            perf::FuncProbe probe("pri_encryption");
-            send_.cipher->process(fragment.data(), fragment.data(),
-                                  fragment.size());
-        }
-    } else {
-        fragment.assign(data, data + len);
+void
+RecordLayer::sendMany(ContentType type,
+                      const std::span<const uint8_t> *iov, size_t iovcnt)
+{
+    size_t total = 0;
+    for (size_t i = 0; i < iovcnt; ++i)
+        total += iov[i].size();
+
+    if (send_.active() && provider_->pipelined() && total > maxFragment) {
+        sendPipelined(type, iov, iovcnt);
+        return;
     }
 
+    // Synchronous path: one fragment at a time, exactly the classic
+    // MAC(n) -> encrypt(n) -> MAC(n+1) -> ... sequence. Fragments that
+    // lie within a single buffer are sent in place; a fragment
+    // straddling buffers is gathered into scratch first.
+    Bytes scratch;
+    size_t buf = 0, off = 0, sent = 0;
+    do {
+        size_t chunk = std::min(total - sent, maxFragment);
+        while (buf < iovcnt && off == iov[buf].size()) {
+            ++buf;
+            off = 0;
+        }
+        if (buf < iovcnt && iov[buf].size() - off >= chunk) {
+            sendOne(type, iov[buf].data() + off, chunk);
+            off += chunk;
+        } else {
+            scratch.clear();
+            size_t need = chunk;
+            while (need) {
+                size_t take =
+                    std::min(need, iov[buf].size() - off);
+                append(scratch, iov[buf].data() + off, take);
+                off += take;
+                need -= take;
+                if (off == iov[buf].size() && need) {
+                    ++buf;
+                    off = 0;
+                }
+            }
+            sendOne(type, scratch.data(), chunk);
+        }
+        sent += chunk;
+    } while (sent < total);
+}
+
+void
+RecordLayer::sealFragment(Bytes &fragment, const Bytes &mac)
+{
+    append(fragment, mac);
+    size_t block = send_.suite->blockLen();
+    if (block > 1) {
+        // SSLv3 padding: fill to a block multiple; the final byte
+        // counts the padding bytes before it.
+        size_t total = fragment.size() + 1;
+        size_t pad = (block - total % block) % block;
+        fragment.insert(fragment.end(), pad + 1,
+                        static_cast<uint8_t>(pad));
+    }
+    send_.cipher->process(fragment.data(), fragment.data(),
+                          fragment.size());
+}
+
+void
+RecordLayer::writeRecord(ContentType type, const Bytes &fragment,
+                         size_t payload_len)
+{
     uint8_t header[5];
     header[0] = static_cast<uint8_t>(type);
     header[1] = static_cast<uint8_t>(version_ >> 8);
@@ -166,8 +168,82 @@ RecordLayer::sendOne(ContentType type, const uint8_t *data, size_t len)
 
     bio_.write(header, sizeof(header));
     bio_.write(fragment);
-    bytesSent_ += len;
+    bytesSent_ += payload_len;
     ++recordsSent_;
+}
+
+void
+RecordLayer::sendOne(ContentType type, const uint8_t *data, size_t len)
+{
+    Bytes fragment;
+    if (send_.active()) {
+        // fragment = data || MAC || padding.
+        fragment.reserve(len + send_.suite->macLen() +
+                         send_.suite->blockLen());
+        fragment.assign(data, data + len);
+        Bytes mac = computeMac(send_, static_cast<uint8_t>(type), data,
+                               len, send_.seq++);
+        sealFragment(fragment, mac);
+    } else {
+        fragment.assign(data, data + len);
+    }
+    writeRecord(type, fragment, len);
+}
+
+void
+RecordLayer::sendPipelined(ContentType type,
+                           const std::span<const uint8_t> *iov,
+                           size_t iovcnt)
+{
+    // Stage every fragment, submit all MAC jobs to the engine, then
+    // encrypt in record order: while record n is CBC-encrypted here,
+    // the engine worker is already hashing record n+1 (Section 6.2).
+    struct Staged
+    {
+        Bytes buf;
+        size_t len = 0;
+        crypto::MacJob job;
+    };
+
+    size_t total = 0;
+    for (size_t i = 0; i < iovcnt; ++i)
+        total += iov[i].size();
+
+    std::vector<Staged> staged;
+    staged.reserve((total + maxFragment - 1) / maxFragment);
+
+    size_t buf = 0, off = 0, sent = 0;
+    size_t mac_len = send_.suite->macLen();
+    size_t block = send_.suite->blockLen();
+    while (sent < total) {
+        size_t chunk = std::min(total - sent, maxFragment);
+        Staged s;
+        s.len = chunk;
+        s.buf.reserve(chunk + mac_len + block);
+        size_t need = chunk;
+        while (need) {
+            while (off == iov[buf].size()) {
+                ++buf;
+                off = 0;
+            }
+            size_t take = std::min(need, iov[buf].size() - off);
+            append(s.buf, iov[buf].data() + off, take);
+            off += take;
+            need -= take;
+        }
+        staged.push_back(std::move(s));
+        Staged &back = staged.back();
+        back.job = provider_->submitRecordMac(
+            send_.macSpec, send_.seq++, static_cast<uint8_t>(type),
+            back.buf.data(), back.len);
+        sent += chunk;
+    }
+
+    for (Staged &s : staged) {
+        Bytes mac = s.job.wait();
+        sealFragment(s.buf, mac);
+        writeRecord(type, s.buf, s.len);
+    }
 }
 
 std::optional<Record>
@@ -198,37 +274,59 @@ RecordLayer::receive()
     if (!recv_.active())
         return Record{type, std::move(fragment)};
 
-    {
-        perf::FuncProbe probe("pri_decryption");
-        recv_.cipher->process(fragment.data(), fragment.data(),
-                              fragment.size());
-    }
+    recv_.cipher->process(fragment.data(), fragment.data(),
+                          fragment.size());
 
     size_t mac_len = recv_.suite->macLen();
     size_t block = recv_.suite->blockLen();
     size_t data_len = fragment.size();
 
+    // Padding is validated in constant time: a single pass with no
+    // early return, folding every check into one mask so a forger
+    // cannot distinguish bad-padding from bad-MAC by timing or alert
+    // (the distinguisher behind padding-oracle attacks on CBC suites).
+    size_t pad_valid = 1;
     if (block > 1) {
         if (fragment.empty() || fragment.size() % block)
             throw SslError(AlertDescription::BadRecordMac,
                            "record: bad block length");
         size_t pad = fragment.back();
-        if (pad + 1 + mac_len > fragment.size())
-            throw SslError(AlertDescription::BadRecordMac,
-                           "record: bad padding length");
-        data_len = fragment.size() - pad - 1;
+        // pad + 1 + mac_len must fit inside the fragment.
+        pad_valid = static_cast<size_t>(
+            pad + 1 + mac_len <= fragment.size());
+        if (version_ >= tls1Version) {
+            // TLS 1.0: every padding byte must equal the pad length.
+            // Scan a fixed window so the pass count does not depend
+            // on the (secret) pad value.
+            size_t scan = std::min<size_t>(fragment.size() - 1, 255);
+            uint8_t diff = 0;
+            for (size_t i = 0; i < scan; ++i) {
+                // Mask is all-ones for positions inside the padding.
+                uint8_t in_pad = static_cast<uint8_t>(
+                    0 - static_cast<uint8_t>(i < pad));
+                diff |= static_cast<uint8_t>(
+                    (fragment[fragment.size() - 2 - i] ^ pad) &
+                    in_pad);
+            }
+            pad_valid &= static_cast<size_t>(diff == 0);
+        }
+        // On invalid padding, proceed with a zero-length pad so the
+        // MAC is still computed (and fails) over a plausible region.
+        size_t claimed = pad & (0 - pad_valid);
+        data_len = fragment.size() - 1 - claimed;
     }
     if (data_len < mac_len)
         throw SslError(AlertDescription::BadRecordMac,
-                       "record: fragment shorter than MAC");
+                       "record: bad record MAC");
     data_len -= mac_len;
 
     Bytes expect = computeMac(recv_, static_cast<uint8_t>(type),
                               fragment.data(), data_len, recv_.seq++);
-    if (!constantTimeEquals(expect.data(), fragment.data() + data_len,
-                            mac_len))
+    size_t mac_valid = static_cast<size_t>(constantTimeEquals(
+        expect.data(), fragment.data() + data_len, mac_len));
+    if (!(pad_valid & mac_valid))
         throw SslError(AlertDescription::BadRecordMac,
-                       "record: MAC mismatch");
+                       "record: bad record MAC");
 
     fragment.resize(data_len);
     return Record{type, std::move(fragment)};

@@ -4,7 +4,14 @@
  *
  * This is where the bulk-data-transfer costs the paper measures live:
  * the "mac" probe covers the SSLv3 pad-concatenation MAC, and
- * "pri_encryption"/"pri_decryption" cover the symmetric cipher work.
+ * "pri_encryption"/"pri_decryption" cover the symmetric cipher work
+ * (all three fire from the crypto provider's dispatch layer — see
+ * crypto/provider.hh).
+ *
+ * All crypto objects are created through a crypto::Provider; with a
+ * pipelined provider, sendMany() realizes the paper's Section 6.2
+ * optimization by computing the MAC of record n+1 on the engine's
+ * worker while record n is being CBC-encrypted.
  */
 
 #ifndef SSLA_SSL_RECORD_HH
@@ -12,7 +19,9 @@
 
 #include <memory>
 #include <optional>
+#include <span>
 
+#include "crypto/provider.hh"
 #include "ssl/alert.hh"
 #include "ssl/bio.hh"
 #include "ssl/ciphersuite.hh"
@@ -48,15 +57,15 @@ struct Record
 /**
  * Compute the SSLv3 MAC:
  * hash(secret || pad2 || hash(secret || pad1 || seq || type || len ||
- * data)). Probed as "mac".
+ * data)). Dispatches through the default provider; probed as "mac".
  */
 Bytes ssl3Mac(crypto::DigestAlg alg, const Bytes &secret, uint64_t seq,
               uint8_t type, const uint8_t *data, size_t len);
 
 /**
  * Compute the TLS 1.0 record MAC:
- * HMAC(secret, seq || type || version || length || data). Probed as
- * "mac".
+ * HMAC(secret, seq || type || version || length || data). Dispatches
+ * through the default provider; probed as "mac".
  */
 Bytes tls1Mac(crypto::DigestAlg alg, const Bytes &secret, uint64_t seq,
               uint8_t type, uint16_t version, const uint8_t *data,
@@ -66,8 +75,9 @@ Bytes tls1Mac(crypto::DigestAlg alg, const Bytes &secret, uint64_t seq,
 struct RecordCipherState
 {
     const CipherSuite *suite = nullptr;
+    crypto::Provider *provider = nullptr; ///< engine serving this direction
     std::unique_ptr<crypto::Cipher> cipher;
-    Bytes macSecret;
+    crypto::RecordMacSpec macSpec; ///< digest, secret, MAC construction
     uint64_t seq = 0;
 
     bool active() const { return suite != nullptr; }
@@ -82,11 +92,31 @@ struct RecordCipherState
 class RecordLayer
 {
   public:
-    explicit RecordLayer(BioEndpoint bio) : bio_(bio) {}
+    /**
+     * @param bio the transport
+     * @param provider crypto engine for both directions; null selects
+     *        crypto::defaultProvider() (instrumented scalar kernels)
+     */
+    explicit RecordLayer(BioEndpoint bio,
+                         crypto::Provider *provider = nullptr)
+        : bio_(bio),
+          provider_(provider ? provider : &crypto::defaultProvider())
+    {}
 
     /** Send @p data as one or more records of @p type. */
     void send(ContentType type, const Bytes &data);
     void send(ContentType type, const uint8_t *data, size_t len);
+
+    /**
+     * Scatter/gather send: the concatenation of @p iov is fragmented
+     * into records of @p type. Under a pipelined provider the record
+     * MACs are computed by the engine worker one record ahead of the
+     * CBC encryption (the paper's Figure 6 overlap); the wire bytes
+     * are identical to the sequential send() path.
+     */
+    void sendMany(ContentType type,
+                  const std::span<const uint8_t> *iov, size_t iovcnt);
+    void sendMany(ContentType type, const std::vector<Bytes> &bufs);
 
     /**
      * Try to read one record. Returns nullopt when the transport does
@@ -120,6 +150,9 @@ class RecordLayer
     /** Currently negotiated (or default SSLv3) version. */
     uint16_t version() const { return version_; }
 
+    /** The crypto engine this channel creates its objects through. */
+    crypto::Provider &provider() { return *provider_; }
+
     /** Plaintext application/handshake bytes sent (for the web sim). */
     uint64_t bytesSent() const { return bytesSent_; }
     uint64_t recordsSent() const { return recordsSent_; }
@@ -127,11 +160,24 @@ class RecordLayer
   private:
     void sendOne(ContentType type, const uint8_t *data, size_t len);
 
-    /** MAC dispatch on the negotiated version. */
+    /** The overlapped multi-record path (pipelined providers). */
+    void sendPipelined(ContentType type,
+                       const std::span<const uint8_t> *iov,
+                       size_t iovcnt);
+
+    /** Append MAC + padding to a staged fragment and encrypt it. */
+    void sealFragment(Bytes &fragment, const Bytes &mac);
+
+    /** Write the 5-byte header and the (sealed) fragment. */
+    void writeRecord(ContentType type, const Bytes &fragment,
+                     size_t payload_len);
+
+    /** MAC dispatch on the direction's provider and spec. */
     Bytes computeMac(const RecordCipherState &dir, uint8_t type,
                      const uint8_t *data, size_t len, uint64_t seq) const;
 
     BioEndpoint bio_;
+    crypto::Provider *provider_;
     RecordCipherState send_;
     RecordCipherState recv_;
     uint16_t version_ = ssl3Version;

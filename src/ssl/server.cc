@@ -10,7 +10,8 @@ namespace ssla::ssl
 {
 
 SslServer::SslServer(ServerConfig config, BioEndpoint bio)
-    : SslEndpoint(bio, config.randomPool), config_(std::move(config))
+    : SslEndpoint(bio, config.randomPool, config.provider),
+      config_(std::move(config))
 {
     perf::FuncProbe probe("step0_init");
     if (!config_.privateKey)
@@ -190,7 +191,7 @@ SslServer::stepSendServerKeyExchange()
     msg.g = group.g.toBytesBE();
     msg.publicValue = dhKey_.pub.toBytesBE();
     msg.signature = signServerKeyExchange(
-        *config_.privateKey, clientRandom_, serverRandom_,
+        provider(), *config_.privateKey, clientRandom_, serverRandom_,
         msg.signedParams());
     sendHandshake(HandshakeType::ServerKeyExchange, msg.encode());
     state_ = config_.requestClientCertificate
@@ -289,8 +290,8 @@ SslServer::stepGetClientKeyExchange()
         // RSA-decrypt the 48-byte pre-master (rsa_private_decryption).
         auto ckx = ClientKeyExchangeMsg::parse(msg->body);
         try {
-            premaster = crypto::rsaPrivateDecrypt(
-                *config_.privateKey, ckx.encryptedPreMaster);
+            premaster = provider().rsaDecrypt(*config_.privateKey,
+                                              ckx.encryptedPreMaster);
         } catch (const std::exception &) {
             fail(AlertDescription::HandshakeFailure,
                  "pre-master decryption failed");

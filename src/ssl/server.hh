@@ -34,6 +34,12 @@ struct ServerConfig
     /** Randomness source (defaults to the global pool). */
     crypto::RandomPool *randomPool = nullptr;
     /**
+     * Crypto engine for all cipher/digest/MAC/RSA work on this
+     * connection (see crypto/provider.hh); null selects
+     * crypto::defaultProvider().
+     */
+    crypto::Provider *provider = nullptr;
+    /**
      * Highest protocol version to accept (the server speaks both
      * SSLv3 and TLS 1.0 and follows the client down).
      */

@@ -6,6 +6,10 @@
 #include <x86intrin.h>
 #endif
 
+#if defined(__linux__) || defined(__APPLE__)
+#include <time.h>
+#endif
+
 namespace ssla
 {
 
@@ -54,6 +58,20 @@ double
 cyclesToSeconds(uint64_t cycles)
 {
     return static_cast<double>(cycles) / cycleHz();
+}
+
+uint64_t
+threadCpuCycles()
+{
+#if defined(__linux__) || defined(__APPLE__)
+    struct timespec ts;
+    if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+        double secs = static_cast<double>(ts.tv_sec) +
+                      static_cast<double>(ts.tv_nsec) * 1e-9;
+        return static_cast<uint64_t>(secs * cycleHz());
+    }
+#endif
+    return rdcycles();
 }
 
 } // namespace ssla

@@ -31,6 +31,19 @@ double cycleHz();
 double cyclesToSeconds(uint64_t cycles);
 
 /**
+ * CPU time consumed by the calling thread, expressed in cycles
+ * (CLOCK_THREAD_CPUTIME_ID scaled by cycleHz(); falls back to
+ * rdcycles() where that clock is unavailable).
+ *
+ * Unlike rdcycles(), this excludes time the thread spent descheduled
+ * and work done by other threads, so it isolates the "main CPU" cost
+ * when crypto is offloaded to a worker — the quantity the paper's
+ * Figure 6 overlap analysis frees up, independent of whether the host
+ * actually has a spare core to run the worker on.
+ */
+uint64_t threadCpuCycles();
+
+/**
  * Simple start/stop cycle timer.
  *
  * The paper brackets code regions with rdtsc reads; CycleTimer is the

@@ -34,6 +34,7 @@ TransactionStats::total() const
 struct WebSimulator::Impl
 {
     WebSimConfig config;
+    std::unique_ptr<crypto::Provider> provider;
     crypto::RsaKeyPair serverKey;
     pki::Certificate certificate;
     ssl::SessionCache sessionCache{256};
@@ -41,7 +42,8 @@ struct WebSimulator::Impl
     ssl::Session lastSession;
 
     explicit Impl(const WebSimConfig &cfg)
-        : config(cfg), pool(Bytes{0x42})
+        : config(cfg), provider(crypto::createProvider(cfg.provider)),
+          pool(Bytes{0x42})
     {
         Xoshiro256 rng(cfg.seed);
         bn::RngFunc rf = [&rng](uint8_t *out, size_t len) {
@@ -118,10 +120,12 @@ WebSimulator::runSession(size_t requests, size_t file_size,
     scfg.suites = {im.config.suite};
     scfg.sessionCache = &im.sessionCache;
     scfg.randomPool = &im.pool;
+    scfg.provider = im.provider.get();
 
     ssl::ClientConfig ccfg;
     ccfg.suites = {im.config.suite};
     ccfg.randomPool = &im.pool;
+    ccfg.provider = im.provider.get();
     if (resume_session && im.lastSession.valid())
         ccfg.resumeSession = im.lastSession;
 

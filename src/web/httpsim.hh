@@ -14,6 +14,7 @@
 #define SSLA_WEB_HTTPSIM_HH
 
 #include <memory>
+#include <string>
 
 #include "ssl/client.hh"
 #include "ssl/server.hh"
@@ -66,6 +67,12 @@ struct WebSimConfig
     KernelModelParams model;
     /** Deterministic seed for key generation and randoms. */
     uint64_t seed = 0x55aa55aa;
+    /**
+     * Crypto provider registry name for both endpoints (see
+     * crypto/provider.hh). The default keeps the dispatch-layer
+     * probes the Table 1 / Figure 2 breakdowns aggregate.
+     */
+    std::string provider = "instrumented";
 };
 
 /**

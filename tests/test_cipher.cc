@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "crypto/cipher.hh"
+#include "crypto/provider.hh"
 #include "util/hex.hh"
 #include "util/rng.hh"
 
@@ -39,9 +40,9 @@ TEST_P(CipherRoundTrip, EncryptDecrypt)
         size_t len = info.blockLen * blocks;
         Bytes pt = rng.bytes(len);
 
-        auto enc = Cipher::create(alg, key, iv, true);
+        auto enc = crypto::scalarProvider().createCipher(alg, key, iv, true);
         Bytes ct = enc->process(pt);
-        auto dec = Cipher::create(alg, key, iv, false);
+        auto dec = crypto::scalarProvider().createCipher(alg, key, iv, false);
         Bytes back = dec->process(ct);
         EXPECT_EQ(back, pt) << info.name << " blocks=" << blocks;
         if (alg != CipherAlg::Null) {
@@ -69,21 +70,21 @@ TEST(Cipher, InfoTable)
 TEST(Cipher, BadKeyLengthThrows)
 {
     Bytes iv(16);
-    EXPECT_THROW(Cipher::create(CipherAlg::Aes128Cbc, Bytes(15), iv,
+    EXPECT_THROW(crypto::scalarProvider().createCipher(CipherAlg::Aes128Cbc, Bytes(15), iv,
                                 true),
                  std::invalid_argument);
 }
 
 TEST(Cipher, BadIvLengthThrows)
 {
-    EXPECT_THROW(Cipher::create(CipherAlg::Aes128Cbc, Bytes(16),
+    EXPECT_THROW(crypto::scalarProvider().createCipher(CipherAlg::Aes128Cbc, Bytes(16),
                                 Bytes(8), true),
                  std::invalid_argument);
 }
 
 TEST(Cipher, CbcPartialBlockThrows)
 {
-    auto c = Cipher::create(CipherAlg::DesCbc, Bytes(8), Bytes(8), true);
+    auto c = crypto::scalarProvider().createCipher(CipherAlg::DesCbc, Bytes(8), Bytes(8), true);
     Bytes data(12); // not a multiple of 8
     EXPECT_THROW(c->process(data), std::invalid_argument);
 }
@@ -94,7 +95,7 @@ TEST(Cipher, CbcChainingLinksBlocks)
     Xoshiro256 rng(2);
     Bytes key = rng.bytes(16);
     Bytes iv = rng.bytes(16);
-    auto enc = Cipher::create(CipherAlg::Aes128Cbc, key, iv, true);
+    auto enc = crypto::scalarProvider().createCipher(CipherAlg::Aes128Cbc, key, iv, true);
     Bytes pt(32, 0x5a); // two identical blocks
     Bytes ct = enc->process(pt);
     EXPECT_NE(Bytes(ct.begin(), ct.begin() + 16),
@@ -106,9 +107,9 @@ TEST(Cipher, CbcIvMatters)
     Xoshiro256 rng(3);
     Bytes key = rng.bytes(16);
     Bytes pt = rng.bytes(16);
-    auto e1 = Cipher::create(CipherAlg::Aes128Cbc, key, rng.bytes(16),
+    auto e1 = crypto::scalarProvider().createCipher(CipherAlg::Aes128Cbc, key, rng.bytes(16),
                              true);
-    auto e2 = Cipher::create(CipherAlg::Aes128Cbc, key, rng.bytes(16),
+    auto e2 = crypto::scalarProvider().createCipher(CipherAlg::Aes128Cbc, key, rng.bytes(16),
                              true);
     EXPECT_NE(e1->process(pt), e2->process(pt));
 }
@@ -121,10 +122,10 @@ TEST(Cipher, CbcStateCarriesAcrossCalls)
     Bytes iv = rng.bytes(8);
     Bytes pt = rng.bytes(48);
 
-    auto whole = Cipher::create(CipherAlg::Des3Cbc, key, iv, true);
+    auto whole = crypto::scalarProvider().createCipher(CipherAlg::Des3Cbc, key, iv, true);
     Bytes expect = whole->process(pt);
 
-    auto split = Cipher::create(CipherAlg::Des3Cbc, key, iv, true);
+    auto split = crypto::scalarProvider().createCipher(CipherAlg::Des3Cbc, key, iv, true);
     Bytes got(48);
     split->process(pt.data(), got.data(), 16);
     split->process(pt.data() + 16, got.data() + 16, 32);
@@ -138,9 +139,9 @@ TEST(Cipher, CbcDecryptInPlace)
     Bytes iv = rng.bytes(16);
     Bytes pt = rng.bytes(64);
 
-    auto enc = Cipher::create(CipherAlg::Aes128Cbc, key, iv, true);
+    auto enc = crypto::scalarProvider().createCipher(CipherAlg::Aes128Cbc, key, iv, true);
     Bytes buf = enc->process(pt);
-    auto dec = Cipher::create(CipherAlg::Aes128Cbc, key, iv, false);
+    auto dec = crypto::scalarProvider().createCipher(CipherAlg::Aes128Cbc, key, iv, false);
     dec->process(buf.data(), buf.data(), buf.size());
     EXPECT_EQ(buf, pt);
 }
@@ -152,10 +153,10 @@ TEST(Cipher, CbcEncryptInPlace)
     Bytes iv = rng.bytes(16);
     Bytes pt = rng.bytes(64);
 
-    auto ref = Cipher::create(CipherAlg::Aes128Cbc, key, iv, true);
+    auto ref = crypto::scalarProvider().createCipher(CipherAlg::Aes128Cbc, key, iv, true);
     Bytes expect = ref->process(pt);
 
-    auto enc = Cipher::create(CipherAlg::Aes128Cbc, key, iv, true);
+    auto enc = crypto::scalarProvider().createCipher(CipherAlg::Aes128Cbc, key, iv, true);
     Bytes buf = pt;
     enc->process(buf.data(), buf.data(), buf.size());
     EXPECT_EQ(buf, expect);
@@ -163,7 +164,7 @@ TEST(Cipher, CbcEncryptInPlace)
 
 TEST(Cipher, NullCipherIsIdentity)
 {
-    auto c = Cipher::create(CipherAlg::Null, Bytes{}, Bytes{}, true);
+    auto c = crypto::scalarProvider().createCipher(CipherAlg::Null, Bytes{}, Bytes{}, true);
     Bytes data = {1, 2, 3, 4, 5};
     EXPECT_EQ(c->process(data), data);
 }

@@ -165,12 +165,12 @@ TEST(Probes, InclusiveExclusiveNesting)
     {
         ContextScope scope(&ctx);
         FuncProbe outer("outer");
-        volatile int sink = 0;
-        for (int j = 0; j < 1000; ++j)
+        volatile unsigned sink = 0;
+        for (unsigned j = 0; j < 1000; ++j)
             sink = sink + j;
         {
             FuncProbe inner("inner");
-            for (int j = 0; j < 100000; ++j)
+            for (unsigned j = 0; j < 100000; ++j)
                 sink = sink + j;
         }
     }

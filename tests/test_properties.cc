@@ -9,6 +9,7 @@
 
 #include "bn/modexp.hh"
 #include "crypto/cipher.hh"
+#include "crypto/provider.hh"
 #include "crypto/des.hh"
 #include "crypto/rsa.hh"
 #include "ssl/record.hh"
@@ -137,7 +138,7 @@ TEST(CbcProperties, BitFlipGarblesExactlyTwoBlocks)
     Bytes iv = rng.bytes(16);
     Bytes pt = rng.bytes(16 * 8);
 
-    auto enc = crypto::Cipher::create(crypto::CipherAlg::Aes128Cbc, key,
+    auto enc = crypto::scalarProvider().createCipher(crypto::CipherAlg::Aes128Cbc, key,
                                       iv, true);
     Bytes ct = enc->process(pt);
 
@@ -147,7 +148,7 @@ TEST(CbcProperties, BitFlipGarblesExactlyTwoBlocks)
         tampered[block * 16 + bit / 8] ^=
             static_cast<uint8_t>(1u << (bit % 8));
 
-        auto dec = crypto::Cipher::create(crypto::CipherAlg::Aes128Cbc,
+        auto dec = crypto::scalarProvider().createCipher(crypto::CipherAlg::Aes128Cbc,
                                           key, iv, false);
         Bytes out = dec->process(tampered);
 
@@ -178,9 +179,9 @@ TEST(CbcProperties, FirstBlockDependsOnIv)
     Bytes iv2 = iv1;
     iv2[0] ^= 1;
 
-    auto e1 = crypto::Cipher::create(crypto::CipherAlg::Aes128Cbc, key,
+    auto e1 = crypto::scalarProvider().createCipher(crypto::CipherAlg::Aes128Cbc, key,
                                      iv1, true);
-    auto e2 = crypto::Cipher::create(crypto::CipherAlg::Aes128Cbc, key,
+    auto e2 = crypto::scalarProvider().createCipher(crypto::CipherAlg::Aes128Cbc, key,
                                      iv2, true);
     Bytes c1 = e1->process(pt);
     Bytes c2 = e2->process(pt);

@@ -232,6 +232,121 @@ TEST(Record, EmptyPayloadStillProducesRecord)
     EXPECT_TRUE(rec->payload.empty());
 }
 
+/**
+ * Hand-build an encrypted AES-CBC record whose decrypted fragment is
+ * exactly @p plaintext, and feed it to a fresh receiver armed with the
+ * matching keys. Returns the error the receiver raised.
+ */
+SslError
+deliverCrafted(const Bytes &plaintext, uint16_t version)
+{
+    const CipherSuite &suite =
+        cipherSuite(CipherSuiteId::RSA_AES_128_CBC_SHA);
+    Xoshiro256 rng(0xbad);
+    Bytes mac_secret = rng.bytes(suite.macLen());
+    Bytes key = rng.bytes(suite.keyLen());
+    Bytes iv = rng.bytes(suite.ivLen());
+
+    Bytes fragment = plaintext;
+    crypto::scalarProvider()
+        .createCipher(suite.cipher, key, iv, true)
+        ->process(fragment.data(), fragment.data(), fragment.size());
+
+    BioPair wires;
+    RecordLayer receiver(wires.serverEnd());
+    if (version != ssl3Version)
+        receiver.setVersion(version);
+    receiver.enableRecvCipher(suite, mac_secret, key, iv);
+
+    Bytes wire = {23, static_cast<uint8_t>(version >> 8),
+                  static_cast<uint8_t>(version),
+                  static_cast<uint8_t>(fragment.size() >> 8),
+                  static_cast<uint8_t>(fragment.size())};
+    append(wire, fragment);
+    wires.clientEnd().write(wire);
+
+    try {
+        receiver.receive();
+    } catch (const SslError &e) {
+        return e;
+    }
+    throw std::logic_error("crafted record was accepted");
+}
+
+TEST(Record, BadPaddingAndBadMacAreIndistinguishable)
+{
+    const CipherSuite &suite =
+        cipherSuite(CipherSuiteId::RSA_AES_128_CBC_SHA);
+    Xoshiro256 rng(0xbad);
+    Bytes mac_secret = rng.bytes(suite.macLen());
+    (void)rng.bytes(suite.keyLen());
+    (void)rng.bytes(suite.ivLen());
+
+    // Case 1 — padding invalid, MAC valid: 11 data bytes, the correct
+    // MAC over them, and a pad-length byte (255) that cannot fit in
+    // the fragment. The receiver's fallback treats the pad as empty,
+    // under which the MAC region happens to verify — so any
+    // distinguishable error here could only come from the pad check.
+    Bytes data(11, 0x61);
+    Bytes bad_pad = data;
+    append(bad_pad, ssl3Mac(suite.mac, mac_secret, 0, 23, data.data(),
+                            data.size()));
+    bad_pad.push_back(255);
+    ASSERT_EQ(bad_pad.size() % suite.blockLen(), 0u);
+
+    // Case 2 — padding valid, MAC invalid: same layout with correct
+    // (empty) padding but a corrupted MAC.
+    Bytes bad_mac = data;
+    Bytes mac = ssl3Mac(suite.mac, mac_secret, 0, 23, data.data(),
+                        data.size());
+    mac[0] ^= 0x80;
+    append(bad_mac, mac);
+    bad_mac.push_back(0);
+    ASSERT_EQ(bad_mac.size() % suite.blockLen(), 0u);
+
+    SslError pad_err = deliverCrafted(bad_pad, ssl3Version);
+    SslError mac_err = deliverCrafted(bad_mac, ssl3Version);
+
+    // Identical alert and identical message: no padding oracle.
+    EXPECT_EQ(pad_err.alert(), AlertDescription::BadRecordMac);
+    EXPECT_EQ(mac_err.alert(), AlertDescription::BadRecordMac);
+    EXPECT_STREQ(pad_err.what(), mac_err.what());
+}
+
+TEST(Record, TlsPaddingBytesValidatedWithoutOracle)
+{
+    // TLS 1.0 requires every padding byte to equal the pad length; a
+    // wrong filler byte must fail exactly like a wrong MAC.
+    const CipherSuite &suite =
+        cipherSuite(CipherSuiteId::RSA_AES_128_CBC_SHA);
+    Xoshiro256 rng(0xbad);
+    Bytes mac_secret = rng.bytes(suite.macLen());
+
+    Bytes data(8, 0x62); // 8 + 20 MAC + 3 pad + 1 len = 32
+    auto craft = [&](bool corrupt_filler, bool corrupt_mac) {
+        Bytes frag = data;
+        Bytes mac =
+            tls1Mac(suite.mac, mac_secret, 0, 23, tls1Version,
+                    data.data(), data.size());
+        if (corrupt_mac)
+            mac[3] ^= 0x01;
+        append(frag, mac);
+        frag.insert(frag.end(), 3, corrupt_filler ? 7 : 3);
+        frag.push_back(3);
+        return frag;
+    };
+
+    SslError pad_err = deliverCrafted(craft(true, false), tls1Version);
+    SslError mac_err = deliverCrafted(craft(false, true), tls1Version);
+    EXPECT_EQ(pad_err.alert(), AlertDescription::BadRecordMac);
+    EXPECT_EQ(mac_err.alert(), AlertDescription::BadRecordMac);
+    EXPECT_STREQ(pad_err.what(), mac_err.what());
+
+    // Sanity: the same construction with valid pad and MAC decodes.
+    const Bytes good = craft(false, false);
+    EXPECT_THROW(deliverCrafted(good, tls1Version), std::logic_error);
+}
+
 TEST(Ssl3Mac, DependsOnAllInputs)
 {
     Bytes secret(20, 1);

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "crypto/provider.hh"
 #include "crypto/sha1.hh"
 #include "util/bytes.hh"
 #include "util/hex.hh"
@@ -109,8 +110,8 @@ TEST(Sha1, InterfaceMetadata)
 
 TEST(DigestFactory, CreatesBothAlgorithms)
 {
-    auto md5 = crypto::Digest::create(crypto::DigestAlg::MD5);
-    auto sha = crypto::Digest::create(crypto::DigestAlg::SHA1);
+    auto md5 = crypto::scalarProvider().createDigest(crypto::DigestAlg::MD5);
+    auto sha = crypto::scalarProvider().createDigest(crypto::DigestAlg::SHA1);
     EXPECT_EQ(md5->digestSize(), 16u);
     EXPECT_EQ(sha->digestSize(), 20u);
     EXPECT_EQ(crypto::Digest::digestSize(crypto::DigestAlg::MD5), 16u);
