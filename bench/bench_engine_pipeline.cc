@@ -160,11 +160,12 @@ main(int argc, char **argv)
     crypto::PipelinedProvider pipelined;
 
     bool all_identical = true;
-    std::printf("{\n  \"bench\": \"engine_pipeline\",\n");
-    std::printf("  \"cycle_hz\": %.0f,\n", cycleHz());
-    std::printf("  \"smoke\": %s,\n", smoke ? "true" : "false");
-    std::printf("  \"results\": [\n");
-    bool first = true;
+    JsonWriter j;
+    j.beginObject();
+    j.field("bench", "engine_pipeline");
+    j.field("cycle_hz", cycleHz(), 0);
+    j.field("smoke", smoke);
+    j.beginArray("results");
     // Per-suite worst (largest) cpu ratio over the >= 32 KB payloads:
     // the quantity the Section 6.2 acceptance bound (<= 0.9x) gates.
     std::vector<double> worst(std::size(suites), 0.0);
@@ -177,27 +178,29 @@ main(int argc, char **argv)
             all_identical = all_identical && identical;
             Sample sc = measure(scalar, id, payload, reps);
             Sample pi = measure(pipelined, id, payload, reps);
-            std::printf(
-                "%s    {\"suite\": \"%s\", \"payload_bytes\": %zu, "
-                "\"wire_identical\": %s,\n"
-                "     \"scalar\": {\"cpu_cycles_per_byte\": %.3f, "
-                "\"wall_cycles_per_byte\": %.3f},\n"
-                "     \"pipelined\": {\"cpu_cycles_per_byte\": %.3f, "
-                "\"wall_cycles_per_byte\": %.3f},\n"
-                "     \"cpu_ratio\": %.3f, \"wall_ratio\": %.3f}",
-                first ? "" : ",\n", suiteName(id), size,
-                identical ? "true" : "false", sc.cpuCyclesPerByte,
-                sc.wallCyclesPerByte, pi.cpuCyclesPerByte,
-                pi.wallCyclesPerByte,
-                pi.cpuCyclesPerByte / sc.cpuCyclesPerByte,
-                pi.wallCyclesPerByte / sc.wallCyclesPerByte);
-            first = false;
+            j.beginObject();
+            j.field("suite", suiteName(id));
+            j.field("payload_bytes", static_cast<uint64_t>(size));
+            j.field("wire_identical", identical);
+            j.beginObject("scalar");
+            j.field("cpu_cycles_per_byte", sc.cpuCyclesPerByte);
+            j.field("wall_cycles_per_byte", sc.wallCyclesPerByte);
+            j.endObject();
+            j.beginObject("pipelined");
+            j.field("cpu_cycles_per_byte", pi.cpuCyclesPerByte);
+            j.field("wall_cycles_per_byte", pi.wallCyclesPerByte);
+            j.endObject();
+            j.field("cpu_ratio",
+                    pi.cpuCyclesPerByte / sc.cpuCyclesPerByte);
+            j.field("wall_ratio",
+                    pi.wallCyclesPerByte / sc.wallCyclesPerByte);
+            j.endObject();
             if (size >= 32768)
                 worst[si] = std::max(
                     worst[si], pi.cpuCyclesPerByte / sc.cpuCyclesPerByte);
         }
     }
-    std::printf("\n  ],\n");
+    j.endArray();
 
     // Section 6.2 summary. The offload can only remove the MAC's share
     // of the bulk cost, so suites where the cipher dwarfs the hash
@@ -205,20 +208,19 @@ main(int argc, char **argv)
     // 1.0 by Amdahl's law; the overlap win criterion is demonstrated
     // on the suites whose MAC share is substantial (AES-CBC, RC4).
     bool win = false;
-    std::printf("  \"overlap_win_32k\": {");
+    j.beginObject("overlap_win_32k");
     for (size_t si = 0; si < std::size(suites); ++si) {
         bool pass = worst[si] > 0.0 && worst[si] <= 0.9;
         win = win || pass;
-        std::printf("%s\"%s\": {\"worst_cpu_ratio\": %.3f, "
-                    "\"le_0_9\": %s}",
-                    si ? ", " : "", suiteName(suites[si]), worst[si],
-                    pass ? "true" : "false");
+        j.beginObject(suiteName(suites[si]));
+        j.field("worst_cpu_ratio", worst[si]);
+        j.field("le_0_9", pass);
+        j.endObject();
     }
-    std::printf("},\n");
-    std::printf("  \"overlap_win_demonstrated\": %s,\n",
-                win ? "true" : "false");
-    std::printf("  \"all_wire_identical\": %s\n}\n",
-                all_identical ? "true" : "false");
+    j.endObject();
+    j.field("overlap_win_demonstrated", win);
+    j.field("all_wire_identical", all_identical);
+    j.endObject();
 
     if (!all_identical) {
         std::fprintf(stderr, "FAIL: pipelined wire bytes diverged from "

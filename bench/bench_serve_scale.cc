@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Multi-core serving scalability sweep (extension of the paper's
+ * single-connection anatomy to a terminating server's concurrency
+ * axis).
+ *
+ * A fixed pool of connections (full handshakes, a fraction resumed,
+ * each streaming some application data) is completed by 1/2/4/8
+ * ServeEngine workers, first with the synchronous in-handshake RSA
+ * decrypt and then with the decrypt offloaded to a CryptoPool (one
+ * crypto thread per worker), which lets a worker service its other
+ * sessions while a handshake is parked at ClientKeyExchange.
+ *
+ * Aggregate full-handshakes/sec, resumed-handshakes/sec and bulk MB/s
+ * are reported per configuration as a JSON document (BENCH_scale.json
+ * schema — see EXPERIMENTS.md). Speedups are judged against
+ * min(workers, hw_cores): on a single-core host every configuration
+ * honestly reports ~1x and the exit code gates only correctness (every
+ * connection completes, handshake counts add up), never raw speedup,
+ * so CI is meaningful on any machine shape.
+ *
+ *   ./bench_serve_scale [--smoke]
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#include "common.hh"
+#include "serve/engine.hh"
+
+using namespace ssla;
+using namespace ssla::bench;
+
+namespace
+{
+
+struct RunResult
+{
+    size_t workers = 0;
+    bool offload = false;
+    size_t cryptoThreads = 0;
+    serve::ServeStats stats;
+    uint64_t expectedConnections = 0;
+
+    bool
+    completedOk() const
+    {
+        return stats.fullHandshakes() + stats.resumedHandshakes() ==
+               expectedConnections;
+    }
+};
+
+RunResult
+runOnce(size_t workers, size_t total_connections, double resume_fraction,
+        size_t bulk_bytes, const pki::Certificate &cert,
+        const std::shared_ptr<crypto::RsaPrivateKey> &key, bool offload)
+{
+    serve::ServeConfig cfg;
+    cfg.workers = workers;
+    cfg.connectionsPerWorker = total_connections / workers;
+    cfg.concurrentPerWorker =
+        std::min<size_t>(8, cfg.connectionsPerWorker);
+    cfg.resumeFraction = resume_fraction;
+    cfg.bulkBytes = bulk_bytes;
+    cfg.recordBytes = 4096;
+    cfg.certificate = &cert;
+    cfg.privateKey = key;
+    cfg.seed = 0x5ca1e ^ (workers << 8) ^ (offload ? 1 : 0);
+
+    RunResult r;
+    r.workers = workers;
+    r.offload = offload;
+    r.expectedConnections = cfg.connectionsPerWorker * workers;
+
+    if (offload) {
+        r.cryptoThreads = workers;
+        serve::CryptoPool pool(r.cryptoThreads);
+        cfg.cryptoPool = &pool;
+        serve::ServeEngine engine(std::move(cfg));
+        r.stats = engine.run();
+    } else {
+        serve::ServeEngine engine(std::move(cfg));
+        r.stats = engine.run();
+    }
+    return r;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i)
+        if (!std::strcmp(argv[i], "--smoke"))
+            smoke = true;
+
+    warmUpCpu();
+
+    const std::vector<size_t> worker_sweep =
+        smoke ? std::vector<size_t>{1, 2}
+              : std::vector<size_t>{1, 2, 4, 8};
+    const size_t total_connections = smoke ? 8 : 96;
+    const double resume_fraction = 0.4;
+    const size_t bulk_bytes = smoke ? 16384 : 32768;
+    const unsigned hw_cores =
+        std::max(1u, std::thread::hardware_concurrency());
+
+    const auto &key = benchKey(1024);
+    pki::CertificateInfo info;
+    info.serial = 1;
+    info.issuer = "Bench CA";
+    info.subject = "bench.server";
+    info.notBefore = 0;
+    info.notAfter = ~uint64_t(0);
+    info.publicKey = key.pub;
+    pki::Certificate cert = pki::Certificate::issue(info, *key.priv);
+
+    std::vector<RunResult> runs;
+    for (size_t w : worker_sweep)
+        for (bool offload : {false, true})
+            runs.push_back(runOnce(w, total_connections,
+                                   resume_fraction, bulk_bytes, cert,
+                                   key.priv, offload));
+
+    // Baselines for speedup: the 1-worker run of the same offload mode.
+    auto baseline = [&](bool offload) -> const RunResult * {
+        for (const auto &r : runs)
+            if (r.workers == 1 && r.offload == offload)
+                return &r;
+        return nullptr;
+    };
+    // Total connection completion rate: the mode-independent yardstick
+    // (the full/resumed mix varies with scheduling, since a connection
+    // can only resume a session that already completed when it was
+    // created).
+    auto connRate = [](const RunResult &r) {
+        return r.stats.elapsedSeconds > 0
+                   ? (r.stats.fullHandshakes() +
+                      r.stats.resumedHandshakes()) /
+                         r.stats.elapsedSeconds
+                   : 0.0;
+    };
+
+    bool all_completed = true;
+    JsonWriter j;
+    j.beginObject();
+    j.field("bench", "serve_scale");
+    j.field("smoke", smoke);
+    j.field("hw_cores", static_cast<uint64_t>(hw_cores));
+    j.field("total_connections", static_cast<uint64_t>(total_connections));
+    j.field("resume_fraction", resume_fraction, 2);
+    j.field("bulk_bytes_per_conn", static_cast<uint64_t>(bulk_bytes));
+    j.beginArray("workers_swept");
+    for (size_t w : worker_sweep)
+        j.element(static_cast<uint64_t>(w));
+    j.endArray();
+
+    j.beginArray("results");
+    for (const auto &r : runs) {
+        all_completed = all_completed && r.completedOk();
+        const RunResult *base = baseline(r.offload);
+        double speedup = (base && connRate(*base) > 0)
+                             ? connRate(r) / connRate(*base)
+                             : 0.0;
+        j.beginObject();
+        j.field("workers", static_cast<uint64_t>(r.workers));
+        j.field("offload", r.offload);
+        j.field("crypto_threads", static_cast<uint64_t>(r.cryptoThreads));
+        j.field("full_handshakes", r.stats.fullHandshakes());
+        j.field("resumed_handshakes", r.stats.resumedHandshakes());
+        j.field("park_events", r.stats.parkEvents());
+        j.field("elapsed_sec", r.stats.elapsedSeconds);
+        j.field("full_hs_per_sec", r.stats.fullHandshakesPerSec(), 1);
+        j.field("resumed_hs_per_sec", r.stats.resumedHandshakesPerSec(),
+                1);
+        j.field("bulk_mb_per_sec", r.stats.bulkMBPerSec(), 2);
+        j.field("connections_per_sec", connRate(r), 1);
+        j.field("speedup_vs_1w", speedup, 2);
+        // Perfect scaling is capped by the physical core count: the
+        // honest yardstick for this configuration.
+        j.field("ideal_speedup",
+                static_cast<double>(std::min<size_t>(r.workers, hw_cores)),
+                1);
+        j.field("completed_ok", r.completedOk());
+        j.endObject();
+    }
+    j.endArray();
+
+    // Offload-vs-sync handshake-rate ratio at equal worker counts: the
+    // Section 6.2 asynchronous-engine claim at serving scale. Only
+    // meaningful where spare cores exist to run the pool; reported
+    // everywhere, gated nowhere.
+    j.beginArray("offload_vs_sync");
+    for (size_t w : worker_sweep) {
+        const RunResult *sync_run = nullptr, *off_run = nullptr;
+        for (const auto &r : runs) {
+            if (r.workers != w)
+                continue;
+            (r.offload ? off_run : sync_run) = &r;
+        }
+        if (!sync_run || !off_run)
+            continue;
+        double ratio = connRate(*sync_run) > 0
+                           ? connRate(*off_run) / connRate(*sync_run)
+                           : 0.0;
+        j.beginObject();
+        j.field("workers", static_cast<uint64_t>(w));
+        j.field("conn_rate_ratio", ratio, 2);
+        j.field("park_events", off_run->stats.parkEvents());
+        j.endObject();
+    }
+    j.endArray();
+
+    j.field("all_completed", all_completed);
+    j.endObject();
+
+    if (!all_completed) {
+        std::fprintf(stderr,
+                     "FAIL: a run lost connections (handshake counts "
+                     "do not add up to the configured total)\n");
+        return 1;
+    }
+    return 0;
+}

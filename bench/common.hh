@@ -10,6 +10,8 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdio>
+#include <string>
 #include <vector>
 
 #include "crypto/provider.hh"
@@ -110,6 +112,172 @@ benchPayload(size_t len, uint64_t seed = 0xda7a)
     Xoshiro256 rng(seed);
     return rng.bytes(len);
 }
+
+/**
+ * Streaming JSON emitter shared by the machine-readable benches
+ * (bench_engine_pipeline, bench_serve_scale), so the BENCH_*.json
+ * documents all follow one formatting discipline: two-space indent,
+ * commas managed by nesting level, fixed-precision doubles.
+ *
+ * Usage:
+ *   JsonWriter j;                     // writes to stdout
+ *   j.beginObject();
+ *   j.field("bench", "serve_scale").field("smoke", false);
+ *   j.beginArray("results");
+ *   j.beginObject().field("workers", 4).endObject();
+ *   j.endArray();
+ *   j.endObject();                    // prints trailing newline
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::FILE *out = stdout) : out_(out) {}
+
+    JsonWriter &
+    beginObject(const char *key = nullptr)
+    {
+        prefix(key);
+        std::fputc('{', out_);
+        depth_.push_back(0);
+        return *this;
+    }
+
+    JsonWriter &
+    endObject()
+    {
+        closeScope('}');
+        return *this;
+    }
+
+    JsonWriter &
+    beginArray(const char *key = nullptr)
+    {
+        prefix(key);
+        std::fputc('[', out_);
+        depth_.push_back(0);
+        return *this;
+    }
+
+    JsonWriter &
+    endArray()
+    {
+        closeScope(']');
+        return *this;
+    }
+
+    JsonWriter &
+    field(const char *key, const char *value)
+    {
+        prefix(key);
+        quoted(value);
+        return *this;
+    }
+
+    JsonWriter &
+    field(const char *key, const std::string &value)
+    {
+        return field(key, value.c_str());
+    }
+
+    JsonWriter &
+    field(const char *key, bool value)
+    {
+        prefix(key);
+        std::fputs(value ? "true" : "false", out_);
+        return *this;
+    }
+
+    JsonWriter &
+    field(const char *key, double value, int precision = 3)
+    {
+        prefix(key);
+        std::fprintf(out_, "%.*f", precision, value);
+        return *this;
+    }
+
+    JsonWriter &
+    field(const char *key, uint64_t value)
+    {
+        prefix(key);
+        std::fprintf(out_, "%llu",
+                     static_cast<unsigned long long>(value));
+        return *this;
+    }
+
+    JsonWriter &
+    field(const char *key, int value)
+    {
+        prefix(key);
+        std::fprintf(out_, "%d", value);
+        return *this;
+    }
+
+    /** Bare array element (string). */
+    JsonWriter &
+    element(const char *value)
+    {
+        prefix(nullptr);
+        quoted(value);
+        return *this;
+    }
+
+    /** Bare array element (integer). */
+    JsonWriter &
+    element(uint64_t value)
+    {
+        prefix(nullptr);
+        std::fprintf(out_, "%llu",
+                     static_cast<unsigned long long>(value));
+        return *this;
+    }
+
+  private:
+    void
+    prefix(const char *key)
+    {
+        if (!depth_.empty()) {
+            if (depth_.back()++)
+                std::fputc(',', out_);
+            std::fputc('\n', out_);
+            for (size_t i = 0; i < depth_.size(); ++i)
+                std::fputs("  ", out_);
+        }
+        if (key) {
+            quoted(key);
+            std::fputs(": ", out_);
+        }
+    }
+
+    void
+    closeScope(char bracket)
+    {
+        bool had_members = depth_.back() > 0;
+        depth_.pop_back();
+        if (had_members) {
+            std::fputc('\n', out_);
+            for (size_t i = 0; i < depth_.size(); ++i)
+                std::fputs("  ", out_);
+        }
+        std::fputc(bracket, out_);
+        if (depth_.empty())
+            std::fputc('\n', out_);
+    }
+
+    void
+    quoted(const char *s)
+    {
+        std::fputc('"', out_);
+        for (; *s; ++s) {
+            if (*s == '"' || *s == '\\')
+                std::fputc('\\', out_);
+            std::fputc(*s, out_);
+        }
+        std::fputc('"', out_);
+    }
+
+    std::FILE *out_;
+    std::vector<int> depth_; ///< member count per open scope
+};
 
 } // namespace ssla::bench
 

@@ -1,5 +1,6 @@
 #include "bn/montgomery.hh"
 
+#include <cassert>
 #include <cstring>
 #include <stdexcept>
 
@@ -7,6 +8,36 @@
 
 namespace ssla::bn
 {
+
+#ifndef NDEBUG
+/**
+ * RAII assertion that the ctx's scratch is entered by one thread at a
+ * time (see the header's THREAD OWNERSHIP note). Debug builds only;
+ * Release pays nothing.
+ */
+class ScratchGuard
+{
+  public:
+    explicit ScratchGuard(const MontgomeryCtx &ctx) : ctx_(ctx)
+    {
+        [[maybe_unused]] unsigned prev =
+            ctx_.scratchBusy_.fetch_add(1, std::memory_order_acq_rel);
+        assert(prev == 0 &&
+               "MontgomeryCtx scratch entered concurrently; contexts "
+               "are single-owner — clone the key/ctx per thread");
+    }
+    ~ScratchGuard()
+    {
+        ctx_.scratchBusy_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+
+  private:
+    const MontgomeryCtx &ctx_;
+};
+#define SSLA_SCRATCH_GUARD(ctx) ScratchGuard scratch_guard(ctx)
+#else
+#define SSLA_SCRATCH_GUARD(ctx) ((void)0)
+#endif
 
 namespace
 {
@@ -100,6 +131,7 @@ MontgomeryCtx::reduceScratch(Raw &out) const
 void
 MontgomeryCtx::mulRaw(Raw &out, const Raw &a, const Raw &b) const
 {
+    SSLA_SCRATCH_GUARD(*this);
     size_t n = limbCount();
     std::fill(t_.begin(), t_.end(), 0);
     for (size_t i = 0; i < n; ++i) {
@@ -152,6 +184,7 @@ MontgomeryCtx::toMont(const BigNum &a) const
 BigNum
 MontgomeryCtx::fromMont(const BigNum &a) const
 {
+    SSLA_SCRATCH_GUARD(*this);
     std::fill(t_.begin(), t_.end(), 0);
     const auto &limbs = a.limbs();
     if (a.isNegative() || limbs.size() > limbCount())

@@ -9,12 +9,23 @@
  *
  * The hot path works on fixed-width raw limb vectors with scratch
  * buffers owned by the context (the BN_CTX idea), so the inner loops
- * allocate nothing; BigNum-typed wrappers cover general use. A context
- * is therefore not thread-safe; share moduli, not contexts.
+ * allocate nothing; BigNum-typed wrappers cover general use.
+ *
+ * THREAD OWNERSHIP: a context is NOT thread-safe — every mul/sqr/
+ * fromMont writes the shared scratch t_. Each thread must own its
+ * contexts outright (the serve-layer CryptoPool keeps a full
+ * RsaPrivateKey replica, and with it these contexts, per crypto
+ * thread). Share moduli, not contexts. Debug builds assert this:
+ * concurrent entry into a scratch-using operation aborts rather than
+ * silently corrupting a computation.
  */
 
 #ifndef SSLA_BN_MONTGOMERY_HH
 #define SSLA_BN_MONTGOMERY_HH
+
+#ifndef NDEBUG
+#include <atomic>
+#endif
 
 #include "bn/bignum.hh"
 
@@ -83,6 +94,12 @@ class MontgomeryCtx
     BigNum rr_;    ///< R^2 mod N (for toMont)
     BigNum rModN_; ///< R mod N (Montgomery representation of 1)
     mutable Raw t_; ///< 2n+1-limb product/reduction scratch
+
+#ifndef NDEBUG
+    friend class ScratchGuard;
+    /** Debug-only reentrancy flag asserting single-thread ownership. */
+    mutable std::atomic<unsigned> scratchBusy_{0};
+#endif
 };
 
 } // namespace ssla::bn

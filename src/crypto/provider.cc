@@ -57,6 +57,23 @@ MacJob::wait()
 }
 
 // ---------------------------------------------------------------------
+// RsaJob
+
+Bytes
+RsaJob::wait()
+{
+    if (!state_)
+        throw std::logic_error("RsaJob::wait: empty job");
+    std::unique_lock<std::mutex> lock(state_->m);
+    state_->cv.wait(lock, [&] {
+        return state_->ready.load(std::memory_order_acquire);
+    });
+    if (state_->error)
+        std::rethrow_exception(state_->error);
+    return state_->result;
+}
+
+// ---------------------------------------------------------------------
 // Record MAC constructions (SSLv3 pad-concatenation MAC / TLS HMAC)
 
 namespace
@@ -147,6 +164,37 @@ Provider::submitRecordMac(const RecordMacSpec &spec, uint64_t seq,
     }
     state->ready = true;
     return MacJob(std::move(state));
+}
+
+RsaJob
+Provider::submitRsaDecrypt(const RsaPrivateKey &key, Bytes cipher)
+{
+    // Synchronous providers resolve at submit time.
+    auto state = std::make_shared<RsaJob::State>();
+    Bytes result;
+    std::exception_ptr err;
+    try {
+        result = rsaDecrypt(key, cipher);
+    } catch (...) {
+        err = std::current_exception();
+    }
+    state->finish(std::move(result), std::move(err));
+    return RsaJob(std::move(state));
+}
+
+RsaJob
+Provider::submitRsaSign(const RsaPrivateKey &key, Bytes digest_data)
+{
+    auto state = std::make_shared<RsaJob::State>();
+    Bytes result;
+    std::exception_ptr err;
+    try {
+        result = rsaSign(key, digest_data);
+    } catch (...) {
+        err = std::current_exception();
+    }
+    state->finish(std::move(result), std::move(err));
+    return RsaJob(std::move(state));
 }
 
 // ---------------------------------------------------------------------

@@ -28,7 +28,10 @@
 #ifndef SSLA_CRYPTO_PROVIDER_HH
 #define SSLA_CRYPTO_PROVIDER_HH
 
+#include <atomic>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -73,6 +76,66 @@ class MacJob
     Bytes wait();
 
     bool valid() const { return state_ != nullptr; }
+
+  private:
+    std::shared_ptr<State> state_;
+};
+
+/**
+ * Handle to a (possibly asynchronous) RSA private-key operation.
+ *
+ * Unlike MacJob, an RsaJob owns its input bytes, so the submitting
+ * state machine may discard the handshake message and service other
+ * sessions while the operation is in flight. ready() is a lock-free
+ * poll: a serving worker parks the session and revisits it instead of
+ * blocking, the paper's Section 6.2 "do other useful work while the
+ * crypto operation is executed" applied across connections.
+ */
+class RsaJob
+{
+  public:
+    /** Shared completion state (public so engines can resolve jobs). */
+    struct State
+    {
+        std::mutex m;
+        std::condition_variable cv;
+        std::atomic<bool> ready{false};
+        Bytes result;
+        std::exception_ptr error;
+
+        /** Publish the result (or error) and wake any waiter. */
+        void
+        finish(Bytes value, std::exception_ptr err)
+        {
+            {
+                std::lock_guard<std::mutex> lock(m);
+                result = std::move(value);
+                error = std::move(err);
+            }
+            ready.store(true, std::memory_order_release);
+            cv.notify_all();
+        }
+    };
+
+    RsaJob() = default;
+    explicit RsaJob(std::shared_ptr<State> state)
+        : state_(std::move(state))
+    {}
+
+    /** Non-blocking completion poll (the parking predicate). */
+    bool
+    ready() const
+    {
+        return state_ && state_->ready.load(std::memory_order_acquire);
+    }
+
+    /** Block until done; returns the result or rethrows the error. */
+    Bytes wait();
+
+    bool valid() const { return state_ != nullptr; }
+
+    /** Drop the handle (a parked session resets after resolving). */
+    void reset() { state_.reset(); }
 
   private:
     std::shared_ptr<State> state_;
@@ -128,6 +191,21 @@ class Provider
     /** RSA private-key signature (PKCS#1 type 1). */
     virtual Bytes rsaSign(const RsaPrivateKey &key,
                           const Bytes &digest_data) = 0;
+
+    /**
+     * Submit an RSA private-key decryption for (possibly asynchronous)
+     * completion. The job owns @p cipher. The base implementation
+     * computes inline, so synchronous providers resolve at submit time
+     * and callers that poll ready() immediately proceed unchanged;
+     * pool-backed providers (serve::PooledProvider) complete the job on
+     * a crypto thread while the submitter multiplexes other sessions.
+     */
+    virtual RsaJob submitRsaDecrypt(const RsaPrivateKey &key,
+                                    Bytes cipher);
+
+    /** Asynchronous counterpart of rsaSign (same contract as above). */
+    virtual RsaJob submitRsaSign(const RsaPrivateKey &key,
+                                 Bytes digest_data);
 
     /**
      * True when submitRecordMac() overlaps with the caller — i.e. the

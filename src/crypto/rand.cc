@@ -87,7 +87,13 @@ RandomPool::bytes(size_t len)
 RandomPool &
 globalRandomPool()
 {
-    static RandomPool pool;
+    // One pool per thread rather than one mutex-guarded process pool:
+    // generate() mutates state_/buffer_/counter_ on every call, so a
+    // shared pool would serialize every handshake's randoms behind one
+    // lock (and raced before this change). The default constructor
+    // seeds from the clock and the pool's own address, so concurrently
+    // live per-thread pools produce distinct streams.
+    thread_local RandomPool pool;
     return pool;
 }
 

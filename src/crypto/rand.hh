@@ -48,7 +48,12 @@ class RandomPool
     size_t available_ = 0;
 };
 
-/** The process-global pool (what SSL contexts default to). */
+/**
+ * The default pool SSL contexts fall back to — one instance per
+ * thread (thread_local), so concurrent connections never contend or
+ * race on generator state. A RandomPool itself is not thread-safe;
+ * share threads' work, not pools.
+ */
 RandomPool &globalRandomPool();
 
 /**

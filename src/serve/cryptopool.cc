@@ -1,0 +1,192 @@
+#include "serve/cryptopool.hh"
+
+#include <unordered_map>
+
+namespace ssla::serve
+{
+
+CryptoPool::CryptoPool(size_t threads)
+{
+    if (threads == 0)
+        threads = 1;
+    workers_.reserve(threads);
+    for (size_t i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+CryptoPool::~CryptoPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+crypto::RsaJob
+CryptoPool::enqueue(Job job)
+{
+    job.state = std::make_shared<crypto::RsaJob::State>();
+    crypto::RsaJob handle(job.state);
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        queue_.push_back(std::move(job));
+    }
+    cv_.notify_one();
+    return handle;
+}
+
+crypto::RsaJob
+CryptoPool::submitDecrypt(const crypto::RsaPrivateKey &key, Bytes cipher)
+{
+    Job job;
+    job.kind = Kind::Decrypt;
+    job.key = &key;
+    job.input = std::move(cipher);
+    return enqueue(std::move(job));
+}
+
+crypto::RsaJob
+CryptoPool::submitSign(const crypto::RsaPrivateKey &key,
+                       Bytes digest_data)
+{
+    Job job;
+    job.kind = Kind::Sign;
+    job.key = &key;
+    job.input = std::move(digest_data);
+    return enqueue(std::move(job));
+}
+
+crypto::RsaJob
+CryptoPool::submitRaw(std::function<Bytes()> fn)
+{
+    Job job;
+    job.kind = Kind::Raw;
+    job.fn = std::move(fn);
+    return enqueue(std::move(job));
+}
+
+void
+CryptoPool::workerLoop()
+{
+    // Per-thread private-key replicas, keyed by the submitter's key
+    // object. Cloning rebuilds the Montgomery contexts and blinding
+    // state, so this thread owns every mutable buffer it touches (the
+    // bn-layer single-owner contract); decrypt/sign results are
+    // unaffected because the private-key operation is deterministic
+    // modulo blinding, which cancels by construction.
+    std::unordered_map<const crypto::RsaPrivateKey *,
+                       std::unique_ptr<crypto::RsaPrivateKey>>
+        replicas;
+    auto replica =
+        [&](const crypto::RsaPrivateKey *key) -> crypto::RsaPrivateKey & {
+        auto it = replicas.find(key);
+        if (it == replicas.end()) {
+            auto clone = std::make_unique<crypto::RsaPrivateKey>(
+                key->publicKey().n, key->publicKey().e, key->d(),
+                key->p(), key->q());
+            it = replicas.emplace(key, std::move(clone)).first;
+        }
+        return *it->second;
+    };
+
+    for (;;) {
+        Job job;
+        {
+            std::unique_lock<std::mutex> lock(m_);
+            cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stopping and drained
+            job = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        Bytes result;
+        std::exception_ptr err;
+        try {
+            switch (job.kind) {
+              case Kind::Decrypt:
+                result = crypto::rsaPrivateDecrypt(replica(job.key),
+                                                   job.input);
+                break;
+              case Kind::Sign:
+                result = crypto::rsaSign(replica(job.key), job.input);
+                break;
+              case Kind::Raw:
+                result = job.fn();
+                break;
+            }
+        } catch (...) {
+            err = std::current_exception();
+        }
+        // Count before finish(): a waiter released by finish() must
+        // already observe this job in completedJobs().
+        completed_.fetch_add(1, std::memory_order_relaxed);
+        job.state->finish(std::move(result), std::move(err));
+    }
+}
+
+// ---------------------------------------------------------------------
+// PooledProvider
+
+PooledProvider::PooledProvider(CryptoPool &pool, crypto::Provider *inner)
+    : pool_(pool), inner_(inner ? *inner : crypto::scalarProvider())
+{
+}
+
+std::unique_ptr<crypto::Cipher>
+PooledProvider::createCipher(crypto::CipherAlg alg, const Bytes &key,
+                             const Bytes &iv, bool encrypt)
+{
+    return inner_.createCipher(alg, key, iv, encrypt);
+}
+
+std::unique_ptr<crypto::Digest>
+PooledProvider::createDigest(crypto::DigestAlg alg)
+{
+    return inner_.createDigest(alg);
+}
+
+std::unique_ptr<crypto::Hmac>
+PooledProvider::createHmac(crypto::DigestAlg alg, const Bytes &key)
+{
+    return inner_.createHmac(alg, key);
+}
+
+Bytes
+PooledProvider::recordMac(const crypto::RecordMacSpec &spec, uint64_t seq,
+                          uint8_t type, const uint8_t *data, size_t len)
+{
+    return inner_.recordMac(spec, seq, type, data, len);
+}
+
+Bytes
+PooledProvider::rsaDecrypt(const crypto::RsaPrivateKey &key,
+                           const Bytes &cipher)
+{
+    return inner_.rsaDecrypt(key, cipher);
+}
+
+Bytes
+PooledProvider::rsaSign(const crypto::RsaPrivateKey &key,
+                        const Bytes &digest_data)
+{
+    return inner_.rsaSign(key, digest_data);
+}
+
+crypto::RsaJob
+PooledProvider::submitRsaDecrypt(const crypto::RsaPrivateKey &key,
+                                 Bytes cipher)
+{
+    return pool_.submitDecrypt(key, std::move(cipher));
+}
+
+crypto::RsaJob
+PooledProvider::submitRsaSign(const crypto::RsaPrivateKey &key,
+                              Bytes digest_data)
+{
+    return pool_.submitSign(key, std::move(digest_data));
+}
+
+} // namespace ssla::serve

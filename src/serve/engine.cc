@@ -1,0 +1,371 @@
+#include "serve/engine.hh"
+
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "ssl/client.hh"
+#include "ssl/server.hh"
+#include "util/endian.hh"
+
+namespace ssla::serve
+{
+
+namespace
+{
+
+/** splitmix64 — deterministic per-connection seed derivation. */
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+Bytes
+seedBytes(uint64_t seed, uint8_t tag)
+{
+    Bytes out(9);
+    store64le(out.data(), seed);
+    out[8] = tag;
+    return out;
+}
+
+} // anonymous namespace
+
+// ---------------------------------------------------------------------
+// ServeStats
+
+uint64_t
+ServeStats::fullHandshakes() const
+{
+    uint64_t n = 0;
+    for (const auto &w : perWorker)
+        n += w.fullHandshakes;
+    return n;
+}
+
+uint64_t
+ServeStats::resumedHandshakes() const
+{
+    uint64_t n = 0;
+    for (const auto &w : perWorker)
+        n += w.resumedHandshakes;
+    return n;
+}
+
+uint64_t
+ServeStats::bulkBytesMoved() const
+{
+    uint64_t n = 0;
+    for (const auto &w : perWorker)
+        n += w.bulkBytesMoved;
+    return n;
+}
+
+uint64_t
+ServeStats::parkEvents() const
+{
+    uint64_t n = 0;
+    for (const auto &w : perWorker)
+        n += w.parkEvents;
+    return n;
+}
+
+double
+ServeStats::fullHandshakesPerSec() const
+{
+    return elapsedSeconds > 0 ? fullHandshakes() / elapsedSeconds : 0.0;
+}
+
+double
+ServeStats::resumedHandshakesPerSec() const
+{
+    return elapsedSeconds > 0 ? resumedHandshakes() / elapsedSeconds
+                              : 0.0;
+}
+
+double
+ServeStats::bulkMBPerSec() const
+{
+    return elapsedSeconds > 0
+               ? (bulkBytesMoved() / 1e6) / elapsedSeconds
+               : 0.0;
+}
+
+// ---------------------------------------------------------------------
+// ServeEngine
+
+struct ServeEngine::Impl
+{
+    explicit Impl(ServeConfig cfg) : cfg(std::move(cfg)) {}
+
+    /** One multiplexed in-memory connection pair. */
+    struct Conn
+    {
+        ssl::BioPair wires;
+        crypto::RandomPool clientPool;
+        crypto::RandomPool serverPool;
+        std::unique_ptr<ssl::SslClient> client;
+        std::unique_ptr<ssl::SslServer> server;
+        size_t bulkSent = 0;
+        size_t bulkReceived = 0;
+        bool parked = false; ///< currently counted as parked
+    };
+
+    ServeConfig cfg;
+    std::unique_ptr<ssl::ShardedSessionCache> internalStore;
+    ssl::SessionStore *store = nullptr;
+    std::unique_ptr<PooledProvider> pooledProvider;
+    crypto::Provider *provider = nullptr;
+
+    // Completed sessions feeding resumption attempts (bounded ring).
+    std::mutex sessionsM;
+    std::vector<ssl::Session> sessions;
+    size_t sessionPick = 0;
+    size_t sessionOverwrite = 0;
+    static constexpr size_t sessionRingCap = 512;
+
+    std::optional<ssl::Session>
+    pickCompletedSession()
+    {
+        std::lock_guard<std::mutex> lock(sessionsM);
+        if (sessions.empty())
+            return std::nullopt;
+        return sessions[sessionPick++ % sessions.size()];
+    }
+
+    void
+    offerCompletedSession(const ssl::Session &s)
+    {
+        std::lock_guard<std::mutex> lock(sessionsM);
+        if (sessions.size() < sessionRingCap)
+            sessions.push_back(s);
+        else
+            sessions[sessionOverwrite++ % sessionRingCap] = s;
+    }
+
+    /**
+     * Per-worker private-key replica. RsaPrivateKey carries mutable
+     * blinding and Montgomery scratch state (single-owner by the bn
+     * contract), so workers must not share the configured key object:
+     * in the synchronous path every worker thread decrypts with its
+     * server's key directly. Same rule the CryptoPool applies
+     * per pool thread.
+     */
+    std::shared_ptr<crypto::RsaPrivateKey>
+    cloneKey() const
+    {
+        const crypto::RsaPrivateKey &k = *cfg.privateKey;
+        return std::make_shared<crypto::RsaPrivateKey>(
+            k.publicKey().n, k.publicKey().e, k.d(), k.p(), k.q());
+    }
+
+    std::unique_ptr<Conn>
+    makeConn(size_t worker_id, size_t serial,
+             const std::shared_ptr<crypto::RsaPrivateKey> &worker_key)
+    {
+        auto conn = std::make_unique<Conn>();
+        uint64_t cseed =
+            mix64(cfg.seed ^ mix64((worker_id << 32) | serial));
+        conn->clientPool =
+            crypto::RandomPool(seedBytes(cseed, /*tag=*/0xc1));
+        conn->serverPool =
+            crypto::RandomPool(seedBytes(cseed, /*tag=*/0x5e));
+
+        ssl::ServerConfig scfg;
+        scfg.certificate = *cfg.certificate;
+        scfg.privateKey = worker_key;
+        scfg.suites = {cfg.suite};
+        scfg.sessionCache = store;
+        scfg.randomPool = &conn->serverPool;
+        scfg.provider = provider;
+
+        ssl::ClientConfig ccfg;
+        ccfg.suites = {cfg.suite};
+        ccfg.randomPool = &conn->clientPool;
+        ccfg.provider = provider;
+        // Deterministic per-connection resumption decision; falls back
+        // to a full handshake until sessions exist to offer.
+        if (cfg.resumeFraction > 0.0 &&
+            static_cast<double>(mix64(cseed) % 1000) <
+                cfg.resumeFraction * 1000.0) {
+            ccfg.resumeSession = pickCompletedSession();
+        }
+
+        conn->server = std::make_unique<ssl::SslServer>(
+            std::move(scfg), conn->wires.serverEnd());
+        conn->client = std::make_unique<ssl::SslClient>(
+            std::move(ccfg), conn->wires.clientEnd());
+        return conn;
+    }
+
+    /** Drive one connection as far as it can go without blocking. */
+    bool
+    pumpConn(Conn &c, const Bytes &payload, WorkerStats &stats)
+    {
+        bool progress = false;
+        for (;;) {
+            bool p = c.client->advance();
+            p |= c.server->advance();
+            if (c.client->handshakeDone() && c.server->handshakeDone()) {
+                if (c.bulkSent < cfg.bulkBytes) {
+                    size_t n = std::min(cfg.recordBytes,
+                                        cfg.bulkBytes - c.bulkSent);
+                    c.client->writeApplicationData(
+                        Bytes(payload.begin(), payload.begin() + n));
+                    c.bulkSent += n;
+                    p = true;
+                }
+                while (auto data = c.server->readApplicationData()) {
+                    c.bulkReceived += data->size();
+                    stats.bulkBytesMoved += data->size();
+                    p = true;
+                }
+            }
+            if (!p)
+                break;
+            progress = true;
+        }
+        return progress;
+    }
+
+    bool
+    connFinished(const Conn &c) const
+    {
+        return c.client->handshakeDone() && c.server->handshakeDone() &&
+               c.bulkSent >= cfg.bulkBytes &&
+               c.bulkReceived >= cfg.bulkBytes;
+    }
+
+    void
+    workerRun(size_t worker_id, WorkerStats &stats,
+              std::exception_ptr &error)
+    {
+        try {
+            const auto worker_key = cloneKey();
+            const Bytes payload(cfg.recordBytes, 0xab);
+            std::vector<std::unique_ptr<Conn>> slots(
+                cfg.concurrentPerWorker);
+            size_t started = 0;
+            size_t completed = 0;
+            const size_t target = cfg.connectionsPerWorker;
+
+            while (completed < target) {
+                ++stats.sweeps;
+                bool progress = false;
+                bool any_parked = false;
+                for (auto &slot : slots) {
+                    if (!slot) {
+                        if (started >= target)
+                            continue;
+                        slot = makeConn(worker_id, started++,
+                                        worker_key);
+                        progress = true;
+                    }
+                    progress |= pumpConn(*slot, payload, stats);
+                    if (slot->server->waitingOnCrypto()) {
+                        any_parked = true;
+                        if (!slot->parked) {
+                            slot->parked = true;
+                            ++stats.parkEvents;
+                        }
+                        continue; // parked: service other sessions
+                    }
+                    slot->parked = false;
+                    if (connFinished(*slot)) {
+                        if (slot->server->resumed())
+                            ++stats.resumedHandshakes;
+                        else
+                            ++stats.fullHandshakes;
+                        offerCompletedSession(slot->server->session());
+                        slot.reset();
+                        ++completed;
+                    }
+                }
+                // All in-flight sessions parked on the crypto pool (or
+                // momentarily idle): let the pool threads run.
+                if (!progress)
+                    std::this_thread::yield();
+                (void)any_parked;
+            }
+        } catch (...) {
+            error = std::current_exception();
+        }
+    }
+};
+
+ServeEngine::ServeEngine(ServeConfig config)
+    : impl_(std::make_unique<Impl>(std::move(config)))
+{
+    ServeConfig &cfg = impl_->cfg;
+    if (!cfg.certificate || !cfg.privateKey)
+        throw std::invalid_argument(
+            "ServeEngine: certificate and private key required");
+    if (cfg.workers == 0 || cfg.concurrentPerWorker == 0 ||
+        cfg.connectionsPerWorker == 0)
+        throw std::invalid_argument("ServeEngine: zero-sized workload");
+    if (cfg.bulkBytes > 0 && cfg.recordBytes == 0)
+        throw std::invalid_argument("ServeEngine: recordBytes == 0");
+    if (cfg.recordBytes == 0)
+        cfg.recordBytes = 1; // payload buffer must be non-empty
+
+    if (cfg.sessionStore) {
+        impl_->store = cfg.sessionStore;
+    } else {
+        impl_->internalStore = std::make_unique<ssl::ShardedSessionCache>(
+            cfg.cacheShards,
+            /*max_entries_per_shard=*/1024,
+            /*ttl_seconds=*/0);
+        impl_->store = impl_->internalStore.get();
+    }
+
+    crypto::Provider *base =
+        cfg.provider ? cfg.provider : &crypto::scalarProvider();
+    if (cfg.cryptoPool) {
+        impl_->pooledProvider =
+            std::make_unique<PooledProvider>(*cfg.cryptoPool, base);
+        impl_->provider = impl_->pooledProvider.get();
+    } else {
+        impl_->provider = base;
+    }
+}
+
+ServeEngine::~ServeEngine() = default;
+
+ssl::SessionStore &
+ServeEngine::sessionStore()
+{
+    return *impl_->store;
+}
+
+ServeStats
+ServeEngine::run()
+{
+    const size_t n = impl_->cfg.workers;
+    ServeStats stats;
+    stats.perWorker.resize(n);
+    std::vector<std::exception_ptr> errors(n);
+    std::vector<std::thread> threads;
+    threads.reserve(n);
+
+    auto t0 = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < n; ++i)
+        threads.emplace_back([this, i, &stats, &errors] {
+            impl_->workerRun(i, stats.perWorker[i], errors[i]);
+        });
+    for (auto &t : threads)
+        t.join();
+    auto t1 = std::chrono::steady_clock::now();
+    stats.elapsedSeconds =
+        std::chrono::duration<double>(t1 - t0).count();
+
+    for (auto &err : errors)
+        if (err)
+            std::rethrow_exception(err);
+    return stats;
+}
+
+} // namespace ssla::serve

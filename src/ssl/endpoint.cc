@@ -1,5 +1,7 @@
 #include "ssl/endpoint.hh"
 
+#include <thread>
+
 #include "util/logging.hh"
 
 namespace ssla::ssl
@@ -204,9 +206,16 @@ runLockstep(SslEndpoint &a, SslEndpoint &b)
     while (!a.handshakeDone() || !b.handshakeDone()) {
         bool progress = a.advance();
         progress |= b.advance();
-        if (!progress)
+        if (!progress) {
+            // Parked on an async crypto engine is not a deadlock: the
+            // result arrives from another thread. Yield and re-poll.
+            if (a.waitingOnCrypto() || b.waitingOnCrypto()) {
+                std::this_thread::yield();
+                continue;
+            }
             throw std::runtime_error(
                 "runLockstep: handshake deadlocked");
+        }
     }
 }
 

@@ -52,6 +52,15 @@ class SslEndpoint
     /** True when this handshake resumed a previous session. */
     bool resumed() const { return resumed_; }
 
+    /**
+     * True while the state machine is parked on an asynchronous crypto
+     * operation (e.g. the server's offloaded pre-master RSA decrypt).
+     * A parked endpoint makes no progress from advance() until the
+     * operation lands, but is not waiting on peer input — a serving
+     * worker should revisit it rather than treat it as stalled.
+     */
+    virtual bool waitingOnCrypto() const { return false; }
+
     /** Negotiated protocol version (ssl3Version or tls1Version). */
     uint16_t negotiatedVersion() const { return version_; }
 

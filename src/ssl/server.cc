@@ -44,6 +44,8 @@ SslServer::step()
         return stepGetClientCertificate();
       case State::GetClientKeyExchange:
         return stepGetClientKeyExchange();
+      case State::AwaitPreMaster:
+        return stepAwaitPreMaster();
       case State::GetCertificateVerify:
         return stepGetCertificateVerify();
       case State::GetFinished:
@@ -271,10 +273,10 @@ SslServer::stepGetClientKeyExchange()
     if (msg->type != HandshakeType::ClientKeyExchange)
         fail(AlertDescription::UnexpectedMessage,
              "expected ClientKeyExchange");
-    Bytes premaster;
     if (suite_->kx == KeyExchange::DheRsa) {
         // DHE: the body is the client's public value; the shared
         // secret is the pre-master (dh_compute_key).
+        Bytes premaster;
         try {
             Bytes yc = ClientKeyExchangeMsg::parseDhe(msg->body);
             premaster = crypto::dhComputeShared(
@@ -286,18 +288,51 @@ SslServer::stepGetClientKeyExchange()
             fail(AlertDescription::HandshakeFailure,
                  "DH key agreement failed");
         }
-    } else {
-        // RSA-decrypt the 48-byte pre-master (rsa_private_decryption).
-        auto ckx = ClientKeyExchangeMsg::parse(msg->body);
-        try {
-            premaster = provider().rsaDecrypt(*config_.privateKey,
-                                              ckx.encryptedPreMaster);
-        } catch (const std::exception &) {
-            fail(AlertDescription::HandshakeFailure,
-                 "pre-master decryption failed");
-        }
-        // The embedded version must echo what the client OFFERED
-        // (the classic version-rollback defence).
+        return finishKeyExchange(std::move(premaster),
+                                 /*check_version=*/false);
+    }
+
+    // RSA path (rsa_private_decryption): submit the decrypt through
+    // the provider. A synchronous provider resolves before returning,
+    // so the AwaitPreMaster state falls straight through in the same
+    // advance() loop; a pool-backed provider leaves this connection
+    // parked — the ~10M-cycle decrypt runs on a crypto thread while
+    // the worker multiplexes its other sessions (Section 6.2's "other
+    // useful work", applied across connections).
+    auto ckx = ClientKeyExchangeMsg::parse(msg->body);
+    kxJob_ = provider().submitRsaDecrypt(
+        *config_.privateKey, std::move(ckx.encryptedPreMaster));
+    state_ = State::AwaitPreMaster;
+    return true;
+}
+
+bool
+SslServer::stepAwaitPreMaster()
+{
+    // Still attributed to the paper's step 5: the poll and the master
+    // derivation are part of get_client_kx whichever thread decrypts.
+    perf::FuncProbe probe("step5_get_client_kx");
+    if (!kxJob_.ready())
+        return false; // parked; waitingOnCrypto() reports why
+    Bytes premaster;
+    try {
+        premaster = kxJob_.wait();
+    } catch (const std::exception &) {
+        kxJob_.reset();
+        fail(AlertDescription::HandshakeFailure,
+             "pre-master decryption failed");
+    }
+    kxJob_.reset();
+    return finishKeyExchange(std::move(premaster),
+                             /*check_version=*/true);
+}
+
+bool
+SslServer::finishKeyExchange(Bytes premaster, bool check_version)
+{
+    // The embedded version must echo what the client OFFERED
+    // (the classic version-rollback defence). RSA path only.
+    if (check_version) {
         if (premaster.size() != 48 ||
             premaster[0] !=
                 static_cast<uint8_t>(clientOfferedVersion_ >> 8) ||
@@ -317,6 +352,13 @@ SslServer::stepGetClientKeyExchange()
     state_ = clientCertPresent_ ? State::GetCertificateVerify
                                 : State::GetFinished;
     return true;
+}
+
+bool
+SslServer::waitingOnCrypto() const
+{
+    return state_ == State::AwaitPreMaster && kxJob_.valid() &&
+           !kxJob_.ready();
 }
 
 bool

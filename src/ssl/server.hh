@@ -13,6 +13,7 @@
 #include <memory>
 
 #include "crypto/dh.hh"
+#include "crypto/provider.hh"
 #include "pki/cert.hh"
 #include "ssl/endpoint.hh"
 
@@ -29,8 +30,12 @@ struct ServerConfig
     /** Suite preference, most preferred first. */
     std::vector<CipherSuiteId> suites = {
         CipherSuiteId::RSA_3DES_EDE_CBC_SHA};
-    /** Optional session cache enabling resumption. */
-    SessionCache *sessionCache = nullptr;
+    /**
+     * Optional session store enabling resumption (a SessionCache for
+     * single-threaded servers, a ShardedSessionCache shared across
+     * serving workers).
+     */
+    SessionStore *sessionCache = nullptr;
     /** Randomness source (defaults to the global pool). */
     crypto::RandomPool *randomPool = nullptr;
     /**
@@ -65,6 +70,15 @@ class SslServer : public SslEndpoint
      */
     SslServer(ServerConfig config, BioEndpoint bio);
 
+    /**
+     * True while parked at ClientKeyExchange waiting for an offloaded
+     * RSA pre-master decrypt (paper Section 6.2, applied across
+     * sessions: the worker services other connections meanwhile).
+     * Always false with synchronous providers, whose submit resolves
+     * before the parking state is ever observed.
+     */
+    bool waitingOnCrypto() const override;
+
   protected:
     bool step() override;
     void onChangeCipherSpec() override;
@@ -80,6 +94,7 @@ class SslServer : public SslEndpoint
         SendServerDone,
         GetClientCertificate,
         GetClientKeyExchange,
+        AwaitPreMaster, ///< parked on the async RSA decrypt
         GetCertificateVerify,
         GetFinished,
         SendCipherSpec,
@@ -99,7 +114,12 @@ class SslServer : public SslEndpoint
     bool stepSendServerDone();
     bool stepGetClientCertificate();
     bool stepGetClientKeyExchange();
+    bool stepAwaitPreMaster();
     bool stepGetCertificateVerify();
+
+    /** Common tail of the key exchange: validate the pre-master (RSA
+     *  path), derive the master secret and pick the next state. */
+    bool finishKeyExchange(Bytes premaster, bool check_version);
     bool stepGetFinished();
     bool stepSendCipherSpec();
     bool stepSendFinished();
@@ -112,6 +132,7 @@ class SslServer : public SslEndpoint
     bool resuming_ = false;
     uint16_t clientOfferedVersion_ = 0;
     crypto::DhKeyPair dhKey_; ///< ephemeral key for DHE suites
+    crypto::RsaJob kxJob_;    ///< in-flight pre-master decrypt
     pki::Certificate clientCert_; ///< received client certificate
     bool clientCertPresent_ = false;
 };

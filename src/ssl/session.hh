@@ -38,10 +38,33 @@ struct Session
 };
 
 /**
- * A bounded LRU cache of resumable sessions, keyed by session id,
- * with optional age-based expiry.
+ * Where a server looks up and deposits resumable sessions. The
+ * interface seam lets single-threaded servers keep the plain
+ * SessionCache while the serving engine plugs in the lock-striped
+ * ShardedSessionCache (ssl/shardcache.hh) so sessions established on
+ * one worker resume on any other.
  */
-class SessionCache
+class SessionStore
+{
+  public:
+    virtual ~SessionStore() = default;
+
+    /** Insert or refresh a session. */
+    virtual void store(const Session &session) = 0;
+
+    /** Look up by id (nullopt on miss/expiry). */
+    virtual std::optional<Session> find(const Bytes &id) = 0;
+
+    /** Drop a session (e.g. after a fatal alert on it). */
+    virtual void remove(const Bytes &id) = 0;
+};
+
+/**
+ * A bounded LRU cache of resumable sessions, keyed by session id,
+ * with optional age-based expiry. Not thread-safe — it is either
+ * owned by one thread or wrapped in ShardedSessionCache.
+ */
+class SessionCache : public SessionStore
 {
   public:
     /**
@@ -54,13 +77,13 @@ class SessionCache
     {}
 
     /** Insert or refresh a session (restamps its age). */
-    void store(const Session &session);
+    void store(const Session &session) override;
 
     /** Look up by id; refreshes LRU position on a (non-expired) hit. */
-    std::optional<Session> find(const Bytes &id);
+    std::optional<Session> find(const Bytes &id) override;
 
     /** Drop a session (e.g. after a fatal alert on it). */
-    void remove(const Bytes &id);
+    void remove(const Bytes &id) override;
 
     size_t size() const { return entries_.size(); }
 

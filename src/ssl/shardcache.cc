@@ -1,0 +1,126 @@
+#include "ssl/shardcache.hh"
+
+namespace ssla::ssl
+{
+
+namespace
+{
+
+/** FNV-1a over the session id (ids are uniform, this just mixes). */
+uint64_t
+fnv1a(const Bytes &id)
+{
+    uint64_t h = 1469598103934665603ull;
+    for (uint8_t b : id) {
+        h ^= b;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+} // anonymous namespace
+
+ShardedSessionCache::ShardedSessionCache(size_t shards,
+                                         size_t max_entries_per_shard,
+                                         uint64_t ttl_seconds)
+{
+    if (shards == 0)
+        shards = 1;
+    shards_.reserve(shards);
+    for (size_t i = 0; i < shards; ++i)
+        shards_.push_back(
+            std::make_unique<Shard>(max_entries_per_shard, ttl_seconds));
+}
+
+size_t
+ShardedSessionCache::shardIndexFor(const Bytes &id) const
+{
+    return static_cast<size_t>(fnv1a(id) % shards_.size());
+}
+
+ShardedSessionCache::Shard &
+ShardedSessionCache::shardFor(const Bytes &id)
+{
+    return *shards_[shardIndexFor(id)];
+}
+
+void
+ShardedSessionCache::store(const Session &session)
+{
+    if (!session.valid())
+        return;
+    Shard &s = shardFor(session.id);
+    std::lock_guard<std::mutex> lock(s.m);
+    s.cache.store(session);
+}
+
+std::optional<Session>
+ShardedSessionCache::find(const Bytes &id)
+{
+    Shard &s = shardFor(id);
+    std::lock_guard<std::mutex> lock(s.m);
+    return s.cache.find(id);
+}
+
+void
+ShardedSessionCache::remove(const Bytes &id)
+{
+    Shard &s = shardFor(id);
+    std::lock_guard<std::mutex> lock(s.m);
+    s.cache.remove(id);
+}
+
+size_t
+ShardedSessionCache::size() const
+{
+    size_t total = 0;
+    for (const auto &s : shards_) {
+        std::lock_guard<std::mutex> lock(s->m);
+        total += s->cache.size();
+    }
+    return total;
+}
+
+uint64_t
+ShardedSessionCache::hits() const
+{
+    uint64_t total = 0;
+    for (const auto &s : shards_) {
+        std::lock_guard<std::mutex> lock(s->m);
+        total += s->cache.hits();
+    }
+    return total;
+}
+
+uint64_t
+ShardedSessionCache::misses() const
+{
+    uint64_t total = 0;
+    for (const auto &s : shards_) {
+        std::lock_guard<std::mutex> lock(s->m);
+        total += s->cache.misses();
+    }
+    return total;
+}
+
+uint64_t
+ShardedSessionCache::expirations() const
+{
+    uint64_t total = 0;
+    for (const auto &s : shards_) {
+        std::lock_guard<std::mutex> lock(s->m);
+        total += s->cache.expirations();
+    }
+    return total;
+}
+
+void
+ShardedSessionCache::setClock(std::function<uint64_t()> clock)
+{
+    for (const auto &s : shards_) {
+        std::lock_guard<std::mutex> lock(s->m);
+        s->cache.setClock(clock);
+    }
+}
+
+} // namespace ssla::ssl

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Lock-striped session cache for the multi-worker serving engine.
+ *
+ * The paper's Section 4.1 resumption saving only materializes at scale
+ * if a session established by one worker can be resumed by whichever
+ * worker accepts the follow-up connection. A single mutex around one
+ * SessionCache would put every handshake's store() and every
+ * ClientHello's find() behind the same lock; striping by session-id
+ * hash keeps workers on disjoint shards except when they genuinely
+ * touch the same session.
+ */
+
+#ifndef SSLA_SSL_SHARDCACHE_HH
+#define SSLA_SSL_SHARDCACHE_HH
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "ssl/session.hh"
+
+namespace ssla::ssl
+{
+
+/**
+ * A SessionStore composed of N independently-locked SessionCache
+ * shards. Session ids are generated uniformly at random by the
+ * server, so the FNV-1a stripe hash spreads load evenly without any
+ * coordination between workers.
+ */
+class ShardedSessionCache : public SessionStore
+{
+  public:
+    /**
+     * @param shards stripe count (rounded up to at least 1)
+     * @param max_entries_per_shard LRU capacity of each shard
+     * @param ttl_seconds entry lifetime; 0 disables expiry
+     */
+    explicit ShardedSessionCache(size_t shards = 8,
+                                 size_t max_entries_per_shard = 1024,
+                                 uint64_t ttl_seconds = 0);
+
+    void store(const Session &session) override;
+    std::optional<Session> find(const Bytes &id) override;
+    void remove(const Bytes &id) override;
+
+    size_t shardCount() const { return shards_.size(); }
+
+    /** Which shard @p id stripes to (exposed for tests). */
+    size_t shardIndexFor(const Bytes &id) const;
+
+    // Aggregate statistics (each locks the shards in turn; the sums
+    // are consistent per shard, not across shards — fine for
+    // monitoring, which is all they are for).
+    size_t size() const;
+    uint64_t hits() const;
+    uint64_t misses() const;
+    uint64_t expirations() const;
+
+    /** Override every shard's time source (deterministic tests). */
+    void setClock(std::function<uint64_t()> clock);
+
+  private:
+    struct Shard
+    {
+        mutable std::mutex m;
+        SessionCache cache;
+
+        Shard(size_t max_entries, uint64_t ttl)
+            : cache(max_entries, ttl)
+        {}
+    };
+
+    Shard &shardFor(const Bytes &id);
+
+    std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+} // namespace ssla::ssl
+
+#endif // SSLA_SSL_SHARDCACHE_HH

@@ -5,6 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <thread>
+#include <vector>
+
 #include "crypto/rand.hh"
 #include "util/bytes.hh"
 
@@ -91,6 +95,54 @@ TEST(RandomPool, GlobalHelpers)
     crypto::randPseudoBytes(b.data(), b.size());
     EXPECT_NE(a, b);
     EXPECT_EQ(&crypto::globalRandomPool(), &crypto::globalRandomPool());
+}
+
+// The global pool is thread-local: 8 threads hammering it must neither
+// race (TSan regression for the serving engine's worker threads) nor
+// produce overlapping streams across threads.
+TEST(RandomPool, GlobalPoolHammeredFromEightThreads)
+{
+    constexpr int kThreads = 8;
+    constexpr int kDrawsPerThread = 200;
+    std::vector<Bytes> streams(kThreads);
+    std::vector<const RandomPool *> pools(kThreads);
+    // Hold every thread at the line until all are running, so the
+    // thread-local pools are concurrently live (distinct addresses;
+    // no TLS-slot reuse between a finished and a late-started thread).
+    std::atomic<int> ready{0};
+
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&streams, &pools, &ready, t] {
+            ready.fetch_add(1);
+            while (ready.load() < kThreads)
+                std::this_thread::yield();
+            pools[t] = &crypto::globalRandomPool();
+            Bytes mine;
+            for (int i = 0; i < kDrawsPerThread; ++i) {
+                Bytes chunk(16);
+                crypto::randPseudoBytes(chunk.data(), chunk.size());
+                append(mine, chunk);
+            }
+            streams[t] = std::move(mine);
+        });
+    for (auto &t : threads)
+        t.join();
+
+    // Distinct per-thread pool instances...
+    std::set<const RandomPool *> distinct(pools.begin(), pools.end());
+    EXPECT_EQ(distinct.size(), static_cast<size_t>(kThreads));
+    // ...and no 16-byte block shared between any two streams.
+    std::set<Bytes> blocks;
+    for (const Bytes &s : streams) {
+        ASSERT_EQ(s.size(), size_t{16 * kDrawsPerThread});
+        for (size_t off = 0; off < s.size(); off += 16)
+            EXPECT_TRUE(
+                blocks
+                    .insert(Bytes(s.begin() + off, s.begin() + off + 16))
+                    .second)
+                << "duplicate block at offset " << off;
+    }
 }
 
 } // anonymous namespace
