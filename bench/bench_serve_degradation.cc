@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Graceful-degradation sweep: serving goodput as a function of channel
+ * fault rate and crypto-pool saturation.
+ *
+ * A hardened terminating server should degrade smoothly: as the fault
+ * rate rises, goodput (completed handshakes/sec) declines monotonically
+ * toward zero while every session still reaches a terminal outcome —
+ * completed, alerted, or timed out. A cliff (goodput collapsing to
+ * zero at a small fault rate, or sessions leaking) indicates the
+ * deadline/backpressure machinery is broken. The crypto-pool axis runs
+ * the same sweep with the RSA offload saturated under each overload
+ * policy: Reject sheds whole sessions fast, Shed degrades to the
+ * synchronous baseline, and neither may lose accounting.
+ *
+ * Emits the BENCH_degradation.json schema (see EXPERIMENTS.md). The
+ * exit code gates only correctness — termination accounting and the
+ * zero-fault sanity baseline — never absolute rates, so CI is
+ * meaningful on any machine shape.
+ *
+ *   ./bench_serve_degradation [--smoke]
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "common.hh"
+#include "serve/engine.hh"
+
+using namespace ssla;
+using namespace ssla::bench;
+
+namespace
+{
+
+enum class PoolMode
+{
+    None,   ///< synchronous in-handshake decrypt
+    Reject, ///< tiny bounded pool, overloads rejected
+    Shed,   ///< tiny bounded pool, overloads computed synchronously
+};
+
+const char *
+poolModeName(PoolMode m)
+{
+    switch (m) {
+      case PoolMode::None: return "sync";
+      case PoolMode::Reject: return "pool_reject";
+      case PoolMode::Shed: return "pool_shed";
+    }
+    return "?";
+}
+
+struct CellResult
+{
+    double faultRate = 0.0;
+    PoolMode mode = PoolMode::None;
+    serve::ServeStats stats;
+    uint64_t expected = 0;
+    uint64_t rejected = 0;
+    uint64_t shed = 0;
+
+    bool
+    accountedOk() const
+    {
+        return stats.terminatedSessions() == expected;
+    }
+};
+
+CellResult
+runCell(double fault_rate, PoolMode mode, size_t workers,
+        size_t conns_per_worker, const pki::Certificate &cert,
+        const std::shared_ptr<crypto::RsaPrivateKey> &key,
+        uint64_t seed)
+{
+    serve::ServeConfig cfg;
+    cfg.workers = workers;
+    cfg.connectionsPerWorker = conns_per_worker;
+    cfg.concurrentPerWorker = 8;
+    cfg.resumeFraction = 0.3;
+    cfg.bulkBytes = 0;
+    cfg.certificate = &cert;
+    cfg.privateKey = key;
+    cfg.seed = seed;
+    cfg.tolerateFailures = true;
+    // Arm the deadlines even at rate 0 so the clean column exercises
+    // the same code path as the faulted ones.
+    cfg.handshakeDeadlineTicks = 256;
+    cfg.idleDeadlineTicks = 256;
+
+    ssl::FaultPlan plan = ssl::FaultPlan::mixed(seed, fault_rate);
+    if (fault_rate > 0.0)
+        cfg.faultPlan = &plan;
+
+    CellResult r;
+    r.faultRate = fault_rate;
+    r.mode = mode;
+    r.expected = workers * conns_per_worker;
+
+    if (mode == PoolMode::None) {
+        serve::ServeEngine engine(std::move(cfg));
+        r.stats = engine.run();
+    } else {
+        // One pool thread and a two-deep queue against many workers:
+        // deliberately saturated, so the overload policy is what the
+        // cell actually measures.
+        serve::CryptoPool pool(1, /*max_queue=*/2,
+                               mode == PoolMode::Reject
+                                   ? serve::OverloadPolicy::Reject
+                                   : serve::OverloadPolicy::Shed);
+        cfg.cryptoPool = &pool;
+        serve::ServeEngine engine(std::move(cfg));
+        r.stats = engine.run();
+        r.rejected = pool.rejectedJobs();
+        r.shed = pool.shedJobs();
+    }
+    return r;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i)
+        if (!std::strcmp(argv[i], "--smoke"))
+            smoke = true;
+
+    warmUpCpu();
+
+    const std::vector<double> rates =
+        smoke ? std::vector<double>{0.0, 0.10}
+              : std::vector<double>{0.0, 0.02, 0.05, 0.10, 0.20};
+    const size_t workers = 2;
+    const size_t conns_per_worker = smoke ? 24 : 200;
+
+    const auto &key = benchKey(1024);
+    pki::CertificateInfo info;
+    info.serial = 2;
+    info.issuer = "Bench CA";
+    info.subject = "bench.degradation";
+    info.notBefore = 0;
+    info.notAfter = ~uint64_t(0);
+    info.publicKey = key.pub;
+    pki::Certificate cert = pki::Certificate::issue(info, *key.priv);
+
+    const PoolMode modes[] = {PoolMode::None, PoolMode::Reject,
+                              PoolMode::Shed};
+
+    bool all_accounted = true;
+    bool clean_baseline_ok = true;
+
+    JsonWriter j;
+    j.beginObject();
+    j.field("bench", "serve_degradation");
+    j.field("smoke", smoke);
+    j.field("workers", static_cast<uint64_t>(workers));
+    j.field("connections_per_worker",
+            static_cast<uint64_t>(conns_per_worker));
+    j.beginArray("fault_rates");
+    for (double r : rates)
+        j.element(r, 2);
+    j.endArray();
+
+    j.beginArray("results");
+    for (PoolMode mode : modes) {
+        double prev_goodput = -1.0;
+        bool monotone = true;
+        for (double rate : rates) {
+            CellResult cell = runCell(
+                rate, mode, workers, conns_per_worker, cert, key.priv,
+                0xdeca1 ^ static_cast<uint64_t>(rate * 1000) ^
+                    (static_cast<uint64_t>(mode) << 20));
+            all_accounted = all_accounted && cell.accountedOk();
+            const uint64_t completed = cell.stats.fullHandshakes() +
+                                       cell.stats.resumedHandshakes();
+            // Reject mode legitimately drops sessions even on a clean
+            // channel — the saturated pool answering with
+            // internal_error IS the policy — so the full-completion
+            // baseline applies to the other two modes only.
+            if (rate == 0.0 && mode != PoolMode::Reject &&
+                completed != cell.expected)
+                clean_baseline_ok = false;
+            // Monotonicity is measured on the completed fraction, not
+            // the rate: wall-clock noise must not fake a cliff.
+            double fraction =
+                static_cast<double>(completed) / cell.expected;
+            if (prev_goodput >= 0 && fraction > prev_goodput + 0.10)
+                monotone = false; // fraction ROSE with the fault rate
+            prev_goodput = fraction;
+
+            j.beginObject();
+            j.field("pool_mode", poolModeName(mode));
+            j.field("fault_rate", rate, 2);
+            j.field("completed", completed);
+            j.field("alerted", cell.stats.failedHandshakes());
+            j.field("timed_out", cell.stats.timedOutSessions());
+            j.field("evicted", cell.stats.evictedSessions());
+            j.field("faults_injected", cell.stats.faultsInjected());
+            j.field("park_events", cell.stats.parkEvents());
+            j.field("pool_rejected", cell.rejected);
+            j.field("pool_shed", cell.shed);
+            j.field("completed_fraction", fraction, 3);
+            j.field("goodput_per_sec", cell.stats.goodputPerSec(), 1);
+            j.field("elapsed_sec", cell.stats.elapsedSeconds);
+            j.field("accounted_ok", cell.accountedOk());
+            j.endObject();
+        }
+        // Reported per mode; informational (strict monotonicity in the
+        // completed fraction holds in expectation, not per seed).
+        j.beginObject();
+        j.field("pool_mode", poolModeName(mode));
+        j.field("monotone_goodput", monotone);
+        j.endObject();
+    }
+    j.endArray();
+
+    j.field("all_accounted", all_accounted);
+    j.field("clean_baseline_ok", clean_baseline_ok);
+    j.endObject();
+
+    if (!all_accounted) {
+        std::fprintf(stderr,
+                     "FAIL: a cell lost sessions (completed + alerted "
+                     "+ timed_out != configured total)\n");
+        return 1;
+    }
+    if (!clean_baseline_ok) {
+        std::fprintf(stderr,
+                     "FAIL: zero-fault baseline did not complete every "
+                     "session\n");
+        return 1;
+    }
+    return 0;
+}

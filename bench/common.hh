@@ -231,6 +231,15 @@ class JsonWriter
         return *this;
     }
 
+    /** Bare array element (fixed-precision double). */
+    JsonWriter &
+    element(double value, int precision = 3)
+    {
+        prefix(nullptr);
+        std::fprintf(out_, "%.*f", precision, value);
+        return *this;
+    }
+
   private:
     void
     prefix(const char *key)

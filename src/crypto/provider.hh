@@ -82,6 +82,18 @@ class MacJob
 };
 
 /**
+ * Thrown (as a job error) when an asynchronous engine refuses new work
+ * because its queue is full. The SSL server maps it to the
+ * internal_error alert — the failure is local overload, not a protocol
+ * violation by the peer.
+ */
+class ProviderOverloadError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/**
  * Handle to a (possibly asynchronous) RSA private-key operation.
  *
  * Unlike MacJob, an RsaJob owns its input bytes, so the submitting
@@ -100,6 +112,7 @@ class RsaJob
         std::mutex m;
         std::condition_variable cv;
         std::atomic<bool> ready{false};
+        std::atomic<bool> cancelled{false};
         Bytes result;
         std::exception_ptr error;
 
@@ -133,6 +146,28 @@ class RsaJob
     Bytes wait();
 
     bool valid() const { return state_ != nullptr; }
+
+    /**
+     * Request cancellation. A queued job the engine has not started is
+     * skipped (never executed, so it cannot touch state the submitter
+     * has since torn down); a job already executing completes into the
+     * shared state, which outlives both sides by construction. The
+     * handle stays pollable either way. No-op on an empty handle.
+     */
+    void
+    cancel()
+    {
+        if (state_)
+            state_->cancelled.store(true, std::memory_order_release);
+    }
+
+    /** True when cancel() was requested (engines poll this). */
+    bool
+    cancelRequested() const
+    {
+        return state_ &&
+               state_->cancelled.load(std::memory_order_acquire);
+    }
 
     /** Drop the handle (a parked session resets after resolving). */
     void reset() { state_.reset(); }

@@ -5,7 +5,9 @@
 namespace ssla::serve
 {
 
-CryptoPool::CryptoPool(size_t threads)
+CryptoPool::CryptoPool(size_t threads, size_t max_queue,
+                       OverloadPolicy policy)
+    : maxQueue_(max_queue), policy_(policy)
 {
     if (threads == 0)
         threads = 1;
@@ -25,6 +27,13 @@ CryptoPool::~CryptoPool()
         w.join();
 }
 
+size_t
+CryptoPool::queueDepth() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return queue_.size();
+}
+
 crypto::RsaJob
 CryptoPool::enqueue(Job job)
 {
@@ -32,7 +41,26 @@ CryptoPool::enqueue(Job job)
     crypto::RsaJob handle(job.state);
     {
         std::lock_guard<std::mutex> lock(m_);
+        if (maxQueue_ && queue_.size() >= maxQueue_) {
+            // Overload: the bound is checked under the same lock that
+            // admits jobs, so concurrent submitters cannot overshoot.
+            if (policy_ == OverloadPolicy::Reject) {
+                rejected_.fetch_add(1, std::memory_order_relaxed);
+                job.state->finish(
+                    Bytes(),
+                    std::make_exception_ptr(crypto::ProviderOverloadError(
+                        "CryptoPool: queue full")));
+                return handle;
+            }
+            // Shed: hand the work back to the caller (synchronous
+            // fallback in PooledProvider) via an invalid handle.
+            shed_.fetch_add(1, std::memory_order_relaxed);
+            return crypto::RsaJob();
+        }
         queue_.push_back(std::move(job));
+        uint64_t depth = queue_.size();
+        if (depth > peakQueue_.load(std::memory_order_relaxed))
+            peakQueue_.store(depth, std::memory_order_relaxed);
     }
     cv_.notify_one();
     return handle;
@@ -101,6 +129,17 @@ CryptoPool::workerLoop()
                 return; // stopping and drained
             job = std::move(queue_.front());
             queue_.pop_front();
+        }
+        if (job.state->cancelled.load(std::memory_order_acquire)) {
+            // The submitter tore the session down while the job was
+            // queued: skip execution entirely — in particular, never
+            // touch job.key, whose owner may already be gone — but
+            // still finish() so a straggling waiter unblocks.
+            cancelled_.fetch_add(1, std::memory_order_relaxed);
+            job.state->finish(
+                Bytes(), std::make_exception_ptr(std::runtime_error(
+                             "CryptoPool: job cancelled")));
+            continue;
         }
         Bytes result;
         std::exception_ptr err;
@@ -179,14 +218,23 @@ crypto::RsaJob
 PooledProvider::submitRsaDecrypt(const crypto::RsaPrivateKey &key,
                                  Bytes cipher)
 {
-    return pool_.submitDecrypt(key, std::move(cipher));
+    crypto::RsaJob job = pool_.submitDecrypt(key, cipher);
+    if (job.valid())
+        return job;
+    // Shed policy, queue full: degrade to the synchronous baseline on
+    // the submitting worker. Safe with @p key: the caller owns it and
+    // we are on the caller's thread (the pool only ever runs clones).
+    return Provider::submitRsaDecrypt(key, std::move(cipher));
 }
 
 crypto::RsaJob
 PooledProvider::submitRsaSign(const crypto::RsaPrivateKey &key,
                               Bytes digest_data)
 {
-    return pool_.submitSign(key, std::move(digest_data));
+    crypto::RsaJob job = pool_.submitSign(key, digest_data);
+    if (job.valid())
+        return job;
+    return Provider::submitRsaSign(key, std::move(digest_data));
 }
 
 } // namespace ssla::serve

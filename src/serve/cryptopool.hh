@@ -34,12 +34,42 @@
 namespace ssla::serve
 {
 
+/**
+ * What a full CryptoPool queue does with new work. A saturated pool is
+ * the expected state of an overloaded server — the policy decides
+ * whether the excess handshake fails fast or degrades to the paper's
+ * baseline synchronous decrypt.
+ */
+enum class OverloadPolicy
+{
+    /**
+     * Refuse the job: it resolves immediately with a
+     * crypto::ProviderOverloadError, which the server surfaces as a
+     * fatal internal_error alert. Keeps worker latency flat; sheds
+     * whole sessions.
+     */
+    Reject,
+    /**
+     * Return an invalid job; PooledProvider falls back to computing
+     * synchronously on the submitting worker (the pre-offload
+     * baseline). Every session completes; worker throughput degrades
+     * smoothly instead of cliffing.
+     */
+    Shed,
+};
+
 /** A pool of crypto threads completing submitted RSA operations. */
 class CryptoPool
 {
   public:
-    /** @param threads number of crypto threads (min 1) */
-    explicit CryptoPool(size_t threads = 1);
+    /**
+     * @param threads number of crypto threads (min 1)
+     * @param max_queue queued-job bound (0 = unbounded, the pre-hardening
+     *        behavior); in-flight jobs do not count against it
+     * @param policy what submits do when the queue is at the bound
+     */
+    explicit CryptoPool(size_t threads = 1, size_t max_queue = 0,
+                        OverloadPolicy policy = OverloadPolicy::Reject);
 
     /** Drains nothing: pending jobs are completed before exit. */
     ~CryptoPool();
@@ -49,7 +79,12 @@ class CryptoPool
 
     /**
      * Queue a PKCS#1 v1.5 decryption of @p cipher under (a per-thread
-     * replica of) @p key. @p key must outlive the returned job.
+     * replica of) @p key. @p key must outlive the returned job (or the
+     * job must be cancel()ed before the key dies; a cancelled queued
+     * job is never executed). When the queue is at its bound the
+     * overload policy applies: Reject returns a job already failed
+     * with ProviderOverloadError; Shed returns an INVALID job and the
+     * caller must compute synchronously.
      */
     crypto::RsaJob submitDecrypt(const crypto::RsaPrivateKey &key,
                                  Bytes cipher);
@@ -65,11 +100,40 @@ class CryptoPool
     crypto::RsaJob submitRaw(std::function<Bytes()> fn);
 
     size_t threadCount() const { return workers_.size(); }
+    size_t maxQueue() const { return maxQueue_; }
+    OverloadPolicy policy() const { return policy_; }
+
+    /** Jobs currently queued (racy snapshot; monitoring only). */
+    size_t queueDepth() const;
 
     /** Jobs completed since construction (monitoring). */
     uint64_t completedJobs() const
     {
         return completed_.load(std::memory_order_relaxed);
+    }
+
+    /** Submits refused under the Reject policy. */
+    uint64_t rejectedJobs() const
+    {
+        return rejected_.load(std::memory_order_relaxed);
+    }
+
+    /** Submits pushed back to the caller under the Shed policy. */
+    uint64_t shedJobs() const
+    {
+        return shed_.load(std::memory_order_relaxed);
+    }
+
+    /** Queued jobs skipped because they were cancelled first. */
+    uint64_t cancelledJobs() const
+    {
+        return cancelled_.load(std::memory_order_relaxed);
+    }
+
+    /** High-water mark of the queue depth. */
+    uint64_t peakQueueDepth() const
+    {
+        return peakQueue_.load(std::memory_order_relaxed);
     }
 
   private:
@@ -92,11 +156,17 @@ class CryptoPool
     crypto::RsaJob enqueue(Job job);
     void workerLoop();
 
-    std::mutex m_;
+    mutable std::mutex m_;
     std::condition_variable cv_;
     std::deque<Job> queue_;
     bool stopping_ = false;
+    size_t maxQueue_ = 0;
+    OverloadPolicy policy_ = OverloadPolicy::Reject;
     std::atomic<uint64_t> completed_{0};
+    std::atomic<uint64_t> rejected_{0};
+    std::atomic<uint64_t> shed_{0};
+    std::atomic<uint64_t> cancelled_{0};
+    std::atomic<uint64_t> peakQueue_{0};
     std::vector<std::thread> workers_;
 };
 

@@ -74,6 +74,49 @@ ServeStats::parkEvents() const
     return n;
 }
 
+uint64_t
+ServeStats::failedHandshakes() const
+{
+    uint64_t n = 0;
+    for (const auto &w : perWorker)
+        n += w.failedHandshakes;
+    return n;
+}
+
+uint64_t
+ServeStats::timedOutSessions() const
+{
+    uint64_t n = 0;
+    for (const auto &w : perWorker)
+        n += w.timedOutSessions;
+    return n;
+}
+
+uint64_t
+ServeStats::evictedSessions() const
+{
+    uint64_t n = 0;
+    for (const auto &w : perWorker)
+        n += w.evictedSessions;
+    return n;
+}
+
+uint64_t
+ServeStats::faultsInjected() const
+{
+    uint64_t n = 0;
+    for (const auto &w : perWorker)
+        n += w.faultsInjected;
+    return n;
+}
+
+uint64_t
+ServeStats::terminatedSessions() const
+{
+    return fullHandshakes() + resumedHandshakes() +
+           failedHandshakes() + timedOutSessions();
+}
+
 double
 ServeStats::fullHandshakesPerSec() const
 {
@@ -95,6 +138,15 @@ ServeStats::bulkMBPerSec() const
                : 0.0;
 }
 
+double
+ServeStats::goodputPerSec() const
+{
+    return elapsedSeconds > 0
+               ? (fullHandshakes() + resumedHandshakes()) /
+                     elapsedSeconds
+               : 0.0;
+}
+
 // ---------------------------------------------------------------------
 // ServeEngine
 
@@ -105,14 +157,18 @@ struct ServeEngine::Impl
     /** One multiplexed in-memory connection pair. */
     struct Conn
     {
-        ssl::BioPair wires;
+        /** Exactly one of these backs the endpoints' BIOs. */
+        std::unique_ptr<ssl::BioPair> cleanWires;
+        std::unique_ptr<ssl::FaultyBioPair> faultyWires;
         crypto::RandomPool clientPool;
         crypto::RandomPool serverPool;
         std::unique_ptr<ssl::SslClient> client;
         std::unique_ptr<ssl::SslServer> server;
         size_t bulkSent = 0;
         size_t bulkReceived = 0;
-        bool parked = false; ///< currently counted as parked
+        bool parked = false;           ///< currently counted as parked
+        uint64_t startSweep = 0;       ///< sweep the conn opened on
+        uint64_t lastProgressSweep = 0;///< sweep it last advanced on
     };
 
     ServeConfig cfg;
@@ -175,6 +231,22 @@ struct ServeEngine::Impl
         conn->serverPool =
             crypto::RandomPool(seedBytes(cseed, /*tag=*/0x5e));
 
+        ssl::BioEndpoint client_end, server_end;
+        if (cfg.faultPlan) {
+            // Per-connection seed split: the whole chaos run replays
+            // from (engine seed, plan seed) alone.
+            ssl::FaultPlan plan = *cfg.faultPlan;
+            plan.seed = mix64(plan.seed ^ cseed);
+            conn->faultyWires =
+                std::make_unique<ssl::FaultyBioPair>(plan);
+            client_end = conn->faultyWires->clientEnd();
+            server_end = conn->faultyWires->serverEnd();
+        } else {
+            conn->cleanWires = std::make_unique<ssl::BioPair>();
+            client_end = conn->cleanWires->clientEnd();
+            server_end = conn->cleanWires->serverEnd();
+        }
+
         ssl::ServerConfig scfg;
         scfg.certificate = *cfg.certificate;
         scfg.privateKey = worker_key;
@@ -196,9 +268,9 @@ struct ServeEngine::Impl
         }
 
         conn->server = std::make_unique<ssl::SslServer>(
-            std::move(scfg), conn->wires.serverEnd());
+            std::move(scfg), server_end);
         conn->client = std::make_unique<ssl::SslClient>(
-            std::move(ccfg), conn->wires.clientEnd());
+            std::move(ccfg), client_end);
         return conn;
     }
 
@@ -240,11 +312,59 @@ struct ServeEngine::Impl
                c.bulkReceived >= cfg.bulkBytes;
     }
 
+    /** Has the connection outlived its phase's deadline? */
+    bool
+    deadlineExpired(const Conn &c, uint64_t sweep) const
+    {
+        const bool hs_done =
+            c.client->handshakeDone() && c.server->handshakeDone();
+        if (!hs_done)
+            return cfg.handshakeDeadlineTicks != 0 &&
+                   sweep - c.startSweep > cfg.handshakeDeadlineTicks;
+        return cfg.idleDeadlineTicks != 0 &&
+               sweep - c.lastProgressSweep > cfg.idleDeadlineTicks;
+    }
+
+    void
+    retireWires(const Conn &c, WorkerStats &stats)
+    {
+        if (c.faultyWires)
+            stats.faultsInjected += c.faultyWires->faultsInjected();
+    }
+
+    /**
+     * Kill a failed or stalled session and free its slot. abort() is
+     * idempotent: a side that already died from its own SslError
+     * ignores it; the survivor sends its single fatal alert and runs
+     * its onFatal hook (the server's cancels any in-flight RSA job and
+     * scrubs the session cache — the poisoning defense).
+     */
+    void
+    teardown(std::unique_ptr<Conn> &slot, WorkerStats &stats,
+             bool timed_out)
+    {
+        const Bytes sid = slot->server->session().id;
+        const bool cached =
+            !sid.empty() && store->find(sid).has_value();
+        slot->server->abort(ssl::AlertDescription::InternalError);
+        slot->client->abort(ssl::AlertDescription::InternalError);
+        if (cached)
+            ++stats.evictedSessions;
+        if (timed_out)
+            ++stats.timedOutSessions;
+        else
+            ++stats.failedHandshakes;
+        retireWires(*slot, stats);
+        slot.reset();
+    }
+
     void
     workerRun(size_t worker_id, WorkerStats &stats,
               std::exception_ptr &error)
     {
         try {
+            const bool tolerate =
+                cfg.tolerateFailures || cfg.faultPlan != nullptr;
             const auto worker_key = cloneKey();
             const Bytes payload(cfg.recordBytes, 0xab);
             std::vector<std::unique_ptr<Conn>> slots(
@@ -254,25 +374,50 @@ struct ServeEngine::Impl
             const size_t target = cfg.connectionsPerWorker;
 
             while (completed < target) {
-                ++stats.sweeps;
+                const uint64_t sweep = ++stats.sweeps;
                 bool progress = false;
-                bool any_parked = false;
                 for (auto &slot : slots) {
                     if (!slot) {
                         if (started >= target)
                             continue;
                         slot = makeConn(worker_id, started++,
                                         worker_key);
+                        slot->startSweep = sweep;
+                        slot->lastProgressSweep = sweep;
                         progress = true;
                     }
-                    progress |= pumpConn(*slot, payload, stats);
+                    // One sweep = one virtual tick: age stalled
+                    // records, retry cap-deferred deliveries.
+                    if (slot->faultyWires)
+                        slot->faultyWires->tick();
+                    bool p = false;
+                    try {
+                        p = pumpConn(*slot, payload, stats);
+                    } catch (const ssl::SslError &) {
+                        if (!tolerate)
+                            throw;
+                        // Only SslError is tolerable: the robustness
+                        // contract says every malformed-input path
+                        // surfaces as exactly one — anything else is a
+                        // bug and still propagates.
+                        teardown(slot, stats, /*timed_out=*/false);
+                        ++completed;
+                        progress = true;
+                        continue;
+                    }
+                    if (p) {
+                        progress = true;
+                        slot->lastProgressSweep = sweep;
+                    }
                     if (slot->server->waitingOnCrypto()) {
-                        any_parked = true;
                         if (!slot->parked) {
                             slot->parked = true;
                             ++stats.parkEvents;
                         }
-                        continue; // parked: service other sessions
+                        // Parked on the pool is not a stall; deadlines
+                        // resume once the result lands.
+                        slot->lastProgressSweep = sweep;
+                        continue;
                     }
                     slot->parked = false;
                     if (connFinished(*slot)) {
@@ -281,15 +426,21 @@ struct ServeEngine::Impl
                         else
                             ++stats.fullHandshakes;
                         offerCompletedSession(slot->server->session());
+                        retireWires(*slot, stats);
                         slot.reset();
                         ++completed;
+                        continue;
+                    }
+                    if (deadlineExpired(*slot, sweep)) {
+                        teardown(slot, stats, /*timed_out=*/true);
+                        ++completed;
+                        progress = true;
                     }
                 }
                 // All in-flight sessions parked on the crypto pool (or
                 // momentarily idle): let the pool threads run.
                 if (!progress)
                     std::this_thread::yield();
-                (void)any_parked;
             }
         } catch (...) {
             error = std::current_exception();
@@ -311,6 +462,19 @@ ServeEngine::ServeEngine(ServeConfig config)
         throw std::invalid_argument("ServeEngine: recordBytes == 0");
     if (cfg.recordBytes == 0)
         cfg.recordBytes = 1; // payload buffer must be non-empty
+
+    if (cfg.faultPlan) {
+        cfg.tolerateFailures = true;
+        // A fault plan can silently drop records, so every session
+        // needs a deadline or the run never terminates. Budget enough
+        // sweeps for a handshake whose every record stalls, plus slack
+        // for crypto-pool queueing.
+        const uint64_t stall = cfg.faultPlan->stallTicks;
+        if (cfg.handshakeDeadlineTicks == 0)
+            cfg.handshakeDeadlineTicks = 64 + 16 * stall;
+        if (cfg.idleDeadlineTicks == 0)
+            cfg.idleDeadlineTicks = 64 + 16 * stall;
+    }
 
     if (cfg.sessionStore) {
         impl_->store = cfg.sessionStore;

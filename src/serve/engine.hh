@@ -29,6 +29,7 @@
 #include "pki/cert.hh"
 #include "serve/cryptopool.hh"
 #include "ssl/ciphersuite.hh"
+#include "ssl/faultbio.hh"
 #include "ssl/shardcache.hh"
 
 namespace ssla::serve
@@ -71,6 +72,37 @@ struct ServeConfig
     size_t cacheShards = 8;
     /** Seed from which all per-connection randomness derives. */
     uint64_t seed = 0x5e17e;
+
+    // --- Robustness knobs (the fault-injection harness) ---
+
+    /**
+     * Adversarial channel: when set, every connection's wires run
+     * through a FaultyBioPair whose PRNG is seeded per connection from
+     * plan->seed and the engine seed, so a whole chaos run reproduces
+     * from two numbers. Implies tolerateFailures. Connection faults
+     * are expected to kill sessions; the engine counts the outcome
+     * (failed/timed out) and frees the slot instead of aborting.
+     */
+    const ssl::FaultPlan *faultPlan = nullptr;
+    /**
+     * Virtual-tick handshake deadline: sweeps a connection may exist
+     * before both sides reach handshakeDone (0 = no deadline; set to a
+     * default when faultPlan is given). One tick = one multiplexer
+     * sweep of the owning worker, which is also when staged FaultyBio
+     * stalls age — so deadlines are deterministic in channel time, not
+     * wall time.
+     */
+    size_t handshakeDeadlineTicks = 0;
+    /** Sweeps without progress after the handshake before eviction. */
+    size_t idleDeadlineTicks = 0;
+    /**
+     * Count per-session SslError failures instead of rethrowing them
+     * (a torn-down session frees its slot and the run continues).
+     * Forced on by faultPlan. Non-SslError exceptions still propagate:
+     * under the robustness contract every malformed-input path must
+     * surface as exactly one SslError, so anything else is a bug.
+     */
+    bool tolerateFailures = false;
 };
 
 /** Counters one worker accumulates (no locks; read after join). */
@@ -83,6 +115,14 @@ struct WorkerStats
     uint64_t parkEvents = 0;
     /** Multiplexer sweeps over the shard. */
     uint64_t sweeps = 0;
+    /** Sessions torn down by a fatal alert (either side failed). */
+    uint64_t failedHandshakes = 0;
+    /** Sessions torn down by a handshake or idle deadline. */
+    uint64_t timedOutSessions = 0;
+    /** Cache entries scrubbed during session teardown. */
+    uint64_t evictedSessions = 0;
+    /** FaultyBio mutations injected across this worker's channels. */
+    uint64_t faultsInjected = 0;
 };
 
 /** Aggregate results of a run. */
@@ -95,10 +135,23 @@ struct ServeStats
     uint64_t resumedHandshakes() const;
     uint64_t bulkBytesMoved() const;
     uint64_t parkEvents() const;
+    uint64_t failedHandshakes() const;
+    uint64_t timedOutSessions() const;
+    uint64_t evictedSessions() const;
+    uint64_t faultsInjected() const;
+
+    /**
+     * Every session's terminal outcome, summed: completed (full or
+     * resumed) + alerted + timed out. The chaos invariant is that this
+     * equals the configured workload — no session just vanishes.
+     */
+    uint64_t terminatedSessions() const;
 
     double fullHandshakesPerSec() const;
     double resumedHandshakesPerSec() const;
     double bulkMBPerSec() const;
+    /** Completed handshakes (goodput) per second. */
+    double goodputPerSec() const;
 };
 
 /** Drives the configured workload to completion on worker threads. */

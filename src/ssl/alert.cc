@@ -26,6 +26,8 @@ alertName(AlertDescription desc)
         return "certificate_unknown";
       case AlertDescription::IllegalParameter:
         return "illegal_parameter";
+      case AlertDescription::InternalError:
+        return "internal_error";
     }
     return "unknown_alert";
 }

@@ -28,6 +28,14 @@ enum class AlertDescription : uint8_t
     CertificateExpired = 45,
     CertificateUnknown = 46,
     IllegalParameter = 47,
+    /**
+     * Local resource failure unrelated to the peer (TLS 1.0's
+     * internal_error, RFC 2246 7.2.2). SSLv3 has no such code; we send
+     * it anyway when e.g. a saturated crypto pool rejects a handshake,
+     * since the alternative — blaming the peer with handshake_failure —
+     * would misreport an overload as a protocol violation.
+     */
+    InternalError = 80,
 };
 
 /** Alert severity. */

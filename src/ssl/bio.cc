@@ -7,11 +7,16 @@
 namespace ssla::ssl
 {
 
-void
+bool
 MemBio::write(const uint8_t *data, size_t len)
 {
+    if (maxBuffered_ && available() + len > maxBuffered_) {
+        ++blockedWrites_;
+        return false;
+    }
     buf_.insert(buf_.end(), data, data + len);
     totalWritten_ += len;
+    return true;
 }
 
 void
@@ -54,11 +59,11 @@ MemBio::consume(size_t len)
     compact();
 }
 
-void
+bool
 BioEndpoint::write(const uint8_t *data, size_t len)
 {
     perf::FuncProbe probe("BIO_write");
-    out_->write(data, len);
+    return out_->write(data, len);
 }
 
 void

@@ -6,6 +6,10 @@
  * A BioPair is two byte queues; each endpoint writes into one and
  * reads from the other, so a client and a server context in the same
  * process can complete a handshake with no sockets involved.
+ *
+ * MemBio's I/O surface is virtual so decorators can interpose on the
+ * channel: FaultyBio (ssl/faultbio.hh) reframes writes at record
+ * granularity and injects seeded faults for the robustness harness.
  */
 
 #ifndef SSLA_SSL_BIO_HH
@@ -18,28 +22,48 @@
 namespace ssla::ssl
 {
 
-/** A FIFO byte queue with peeking and lazy compaction. */
+/** A FIFO byte queue with peeking, lazy compaction and an optional
+ *  buffering cap (backpressure against peers that never read). */
 class MemBio
 {
   public:
-    /** Append @p len bytes. */
-    void write(const uint8_t *data, size_t len);
-    void write(const Bytes &data) { write(data.data(), data.size()); }
+    MemBio() = default;
+    virtual ~MemBio() = default;
+
+    /**
+     * Append @p len bytes. Returns false — accepting nothing — when a
+     * configured maxBuffered() cap would be exceeded; the caller must
+     * retry after the reader drains (the would-block a serving engine
+     * treats like a stalled peer). Always true when uncapped.
+     */
+    virtual bool write(const uint8_t *data, size_t len);
+    bool write(const Bytes &data) { return write(data.data(), data.size()); }
 
     /** Consume up to @p len bytes; returns the number read. */
-    size_t read(uint8_t *out, size_t len);
+    virtual size_t read(uint8_t *out, size_t len);
 
     /** Copy up to @p len bytes without consuming; returns the count. */
-    size_t peek(uint8_t *out, size_t len) const;
+    virtual size_t peek(uint8_t *out, size_t len) const;
 
     /** Discard @p len buffered bytes (after a successful peek). */
-    void consume(size_t len);
+    virtual void consume(size_t len);
 
     /** Bytes currently buffered. */
-    size_t available() const { return buf_.size() - head_; }
+    virtual size_t available() const { return buf_.size() - head_; }
 
     /** Total bytes ever written (traffic accounting for the web sim). */
     uint64_t totalWritten() const { return totalWritten_; }
+
+    /**
+     * Cap buffered-but-unread bytes at @p cap (0 = unlimited, the
+     * default). A write that would exceed the cap is refused whole —
+     * records are never split — and counted in blockedWrites().
+     */
+    void setMaxBuffered(size_t cap) { maxBuffered_ = cap; }
+    size_t maxBuffered() const { return maxBuffered_; }
+
+    /** Writes refused because the cap was reached. */
+    uint64_t blockedWrites() const { return blockedWrites_; }
 
   private:
     void compact();
@@ -47,6 +71,8 @@ class MemBio
     Bytes buf_;
     size_t head_ = 0;
     uint64_t totalWritten_ = 0;
+    size_t maxBuffered_ = 0;
+    uint64_t blockedWrites_ = 0;
 };
 
 /** One side's view of a BioPair: read from one queue, write the other. */
@@ -56,8 +82,9 @@ class BioEndpoint
     BioEndpoint() = default;
     BioEndpoint(MemBio *in, MemBio *out) : in_(in), out_(out) {}
 
-    void write(const uint8_t *data, size_t len);
-    void write(const Bytes &data) { write(data.data(), data.size()); }
+    /** Write to the outbound queue; false = would-block (cap hit). */
+    bool write(const uint8_t *data, size_t len);
+    bool write(const Bytes &data) { return write(data.data(), data.size()); }
     size_t read(uint8_t *out, size_t len) { return in_->read(out, len); }
     size_t peek(uint8_t *out, size_t len) const
     {

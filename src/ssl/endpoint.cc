@@ -77,6 +77,10 @@ SslEndpoint::handleAlert(const Bytes &payload)
         return;
     }
     if (level == AlertLevel::Fatal) {
+        // The peer already knows the session is dead: answering its
+        // alert with one of ours would be the double-alert the fault
+        // harness checks against.
+        peerFatal_ = true;
         throw SslError(desc, "peer sent fatal alert");
     }
     warn(std::string("ignoring warning alert: ") + alertName(desc));
@@ -86,6 +90,20 @@ std::optional<HandshakeMessage>
 SslEndpoint::nextHandshakeMessage(bool update_hash)
 {
     for (;;) {
+        // Bound the declared message length before buffering toward
+        // it: the 24-bit length field can announce a 16 MB message,
+        // and accumulating that on faith is a memory DoS. Nothing we
+        // speak legitimately exceeds a modest certificate chain.
+        if (hsBuffer_.size() - hsOffset_ >= 4) {
+            size_t declared =
+                (static_cast<size_t>(hsBuffer_[hsOffset_ + 1]) << 16) |
+                (static_cast<size_t>(hsBuffer_[hsOffset_ + 2]) << 8) |
+                hsBuffer_[hsOffset_ + 3];
+            if (declared > maxHandshakeMessage)
+                fail(AlertDescription::IllegalParameter,
+                     "handshake message length " +
+                         std::to_string(declared) + " exceeds bound");
+        }
         auto msg = HandshakeMessage::parse(hsBuffer_, hsOffset_);
         if (msg) {
             if (update_hash) {
@@ -134,6 +152,12 @@ SslEndpoint::sendChangeCipherSpec()
 void
 SslEndpoint::sendAlert(AlertLevel level, AlertDescription desc)
 {
+    if (level == AlertLevel::Fatal) {
+        if (fatalAlertSent_)
+            return; // at most one fatal alert per connection
+        fatalAlertSent_ = true;
+        ++fatalAlertsSent_;
+    }
     Bytes payload{static_cast<uint8_t>(level),
                   static_cast<uint8_t>(desc)};
     record_.send(ContentType::Alert, payload);
@@ -142,12 +166,32 @@ SslEndpoint::sendAlert(AlertLevel level, AlertDescription desc)
 void
 SslEndpoint::fail(AlertDescription desc, const std::string &msg)
 {
-    try {
-        sendAlert(AlertLevel::Fatal, desc);
-    } catch (...) {
-        // Failing to notify the peer must not mask the original error.
-    }
+    noteFatal(desc);
     throw SslError(desc, msg);
+}
+
+void
+SslEndpoint::noteFatal(AlertDescription desc)
+{
+    if (dead_)
+        return;
+    dead_ = true;
+    lastAlert_ = desc;
+    if (!peerFatal_) {
+        try {
+            sendAlert(AlertLevel::Fatal, desc);
+        } catch (...) {
+            // Failing to notify the peer must not mask the original
+            // error (and must never crash the teardown path).
+        }
+    }
+    onFatal();
+}
+
+void
+SslEndpoint::abort(AlertDescription desc)
+{
+    noteFatal(desc);
 }
 
 const KeyBlock &
@@ -163,9 +207,23 @@ SslEndpoint::keyBlock()
 bool
 SslEndpoint::advance()
 {
-    bool progressed = false;
-    while (!done_ && step())
-        progressed = true;
+    if (dead_)
+        return false;
+    // Retry records a capped transport refused earlier; delivering
+    // backlog is progress (the peer can now read what was stuck).
+    bool progressed = record_.flushPendingOutput();
+    try {
+        while (!done_ && step())
+            progressed = true;
+    } catch (const SslError &e) {
+        // Central failure funnel: a bare SslError out of a parser gets
+        // the same one-alert-then-dead treatment as a fail() call.
+        noteFatal(e.alert());
+        throw;
+    } catch (...) {
+        noteFatal(AlertDescription::InternalError);
+        throw;
+    }
     return progressed;
 }
 
@@ -180,11 +238,16 @@ SslEndpoint::writeApplicationData(const Bytes &data)
 std::optional<Bytes>
 SslEndpoint::readApplicationData()
 {
-    while (appData_.empty()) {
-        if (peerClosed_)
-            return std::nullopt;
-        if (!pumpOneRecord())
-            return std::nullopt;
+    try {
+        while (appData_.empty()) {
+            if (peerClosed_ || dead_)
+                return std::nullopt;
+            if (!pumpOneRecord())
+                return std::nullopt;
+        }
+    } catch (const SslError &e) {
+        noteFatal(e.alert());
+        throw;
     }
     Bytes out = std::move(appData_.front());
     appData_.pop_front();

@@ -26,6 +26,13 @@
 namespace ssla::ssl
 {
 
+/**
+ * Largest handshake message an endpoint will buffer toward (the
+ * 24-bit wire length field allows 16 MB; accepting that on faith is a
+ * memory DoS). 128 KiB clears any certificate chain we can produce.
+ */
+constexpr size_t maxHandshakeMessage = 128 * 1024;
+
 /** Common base of SslClient and SslServer. */
 class SslEndpoint
 {
@@ -35,10 +42,36 @@ class SslEndpoint
     /**
      * Drive the handshake/state machine as far as buffered input
      * allows. @return true if any progress was made.
-     * @throws SslError on fatal protocol failures (an alert is sent
-     *         to the peer first)
+     *
+     * Failure contract (the robustness invariant the fault harness
+     * asserts): any fatal protocol failure sends EXACTLY ONE fatal
+     * alert to the peer — whether it was raised via fail() or escaped
+     * a parser as a bare SslError — marks the endpoint dead, and
+     * rethrows. A dead endpoint never progresses again (advance()
+     * returns false) and never emits a second alert. A peer's fatal
+     * alert likewise kills the endpoint without an alert in response.
+     * @throws SslError on fatal protocol failures
      */
     bool advance();
+
+    /** True after a fatal failure (alert sent or received) or abort. */
+    bool failed() const { return dead_; }
+
+    /** The alert the failure mapped to (nullopt while healthy). */
+    std::optional<AlertDescription> failureAlert() const
+    {
+        return lastAlert_;
+    }
+
+    /** Fatal alerts this endpoint put on the wire (must stay <= 1). */
+    uint64_t fatalAlertsSent() const { return fatalAlertsSent_; }
+
+    /**
+     * Tear the connection down from outside the state machine (e.g. a
+     * serving engine enforcing a deadline): best-effort fatal alert to
+     * the peer, then dead. Idempotent; never throws.
+     */
+    void abort(AlertDescription desc);
 
     /** True once the handshake completed. */
     bool handshakeDone() const { return done_; }
@@ -122,6 +155,14 @@ class SslEndpoint
     /** Send a fatal alert and throw SslError. */
     [[noreturn]] void fail(AlertDescription desc, const std::string &msg);
 
+    /**
+     * Hook invoked once when the endpoint dies (fatal alert sent or
+     * received, abort, escaped parser error). Overrides clean up
+     * session-scoped state — the server cancels its in-flight crypto
+     * job and expels the session from the cache. Must not throw.
+     */
+    virtual void onFatal() {}
+
     /** Lazily derive (and cache) the key block for this session. */
     const KeyBlock &keyBlock();
 
@@ -146,6 +187,10 @@ class SslEndpoint
 
     void handleAlert(const Bytes &payload);
 
+    /** Kill the endpoint: one alert (unless the peer failed first or
+     *  one already went out), the onFatal() hook, dead. Idempotent. */
+    void noteFatal(AlertDescription desc);
+
     crypto::RandomPool *pool_;
     Bytes hsBuffer_; ///< handshake-stream reassembly
     size_t hsOffset_ = 0;
@@ -153,6 +198,11 @@ class SslEndpoint
     std::deque<Bytes> appData_;
     bool peerClosed_ = false;
     bool closeSent_ = false;
+    bool dead_ = false;          ///< fatal failure; no further progress
+    bool fatalAlertSent_ = false;
+    bool peerFatal_ = false;     ///< peer's fatal alert killed us
+    uint64_t fatalAlertsSent_ = 0;
+    std::optional<AlertDescription> lastAlert_;
     std::optional<KeyBlock> keyBlock_;
 };
 

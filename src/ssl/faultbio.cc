@@ -1,0 +1,206 @@
+#include "ssl/faultbio.hh"
+
+#include "ssl/record.hh"
+
+namespace ssla::ssl
+{
+
+namespace
+{
+
+/** splitmix64 step — decorrelates the two directions of a pair. */
+uint64_t
+mixSeed(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // anonymous namespace
+
+FaultPlan
+FaultPlan::mixed(uint64_t seed, double rate, uint64_t stall_ticks)
+{
+    FaultPlan plan;
+    plan.dropRate = rate;
+    plan.truncateRate = rate;
+    plan.corruptRate = rate;
+    plan.duplicateRate = rate;
+    plan.reorderRate = rate;
+    plan.stallRate = rate;
+    plan.stallTicks = stall_ticks;
+    plan.seed = seed;
+    return plan;
+}
+
+FaultyBio::FaultyBio(const FaultPlan &plan, uint64_t seed_mix)
+    : plan_(plan), rng_(mixSeed(plan.seed ^ seed_mix))
+{
+    setMaxBuffered(plan.maxBuffered);
+}
+
+bool
+FaultyBio::write(const uint8_t *data, size_t len)
+{
+    // The adversary models the network: the sender's write always
+    // succeeds; what the reader sees is the plan's business.
+    assembly_.insert(assembly_.end(), data, data + len);
+    frameRecords();
+    drain();
+    return true;
+}
+
+void
+FaultyBio::frameRecords()
+{
+    for (;;) {
+        if (assembly_.size() < 5)
+            return;
+        uint8_t type = assembly_[0];
+        size_t frag_len = (static_cast<size_t>(assembly_[3]) << 8) |
+                          assembly_[4];
+        bool plausible = type >= 20 && type <= 23 &&
+                         assembly_[1] == 0x03 &&
+                         frag_len <= maxFragment + 2048;
+        if (!plausible) {
+            // Not an SSL record stream (only possible if a caller
+            // bypasses the record layer): pass the bytes through
+            // verbatim rather than buffering them forever.
+            stage(std::move(assembly_), now_);
+            assembly_ = Bytes();
+            return;
+        }
+        if (assembly_.size() < 5 + frag_len)
+            return; // incomplete record: wait for the rest
+        Bytes record(assembly_.begin(),
+                     assembly_.begin() + 5 + frag_len);
+        assembly_.erase(assembly_.begin(),
+                        assembly_.begin() + 5 + frag_len);
+        ++counts_.records;
+        applyFaults(std::move(record));
+    }
+}
+
+void
+FaultyBio::applyFaults(Bytes record)
+{
+    // One mutating fault per record at most (first match wins), plus
+    // an independent stall draw — outcomes stay attributable.
+    if (rng_.nextDouble() < plan_.dropRate) {
+        ++counts_.dropped;
+        return;
+    }
+
+    bool duplicate = false;
+    bool reorder = false;
+    if (rng_.nextDouble() < plan_.truncateRate && record.size() > 1) {
+        size_t cut = 1 + rng_.nextBelow(record.size() - 1);
+        record.resize(record.size() - cut);
+        ++counts_.truncated;
+    } else if (rng_.nextDouble() < plan_.corruptRate) {
+        record[rng_.nextBelow(record.size())] ^=
+            static_cast<uint8_t>(1 + rng_.nextBelow(255));
+        ++counts_.corrupted;
+    } else if (rng_.nextDouble() < plan_.duplicateRate) {
+        duplicate = true;
+        ++counts_.duplicated;
+    } else if (rng_.nextDouble() < plan_.reorderRate) {
+        reorder = true;
+    }
+
+    uint64_t due = now_;
+    if (rng_.nextDouble() < plan_.stallRate) {
+        due = now_ + plan_.stallTicks;
+        ++counts_.stalled;
+    }
+
+    if (reorder && !staged_.empty()) {
+        // Swap with the record ahead of it: deliverable whenever two
+        // records are in flight together (multi-record flights, stall
+        // backlogs). With an empty queue there is nothing to swap.
+        StagedRecord ahead = std::move(staged_.back());
+        staged_.pop_back();
+        staged_.push_back({std::move(record), due});
+        staged_.push_back(std::move(ahead));
+        ++counts_.reordered;
+        return;
+    }
+    if (duplicate) {
+        stage(record, due);
+        stage(std::move(record), due);
+        return;
+    }
+    stage(std::move(record), due);
+}
+
+void
+FaultyBio::stage(Bytes wire, uint64_t due)
+{
+    staged_.push_back({std::move(wire), due});
+}
+
+void
+FaultyBio::drain()
+{
+    // Head-of-line delivery: a stalled or cap-blocked record delays
+    // everything behind it, the way an in-order transport would.
+    while (!staged_.empty()) {
+        StagedRecord &head = staged_.front();
+        if (head.dueTick > now_)
+            return;
+        if (!MemBio::write(head.wire.data(), head.wire.size())) {
+            ++counts_.capDeferrals;
+            return; // reader must drain the capped queue first
+        }
+        staged_.pop_front();
+    }
+}
+
+void
+FaultyBio::tick()
+{
+    ++now_;
+    drain();
+}
+
+size_t
+FaultyBio::read(uint8_t *out, size_t len)
+{
+    size_t n = MemBio::read(out, len);
+    drain(); // freed cap space may admit deferred records
+    return n;
+}
+
+void
+FaultyBio::consume(size_t len)
+{
+    MemBio::consume(len);
+    drain();
+}
+
+// ---------------------------------------------------------------------
+// FaultyBioPair
+
+FaultyBioPair::FaultyBioPair(const FaultPlan &plan)
+    : clientToServer_(plan, /*seed_mix=*/0xc25ull),
+      serverToClient_(plan, /*seed_mix=*/0x52cull)
+{
+}
+
+void
+FaultyBioPair::tick()
+{
+    clientToServer_.tick();
+    serverToClient_.tick();
+}
+
+uint64_t
+FaultyBioPair::faultsInjected() const
+{
+    return clientToServer_.counts().injected() +
+           serverToClient_.counts().injected();
+}
+
+} // namespace ssla::ssl

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Deterministic fault injection at record granularity.
+ *
+ * A real SSL front-end faces peers that truncate handshakes mid-flight,
+ * corrupt bytes, retransmit, stall and reorder. FaultyBio turns the
+ * clean in-memory channel of the paper's ssltest arrangement into a
+ * reproducible adversarial one: it decorates a MemBio, reassembles the
+ * honest sender's byte stream into SSL records (the 5-byte header
+ * frames the unit a network fault would hit), and applies a seeded
+ * FaultPlan per record before delivery. Every run with the same plan
+ * and seed injects the identical fault sequence, so a chaos failure in
+ * CI reproduces locally from the logged seed alone.
+ *
+ * Time is virtual: stalled records are released by explicit tick()
+ * calls, which the serving engine maps one-to-one onto multiplexer
+ * sweeps and the single-threaded harness onto loop iterations. Faults
+ * compose with the MemBio buffering cap — a record that the capped
+ * delivery queue refuses stays staged and retries on the next tick,
+ * modeling receive-window backpressure.
+ */
+
+#ifndef SSLA_SSL_FAULTBIO_HH
+#define SSLA_SSL_FAULTBIO_HH
+
+#include <deque>
+
+#include "ssl/bio.hh"
+#include "util/rng.hh"
+
+namespace ssla::ssl
+{
+
+/**
+ * Per-record fault probabilities and parameters. Rates are independent
+ * Bernoulli draws in [0,1]; a record can suffer at most one mutating
+ * fault (first match in the order drop, truncate, corrupt, duplicate,
+ * reorder) plus an optional stall, so outcomes stay interpretable.
+ */
+struct FaultPlan
+{
+    double dropRate = 0.0;      ///< record vanishes entirely
+    double truncateRate = 0.0;  ///< 1..N-1 trailing bytes cut
+    double corruptRate = 0.0;   ///< one byte XORed (header included)
+    double duplicateRate = 0.0; ///< record delivered twice
+    double reorderRate = 0.0;   ///< swapped with the next record
+    double stallRate = 0.0;     ///< held for stallTicks virtual ticks
+    uint64_t stallTicks = 4;    ///< hold time of a stalled record
+    /**
+     * Delivery-queue cap in bytes (0 = unlimited): undelivered records
+     * queue behind a reader that stops reading, modeling a bounded
+     * receive window (MemBio::setMaxBuffered on the delivery side).
+     */
+    size_t maxBuffered = 0;
+    uint64_t seed = 1; ///< base PRNG seed (mixed per direction)
+
+    /** All fault types at a common @p rate — the chaos-sweep knob. */
+    static FaultPlan mixed(uint64_t seed, double rate,
+                           uint64_t stall_ticks = 4);
+
+    bool
+    any() const
+    {
+        return dropRate > 0 || truncateRate > 0 || corruptRate > 0 ||
+               duplicateRate > 0 || reorderRate > 0 || stallRate > 0 ||
+               maxBuffered > 0;
+    }
+};
+
+/** What one FaultyBio did to the stream (assertable in tests). */
+struct FaultCounts
+{
+    uint64_t records = 0; ///< records framed off the honest stream
+    uint64_t dropped = 0;
+    uint64_t truncated = 0;
+    uint64_t corrupted = 0;
+    uint64_t duplicated = 0;
+    uint64_t reordered = 0;
+    uint64_t stalled = 0;
+    uint64_t capDeferrals = 0; ///< delivery retries forced by the cap
+
+    uint64_t
+    injected() const
+    {
+        return dropped + truncated + corrupted + duplicated +
+               reordered + stalled;
+    }
+};
+
+/**
+ * A MemBio whose write side passes through a fault plan.
+ *
+ * Writers see a queue that always accepts (the adversary models the
+ * network, not the sender's socket buffer); readers see whatever
+ * survives the plan, in head-of-line order — a stalled record delays
+ * everything behind it, like a TCP stream would.
+ */
+class FaultyBio : public MemBio
+{
+  public:
+    /** @param seed_mix XORed into plan.seed (per-direction split) */
+    explicit FaultyBio(const FaultPlan &plan, uint64_t seed_mix = 0);
+
+    /** Frame, mutate and stage @p len bytes; always accepts. */
+    bool write(const uint8_t *data, size_t len) override;
+
+    /** Advance virtual time one step and deliver due records. */
+    void tick();
+
+    /** Current virtual time (ticks seen). */
+    uint64_t now() const { return now_; }
+
+    const FaultCounts &counts() const { return counts_; }
+
+    /** Records staged but not yet delivered (stalls / cap backlog). */
+    size_t stagedRecords() const { return staged_.size(); }
+
+    size_t read(uint8_t *out, size_t len) override;
+    void consume(size_t len) override;
+
+  private:
+    struct StagedRecord
+    {
+        Bytes wire;          ///< full record: header + fragment
+        uint64_t dueTick = 0;
+    };
+
+    void frameRecords();
+    void applyFaults(Bytes record);
+    void stage(Bytes wire, uint64_t due);
+    void drain();
+
+    FaultPlan plan_;
+    Xoshiro256 rng_;
+    Bytes assembly_;          ///< honest bytes awaiting a full record
+    std::deque<StagedRecord> staged_;
+    uint64_t now_ = 0;
+    FaultCounts counts_;
+};
+
+/**
+ * A BioPair with a FaultyBio in each direction. Both directions share
+ * the plan but draw from independently seeded PRNGs, so client→server
+ * and server→client fault sequences are uncorrelated.
+ */
+class FaultyBioPair
+{
+  public:
+    explicit FaultyBioPair(const FaultPlan &plan);
+
+    BioEndpoint
+    clientEnd()
+    {
+        return BioEndpoint(&serverToClient_, &clientToServer_);
+    }
+
+    BioEndpoint
+    serverEnd()
+    {
+        return BioEndpoint(&clientToServer_, &serverToClient_);
+    }
+
+    /** Advance both directions' virtual clocks. */
+    void tick();
+
+    const FaultCounts &clientToServerCounts() const
+    {
+        return clientToServer_.counts();
+    }
+    const FaultCounts &serverToClientCounts() const
+    {
+        return serverToClient_.counts();
+    }
+
+    /** Total faults injected across both directions. */
+    uint64_t faultsInjected() const;
+
+  private:
+    FaultyBio clientToServer_;
+    FaultyBio serverToClient_;
+};
+
+} // namespace ssla::ssl
+
+#endif // SSLA_SSL_FAULTBIO_HH

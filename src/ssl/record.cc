@@ -155,19 +155,39 @@ RecordLayer::sealFragment(Bytes &fragment, const Bytes &mac)
                           fragment.size());
 }
 
+bool
+RecordLayer::flushPendingOutput()
+{
+    bool delivered = false;
+    while (!pendingOut_.empty()) {
+        const Bytes &wire = pendingOut_.front();
+        if (!bio_.write(wire.data(), wire.size()))
+            return delivered; // still blocked; keep the backlog intact
+        pendingOut_.pop_front();
+        delivered = true;
+    }
+    return delivered;
+}
+
 void
 RecordLayer::writeRecord(ContentType type, const Bytes &fragment,
                          size_t payload_len)
 {
-    uint8_t header[5];
-    header[0] = static_cast<uint8_t>(type);
-    header[1] = static_cast<uint8_t>(version_ >> 8);
-    header[2] = static_cast<uint8_t>(version_);
-    header[3] = static_cast<uint8_t>(fragment.size() >> 8);
-    header[4] = static_cast<uint8_t>(fragment.size());
+    // One contiguous wire image per record: the transport either takes
+    // the whole record or none of it, so a capped bio can never hold a
+    // torn record, and a refused record queues for in-order retry.
+    Bytes wire;
+    wire.reserve(5 + fragment.size());
+    wire.push_back(static_cast<uint8_t>(type));
+    wire.push_back(static_cast<uint8_t>(version_ >> 8));
+    wire.push_back(static_cast<uint8_t>(version_));
+    wire.push_back(static_cast<uint8_t>(fragment.size() >> 8));
+    wire.push_back(static_cast<uint8_t>(fragment.size()));
+    wire.insert(wire.end(), fragment.begin(), fragment.end());
 
-    bio_.write(header, sizeof(header));
-    bio_.write(fragment);
+    flushPendingOutput();
+    if (!pendingOut_.empty() || !bio_.write(wire.data(), wire.size()))
+        pendingOut_.push_back(std::move(wire));
     bytesSent_ += payload_len;
     ++recordsSent_;
 }
@@ -274,11 +294,20 @@ RecordLayer::receive()
     if (!recv_.active())
         return Record{type, std::move(fragment)};
 
+    size_t mac_len = recv_.suite->macLen();
+    size_t block = recv_.suite->blockLen();
+
+    // Validate ciphertext geometry BEFORE decrypting: a truncated
+    // record's partial block would otherwise surface as the cipher's
+    // own exception rather than the record layer's SslError (the
+    // fault harness asserts only SslError ever escapes).
+    if (block > 1 && (fragment.empty() || fragment.size() % block))
+        throw SslError(AlertDescription::BadRecordMac,
+                       "record: bad block length");
+
     recv_.cipher->process(fragment.data(), fragment.data(),
                           fragment.size());
 
-    size_t mac_len = recv_.suite->macLen();
-    size_t block = recv_.suite->blockLen();
     size_t data_len = fragment.size();
 
     // Padding is validated in constant time: a single pass with no
@@ -287,9 +316,6 @@ RecordLayer::receive()
     // (the distinguisher behind padding-oracle attacks on CBC suites).
     size_t pad_valid = 1;
     if (block > 1) {
-        if (fragment.empty() || fragment.size() % block)
-            throw SslError(AlertDescription::BadRecordMac,
-                           "record: bad block length");
         size_t pad = fragment.back();
         // pad + 1 + mac_len must fit inside the fragment.
         pad_valid = static_cast<size_t>(

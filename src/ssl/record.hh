@@ -17,6 +17,7 @@
 #ifndef SSLA_SSL_RECORD_HH
 #define SSLA_SSL_RECORD_HH
 
+#include <deque>
 #include <memory>
 #include <optional>
 #include <span>
@@ -137,7 +138,27 @@ class RecordLayer
     bool recvCipherActive() const { return recv_.active(); }
 
     /** Flush the transport (probed buffer control, like Table 2). */
-    void flush() { bio_.flush(); }
+    void
+    flush()
+    {
+        flushPendingOutput();
+        bio_.flush();
+    }
+
+    /**
+     * Retry records the transport refused (a capped MemBio whose
+     * reader stopped draining). Sealed records queue here in order —
+     * sequence numbers are already burned — and nothing later goes on
+     * the wire until the backlog clears. @return true if any record
+     * was delivered by this call.
+     */
+    bool flushPendingOutput();
+
+    /** True while sealed records are queued behind a full transport. */
+    bool outputBlocked() const { return !pendingOut_.empty(); }
+
+    /** Records queued behind a full transport. */
+    size_t pendingOutputRecords() const { return pendingOut_.size(); }
 
     /**
      * Lock the negotiated protocol version (0x0300 or 0x0301).
@@ -180,6 +201,7 @@ class RecordLayer
     crypto::Provider *provider_;
     RecordCipherState send_;
     RecordCipherState recv_;
+    std::deque<Bytes> pendingOut_; ///< sealed records the bio refused
     uint16_t version_ = ssl3Version;
     bool versionLocked_ = false;
     uint64_t bytesSent_ = 0;

@@ -24,6 +24,20 @@ SslServer::SslServer(ServerConfig config, BioEndpoint bio)
     serverRandom_.reserve(32);
 }
 
+SslServer::~SslServer()
+{
+    kxJob_.cancel();
+}
+
+void
+SslServer::onFatal()
+{
+    kxJob_.cancel();
+    kxJob_.reset();
+    if (config_.sessionCache && !session_.id.empty())
+        config_.sessionCache->remove(session_.id);
+}
+
 bool
 SslServer::step()
 {
@@ -317,6 +331,13 @@ SslServer::stepAwaitPreMaster()
     Bytes premaster;
     try {
         premaster = kxJob_.wait();
+    } catch (const crypto::ProviderOverloadError &) {
+        // A saturated crypto pool rejected the decrypt: our overload,
+        // not the peer's fault — internal_error, never
+        // handshake_failure (which would blame the client).
+        kxJob_.reset();
+        fail(AlertDescription::InternalError,
+             "crypto engine saturated, handshake rejected");
     } catch (const std::exception &) {
         kxJob_.reset();
         fail(AlertDescription::HandshakeFailure,

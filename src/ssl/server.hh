@@ -70,6 +70,9 @@ class SslServer : public SslEndpoint
      */
     SslServer(ServerConfig config, BioEndpoint bio);
 
+    /** Cancels any in-flight crypto job so the pool skips it. */
+    ~SslServer() override;
+
     /**
      * True while parked at ClientKeyExchange waiting for an offloaded
      * RSA pre-master decrypt (paper Section 6.2, applied across
@@ -82,6 +85,14 @@ class SslServer : public SslEndpoint
   protected:
     bool step() override;
     void onChangeCipherSpec() override;
+
+    /**
+     * Fatal teardown: cancel the parked RSA job (a torn-down session's
+     * decrypt must not run against freed state) and expel the session
+     * from the cache — a fatal alert during or after resumption must
+     * not leave a resumable entry behind (cache poisoning).
+     */
+    void onFatal() override;
 
   private:
     enum class State

@@ -10,6 +10,7 @@
 
 #include "pki/cert.hh"
 #include "ssl/client.hh"
+#include "ssl/faultbio.hh"
 #include "ssl/server.hh"
 #include "util/rng.hh"
 #include "web/http.hh"
@@ -224,6 +225,257 @@ TEST(Fuzz, RecordLayerOnCorruptedCiphertext)
             // expected
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Record-layer corpus: FaultyBio-mutated real transcripts
+
+/**
+ * Drive an endpoint over a fixed mutated input until it completes,
+ * dies, or exhausts the input. Only SslError may escape — anything
+ * else propagates and fails the test (the "never exception escape"
+ * invariant).
+ */
+void
+consumeMutatedStream(SslEndpoint &ep)
+{
+    for (int i = 0; i < 200; ++i) {
+        try {
+            if (!ep.advance())
+                break;
+        } catch (const SslError &) {
+            break;
+        }
+    }
+}
+
+TEST(Fuzz, MutatedTranscriptCorpus)
+{
+    Bytes to_server, to_client;
+    // Tap a real transcript: drive a clean handshake over raw MemBios,
+    // peeking each direction's flights before delivery.
+    {
+        MemBio c2s, s2c;
+        ServerConfig scfg;
+        scfg.certificate = test::testServerCert512();
+        scfg.privateKey = test::testKey512().priv;
+        SslServer server(std::move(scfg), BioEndpoint(&c2s, &s2c));
+        SslClient client(ClientConfig{}, BioEndpoint(&s2c, &c2s));
+        Bytes buf(8192);
+        for (int i = 0; i < 64; ++i) {
+            client.advance();
+            if (size_t n = c2s.peek(buf.data(), buf.size())) {
+                to_server.insert(to_server.end(), buf.begin(),
+                                 buf.begin() + n);
+                // leave the bytes for the server to consume
+            }
+            server.advance();
+            if (size_t n = s2c.peek(buf.data(), buf.size())) {
+                to_client.insert(to_client.end(), buf.begin(),
+                                 buf.begin() + n);
+            }
+            if (client.handshakeDone() && server.handshakeDone())
+                break;
+        }
+        ASSERT_TRUE(client.handshakeDone() && server.handshakeDone());
+        ASSERT_GT(to_server.size(), 100u);
+        ASSERT_GT(to_client.size(), 100u);
+    }
+
+    // Server side: mutated client transcripts.
+    for (uint64_t seed = 1; seed <= 40; ++seed) {
+        ssl::FaultyBio mutator(ssl::FaultPlan::mixed(seed, 0.3));
+        mutator.write(to_server.data(), to_server.size());
+        for (int t = 0; t < 64; ++t)
+            mutator.tick();
+        Bytes mutated(mutator.available());
+        mutator.read(mutated.data(), mutated.size());
+
+        MemBio c2s, s2c;
+        ServerConfig scfg;
+        scfg.certificate = test::testServerCert512();
+        scfg.privateKey = test::testKey512().priv;
+        SslServer server(std::move(scfg), BioEndpoint(&c2s, &s2c));
+        c2s.write(mutated);
+        consumeMutatedStream(server);
+        EXPECT_LE(server.fatalAlertsSent(), 1u) << "seed " << seed;
+    }
+
+    // Client side: mutated server transcripts, after the client has
+    // sent its hello.
+    for (uint64_t seed = 100; seed <= 140; ++seed) {
+        ssl::FaultyBio mutator(ssl::FaultPlan::mixed(seed, 0.3));
+        mutator.write(to_client.data(), to_client.size());
+        for (int t = 0; t < 64; ++t)
+            mutator.tick();
+        Bytes mutated(mutator.available());
+        mutator.read(mutated.data(), mutated.size());
+
+        MemBio c2s, s2c;
+        SslClient client(ClientConfig{}, BioEndpoint(&s2c, &c2s));
+        client.advance(); // hello out
+        s2c.write(mutated);
+        consumeMutatedStream(client);
+        EXPECT_LE(client.fatalAlertsSent(), 1u) << "seed " << seed;
+    }
+}
+
+TEST(Fuzz, OversizedHandshakeLengthRejected)
+{
+    // A handshake header may declare up to 16 MB; buffering toward a
+    // declared length beyond the bound must fail fast, not accumulate.
+    for (size_t declared :
+         {size_t{maxHandshakeMessage + 1}, size_t{0xffffff}}) {
+        MemBio c2s, s2c;
+        ServerConfig scfg;
+        scfg.certificate = test::testServerCert512();
+        scfg.privateKey = test::testKey512().priv;
+        SslServer server(std::move(scfg), BioEndpoint(&c2s, &s2c));
+
+        Bytes body = {1, // ClientHello type
+                      static_cast<uint8_t>(declared >> 16),
+                      static_cast<uint8_t>(declared >> 8),
+                      static_cast<uint8_t>(declared)};
+        Bytes rec = {22, 3, 0, 0, static_cast<uint8_t>(body.size())};
+        append(rec, body);
+        c2s.write(rec);
+        try {
+            server.advance();
+            FAIL() << "oversized declared length accepted";
+        } catch (const SslError &e) {
+            EXPECT_EQ(e.alert(), AlertDescription::IllegalParameter);
+        }
+        EXPECT_EQ(server.fatalAlertsSent(), 1u);
+    }
+}
+
+TEST(Fuzz, SplitHandshakeMessageReassembles)
+{
+    // One ClientHello delivered as dozens of 1-byte records: the
+    // receiver must reassemble and answer normally.
+    MemBio tap_in, tap_out;
+    SslClient hello_client(ClientConfig{},
+                           BioEndpoint(&tap_out, &tap_in));
+    hello_client.advance();
+    Bytes wire(tap_in.available());
+    tap_in.read(wire.data(), wire.size());
+    ASSERT_GT(wire.size(), 10u);
+    Bytes fragment(wire.begin() + 5, wire.end()); // strip the header
+
+    MemBio c2s, s2c;
+    ServerConfig scfg;
+    scfg.certificate = test::testServerCert512();
+    scfg.privateKey = test::testKey512().priv;
+    SslServer server(std::move(scfg), BioEndpoint(&c2s, &s2c));
+    for (uint8_t byte : fragment) {
+        Bytes rec = {22, 3, 0, 0, 1, byte};
+        c2s.write(rec);
+    }
+    while (server.advance())
+        ;
+    // The server answered with its full flight.
+    EXPECT_GT(s2c.available(), 100u);
+    EXPECT_FALSE(server.failed());
+}
+
+TEST(Fuzz, MergedHandshakeMessagesParse)
+{
+    // The server's whole first flight (ServerHello + Certificate +
+    // ServerHelloDone, normally three records) coalesced into ONE
+    // record: the client must consume all three messages and respond.
+    MemBio c2s, s2c;
+    ServerConfig scfg;
+    scfg.certificate = test::testServerCert512();
+    scfg.privateKey = test::testKey512().priv;
+    SslServer server(std::move(scfg), BioEndpoint(&c2s, &s2c));
+    SslClient client(ClientConfig{}, BioEndpoint(&s2c, &c2s));
+
+    client.advance(); // hello
+    server.advance(); // flight into s2c as separate records
+
+    // Re-frame: strip each record header, concatenate the fragments.
+    Bytes raw(s2c.available());
+    s2c.read(raw.data(), raw.size());
+    Bytes merged_body;
+    size_t off = 0;
+    while (off + 5 <= raw.size()) {
+        size_t len = (static_cast<size_t>(raw[off + 3]) << 8) |
+                     raw[off + 4];
+        ASSERT_EQ(raw[off], 22); // all handshake records
+        merged_body.insert(merged_body.end(), raw.begin() + off + 5,
+                           raw.begin() + off + 5 + len);
+        off += 5 + len;
+    }
+    ASSERT_EQ(off, raw.size());
+    Bytes merged = {22, 3, 0,
+                    static_cast<uint8_t>(merged_body.size() >> 8),
+                    static_cast<uint8_t>(merged_body.size())};
+    append(merged, merged_body);
+    s2c.write(merged);
+
+    while (client.advance())
+        ;
+    EXPECT_FALSE(client.failed());
+    // The client moved past the flight and sent ClientKeyExchange.
+    EXPECT_GT(c2s.available(), 0u);
+}
+
+TEST(Fuzz, CcsAtEveryStateAlertsOrProgresses)
+{
+    // Inject a ChangeCipherSpec record into the server's input after
+    // k lockstep half-steps, for every k until the handshake is done.
+    // Every run must terminate as completed or alerted — never hang,
+    // never a non-SslError escape, never a second alert.
+    const Bytes ccs = {20, 3, 0, 0, 1, 1};
+    int completed = 0, alerted = 0;
+    for (int inject_at = 0;; ++inject_at) {
+        MemBio c2s, s2c;
+        ServerConfig scfg;
+        scfg.certificate = test::testServerCert512();
+        scfg.privateKey = test::testKey512().priv;
+        SslServer server(std::move(scfg), BioEndpoint(&c2s, &s2c));
+        SslClient client(ClientConfig{}, BioEndpoint(&s2c, &c2s));
+
+        int step = 0;
+        bool injected = false;
+        bool failed = false;
+        for (int i = 0; i < 100; ++i) {
+            if (step++ == inject_at && !injected) {
+                c2s.write(ccs);
+                injected = true;
+            }
+            bool p = false;
+            try {
+                p = client.advance();
+                p |= server.advance();
+            } catch (const SslError &) {
+                failed = true;
+                break;
+            }
+            if (client.handshakeDone() && server.handshakeDone())
+                break;
+            if (!p && injected)
+                break;
+        }
+        EXPECT_LE(server.fatalAlertsSent(), 1u)
+            << "inject_at " << inject_at;
+        EXPECT_LE(client.fatalAlertsSent(), 1u)
+            << "inject_at " << inject_at;
+        const bool done =
+            client.handshakeDone() && server.handshakeDone();
+        EXPECT_TRUE(done || failed || server.failed() ||
+                    client.failed())
+            << "hung with CCS injected at step " << inject_at;
+        if (done)
+            ++completed;
+        else
+            ++alerted;
+        if (!injected)
+            break; // handshake finished before the injection point
+    }
+    // A CCS at the legitimate point completes; early ones must die.
+    EXPECT_GT(alerted, 0);
+    EXPECT_GT(completed, 0);
 }
 
 TEST(Fuzz, DerParserOnRandomInput)

@@ -50,6 +50,24 @@ otherKey1024()
     return kp;
 }
 
+/** A self-signed server certificate over testKey512() — the chaos
+ *  tests run thousands of handshakes, so they use the small key. */
+inline const pki::Certificate &
+testServerCert512()
+{
+    static const pki::Certificate cert = [] {
+        pki::CertificateInfo info;
+        info.serial = 43;
+        info.issuer = "Unit Test CA";
+        info.subject = "unit.test.server.512";
+        info.notBefore = 1000;
+        info.notAfter = 2000000000;
+        info.publicKey = testKey512().pub;
+        return pki::Certificate::issue(info, *testKey512().priv);
+    }();
+    return cert;
+}
+
 /** A self-signed server certificate over testKey1024(). */
 inline const pki::Certificate &
 testServerCert()
