@@ -25,6 +25,7 @@
 #include <cstring>
 
 #include "common.hh"
+#include "obs/metrics.hh"
 #include "serve/engine.hh"
 
 using namespace ssla;
@@ -32,6 +33,13 @@ using namespace ssla::bench;
 
 namespace
 {
+
+/** Cycle count → microseconds, for the handshake-latency fields. */
+double
+cyclesToUs(double cycles)
+{
+    return cycles / cycleHz() * 1e6;
+}
 
 enum class PoolMode
 {
@@ -73,7 +81,12 @@ runCell(double fault_rate, PoolMode mode, size_t workers,
         const std::shared_ptr<crypto::RsaPrivateKey> &key,
         uint64_t seed)
 {
+    // Per-cell registry: latency percentiles and alert counts below
+    // describe this (rate, mode) cell, not the accumulated sweep.
+    obs::MetricsRegistry registry;
+
     serve::ServeConfig cfg;
+    cfg.metrics = &registry;
     cfg.workers = workers;
     cfg.connectionsPerWorker = conns_per_worker;
     cfg.concurrentPerWorker = 8;
@@ -204,6 +217,23 @@ main(int argc, char **argv)
             j.field("completed_fraction", fraction, 3);
             j.field("goodput_per_sec", cell.stats.goodputPerSec(), 1);
             j.field("elapsed_sec", cell.stats.elapsedSeconds);
+            // Completed-handshake latency distribution for the cell
+            // (µs, from the per-cell registry): the degradation story
+            // in latency terms — the tail stretches as faults force
+            // retries within the surviving sessions.
+            const obs::HistogramSnapshot hs =
+                cell.stats.metrics.histogram("serve.handshake_cycles");
+            j.field("hs_count", hs.count);
+            j.field("hs_p50_us", cyclesToUs(hs.percentile(50)), 1);
+            j.field("hs_p99_us", cyclesToUs(hs.percentile(99)), 1);
+            // Alert traffic by code, from the per-cell registry: which
+            // alerts the fault mix actually provokes.
+            uint64_t alerts_sent = 0;
+            for (const auto &[name, value] :
+                 cell.stats.metrics.counters)
+                if (name.rfind("alert.sent.", 0) == 0)
+                    alerts_sent += value;
+            j.field("alerts_sent", alerts_sent);
             j.field("accounted_ok", cell.accountedOk());
             j.endObject();
         }

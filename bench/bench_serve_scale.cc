@@ -19,7 +19,11 @@
  * connection completes, handshake counts add up), never raw speedup,
  * so CI is meaningful on any machine shape.
  *
- *   ./bench_serve_scale [--smoke]
+ *   ./bench_serve_scale [--smoke] [--trace FILE]
+ *
+ * --trace FILE additionally runs a small fully-sampled workload with
+ * per-session tracing on and writes the Chrome trace_event JSON (load
+ * it in Perfetto, or feed it to tools/validate_trace.py in CI).
  */
 
 #include <cstdio>
@@ -27,6 +31,7 @@
 #include <thread>
 
 #include "common.hh"
+#include "obs/export.hh"
 #include "serve/engine.hh"
 
 using namespace ssla;
@@ -34,6 +39,13 @@ using namespace ssla::bench;
 
 namespace
 {
+
+/** Cycle count → microseconds, for the handshake-latency fields. */
+double
+cyclesToUs(double cycles)
+{
+    return cycles / cycleHz() * 1e6;
+}
 
 struct RunResult
 {
@@ -54,8 +66,13 @@ struct RunResult
 RunResult
 runOnce(size_t workers, size_t total_connections, double resume_fraction,
         size_t bulk_bytes, const pki::Certificate &cert,
-        const std::shared_ptr<crypto::RsaPrivateKey> &key, bool offload)
+        const std::shared_ptr<crypto::RsaPrivateKey> &key, bool offload,
+        bool metrics_enabled = true)
 {
+    // Fresh registry per run: the handshake-latency percentiles in the
+    // emitted JSON belong to this cell alone, not the whole sweep.
+    obs::MetricsRegistry registry;
+
     serve::ServeConfig cfg;
     cfg.workers = workers;
     cfg.connectionsPerWorker = total_connections / workers;
@@ -67,6 +84,8 @@ runOnce(size_t workers, size_t total_connections, double resume_fraction,
     cfg.certificate = &cert;
     cfg.privateKey = key;
     cfg.seed = 0x5ca1e ^ (workers << 8) ^ (offload ? 1 : 0);
+    cfg.metrics = &registry;
+    cfg.metricsEnabled = metrics_enabled;
 
     RunResult r;
     r.workers = workers;
@@ -86,15 +105,58 @@ runOnce(size_t workers, size_t total_connections, double resume_fraction,
     return r;
 }
 
+/**
+ * Small fully-sampled traced run: every session gets a flight recorder
+ * and every trace (plus the crypto threads' job tracks) is dumped into
+ * a ChromeTraceCollector. Returns the number of captured traces.
+ */
+size_t
+runTraced(const pki::Certificate &cert,
+          const std::shared_ptr<crypto::RsaPrivateKey> &key,
+          const std::string &path)
+{
+    obs::ChromeTraceCollector collector;
+    obs::MetricsRegistry registry;
+    {
+        serve::CryptoPool pool(2);
+        serve::ServeConfig cfg;
+        cfg.workers = 2;
+        cfg.connectionsPerWorker = 4;
+        cfg.concurrentPerWorker = 4;
+        cfg.resumeFraction = 0.5;
+        cfg.bulkBytes = 8192;
+        cfg.recordBytes = 4096;
+        cfg.certificate = &cert;
+        cfg.privateKey = key;
+        cfg.seed = 0x77ace;
+        cfg.cryptoPool = &pool;
+        cfg.metrics = &registry;
+        cfg.traceSampleEvery = 1;
+        cfg.traceSink = &collector;
+        cfg.traceDumpAll = true;
+        serve::ServeEngine engine(std::move(cfg));
+        engine.run();
+        // Pool destruction (scope exit) dumps the crypto threads'
+        // job tracks into the collector before we serialize.
+    }
+    if (!collector.writeFile(path))
+        return 0;
+    return collector.traceCount();
+}
+
 } // anonymous namespace
 
 int
 main(int argc, char **argv)
 {
     bool smoke = false;
-    for (int i = 1; i < argc; ++i)
+    std::string trace_path;
+    for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--smoke"))
             smoke = true;
+        else if (!std::strcmp(argv[i], "--trace") && i + 1 < argc)
+            trace_path = argv[++i];
+    }
 
     warmUpCpu();
 
@@ -177,6 +239,14 @@ main(int argc, char **argv)
                 1);
         j.field("bulk_mb_per_sec", r.stats.bulkMBPerSec(), 2);
         j.field("connections_per_sec", connRate(r), 1);
+        // Per-cell handshake-latency distribution out of the run's own
+        // metrics registry (creation to both-sides-done, in wall µs).
+        const obs::HistogramSnapshot hs =
+            r.stats.metrics.histogram("serve.handshake_cycles");
+        j.field("hs_count", hs.count);
+        j.field("hs_p50_us", cyclesToUs(hs.percentile(50)), 1);
+        j.field("hs_p90_us", cyclesToUs(hs.percentile(90)), 1);
+        j.field("hs_p99_us", cyclesToUs(hs.percentile(99)), 1);
         j.field("speedup_vs_1w", speedup, 2);
         // Perfect scaling is capped by the physical core count: the
         // honest yardstick for this configuration.
@@ -213,6 +283,51 @@ main(int argc, char **argv)
     }
     j.endArray();
 
+    // Registry overhead A/B: the identical workload with the metrics
+    // registry enabled vs disabled (every handle op reduced to one
+    // relaxed load + branch). Design target is <=3% overhead; the gate
+    // is deliberately loose (25%) because a smoke-sized run on a busy
+    // CI host is noisy — the ratio itself is the reported number.
+    const size_t ab_workers = std::min<size_t>(2, hw_cores);
+    auto run_ab = [&](bool enabled) {
+        return runOnce(ab_workers, total_connections, resume_fraction,
+                       bulk_bytes, cert, key.priv, /*offload=*/false,
+                       enabled);
+    };
+    RunResult ab_on = run_ab(true);
+    RunResult ab_off = run_ab(false);
+    const double overhead_ratio =
+        ab_off.stats.elapsedSeconds > 0
+            ? ab_on.stats.elapsedSeconds / ab_off.stats.elapsedSeconds
+            : 0.0;
+    const bool overhead_ok = overhead_ratio <= 1.25;
+    j.beginObject("metrics_overhead");
+    j.field("workers", static_cast<uint64_t>(ab_workers));
+    j.field("enabled_sec", ab_on.stats.elapsedSeconds);
+    j.field("disabled_sec", ab_off.stats.elapsedSeconds);
+    j.field("overhead_ratio", overhead_ratio, 3);
+    j.field("target_ratio", 1.03, 2);
+    j.field("gate_ratio", 1.25, 2);
+    j.field("ok", overhead_ok);
+    j.endObject();
+
+    if (!trace_path.empty()) {
+        size_t traced = runTraced(cert, key.priv, trace_path);
+        j.beginObject("trace");
+        j.field("file", trace_path);
+        j.field("sessions", static_cast<uint64_t>(traced));
+        j.endObject();
+        if (traced == 0) {
+            std::fprintf(stderr,
+                         "FAIL: traced run captured no sessions or "
+                         "could not write %s\n",
+                         trace_path.c_str());
+            j.field("all_completed", false);
+            j.endObject();
+            return 1;
+        }
+    }
+
     j.field("all_completed", all_completed);
     j.endObject();
 
@@ -220,6 +335,13 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "FAIL: a run lost connections (handshake counts "
                      "do not add up to the configured total)\n");
+        return 1;
+    }
+    if (smoke && !overhead_ok) {
+        std::fprintf(stderr,
+                     "FAIL: metrics registry overhead ratio %.3f "
+                     "exceeds the 1.25 smoke gate (target 1.03)\n",
+                     overhead_ratio);
         return 1;
     }
     return 0;

@@ -277,9 +277,39 @@ class JsonWriter
     {
         std::fputc('"', out_);
         for (; *s; ++s) {
-            if (*s == '"' || *s == '\\')
-                std::fputc('\\', out_);
-            std::fputc(*s, out_);
+            unsigned char c = static_cast<unsigned char>(*s);
+            switch (c) {
+              case '"':
+                std::fputs("\\\"", out_);
+                break;
+              case '\\':
+                std::fputs("\\\\", out_);
+                break;
+              case '\b':
+                std::fputs("\\b", out_);
+                break;
+              case '\f':
+                std::fputs("\\f", out_);
+                break;
+              case '\n':
+                std::fputs("\\n", out_);
+                break;
+              case '\r':
+                std::fputs("\\r", out_);
+                break;
+              case '\t':
+                std::fputs("\\t", out_);
+                break;
+              default:
+                // RFC 8259: control characters MUST be escaped; a raw
+                // one (say a stray byte in a name) would corrupt the
+                // whole BENCH_*.json document.
+                if (c < 0x20)
+                    std::fprintf(out_, "\\u%04x", c);
+                else
+                    std::fputc(c, out_);
+                break;
+            }
         }
         std::fputc('"', out_);
     }

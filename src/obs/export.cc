@@ -1,0 +1,340 @@
+#include "obs/export.hh"
+
+#include <algorithm>
+#include <cinttypes>
+
+#include "util/cycles.hh"
+
+namespace ssla::obs
+{
+
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (unsigned char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\b': out += "\\b"; break;
+        case '\f': out += "\\f"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// ChromeTraceCollector
+
+void
+ChromeTraceCollector::dump(const SessionTrace &trace)
+{
+    Captured cap;
+    cap.serial = trace.serial();
+    cap.track = trace.track();
+    cap.outcome = trace.outcome();
+    cap.dropped = trace.dropped();
+    cap.events = trace.events();
+    std::lock_guard<std::mutex> lock(m_);
+    traces_.push_back(std::move(cap));
+}
+
+size_t
+ChromeTraceCollector::traceCount() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return traces_.size();
+}
+
+namespace
+{
+
+/**
+ * A rendered trace event awaiting emission: sorted by timestamp so
+ * every (pid, tid) track is monotonically ordered in the file, which
+ * the CI validator asserts.
+ */
+struct Emitted
+{
+    double ts;
+    std::string json;
+};
+
+/** Sub-track id: each worker track fans out per recording side. */
+uint64_t
+exportTid(uint32_t track, uint8_t side)
+{
+    return static_cast<uint64_t>(track) * 8 + side;
+}
+
+std::string
+eventArgs(const TraceEvent &e)
+{
+    std::string args = "{\"tick\":" + std::to_string(e.tick);
+    if (e.code)
+        args += ",\"code\":" + std::to_string(e.code);
+    if (e.arg)
+        args += ",\"arg\":" + std::to_string(e.arg);
+    if (!e.text.empty())
+        args += ",\"text\":\"" + jsonEscape(e.text) + "\"";
+    args += "}";
+    return args;
+}
+
+std::string
+eventName(const TraceEvent &e)
+{
+    std::string name = traceEventKindName(e.kind);
+    if (e.label) {
+        name += ":";
+        name += e.label;
+    }
+    return name;
+}
+
+std::string
+fmtTs(double ts)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f", ts);
+    return buf;
+}
+
+} // anonymous namespace
+
+void
+ChromeTraceCollector::write(std::FILE *out) const
+{
+    std::vector<Captured> traces;
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        traces = traces_;
+    }
+
+    // Common time base: the earliest cycle stamp across all traces.
+    uint64_t base = ~0ull;
+    for (const auto &t : traces)
+        for (const auto &e : t.events)
+            base = std::min(base, e.cycles);
+    if (base == ~0ull)
+        base = 0;
+    const double hz = cycleHz();
+    auto toUs = [&](uint64_t cycles) {
+        return static_cast<double>(cycles - base) / hz * 1e6;
+    };
+
+    std::vector<Emitted> events;
+    std::vector<std::string> metadata;
+    std::vector<uint64_t> namedTids;
+
+    auto nameTid = [&](uint32_t track, uint8_t side) {
+        uint64_t tid = exportTid(track, side);
+        if (std::find(namedTids.begin(), namedTids.end(), tid) !=
+            namedTids.end())
+            return tid;
+        namedTids.push_back(tid);
+        std::string name;
+        if (track >= cryptoTrackBase)
+            name = "crypto-" + std::to_string(track - cryptoTrackBase);
+        else
+            name = "worker-" + std::to_string(track);
+        name += ".";
+        name += traceSideName(side);
+        metadata.push_back(
+            "{\"ph\":\"M\",\"pid\":1,\"tid\":" + std::to_string(tid) +
+            ",\"name\":\"thread_name\",\"args\":{\"name\":\"" +
+            jsonEscape(name) + "\"}}");
+        return tid;
+    };
+
+    for (const auto &t : traces) {
+        if (t.events.empty())
+            continue;
+        const uint64_t lastCycles = t.events.back().cycles;
+
+        // Session lifetime: async begin/end span keyed by serial.
+        {
+            uint64_t tid = nameTid(t.track, t.events.front().side);
+            double b = toUs(t.events.front().cycles);
+            double e = std::max(toUs(lastCycles), b);
+            std::string id = "\"0x" + [&] {
+                char buf[32];
+                std::snprintf(buf, sizeof(buf), "%" PRIx64, t.serial);
+                return std::string(buf);
+            }() + "\"";
+            std::string common =
+                ",\"cat\":\"session\",\"name\":\"session\",\"pid\":1"
+                ",\"tid\":" + std::to_string(tid) + ",\"id\":" + id;
+            events.push_back(
+                {b, "{\"ph\":\"b\",\"ts\":" + fmtTs(b) + common +
+                        ",\"args\":{\"serial\":" +
+                        std::to_string(t.serial) + ",\"outcome\":\"" +
+                        jsonEscape(t.outcome) + "\",\"dropped\":" +
+                        std::to_string(t.dropped) + "}}"});
+            events.push_back(
+                {e, "{\"ph\":\"e\",\"ts\":" + fmtTs(e) + common + "}"});
+        }
+
+        for (size_t i = 0; i < t.events.size(); ++i) {
+            const TraceEvent &e = t.events[i];
+            uint64_t tid = nameTid(t.track, e.side);
+            double ts = toUs(e.cycles);
+
+            bool isSpanStart = e.kind == TraceEventKind::StateEnter ||
+                               e.kind == TraceEventKind::JobStart;
+            if (isSpanStart) {
+                // Span runs until the next span-start on the same
+                // side (JobStart pairs with its JobEnd), or the end
+                // of the trace.
+                uint64_t endCycles = lastCycles;
+                for (size_t j = i + 1; j < t.events.size(); ++j) {
+                    const TraceEvent &n = t.events[j];
+                    if (n.side != e.side)
+                        continue;
+                    if (e.kind == TraceEventKind::StateEnter &&
+                        n.kind != TraceEventKind::StateEnter)
+                        continue;
+                    if (e.kind == TraceEventKind::JobStart &&
+                        n.kind != TraceEventKind::JobEnd)
+                        continue;
+                    endCycles = n.cycles;
+                    break;
+                }
+                double dur = std::max(toUs(endCycles) - ts, 0.0);
+                events.push_back(
+                    {ts,
+                     "{\"ph\":\"X\",\"ts\":" + fmtTs(ts) +
+                         ",\"dur\":" + fmtTs(dur) +
+                         ",\"cat\":\"" +
+                         std::string(traceEventKindName(e.kind)) +
+                         "\",\"name\":\"" + jsonEscape(eventName(e)) +
+                         "\",\"pid\":1,\"tid\":" + std::to_string(tid) +
+                         ",\"args\":" + eventArgs(e) + "}"});
+                continue;
+            }
+            if (e.kind == TraceEventKind::JobEnd)
+                continue; // rendered as its JobStart's span end
+
+            events.push_back(
+                {ts, "{\"ph\":\"i\",\"ts\":" + fmtTs(ts) +
+                         ",\"s\":\"t\",\"cat\":\"" +
+                         std::string(traceEventKindName(e.kind)) +
+                         "\",\"name\":\"" + jsonEscape(eventName(e)) +
+                         "\",\"pid\":1,\"tid\":" + std::to_string(tid) +
+                         ",\"args\":" + eventArgs(e) + "}"});
+        }
+    }
+
+    std::stable_sort(events.begin(), events.end(),
+                     [](const Emitted &a, const Emitted &b) {
+                         return a.ts < b.ts;
+                     });
+
+    std::fputs("{\"traceEvents\":[", out);
+    bool first = true;
+    metadata.insert(metadata.begin(),
+                    "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\""
+                    ",\"args\":{\"name\":\"ssla-serve\"}}");
+    for (const auto &m : metadata) {
+        std::fputs(first ? "\n" : ",\n", out);
+        std::fputs(m.c_str(), out);
+        first = false;
+    }
+    for (const auto &e : events) {
+        std::fputs(first ? "\n" : ",\n", out);
+        std::fputs(e.json.c_str(), out);
+        first = false;
+    }
+    std::fputs("\n],\"displayTimeUnit\":\"ms\"}\n", out);
+}
+
+bool
+ChromeTraceCollector::writeFile(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    write(f);
+    bool ok = std::ferror(f) == 0;
+    std::fclose(f);
+    return ok;
+}
+
+// ---------------------------------------------------------------------
+// JsonlTraceSink
+
+void
+JsonlTraceSink::dump(const SessionTrace &trace)
+{
+    std::lock_guard<std::mutex> lock(m_);
+    for (const auto &e : trace.events()) {
+        std::fprintf(out_,
+                     "{\"serial\":%" PRIu64 ",\"track\":%u"
+                     ",\"cycles\":%" PRIu64 ",\"tick\":%" PRIu64
+                     ",\"kind\":\"%s\",\"side\":\"%s\"",
+                     trace.serial(), trace.track(), e.cycles, e.tick,
+                     traceEventKindName(e.kind), traceSideName(e.side));
+        if (e.code)
+            std::fprintf(out_, ",\"code\":%u", e.code);
+        if (e.arg)
+            std::fprintf(out_, ",\"arg\":%" PRIu64, e.arg);
+        if (e.label)
+            std::fprintf(out_, ",\"label\":\"%s\"",
+                         jsonEscape(e.label).c_str());
+        if (!e.text.empty())
+            std::fprintf(out_, ",\"text\":\"%s\"",
+                         jsonEscape(e.text).c_str());
+        std::fputs("}\n", out_);
+    }
+    std::fprintf(out_,
+                 "{\"serial\":%" PRIu64 ",\"summary\":true"
+                 ",\"outcome\":\"%s\",\"events\":%" PRIu64
+                 ",\"dropped\":%" PRIu64 "}\n",
+                 trace.serial(), jsonEscape(trace.outcome()).c_str(),
+                 trace.recorded(), trace.dropped());
+    std::fflush(out_);
+}
+
+// ---------------------------------------------------------------------
+// Text snapshot
+
+void
+writeMetricsText(std::FILE *out, const MetricsSnapshot &snap)
+{
+    if (!snap.counters.empty()) {
+        std::fputs("counters:\n", out);
+        for (const auto &[name, v] : snap.counters)
+            std::fprintf(out, "  %-40s %" PRIu64 "\n", name.c_str(), v);
+    }
+    if (!snap.gauges.empty()) {
+        std::fputs("gauges:\n", out);
+        for (const auto &[name, v] : snap.gauges)
+            std::fprintf(out, "  %-40s %" PRId64 "\n", name.c_str(), v);
+    }
+    if (!snap.histograms.empty()) {
+        std::fputs("histograms:\n", out);
+        for (const auto &[name, h] : snap.histograms) {
+            std::fprintf(out,
+                         "  %-40s count=%" PRIu64
+                         " mean=%.1f p50=%.0f p90=%.0f p99=%.0f"
+                         " max=%" PRIu64 "\n",
+                         name.c_str(), h.count, h.mean(),
+                         h.percentile(50), h.percentile(90),
+                         h.percentile(99), h.max);
+        }
+    }
+}
+
+} // namespace ssla::obs

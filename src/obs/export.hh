@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Exporters for the observability layer.
+ *
+ *  - ChromeTraceCollector: a TraceSink that accumulates completed
+ *    session traces and writes Chrome trace_event JSON loadable in
+ *    chrome://tracing or Perfetto. Each worker (and each crypto-pool
+ *    thread) gets its own named track; within a worker, server and
+ *    client endpoints render as sub-tracks. Handshake states become
+ *    "X" complete spans, point events become "i" instants, and the
+ *    session lifetime is an async "b"/"e" span keyed by the session
+ *    serial.
+ *  - JsonlTraceSink: streams one JSON object per trace event, one per
+ *    line — flat, greppable, suitable for piping into jq.
+ *  - writeMetricsText: plain-text snapshot dump (counters, gauges and
+ *    histogram percentiles) for bench stderr summaries.
+ *
+ * Both sinks are thread-safe; engine workers dump concurrently.
+ */
+
+#ifndef SSLA_OBS_EXPORT_HH
+#define SSLA_OBS_EXPORT_HH
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
+namespace ssla::obs
+{
+
+/** Track offset for crypto-pool threads (worker tracks start at 0). */
+constexpr uint32_t cryptoTrackBase = 1000;
+
+/**
+ * Escape a string for embedding in a JSON string literal: quotes,
+ * backslashes and all control characters (the latter as \u00XX).
+ */
+std::string jsonEscape(std::string_view s);
+
+/** Collects traces and renders Chrome trace_event JSON. */
+class ChromeTraceCollector : public TraceSink
+{
+  public:
+    void dump(const SessionTrace &trace) override;
+
+    /** Number of traces captured so far. */
+    size_t traceCount() const;
+
+    /** Render every captured trace as a trace_event JSON document. */
+    void write(std::FILE *out) const;
+
+    /** write() to @p path; returns false on I/O failure. */
+    bool writeFile(const std::string &path) const;
+
+  private:
+    struct Captured
+    {
+        uint64_t serial;
+        uint32_t track;
+        std::string outcome;
+        uint64_t dropped;
+        std::vector<TraceEvent> events;
+    };
+
+    mutable std::mutex m_;
+    std::vector<Captured> traces_;
+};
+
+/** Streams each dumped trace as one JSON object per event per line. */
+class JsonlTraceSink : public TraceSink
+{
+  public:
+    /** Does not take ownership of @p out. */
+    explicit JsonlTraceSink(std::FILE *out) : out_(out) {}
+
+    void dump(const SessionTrace &trace) override;
+
+  private:
+    std::mutex m_;
+    std::FILE *out_;
+};
+
+/** Plain-text metrics dump: counters, gauges, histogram percentiles. */
+void writeMetricsText(std::FILE *out, const MetricsSnapshot &snap);
+
+} // namespace ssla::obs
+
+#endif // SSLA_OBS_EXPORT_HH

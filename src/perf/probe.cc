@@ -1,5 +1,9 @@
 #include "perf/probe.hh"
 
+#include <mutex>
+
+#include "obs/metrics.hh"
+
 namespace ssla::perf
 {
 
@@ -14,36 +18,45 @@ thread_local FuncProbe *tlsProbeTop = nullptr;
 // *parent's* exclusive time ("outer" overhead) — which matters when a
 // parent makes tens of thousands of probed kernel calls (Table 8).
 // Both are calibrated once with empty probes and subtracted.
-bool overheadCalibrated = false;
-bool calibrating = false;
+//
+// Worker threads each open a ContextScope, so calibration is
+// serialized through call_once: the first thread runs it, the rest
+// block until the constants are published (the once_flag's
+// happens-before covers the plain uint64_t writes). The re-entrancy
+// guard is thread_local because the calibration body itself opens a
+// ContextScope on the calibrating thread.
+std::once_flag calibrationOnce;
+thread_local bool calibrating = false;
 uint64_t innerOverhead = 0;
 uint64_t outerOverhead = 0;
 
 void
 ensureCalibrated()
 {
-    if (overheadCalibrated || calibrating)
+    if (calibrating)
         return;
-    calibrating = true;
-    {
-        PerfContext ctx(true);
-        ContextScope scope(&ctx);
-        constexpr int n = 8192;
-        // Warm-up.
-        for (int i = 0; i < 64; ++i)
-            FuncProbe probe("calibration");
-        ctx.clear();
-        uint64_t t0 = rdcycles();
-        for (int i = 0; i < n; ++i)
-            FuncProbe probe("calibration");
-        uint64_t t1 = rdcycles();
-        outerOverhead = (t1 - t0) / n;
-        innerOverhead = ctx.counters().at("calibration").inclusive / n;
-        if (outerOverhead < innerOverhead)
-            outerOverhead = innerOverhead;
-    }
-    overheadCalibrated = true;
-    calibrating = false;
+    std::call_once(calibrationOnce, [] {
+        calibrating = true;
+        {
+            PerfContext ctx(true);
+            ContextScope scope(&ctx);
+            constexpr int n = 8192;
+            // Warm-up.
+            for (int i = 0; i < 64; ++i)
+                FuncProbe probe("calibration");
+            ctx.clear();
+            uint64_t t0 = rdcycles();
+            for (int i = 0; i < n; ++i)
+                FuncProbe probe("calibration");
+            uint64_t t1 = rdcycles();
+            outerOverhead = (t1 - t0) / n;
+            innerOverhead =
+                ctx.counters().at("calibration").inclusive / n;
+            if (outerOverhead < innerOverhead)
+                outerOverhead = innerOverhead;
+        }
+        calibrating = false;
+    });
 }
 
 } // anonymous namespace
@@ -54,15 +67,20 @@ currentContext()
     return tlsContext;
 }
 
-ContextScope::ContextScope(PerfContext *ctx) : prev_(tlsContext)
+ContextScope::ContextScope(PerfContext *ctx)
+    : ctx_(ctx), prev_(tlsContext)
 {
-    if (ctx)
+    if (ctx_) {
+        ctx_->bindOwner();
         ensureCalibrated();
-    tlsContext = ctx;
+    }
+    tlsContext = ctx_;
 }
 
 ContextScope::~ContextScope()
 {
+    if (ctx_)
+        ctx_->releaseOwner();
     tlsContext = prev_;
 }
 
@@ -101,6 +119,7 @@ FuncProbe::~FuncProbe()
 const std::map<std::string, Counter> &
 PerfContext::counters() const
 {
+    assertOwned();
     if (dirty_) {
         snapshot_.clear();
         for (const auto &[name, c] : raw_) {
@@ -138,6 +157,19 @@ PerfContext::totalExclusive() const
     for (const auto &[name, c] : counters())
         sum += c.exclusive;
     return sum;
+}
+
+void
+PerfContext::publishTo(obs::MetricsRegistry &reg,
+                       const std::string &prefix) const
+{
+    for (const auto &[name, c] : counters()) {
+        reg.counter(prefix + name + ".inclusive_cycles")
+            .inc(c.inclusive);
+        reg.counter(prefix + name + ".exclusive_cycles")
+            .inc(c.exclusive);
+        reg.counter(prefix + name + ".calls").inc(c.calls);
+    }
 }
 
 } // namespace ssla::perf

@@ -25,13 +25,20 @@
 #ifndef SSLA_PERF_PROBE_HH
 #define SSLA_PERF_PROBE_HH
 
+#include <cassert>
 #include <cstdint>
 #include <map>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "util/cycles.hh"
+
+namespace ssla::obs
+{
+class MetricsRegistry;
+} // namespace ssla::obs
 
 namespace ssla::perf
 {
@@ -51,7 +58,21 @@ enum class ProbeLevel
     Fine,
 };
 
-/** A sink for named cycle counters. */
+/**
+ * A sink for named cycle counters.
+ *
+ * Threading contract: a PerfContext is owned by ONE thread at a time.
+ * add() mutates unsynchronised state and counters() lazily rebuilds
+ * its snapshot, so reading from a second thread while another thread's
+ * ContextScope still points at the context is a data race — the
+ * snapshot can be torn mid-rebuild. Debug builds bind the context to
+ * the first thread that touches it and assert on every subsequent
+ * add()/counters() call; clear() releases the binding, so the
+ * hand-off pattern "worker fills, then joins, then the coordinator
+ * reads" must either read through the same thread or clear()/rebind.
+ * (ServeEngine instead bridges per-worker contexts into the metrics
+ * registry via publishTo(), which is safe from the worker itself.)
+ */
 class PerfContext
 {
   public:
@@ -69,6 +90,7 @@ class PerfContext
     void
     add(const char *name, uint64_t inclusive, uint64_t exclusive)
     {
+        assertOwned();
         auto &c = raw_[name];
         c.inclusive += inclusive;
         c.exclusive += exclusive;
@@ -90,6 +112,16 @@ class PerfContext
     /** Sum of exclusive cycles over all counters. */
     uint64_t totalExclusive() const;
 
+    /**
+     * Bridge into the live metrics registry: every counter becomes
+     * three registry counters — <prefix><name>.inclusive_cycles,
+     * .exclusive_cycles and .calls — added (not overwritten) so
+     * repeated publishes from per-worker contexts aggregate. Call
+     * from the owning thread.
+     */
+    void publishTo(obs::MetricsRegistry &reg,
+                   const std::string &prefix = "perf.") const;
+
     void
     clear()
     {
@@ -99,10 +131,54 @@ class PerfContext
     }
 
   private:
+    friend class ContextScope;
+
+#ifndef NDEBUG
+    /** ContextScope pins the context to the installing thread. */
+    void
+    bindOwner() const
+    {
+        std::thread::id self = std::this_thread::get_id();
+        assert((scopeCount_ == 0 || owner_ == self) &&
+               "PerfContext installed by two threads at once");
+        owner_ = self;
+        ++scopeCount_;
+    }
+
+    void
+    releaseOwner() const
+    {
+        if (--scopeCount_ == 0)
+            owner_ = std::thread::id();
+    }
+
+    /**
+     * add()/counters() while another thread's ContextScope is still
+     * installed is the staleness hazard: the lazy snapshot rebuild
+     * races the writer. Reads after the scope is gone (and the writer
+     * joined) are fine.
+     */
+    void
+    assertOwned() const
+    {
+        assert((scopeCount_ == 0 ||
+                owner_ == std::this_thread::get_id()) &&
+               "PerfContext touched while installed on another thread");
+    }
+#else
+    void bindOwner() const {}
+    void releaseOwner() const {}
+    void assertOwned() const {}
+#endif
+
     std::unordered_map<const char *, Counter> raw_;
     mutable std::map<std::string, Counter> snapshot_;
     mutable bool dirty_ = false;
     bool fineGrained_;
+#ifndef NDEBUG
+    mutable std::thread::id owner_;
+    mutable int scopeCount_ = 0;
+#endif
 };
 
 /** The thread-local context probes currently report to (may be null). */
@@ -119,6 +195,7 @@ class ContextScope
     ContextScope &operator=(const ContextScope &) = delete;
 
   private:
+    PerfContext *ctx_;
     PerfContext *prev_;
 };
 

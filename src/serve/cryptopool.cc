@@ -2,8 +2,27 @@
 
 #include <unordered_map>
 
+#include "obs/export.hh"
+#include "util/cycles.hh"
+
 namespace ssla::serve
 {
+
+namespace
+{
+
+/** Display label for a pool thread's trace span. */
+const char *
+jobKindLabel(int kind)
+{
+    switch (kind) {
+      case 0: return "rsa_decrypt";
+      case 1: return "rsa_sign";
+      default: return "raw";
+    }
+}
+
+} // anonymous namespace
 
 CryptoPool::CryptoPool(size_t threads, size_t max_queue,
                        OverloadPolicy policy)
@@ -11,9 +30,24 @@ CryptoPool::CryptoPool(size_t threads, size_t max_queue,
 {
     if (threads == 0)
         threads = 1;
+    bindMetrics(nullptr);
     workers_.reserve(threads);
     for (size_t i = 0; i < threads; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+void
+CryptoPool::bindMetrics(obs::MetricsRegistry *reg)
+{
+    obs::MetricsRegistry &r =
+        reg ? *reg : obs::MetricsRegistry::global();
+    histQueueWait_ = r.histogram("cryptopool.queue_wait_cycles");
+    histService_ = r.histogram("cryptopool.service_cycles");
+    ctrCompleted_ = r.counter("cryptopool.completed");
+    ctrRejected_ = r.counter("cryptopool.rejected");
+    ctrShed_ = r.counter("cryptopool.shed");
+    ctrCancelled_ = r.counter("cryptopool.cancelled");
+    gaugeDepth_ = r.gauge("cryptopool.queue_depth");
 }
 
 CryptoPool::~CryptoPool()
@@ -46,6 +80,7 @@ CryptoPool::enqueue(Job job)
             // admits jobs, so concurrent submitters cannot overshoot.
             if (policy_ == OverloadPolicy::Reject) {
                 rejected_.fetch_add(1, std::memory_order_relaxed);
+                ctrRejected_.inc();
                 job.state->finish(
                     Bytes(),
                     std::make_exception_ptr(crypto::ProviderOverloadError(
@@ -55,10 +90,13 @@ CryptoPool::enqueue(Job job)
             // Shed: hand the work back to the caller (synchronous
             // fallback in PooledProvider) via an invalid handle.
             shed_.fetch_add(1, std::memory_order_relaxed);
+            ctrShed_.inc();
             return crypto::RsaJob();
         }
+        job.submitCycles = rdcycles();
         queue_.push_back(std::move(job));
         uint64_t depth = queue_.size();
+        gaugeDepth_.set(static_cast<int64_t>(depth));
         if (depth > peakQueue_.load(std::memory_order_relaxed))
             peakQueue_.store(depth, std::memory_order_relaxed);
     }
@@ -97,8 +135,15 @@ CryptoPool::submitRaw(std::function<Bytes()> fn)
 }
 
 void
-CryptoPool::workerLoop()
+CryptoPool::workerLoop(size_t index)
 {
+    // Flight recorder for this pool thread: one span per executed job,
+    // on its own export track so crypto service time lines up against
+    // the worker tracks in the Chrome trace. Cheap enough to keep
+    // unconditionally; only dumped when a sink is bound at exit.
+    obs::SessionTrace trace(obs::cryptoTrackBase + index,
+                            obs::cryptoTrackBase + index);
+
     // Per-thread private-key replicas, keyed by the submitter's key
     // object. Cloning rebuilds the Montgomery contexts and blinding
     // state, so this thread owns every mutable buffer it touches (the
@@ -126,21 +171,29 @@ CryptoPool::workerLoop()
             std::unique_lock<std::mutex> lock(m_);
             cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
             if (queue_.empty())
-                return; // stopping and drained
+                break; // stopping and drained
             job = std::move(queue_.front());
             queue_.pop_front();
+            gaugeDepth_.set(static_cast<int64_t>(queue_.size()));
         }
+        uint64_t startCycles = rdcycles();
+        histQueueWait_.record(startCycles - job.submitCycles);
         if (job.state->cancelled.load(std::memory_order_acquire)) {
             // The submitter tore the session down while the job was
             // queued: skip execution entirely — in particular, never
             // touch job.key, whose owner may already be gone — but
             // still finish() so a straggling waiter unblocks.
             cancelled_.fetch_add(1, std::memory_order_relaxed);
+            ctrCancelled_.inc();
             job.state->finish(
                 Bytes(), std::make_exception_ptr(std::runtime_error(
                              "CryptoPool: job cancelled")));
             continue;
         }
+        trace.record(obs::TraceEventKind::JobStart,
+                     obs::traceSideEngine,
+                     jobKindLabel(static_cast<int>(job.kind)), 0,
+                     startCycles - job.submitCycles);
         Bytes result;
         std::exception_ptr err;
         try {
@@ -159,11 +212,23 @@ CryptoPool::workerLoop()
         } catch (...) {
             err = std::current_exception();
         }
+        uint64_t endCycles = rdcycles();
+        histService_.record(endCycles - startCycles);
+        trace.record(obs::TraceEventKind::JobEnd, obs::traceSideEngine,
+                     jobKindLabel(static_cast<int>(job.kind)),
+                     err ? 1 : 0, endCycles - startCycles);
         // Count before finish(): a waiter released by finish() must
         // already observe this job in completedJobs().
         completed_.fetch_add(1, std::memory_order_relaxed);
+        ctrCompleted_.inc();
         job.state->finish(std::move(result), std::move(err));
     }
+
+    trace.noteOutcome("pool-exit");
+    if (obs::TraceSink *sink =
+            traceSink_.load(std::memory_order_acquire);
+        sink && trace.recorded())
+        sink->dump(trace);
 }
 
 // ---------------------------------------------------------------------

@@ -30,6 +30,8 @@
 #include <vector>
 
 #include "crypto/provider.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace ssla::serve
 {
@@ -136,6 +138,27 @@ class CryptoPool
         return peakQueue_.load(std::memory_order_relaxed);
     }
 
+    /**
+     * Re-point the cryptopool.* metrics (queue-wait and service-time
+     * histograms, outcome counters, queue-depth gauge) at @p reg (null
+     * restores the global registry). Handles are read by pool and
+     * submitter threads without synchronization: bind while the pool
+     * is quiescent — right after construction, before jobs flow.
+     */
+    void bindMetrics(obs::MetricsRegistry *reg);
+
+    /**
+     * Mirror each pool thread's job execution into @p sink: every
+     * thread keeps a ring trace on track cryptoTrackBase+index with
+     * JobStart/JobEnd span events, dumped to the sink when the pool
+     * shuts down. Null disables. Safe to call while running.
+     */
+    void
+    bindTraceSink(obs::TraceSink *sink)
+    {
+        traceSink_.store(sink, std::memory_order_release);
+    }
+
   private:
     enum class Kind
     {
@@ -151,10 +174,11 @@ class CryptoPool
         Bytes input;
         std::function<Bytes()> fn;
         std::shared_ptr<crypto::RsaJob::State> state;
+        uint64_t submitCycles = 0; ///< for the queue-wait histogram
     };
 
     crypto::RsaJob enqueue(Job job);
-    void workerLoop();
+    void workerLoop(size_t index);
 
     mutable std::mutex m_;
     std::condition_variable cv_;
@@ -167,6 +191,14 @@ class CryptoPool
     std::atomic<uint64_t> shed_{0};
     std::atomic<uint64_t> cancelled_{0};
     std::atomic<uint64_t> peakQueue_{0};
+    std::atomic<obs::TraceSink *> traceSink_{nullptr};
+    obs::Histogram histQueueWait_;
+    obs::Histogram histService_;
+    obs::Counter ctrCompleted_;
+    obs::Counter ctrRejected_;
+    obs::Counter ctrShed_;
+    obs::Counter ctrCancelled_;
+    obs::Gauge gaugeDepth_;
     std::vector<std::thread> workers_;
 };
 

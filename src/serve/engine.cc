@@ -4,15 +4,25 @@
 #include <stdexcept>
 #include <thread>
 
+#include "perf/probe.hh"
 #include "ssl/client.hh"
 #include "ssl/server.hh"
 #include "util/endian.hh"
+#include "util/logging.hh"
 
 namespace ssla::serve
 {
 
 namespace
 {
+
+/**
+ * Session trace of the connection the current worker is pumping right
+ * now; the captured log sink appends warn()/inform() text here. Set
+ * around each pumpConn() call, so a warning emitted deep inside the
+ * record layer lands in the right session's flight recorder.
+ */
+thread_local obs::SessionTrace *t_activeTrace = nullptr;
 
 /** splitmix64 — deterministic per-connection seed derivation. */
 uint64_t
@@ -167,11 +177,19 @@ struct ServeEngine::Impl
         size_t bulkSent = 0;
         size_t bulkReceived = 0;
         bool parked = false;           ///< currently counted as parked
+        bool hsLatencyRecorded = false;///< handshake histogram done
         uint64_t startSweep = 0;       ///< sweep the conn opened on
         uint64_t lastProgressSweep = 0;///< sweep it last advanced on
+        uint64_t startCycles = 0;      ///< rdcycles() at creation
+        /** Flight recorder, when this connection drew a sample slot. */
+        std::unique_ptr<obs::SessionTrace> trace;
     };
 
     ServeConfig cfg;
+    obs::MetricsRegistry *reg = nullptr;
+    ssl::RecordCounters recordCounters;
+    obs::Histogram histHandshakeCycles;
+    obs::Histogram histHandshakeSweeps;
     std::unique_ptr<ssl::ShardedSessionCache> internalStore;
     ssl::SessionStore *store = nullptr;
     std::unique_ptr<PooledProvider> pooledProvider;
@@ -271,6 +289,36 @@ struct ServeEngine::Impl
             std::move(scfg), server_end);
         conn->client = std::make_unique<ssl::SslClient>(
             std::move(ccfg), client_end);
+        conn->startCycles = rdcycles();
+
+        // Sampled flight recorder: 1-in-N connections share one ring
+        // between client, server, channel and engine events.
+        if (cfg.traceSampleEvery &&
+            serial % cfg.traceSampleEvery == 0) {
+            conn->trace = std::make_unique<obs::SessionTrace>(
+                (static_cast<uint64_t>(worker_id) << 32) | serial,
+                static_cast<uint32_t>(worker_id), cfg.traceCapacity);
+            conn->trace->record(obs::TraceEventKind::ConnOpen,
+                                obs::traceSideEngine,
+                                conn->faultyWires ? "faulty" : "clean",
+                                static_cast<uint16_t>(worker_id),
+                                serial);
+            if (conn->faultyWires)
+                conn->faultyWires->setTrace(conn->trace.get());
+        }
+        ssl::EndpointObsBinding server_obs;
+        server_obs.registry = reg;
+        server_obs.recordCounters = &recordCounters;
+        server_obs.trace = conn->trace.get();
+        server_obs.side = obs::traceSideServer;
+        conn->server->bindObservability(server_obs);
+        ssl::EndpointObsBinding client_obs;
+        client_obs.registry = reg;
+        // No record counters for the client half: the server side
+        // already counts each direction of the shared wire once.
+        client_obs.trace = conn->trace.get();
+        client_obs.side = obs::traceSideClient;
+        conn->client->bindObservability(client_obs);
         return conn;
     }
 
@@ -339,10 +387,25 @@ struct ServeEngine::Impl
      * its onFatal hook (the server's cancels any in-flight RSA job and
      * scrubs the session cache — the poisoning defense).
      */
+    /** Hand a finished trace to the configured sink, if any. */
+    void
+    dumpTrace(const Conn &c)
+    {
+        if (c.trace && cfg.traceSink && c.trace->recorded())
+            cfg.traceSink->dump(*c.trace);
+    }
+
     void
     teardown(std::unique_ptr<Conn> &slot, WorkerStats &stats,
              bool timed_out)
     {
+        if (timed_out && slot->trace) {
+            const bool hs_done = slot->client->handshakeDone() &&
+                                 slot->server->handshakeDone();
+            slot->trace->record(obs::TraceEventKind::DeadlineFired,
+                                obs::traceSideEngine,
+                                hs_done ? "idle" : "handshake");
+        }
         const Bytes sid = slot->server->session().id;
         const bool cached =
             !sid.empty() && store->find(sid).has_value();
@@ -350,11 +413,17 @@ struct ServeEngine::Impl
         slot->client->abort(ssl::AlertDescription::InternalError);
         if (cached)
             ++stats.evictedSessions;
-        if (timed_out)
+        if (timed_out) {
             ++stats.timedOutSessions;
-        else
+            if (slot->trace)
+                slot->trace->noteOutcome("timeout");
+        } else {
             ++stats.failedHandshakes;
+        }
         retireWires(*slot, stats);
+        // The flight recorder's moment: a dead session dumps its whole
+        // event history (faults, alerts, deadline) to the sink.
+        dumpTrace(*slot);
         slot.reset();
     }
 
@@ -373,6 +442,12 @@ struct ServeEngine::Impl
             size_t completed = 0;
             const size_t target = cfg.connectionsPerWorker;
 
+            // Per-worker probe context: crypto FuncProbes on this
+            // thread report here; bridged into the registry at exit.
+            perf::PerfContext perfCtx;
+            {
+                perf::ContextScope perfScope(&perfCtx);
+
             while (completed < target) {
                 const uint64_t sweep = ++stats.sweeps;
                 bool progress = false;
@@ -390,10 +465,14 @@ struct ServeEngine::Impl
                     // records, retry cap-deferred deliveries.
                     if (slot->faultyWires)
                         slot->faultyWires->tick();
+                    if (slot->trace)
+                        slot->trace->setTick(sweep);
                     bool p = false;
+                    t_activeTrace = slot->trace.get();
                     try {
                         p = pumpConn(*slot, payload, stats);
                     } catch (const ssl::SslError &) {
+                        t_activeTrace = nullptr;
                         if (!tolerate)
                             throw;
                         // Only SslError is tolerable: the robustness
@@ -405,27 +484,57 @@ struct ServeEngine::Impl
                         progress = true;
                         continue;
                     }
+                    t_activeTrace = nullptr;
                     if (p) {
                         progress = true;
                         slot->lastProgressSweep = sweep;
+                    }
+                    if (!slot->hsLatencyRecorded &&
+                        slot->client->handshakeDone() &&
+                        slot->server->handshakeDone()) {
+                        slot->hsLatencyRecorded = true;
+                        histHandshakeCycles.record(rdcycles() -
+                                                   slot->startCycles);
+                        histHandshakeSweeps.record(sweep -
+                                                   slot->startSweep + 1);
                     }
                     if (slot->server->waitingOnCrypto()) {
                         if (!slot->parked) {
                             slot->parked = true;
                             ++stats.parkEvents;
+                            if (slot->trace)
+                                slot->trace->record(
+                                    obs::TraceEventKind::Park,
+                                    obs::traceSideEngine, "rsa");
                         }
                         // Parked on the pool is not a stall; deadlines
                         // resume once the result lands.
                         slot->lastProgressSweep = sweep;
                         continue;
                     }
-                    slot->parked = false;
+                    if (slot->parked) {
+                        slot->parked = false;
+                        if (slot->trace)
+                            slot->trace->record(
+                                obs::TraceEventKind::Resume,
+                                obs::traceSideEngine, "rsa");
+                    }
                     if (connFinished(*slot)) {
                         if (slot->server->resumed())
                             ++stats.resumedHandshakes;
                         else
                             ++stats.fullHandshakes;
                         offerCompletedSession(slot->server->session());
+                        if (slot->trace) {
+                            slot->trace->record(
+                                obs::TraceEventKind::Complete,
+                                obs::traceSideEngine,
+                                slot->server->resumed() ? "resumed"
+                                                        : "full");
+                            slot->trace->noteOutcome("completed");
+                            if (cfg.traceDumpAll)
+                                dumpTrace(*slot);
+                        }
                         retireWires(*slot, stats);
                         slot.reset();
                         ++completed;
@@ -442,9 +551,37 @@ struct ServeEngine::Impl
                 if (!progress)
                     std::this_thread::yield();
             }
+
+            } // perfScope
+            perfCtx.publishTo(*reg);
+            flushWorkerStats(stats);
         } catch (...) {
+            t_activeTrace = nullptr;
             error = std::current_exception();
         }
+    }
+
+    /**
+     * Mirror the worker's lock-free tallies into the registry so the
+     * end-of-run snapshot is self-contained. Handles are resolved by
+     * name here because this runs once per worker, not per event.
+     */
+    void
+    flushWorkerStats(const WorkerStats &stats)
+    {
+        auto flush = [&](const char *name, uint64_t v) {
+            if (v)
+                reg->counter(name).inc(v);
+        };
+        flush("serve.full_handshakes", stats.fullHandshakes);
+        flush("serve.resumed_handshakes", stats.resumedHandshakes);
+        flush("serve.bulk_bytes", stats.bulkBytesMoved);
+        flush("serve.park_events", stats.parkEvents);
+        flush("serve.sweeps", stats.sweeps);
+        flush("serve.failed_handshakes", stats.failedHandshakes);
+        flush("serve.timed_out_sessions", stats.timedOutSessions);
+        flush("serve.evicted_sessions", stats.evictedSessions);
+        flush("serve.faults_injected", stats.faultsInjected);
     }
 };
 
@@ -495,6 +632,23 @@ ServeEngine::ServeEngine(ServeConfig config)
     } else {
         impl_->provider = base;
     }
+
+    // Wire every layer into the run's registry before work flows.
+    impl_->reg =
+        cfg.metrics ? cfg.metrics : &obs::MetricsRegistry::global();
+    impl_->reg->setEnabled(cfg.metricsEnabled);
+    impl_->recordCounters = ssl::RecordCounters::resolve(*impl_->reg);
+    impl_->histHandshakeCycles =
+        impl_->reg->histogram("serve.handshake_cycles");
+    impl_->histHandshakeSweeps =
+        impl_->reg->histogram("serve.handshake_sweeps");
+    if (impl_->internalStore)
+        impl_->internalStore->bindMetrics(impl_->reg);
+    if (cfg.cryptoPool) {
+        cfg.cryptoPool->bindMetrics(impl_->reg);
+        if (cfg.traceSink)
+            cfg.cryptoPool->bindTraceSink(cfg.traceSink);
+    }
 }
 
 ServeEngine::~ServeEngine() = default;
@@ -515,6 +669,22 @@ ServeEngine::run()
     std::vector<std::thread> threads;
     threads.reserve(n);
 
+    // Tee warn()/inform() into the active session's flight recorder
+    // for the duration of the run (previous sink restored on exit).
+    LogSink prevSink;
+    bool sinkInstalled = false;
+    if (impl_->cfg.captureWarnings) {
+        prevSink = setLogSink([](LogLevel level, const std::string &msg) {
+            if (t_activeTrace)
+                t_activeTrace->recordText(
+                    obs::TraceEventKind::LogMessage,
+                    obs::traceSideEngine,
+                    (level == LogLevel::Warn ? "warn: " : "inform: ") +
+                        msg);
+        });
+        sinkInstalled = true;
+    }
+
     auto t0 = std::chrono::steady_clock::now();
     for (size_t i = 0; i < n; ++i)
         threads.emplace_back([this, i, &stats, &errors] {
@@ -526,9 +696,13 @@ ServeEngine::run()
     stats.elapsedSeconds =
         std::chrono::duration<double>(t1 - t0).count();
 
+    if (sinkInstalled)
+        setLogSink(std::move(prevSink));
+
     for (auto &err : errors)
         if (err)
             std::rethrow_exception(err);
+    stats.metrics = impl_->reg->snapshot();
     return stats;
 }
 

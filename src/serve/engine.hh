@@ -26,6 +26,8 @@
 
 #include <memory>
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "pki/cert.hh"
 #include "serve/cryptopool.hh"
 #include "ssl/ciphersuite.hh"
@@ -103,9 +105,50 @@ struct ServeConfig
      * surface as exactly one SslError, so anything else is a bug.
      */
     bool tolerateFailures = false;
+
+    // --- Observability knobs (the telemetry subsystem) ---
+
+    /**
+     * Metrics registry the run reports into (null = process-global).
+     * Benches that need isolated numbers per cell pass their own.
+     */
+    obs::MetricsRegistry *metrics = nullptr;
+    /**
+     * Master metrics switch, applied to the registry before workers
+     * start. Disabling turns every counter/histogram touch into a
+     * single relaxed load — the overhead-measurement baseline.
+     */
+    bool metricsEnabled = true;
+    /**
+     * Trace 1-in-N connections (0 = tracing off, 1 = every session).
+     * A traced connection gets a SessionTrace ring shared by its
+     * client, server, channel and engine events.
+     */
+    uint32_t traceSampleEvery = 0;
+    /** Where terminal traces go (null = nowhere, tracing still cheap). */
+    obs::TraceSink *traceSink = nullptr;
+    /**
+     * Dump every traced session at its end, not only failures. Off by
+     * default: the flight recorder is for post-mortems, and a healthy
+     * run's traces are noise (benchmarks opt in for export).
+     */
+    bool traceDumpAll = false;
+    /**
+     * Capture warn()/inform() text into the active session's trace for
+     * the duration of run() (installs a process-wide log sink and
+     * restores the previous one on exit).
+     */
+    bool captureWarnings = true;
+    /** Ring capacity (events) of each per-session trace. */
+    size_t traceCapacity = 192;
 };
 
-/** Counters one worker accumulates (no locks; read after join). */
+/**
+ * Counters one worker accumulates (no locks; read after join). These
+ * are a per-worker view; at worker exit the totals are also flushed
+ * into the run's MetricsRegistry as serve.* counters, so the snapshot
+ * in ServeStats::metrics carries the same numbers plus percentiles.
+ */
 struct WorkerStats
 {
     uint64_t fullHandshakes = 0;
@@ -130,6 +173,12 @@ struct ServeStats
 {
     std::vector<WorkerStats> perWorker;
     double elapsedSeconds = 0.0;
+    /**
+     * Snapshot of the run's metrics registry taken after workers join:
+     * serve.* counters, the serve.handshake_cycles histogram (p50/p99
+     * handshake latency), record/cache/cryptopool/alert metrics.
+     */
+    obs::MetricsSnapshot metrics;
 
     uint64_t fullHandshakes() const;
     uint64_t resumedHandshakes() const;

@@ -1,5 +1,7 @@
 #include "ssl/client.hh"
 
+#include <iterator>
+
 #include "perf/probe.hh"
 #include "ssl/kx.hh"
 #include "util/bytes.hh"
@@ -22,6 +24,32 @@ SslClient::SslClient(ClientConfig config, BioEndpoint bio)
 
 bool
 SslClient::step()
+{
+    static const char *const stateNames[] = {
+        "SendClientHello",
+        "GetServerHello",
+        "GetServerCert",
+        "GetServerKeyExchange",
+        "GetServerDone",
+        "SendClientKeyExchange",
+        "SendCcsFinished",
+        "GetFinished",
+        "ResumeGetFinished",
+        "ResumeSendCcsFinished",
+        "Done",
+    };
+    const State before = state_;
+    bool progressed = dispatch();
+    if (state_ != before &&
+        static_cast<size_t>(state_) < std::size(stateNames))
+        traceEvent(obs::TraceEventKind::StateEnter,
+                   stateNames[static_cast<size_t>(state_)],
+                   static_cast<uint16_t>(state_));
+    return progressed;
+}
+
+bool
+SslClient::dispatch()
 {
     switch (state_) {
       case State::SendClientHello:

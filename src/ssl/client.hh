@@ -86,6 +86,9 @@ class SslClient : public SslEndpoint
         Done,
     };
 
+    /** The state switch; step() wraps it to trace state changes. */
+    bool dispatch();
+
     bool stepSendClientHello();
     bool stepGetServerHello();
     bool stepGetServerCert();

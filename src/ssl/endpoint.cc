@@ -10,8 +10,20 @@ namespace ssla::ssl
 SslEndpoint::SslEndpoint(BioEndpoint bio, crypto::RandomPool *pool,
                          crypto::Provider *provider)
     : record_(bio, provider),
-      pool_(pool ? pool : &crypto::globalRandomPool())
+      pool_(pool ? pool : &crypto::globalRandomPool()),
+      obsRegistry_(&obs::MetricsRegistry::global())
 {
+}
+
+void
+SslEndpoint::bindObservability(const EndpointObsBinding &binding)
+{
+    if (binding.registry)
+        obsRegistry_ = binding.registry;
+    if (binding.recordCounters)
+        record_.bindCounters(binding.recordCounters);
+    trace_ = binding.trace;
+    traceSide_ = binding.side;
 }
 
 const CipherSuite &
@@ -47,6 +59,7 @@ SslEndpoint::pumpOneRecord()
         if (rec->payload.size() != 1 || rec->payload[0] != 1)
             fail(AlertDescription::IllegalParameter,
                  "malformed ChangeCipherSpec");
+        traceEvent(obs::TraceEventKind::CcsRecv);
         onChangeCipherSpec();
         ccsReceived_ = true;
         return true;
@@ -72,6 +85,12 @@ SslEndpoint::handleAlert(const Bytes &payload)
         fail(AlertDescription::IllegalParameter, "malformed alert");
     auto level = static_cast<AlertLevel>(payload[0]);
     auto desc = static_cast<AlertDescription>(payload[1]);
+    traceEvent(obs::TraceEventKind::AlertRecv, alertName(desc),
+               static_cast<uint16_t>(desc));
+    // Alerts are rare (one per failed session at most), so resolving
+    // the per-code counter by name here beats pre-registering all 26.
+    obsRegistry_->counter(std::string("alert.recv.") + alertName(desc))
+        .inc();
     if (desc == AlertDescription::CloseNotify) {
         peerClosed_ = true;
         return;
@@ -110,6 +129,10 @@ SslEndpoint::nextHandshakeMessage(bool update_hash)
                 // Hash the framed form (header + body), as SSLv3 does.
                 hsHash_.update(msg->encode());
             }
+            traceEvent(obs::TraceEventKind::FlightRecv,
+                       handshakeTypeName(msg->type),
+                       static_cast<uint16_t>(msg->type),
+                       msg->body.size());
             return msg;
         }
         if (ccsReceived_)
@@ -139,6 +162,8 @@ SslEndpoint::sendHandshake(HandshakeType type, const Bytes &body)
     HandshakeMessage msg{type, body};
     Bytes wire = msg.encode();
     hsHash_.update(wire);
+    traceEvent(obs::TraceEventKind::FlightSend, handshakeTypeName(type),
+               static_cast<uint16_t>(type), body.size());
     record_.send(ContentType::Handshake, wire);
 }
 
@@ -146,6 +171,7 @@ void
 SslEndpoint::sendChangeCipherSpec()
 {
     Bytes one{1};
+    traceEvent(obs::TraceEventKind::CcsSend);
     record_.send(ContentType::ChangeCipherSpec, one);
 }
 
@@ -158,6 +184,10 @@ SslEndpoint::sendAlert(AlertLevel level, AlertDescription desc)
         fatalAlertSent_ = true;
         ++fatalAlertsSent_;
     }
+    traceEvent(obs::TraceEventKind::AlertSend, alertName(desc),
+               static_cast<uint16_t>(desc));
+    obsRegistry_->counter(std::string("alert.sent.") + alertName(desc))
+        .inc();
     Bytes payload{static_cast<uint8_t>(level),
                   static_cast<uint8_t>(desc)};
     record_.send(ContentType::Alert, payload);
@@ -177,6 +207,10 @@ SslEndpoint::noteFatal(AlertDescription desc)
         return;
     dead_ = true;
     lastAlert_ = desc;
+    traceEvent(obs::TraceEventKind::Teardown, alertName(desc),
+               static_cast<uint16_t>(desc));
+    if (trace_)
+        trace_->noteOutcome(peerFatal_ ? "peer-fatal" : "fatal");
     if (!peerFatal_) {
         try {
             sendAlert(AlertLevel::Fatal, desc);
@@ -212,9 +246,13 @@ SslEndpoint::advance()
     // Retry records a capped transport refused earlier; delivering
     // backlog is progress (the peer can now read what was stuck).
     bool progressed = record_.flushPendingOutput();
+    bool wasDone = done_;
     try {
         while (!done_ && step())
             progressed = true;
+        if (!wasDone && done_)
+            traceEvent(obs::TraceEventKind::HandshakeDone,
+                       resumed_ ? "resumed" : "full");
     } catch (const SslError &e) {
         // Central failure funnel: a bare SslError out of a parser gets
         // the same one-alert-then-dead treatment as a fail() call.

@@ -17,6 +17,7 @@
 #include <optional>
 
 #include "crypto/rand.hh"
+#include "obs/trace.hh"
 #include "ssl/handshake_hash.hh"
 #include "ssl/kdf.hh"
 #include "ssl/messages.hh"
@@ -32,6 +33,24 @@ namespace ssla::ssl
  * memory DoS). 128 KiB clears any certificate chain we can produce.
  */
 constexpr size_t maxHandshakeMessage = 128 * 1024;
+
+/**
+ * Observability attachment for one endpoint. All pointers are
+ * borrowed and must outlive the endpoint; null fields keep the
+ * current binding (registry defaults to the global one at
+ * construction).
+ */
+struct EndpointObsBinding
+{
+    /** Registry alert counters resolve against. */
+    obs::MetricsRegistry *registry = nullptr;
+    /** Record/byte accounting handles for the record layer. */
+    const RecordCounters *recordCounters = nullptr;
+    /** Per-session event trace (null leaves tracing off). */
+    obs::SessionTrace *trace = nullptr;
+    /** traceSideServer / traceSideClient for this endpoint's events. */
+    uint8_t side = obs::traceSideServer;
+};
 
 /** Common base of SslClient and SslServer. */
 class SslEndpoint
@@ -111,6 +130,16 @@ class SslEndpoint
 
     bool peerClosed() const { return peerClosed_; }
 
+    /**
+     * Attach metrics and tracing. Endpoints default to the global
+     * registry with no trace; a serving engine rebinds each session
+     * to its own registry and (when sampled) a SessionTrace ring.
+     */
+    void bindObservability(const EndpointObsBinding &binding);
+
+    /** The trace this endpoint records into (may be null). */
+    obs::SessionTrace *trace() { return trace_; }
+
     /** The record layer (exposed for traffic accounting). */
     RecordLayer &record() { return record_; }
 
@@ -169,6 +198,15 @@ class SslEndpoint
     /** Random source for this endpoint. */
     crypto::RandomPool &pool() { return *pool_; }
 
+    /** Record into the attached trace; no-op when untraced. */
+    void
+    traceEvent(obs::TraceEventKind kind, const char *label = nullptr,
+               uint16_t code = 0, uint64_t arg = 0)
+    {
+        if (trace_)
+            trace_->record(kind, traceSide_, label, code, arg);
+    }
+
     RecordLayer record_;
     HandshakeHash hsHash_;
     const CipherSuite *suite_ = nullptr;
@@ -192,6 +230,9 @@ class SslEndpoint
     void noteFatal(AlertDescription desc);
 
     crypto::RandomPool *pool_;
+    obs::MetricsRegistry *obsRegistry_; ///< alert counters; never null
+    obs::SessionTrace *trace_ = nullptr;
+    uint8_t traceSide_ = obs::traceSideServer;
     Bytes hsBuffer_; ///< handshake-stream reassembly
     size_t hsOffset_ = 0;
     bool ccsReceived_ = false;

@@ -84,12 +84,22 @@ FaultyBio::frameRecords()
 }
 
 void
+FaultyBio::traceFault(const char *label)
+{
+    if (trace_)
+        trace_->record(obs::TraceEventKind::FaultInjected,
+                       obs::traceSideChannel, label, traceDirection_,
+                       counts_.records);
+}
+
+void
 FaultyBio::applyFaults(Bytes record)
 {
     // One mutating fault per record at most (first match wins), plus
     // an independent stall draw — outcomes stay attributable.
     if (rng_.nextDouble() < plan_.dropRate) {
         ++counts_.dropped;
+        traceFault("drop");
         return;
     }
 
@@ -99,13 +109,16 @@ FaultyBio::applyFaults(Bytes record)
         size_t cut = 1 + rng_.nextBelow(record.size() - 1);
         record.resize(record.size() - cut);
         ++counts_.truncated;
+        traceFault("truncate");
     } else if (rng_.nextDouble() < plan_.corruptRate) {
         record[rng_.nextBelow(record.size())] ^=
             static_cast<uint8_t>(1 + rng_.nextBelow(255));
         ++counts_.corrupted;
+        traceFault("corrupt");
     } else if (rng_.nextDouble() < plan_.duplicateRate) {
         duplicate = true;
         ++counts_.duplicated;
+        traceFault("duplicate");
     } else if (rng_.nextDouble() < plan_.reorderRate) {
         reorder = true;
     }
@@ -114,6 +127,7 @@ FaultyBio::applyFaults(Bytes record)
     if (rng_.nextDouble() < plan_.stallRate) {
         due = now_ + plan_.stallTicks;
         ++counts_.stalled;
+        traceFault("stall");
     }
 
     if (reorder && !staged_.empty()) {
@@ -125,6 +139,7 @@ FaultyBio::applyFaults(Bytes record)
         staged_.push_back({std::move(record), due});
         staged_.push_back(std::move(ahead));
         ++counts_.reordered;
+        traceFault("reorder");
         return;
     }
     if (duplicate) {

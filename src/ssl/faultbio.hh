@@ -25,6 +25,7 @@
 
 #include <deque>
 
+#include "obs/trace.hh"
 #include "ssl/bio.hh"
 #include "util/rng.hh"
 
@@ -115,6 +116,19 @@ class FaultyBio : public MemBio
     /** Records staged but not yet delivered (stalls / cap backlog). */
     size_t stagedRecords() const { return staged_.size(); }
 
+    /**
+     * Mirror every injected fault into @p trace as a FaultInjected
+     * event (label = fault type, arg = record ordinal on this
+     * direction, code = @p direction). The trace must outlive the bio
+     * or be unbound with null first.
+     */
+    void
+    setTrace(obs::SessionTrace *trace, uint16_t direction = 0)
+    {
+        trace_ = trace;
+        traceDirection_ = direction;
+    }
+
     size_t read(uint8_t *out, size_t len) override;
     void consume(size_t len) override;
 
@@ -129,6 +143,7 @@ class FaultyBio : public MemBio
     void applyFaults(Bytes record);
     void stage(Bytes wire, uint64_t due);
     void drain();
+    void traceFault(const char *label);
 
     FaultPlan plan_;
     Xoshiro256 rng_;
@@ -136,6 +151,8 @@ class FaultyBio : public MemBio
     std::deque<StagedRecord> staged_;
     uint64_t now_ = 0;
     FaultCounts counts_;
+    obs::SessionTrace *trace_ = nullptr;
+    uint16_t traceDirection_ = 0;
 };
 
 /**
@@ -162,6 +179,15 @@ class FaultyBioPair
 
     /** Advance both directions' virtual clocks. */
     void tick();
+
+    /** Mirror both directions' faults into @p trace (0 = client→server,
+     *  1 = server→client event codes). */
+    void
+    setTrace(obs::SessionTrace *trace)
+    {
+        clientToServer_.setTrace(trace, 0);
+        serverToClient_.setTrace(trace, 1);
+    }
 
     const FaultCounts &clientToServerCounts() const
     {

@@ -272,4 +272,22 @@ FinishedMsg::parse(const Bytes &body)
     return msg;
 }
 
+const char *
+handshakeTypeName(HandshakeType type)
+{
+    switch (type) {
+    case HandshakeType::HelloRequest: return "HelloRequest";
+    case HandshakeType::ClientHello: return "ClientHello";
+    case HandshakeType::ServerHello: return "ServerHello";
+    case HandshakeType::Certificate: return "Certificate";
+    case HandshakeType::ServerKeyExchange: return "ServerKeyExchange";
+    case HandshakeType::CertificateRequest: return "CertificateRequest";
+    case HandshakeType::ServerHelloDone: return "ServerHelloDone";
+    case HandshakeType::CertificateVerify: return "CertificateVerify";
+    case HandshakeType::ClientKeyExchange: return "ClientKeyExchange";
+    case HandshakeType::Finished: return "Finished";
+    }
+    return "Unknown";
+}
+
 } // namespace ssla::ssl

@@ -36,6 +36,9 @@ enum class HandshakeType : uint8_t
     Finished = 20,
 };
 
+/** Static name of a handshake message type (for traces and logs). */
+const char *handshakeTypeName(HandshakeType type);
+
 /** A framed handshake message: type, then the body. */
 struct HandshakeMessage
 {

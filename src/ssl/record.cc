@@ -5,6 +5,25 @@
 namespace ssla::ssl
 {
 
+RecordCounters
+RecordCounters::resolve(obs::MetricsRegistry &reg)
+{
+    RecordCounters c;
+    c.recordsOut = reg.counter("record.records_out");
+    c.bytesOut = reg.counter("record.bytes_out");
+    c.recordsIn = reg.counter("record.records_in");
+    c.bytesIn = reg.counter("record.bytes_in");
+    return c;
+}
+
+const RecordCounters &
+globalRecordCounters()
+{
+    static const RecordCounters c =
+        RecordCounters::resolve(obs::MetricsRegistry::global());
+    return c;
+}
+
 Bytes
 ssl3Mac(crypto::DigestAlg alg, const Bytes &secret, uint64_t seq,
         uint8_t type, const uint8_t *data, size_t len)
@@ -190,6 +209,8 @@ RecordLayer::writeRecord(ContentType type, const Bytes &fragment,
         pendingOut_.push_back(std::move(wire));
     bytesSent_ += payload_len;
     ++recordsSent_;
+    obs_->recordsOut.inc();
+    obs_->bytesOut.inc(payload_len);
 }
 
 void
@@ -291,8 +312,11 @@ RecordLayer::receive()
     Bytes fragment(frag_len);
     bio_.read(fragment.data(), frag_len);
 
-    if (!recv_.active())
+    if (!recv_.active()) {
+        obs_->recordsIn.inc();
+        obs_->bytesIn.inc(fragment.size());
         return Record{type, std::move(fragment)};
+    }
 
     size_t mac_len = recv_.suite->macLen();
     size_t block = recv_.suite->blockLen();
@@ -355,6 +379,8 @@ RecordLayer::receive()
                        "record: bad record MAC");
 
     fragment.resize(data_len);
+    obs_->recordsIn.inc();
+    obs_->bytesIn.inc(fragment.size());
     return Record{type, std::move(fragment)};
 }
 

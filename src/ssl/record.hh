@@ -23,6 +23,7 @@
 #include <span>
 
 #include "crypto/provider.hh"
+#include "obs/metrics.hh"
 #include "ssl/alert.hh"
 #include "ssl/bio.hh"
 #include "ssl/ciphersuite.hh"
@@ -72,6 +73,29 @@ Bytes tls1Mac(crypto::DigestAlg alg, const Bytes &secret, uint64_t seq,
               uint8_t type, uint16_t version, const uint8_t *data,
               size_t len);
 
+/**
+ * Registry handles for a record channel's traffic accounting: records
+ * and plaintext bytes per direction. The struct (not the layer) owns
+ * the handle resolution so a serving engine can point many channels at
+ * one pre-resolved set — binding costs nothing per connection.
+ */
+struct RecordCounters
+{
+    obs::Counter recordsOut;
+    obs::Counter bytesOut;
+    obs::Counter recordsIn;
+    obs::Counter bytesIn;
+
+    /** Resolve the standard record.* names from @p reg. */
+    static RecordCounters resolve(obs::MetricsRegistry &reg);
+};
+
+/**
+ * The process-default counter set, resolved once from the global
+ * registry (standalone endpoints in tests/examples count here).
+ */
+const RecordCounters &globalRecordCounters();
+
 /** One direction's active cipher state. */
 struct RecordCipherState
 {
@@ -101,8 +125,20 @@ class RecordLayer
     explicit RecordLayer(BioEndpoint bio,
                          crypto::Provider *provider = nullptr)
         : bio_(bio),
-          provider_(provider ? provider : &crypto::defaultProvider())
+          provider_(provider ? provider : &crypto::defaultProvider()),
+          obs_(&globalRecordCounters())
     {}
+
+    /**
+     * Re-point traffic accounting at @p counters (null restores the
+     * global set). The pointee must outlive the layer; a serving
+     * engine binds every connection to its own registry's handles.
+     */
+    void
+    bindCounters(const RecordCounters *counters)
+    {
+        obs_ = counters ? counters : &globalRecordCounters();
+    }
 
     /** Send @p data as one or more records of @p type. */
     void send(ContentType type, const Bytes &data);
@@ -206,6 +242,7 @@ class RecordLayer
     bool versionLocked_ = false;
     uint64_t bytesSent_ = 0;
     uint64_t recordsSent_ = 0;
+    const RecordCounters *obs_; ///< never null
 };
 
 } // namespace ssla::ssl

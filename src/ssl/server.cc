@@ -1,5 +1,7 @@
 #include "ssl/server.hh"
 
+#include <iterator>
+
 #include <algorithm>
 
 #include "perf/probe.hh"
@@ -32,14 +34,60 @@ SslServer::~SslServer()
 void
 SslServer::onFatal()
 {
+    if (kxJob_.valid())
+        traceEvent(obs::TraceEventKind::CryptoCancel, "rsa_decrypt");
     kxJob_.cancel();
     kxJob_.reset();
     if (config_.sessionCache && !session_.id.empty())
         config_.sessionCache->remove(session_.id);
 }
 
+namespace
+{
+
+const char *
+serverStateName(int state)
+{
+    static const char *const names[] = {
+        "GetClientHello",
+        "SendServerHello",
+        "SendServerCert",
+        "SendServerKeyExchange",
+        "SendCertificateRequest",
+        "SendServerDone",
+        "GetClientCertificate",
+        "GetClientKeyExchange",
+        "AwaitPreMaster",
+        "GetCertificateVerify",
+        "GetFinished",
+        "SendCipherSpec",
+        "SendFinished",
+        "Flush",
+        "ResumeSendCcsFinished",
+        "ResumeGetFinished",
+        "Done",
+    };
+    if (state < 0 || state >= static_cast<int>(std::size(names)))
+        return "Unknown";
+    return names[state];
+}
+
+} // anonymous namespace
+
 bool
 SslServer::step()
+{
+    const State before = state_;
+    bool progressed = dispatch();
+    if (state_ != before)
+        traceEvent(obs::TraceEventKind::StateEnter,
+                   serverStateName(static_cast<int>(state_)),
+                   static_cast<uint16_t>(state_));
+    return progressed;
+}
+
+bool
+SslServer::dispatch()
 {
     switch (state_) {
       case State::GetClientHello:
@@ -316,6 +364,7 @@ SslServer::stepGetClientKeyExchange()
     auto ckx = ClientKeyExchangeMsg::parse(msg->body);
     kxJob_ = provider().submitRsaDecrypt(
         *config_.privateKey, std::move(ckx.encryptedPreMaster));
+    traceEvent(obs::TraceEventKind::CryptoSubmit, "rsa_decrypt");
     state_ = State::AwaitPreMaster;
     return true;
 }
@@ -344,6 +393,7 @@ SslServer::stepAwaitPreMaster()
              "pre-master decryption failed");
     }
     kxJob_.reset();
+    traceEvent(obs::TraceEventKind::CryptoComplete, "rsa_decrypt");
     return finishKeyExchange(std::move(premaster),
                              /*check_version=*/true);
 }

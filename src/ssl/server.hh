@@ -117,6 +117,9 @@ class SslServer : public SslEndpoint
         Done,
     };
 
+    /** The state switch; step() wraps it to trace state changes. */
+    bool dispatch();
+
     bool stepGetClientHello();
     bool stepSendServerHello();
     bool stepSendServerCert();

@@ -30,6 +30,20 @@ ShardedSessionCache::ShardedSessionCache(size_t shards,
     for (size_t i = 0; i < shards; ++i)
         shards_.push_back(
             std::make_unique<Shard>(max_entries_per_shard, ttl_seconds));
+    bindMetrics(nullptr);
+}
+
+void
+ShardedSessionCache::bindMetrics(obs::MetricsRegistry *reg)
+{
+    obs::MetricsRegistry &r =
+        reg ? *reg : obs::MetricsRegistry::global();
+    ctrHits_ = r.counter("cache.hits");
+    ctrMisses_ = r.counter("cache.misses");
+    ctrStores_ = r.counter("cache.stores");
+    ctrRemoves_ = r.counter("cache.removes");
+    ctrExpired_ = r.counter("cache.expired");
+    ctrEvicted_ = r.counter("cache.evicted");
 }
 
 size_t
@@ -51,7 +65,15 @@ ShardedSessionCache::store(const Session &session)
         return;
     Shard &s = shardFor(session.id);
     std::lock_guard<std::mutex> lock(s.m);
+    size_t before = s.cache.size();
     s.cache.store(session);
+    ctrStores_.inc();
+    // A store into a full shard that did not grow it displaced an LRU
+    // entry (or overwrote an existing id — rare with random 32-byte
+    // ids); either way capacity pressure, which is what the evicted
+    // counter monitors.
+    if (s.cache.size() == before)
+        ctrEvicted_.inc();
 }
 
 std::optional<Session>
@@ -59,7 +81,16 @@ ShardedSessionCache::find(const Bytes &id)
 {
     Shard &s = shardFor(id);
     std::lock_guard<std::mutex> lock(s.m);
-    return s.cache.find(id);
+    uint64_t expiredBefore = s.cache.expirations();
+    auto found = s.cache.find(id);
+    if (found)
+        ctrHits_.inc();
+    else
+        ctrMisses_.inc();
+    uint64_t expired = s.cache.expirations() - expiredBefore;
+    if (expired)
+        ctrExpired_.inc(expired);
+    return found;
 }
 
 void
@@ -68,6 +99,7 @@ ShardedSessionCache::remove(const Bytes &id)
     Shard &s = shardFor(id);
     std::lock_guard<std::mutex> lock(s.m);
     s.cache.remove(id);
+    ctrRemoves_.inc();
 }
 
 size_t

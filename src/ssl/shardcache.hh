@@ -18,6 +18,7 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/metrics.hh"
 #include "ssl/session.hh"
 
 namespace ssla::ssl
@@ -61,6 +62,14 @@ class ShardedSessionCache : public SessionStore
     /** Override every shard's time source (deterministic tests). */
     void setClock(std::function<uint64_t()> clock);
 
+    /**
+     * Re-point the cache.* registry counters at @p reg (null restores
+     * the global registry). Counts flow live: hit/miss on find(),
+     * store/remove, expirations (detected per find under the shard
+     * lock) and evictions (a store that did not grow its full shard).
+     */
+    void bindMetrics(obs::MetricsRegistry *reg);
+
   private:
     struct Shard
     {
@@ -75,6 +84,12 @@ class ShardedSessionCache : public SessionStore
     Shard &shardFor(const Bytes &id);
 
     std::vector<std::unique_ptr<Shard>> shards_;
+    obs::Counter ctrHits_;
+    obs::Counter ctrMisses_;
+    obs::Counter ctrStores_;
+    obs::Counter ctrRemoves_;
+    obs::Counter ctrExpired_;
+    obs::Counter ctrEvicted_;
 };
 
 } // namespace ssla::ssl

@@ -2,13 +2,40 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
+#include <mutex>
 
 namespace ssla
 {
 
 namespace
 {
+
 bool quietMode = false;
+
+std::mutex sinkMutex;
+std::shared_ptr<LogSink> customSink;
+
+void
+emit(LogLevel level, const std::string &msg)
+{
+    // Hold a reference, not the lock, while calling out: a sink may
+    // itself log (the registry warns through here) without deadlock.
+    std::shared_ptr<LogSink> sink;
+    {
+        std::lock_guard<std::mutex> lock(sinkMutex);
+        sink = customSink;
+    }
+    if (sink) {
+        (*sink)(level, msg);
+        return;
+    }
+    if (!quietMode)
+        std::fprintf(stderr, "%s: %s\n",
+                     level == LogLevel::Warn ? "warn" : "info",
+                     msg.c_str());
+}
+
 } // anonymous namespace
 
 void
@@ -28,21 +55,30 @@ fatal(const std::string &msg)
 void
 warn(const std::string &msg)
 {
-    if (!quietMode)
-        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    emit(LogLevel::Warn, msg);
 }
 
 void
 inform(const std::string &msg)
 {
-    if (!quietMode)
-        std::fprintf(stderr, "info: %s\n", msg.c_str());
+    emit(LogLevel::Inform, msg);
 }
 
 void
 setQuiet(bool quiet)
 {
     quietMode = quiet;
+}
+
+LogSink
+setLogSink(LogSink sink)
+{
+    auto next = sink ? std::make_shared<LogSink>(std::move(sink))
+                     : std::shared_ptr<LogSink>();
+    std::lock_guard<std::mutex> lock(sinkMutex);
+    std::shared_ptr<LogSink> prev = customSink;
+    customSink = std::move(next);
+    return prev ? *prev : LogSink();
 }
 
 } // namespace ssla

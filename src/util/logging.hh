@@ -4,11 +4,18 @@
  *
  * panic() is for internal invariant violations (library bugs); fatal()
  * is for unrecoverable user/configuration errors. Both terminate.
+ *
+ * warn()/inform() route through a pluggable sink. The default sink
+ * writes to stderr and honours setQuiet(); a custom sink installed via
+ * setLogSink() receives EVERY message regardless of the quiet flag —
+ * quiet only gates the default stderr output, so a trace capture sink
+ * still sees warnings a quieted bench would otherwise discard.
  */
 
 #ifndef SSLA_UTIL_LOGGING_HH
 #define SSLA_UTIL_LOGGING_HH
 
+#include <functional>
 #include <string>
 
 namespace ssla
@@ -20,14 +27,36 @@ namespace ssla
 /** Exit with an error message; the caller misused the library. */
 [[noreturn]] void fatal(const std::string &msg);
 
-/** Emit a non-fatal warning to stderr. */
+/** Emit a non-fatal warning through the log sink. */
 void warn(const std::string &msg);
 
-/** Emit an informational message to stderr. */
+/** Emit an informational message through the log sink. */
 void inform(const std::string &msg);
 
-/** Globally silence warn()/inform() (benchmarks want clean stdout). */
+/** Globally silence the DEFAULT stderr sink (custom sinks still see
+ *  everything; benchmarks want clean output). */
 void setQuiet(bool quiet);
+
+/** Severity passed to a custom log sink. */
+enum class LogLevel
+{
+    Warn,
+    Inform,
+};
+
+/**
+ * A pluggable destination for warn()/inform(). Must be callable from
+ * any thread; the logging layer serialises invocations.
+ */
+using LogSink = std::function<void(LogLevel, const std::string &)>;
+
+/**
+ * Install @p sink as the destination for warn()/inform(); passing a
+ * null sink restores the default stderr behaviour. Returns the
+ * previously installed sink (null if the default was active) so
+ * callers can restore it.
+ */
+LogSink setLogSink(LogSink sink);
 
 } // namespace ssla
 

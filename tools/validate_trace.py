@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace_event JSON file exported by the obs layer.
+
+Checks, in order:
+  1. The file parses as JSON and is an object with a "traceEvents" list.
+  2. Every event carries the keys its phase requires ("X" spans also
+     need a non-negative integer "dur"; async "b"/"e" also need "id").
+  3. Timestamps are monotone non-decreasing per (pid, tid) track --
+     the exporter stable-sorts by ts, so any inversion means a bug.
+  4. Every async "b" (session-open) is closed by a matching "e" with
+     the same (pid, cat, id), and no "e" arrives without its "b".
+
+Exit status 0 when the trace is well-formed, 1 otherwise, with one
+line per defect on stderr. Stdlib only; used by CI after
+`bench_serve_scale --smoke --trace <file>`.
+
+Usage: validate_trace.py TRACE.json
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print("validate_trace: %s" % msg, file=sys.stderr)
+    return 1
+
+
+def main(argv):
+    if len(argv) != 2:
+        return fail("usage: validate_trace.py TRACE.json")
+
+    try:
+        with open(argv[1], "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail("cannot parse %s: %s" % (argv[1], e))
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        return fail("root must be an object with a traceEvents key")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        return fail("traceEvents must be a list")
+    if not events:
+        return fail("traceEvents is empty")
+
+    errors = 0
+    last_ts = {}  # (pid, tid) -> most recent ts
+    open_async = {}  # (pid, cat, id) -> count of unmatched "b"
+    phases = {}  # ph -> count, for the summary line
+
+    for n, ev in enumerate(events):
+        where = "event %d" % n
+        if not isinstance(ev, dict):
+            errors += fail("%s: not an object" % where)
+            continue
+        ph = ev.get("ph")
+        # Metadata events (process/thread names) carry no timestamp.
+        required = (("name", "ph", "pid") if ph == "M" else
+                    ("name", "ph", "pid", "tid", "ts"))
+        missing = [k for k in required if k not in ev]
+        if missing:
+            errors += fail("%s: missing %s" % (where, ",".join(missing)))
+            continue
+        phases[ph] = phases.get(ph, 0) + 1
+        if ph == "M":
+            continue
+        where = "event %d (%s %r)" % (n, ph, ev["name"])
+
+        ts = ev["ts"]
+        if not isinstance(ts, (int, float)) or ts < 0:
+            errors += fail("%s: bad ts %r" % (where, ts))
+            continue
+        track = (ev["pid"], ev["tid"])
+        if track in last_ts and ts < last_ts[track]:
+            errors += fail("%s: ts %s < previous %s on track %s" %
+                           (where, ts, last_ts[track], track))
+        last_ts[track] = ts
+
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors += fail("%s: X span needs dur >= 0, got %r" %
+                               (where, dur))
+        elif ph in ("b", "e"):
+            if "id" not in ev:
+                errors += fail("%s: async event needs id" % where)
+                continue
+            key = (ev["pid"], ev.get("cat", ""), ev["id"])
+            if ph == "b":
+                open_async[key] = open_async.get(key, 0) + 1
+            else:
+                if open_async.get(key, 0) <= 0:
+                    errors += fail("%s: 'e' with no open 'b' for id %s"
+                                   % (where, ev["id"]))
+                else:
+                    open_async[key] -= 1
+
+    for key, depth in sorted(open_async.items()):
+        if depth > 0:
+            errors += fail("async id %s: %d 'b' event(s) never closed" %
+                           (key[2], depth))
+
+    if errors:
+        return 1
+    print("validate_trace: OK — %d events, %d tracks, phases %s" %
+          (len(events), len(last_ts),
+           " ".join("%s=%d" % kv for kv in sorted(phases.items()))))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
