@@ -54,6 +54,7 @@ struct RunResult
     size_t cryptoThreads = 0;
     serve::ServeStats stats;
     uint64_t expectedConnections = 0;
+    uint64_t poolCompletedJobs = 0;
 
     bool
     completedOk() const
@@ -67,13 +68,16 @@ RunResult
 runOnce(size_t workers, size_t total_connections, double resume_fraction,
         size_t bulk_bytes, const pki::Certificate &cert,
         const std::shared_ptr<crypto::RsaPrivateKey> &key, bool offload,
-        bool metrics_enabled = true)
+        bool metrics_enabled = true,
+        ssl::CipherSuiteId suite =
+            ssl::CipherSuiteId::RSA_3DES_EDE_CBC_SHA)
 {
     // Fresh registry per run: the handshake-latency percentiles in the
     // emitted JSON belong to this cell alone, not the whole sweep.
     obs::MetricsRegistry registry;
 
     serve::ServeConfig cfg;
+    cfg.suite = suite;
     cfg.workers = workers;
     cfg.connectionsPerWorker = total_connections / workers;
     cfg.concurrentPerWorker =
@@ -98,6 +102,7 @@ runOnce(size_t workers, size_t total_connections, double resume_fraction,
         cfg.cryptoPool = &pool;
         serve::ServeEngine engine(std::move(cfg));
         r.stats = engine.run();
+        r.poolCompletedJobs = pool.completedJobs();
     } else {
         serve::ServeEngine engine(std::move(cfg));
         r.stats = engine.run();
@@ -233,6 +238,8 @@ main(int argc, char **argv)
         j.field("full_handshakes", r.stats.fullHandshakes());
         j.field("resumed_handshakes", r.stats.resumedHandshakes());
         j.field("park_events", r.stats.parkEvents());
+        j.field("park_events_decrypt", r.stats.parkEventsDecrypt());
+        j.field("park_events_sign", r.stats.parkEventsSign());
         j.field("elapsed_sec", r.stats.elapsedSeconds);
         j.field("full_hs_per_sec", r.stats.fullHandshakesPerSec(), 1);
         j.field("resumed_hs_per_sec", r.stats.resumedHandshakesPerSec(),
@@ -279,6 +286,47 @@ main(int argc, char **argv)
         j.field("workers", static_cast<uint64_t>(w));
         j.field("conn_rate_ratio", ratio, 2);
         j.field("park_events", off_run->stats.parkEvents());
+        j.endObject();
+    }
+    j.endArray();
+
+    // DHE_RSA cell: the same workload negotiating an ephemeral-DH
+    // suite, sync vs offloaded. With the CryptoPool attached the
+    // server submits the *ServerKeyExchange signature* (park reason
+    // "rsa_sign") on every full handshake, and nothing parks at the
+    // pre-master step (DHE's client key exchange needs no RSA private
+    // op) — the reverse of the RSA cell's decrypt-only parking. The
+    // gate asserts the deterministic invariants: every full handshake
+    // routed exactly one sign job through the pool, and any park a
+    // worker observed was a sign park. The observed park *count* is
+    // reported but not gated — on a busy or single-core host the
+    // crypto thread can finish the signature before the worker's next
+    // sweep, so the worker legitimately never sees the job pending.
+    const size_t dhe_workers = std::min<size_t>(2, hw_cores);
+    bool dhe_ok = true;
+    j.beginArray("dhe_rsa");
+    for (bool offload : {false, true}) {
+        RunResult r = runOnce(
+            dhe_workers, total_connections, resume_fraction, bulk_bytes,
+            cert, key.priv, offload, /*metrics_enabled=*/true,
+            ssl::CipherSuiteId::DHE_RSA_3DES_EDE_CBC_SHA);
+        const bool signs_ok =
+            !offload ||
+            (r.poolCompletedJobs == r.stats.fullHandshakes() &&
+             r.stats.parkEventsDecrypt() == 0 &&
+             r.stats.parkEventsSign() == r.stats.parkEvents());
+        dhe_ok = dhe_ok && r.completedOk() && signs_ok;
+        j.beginObject();
+        j.field("workers", static_cast<uint64_t>(dhe_workers));
+        j.field("offload", offload);
+        j.field("full_handshakes", r.stats.fullHandshakes());
+        j.field("resumed_handshakes", r.stats.resumedHandshakes());
+        j.field("park_events", r.stats.parkEvents());
+        j.field("park_events_decrypt", r.stats.parkEventsDecrypt());
+        j.field("park_events_sign", r.stats.parkEventsSign());
+        j.field("pool_sign_jobs", r.poolCompletedJobs);
+        j.field("connections_per_sec", connRate(r), 1);
+        j.field("completed_ok", r.completedOk());
         j.endObject();
     }
     j.endArray();
@@ -335,6 +383,14 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "FAIL: a run lost connections (handshake counts "
                      "do not add up to the configured total)\n");
+        return 1;
+    }
+    if (!dhe_ok) {
+        std::fprintf(stderr,
+                     "FAIL: DHE_RSA cell lost connections, or the "
+                     "offloaded run did not route one sign job per "
+                     "full handshake through the CryptoPool, or a "
+                     "session decrypt-parked under a DHE suite\n");
         return 1;
     }
     if (smoke && !overhead_ok) {

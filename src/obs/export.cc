@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cinttypes>
+#include <cstdarg>
 
 #include "util/cycles.hh"
 
@@ -335,6 +336,80 @@ writeMetricsText(std::FILE *out, const MetricsSnapshot &snap)
                          h.percentile(99), h.max);
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Prometheus text exposition
+
+namespace
+{
+
+/** Clamp a metric name to the Prometheus charset [a-zA-Z0-9_:]. */
+std::string
+promName(const std::string &name)
+{
+    std::string out;
+    out.reserve(name.size() + 1);
+    for (char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_' || c == ':';
+        out.push_back(ok ? c : '_');
+    }
+    if (!out.empty() && out.front() >= '0' && out.front() <= '9')
+        out.insert(out.begin(), '_');
+    return out;
+}
+
+void
+appendf(std::string &out, const char *fmt, ...)
+{
+    char buf[256];
+    va_list ap;
+    va_start(ap, fmt);
+    int n = std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    if (n > 0)
+        out.append(buf, std::min<size_t>(static_cast<size_t>(n),
+                                         sizeof(buf) - 1));
+}
+
+} // anonymous namespace
+
+std::string
+prometheusText(const MetricsSnapshot &snap)
+{
+    std::string out;
+    for (const auto &[name, v] : snap.counters) {
+        const std::string n = promName(name) + "_total";
+        appendf(out, "# TYPE %s counter\n", n.c_str());
+        appendf(out, "%s %" PRIu64 "\n", n.c_str(), v);
+    }
+    for (const auto &[name, v] : snap.gauges) {
+        const std::string n = promName(name);
+        appendf(out, "# TYPE %s gauge\n", n.c_str());
+        appendf(out, "%s %" PRId64 "\n", n.c_str(), v);
+    }
+    for (const auto &[name, h] : snap.histograms) {
+        const std::string n = promName(name);
+        appendf(out, "# TYPE %s summary\n", n.c_str());
+        appendf(out, "%s{quantile=\"0.5\"} %.0f\n", n.c_str(),
+                h.percentile(50));
+        appendf(out, "%s{quantile=\"0.9\"} %.0f\n", n.c_str(),
+                h.percentile(90));
+        appendf(out, "%s{quantile=\"0.99\"} %.0f\n", n.c_str(),
+                h.percentile(99));
+        appendf(out, "%s_sum %" PRIu64 "\n", n.c_str(), h.sum);
+        appendf(out, "%s_count %" PRIu64 "\n", n.c_str(), h.count);
+    }
+    return out;
+}
+
+void
+writePrometheusText(std::FILE *out, const MetricsSnapshot &snap)
+{
+    const std::string text = prometheusText(snap);
+    std::fwrite(text.data(), 1, text.size(), out);
 }
 
 } // namespace ssla::obs

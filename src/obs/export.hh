@@ -88,6 +88,19 @@ class JsonlTraceSink : public TraceSink
 /** Plain-text metrics dump: counters, gauges, histogram percentiles. */
 void writeMetricsText(std::FILE *out, const MetricsSnapshot &snap);
 
+/**
+ * Prometheus text exposition (format 0.0.4) of a snapshot: counters as
+ * `<name>_total`, gauges verbatim, histograms as summaries (quantile
+ * series plus `_sum`/`_count`). Metric names are sanitized to the
+ * Prometheus charset (dots and dashes become underscores), so
+ * "serve.park_events" scrapes as serve_park_events_total. This is what
+ * the web server's /metrics route serves.
+ */
+void writePrometheusText(std::FILE *out, const MetricsSnapshot &snap);
+
+/** writePrometheusText into a string (for HTTP response bodies). */
+std::string prometheusText(const MetricsSnapshot &snap);
+
 } // namespace ssla::obs
 
 #endif // SSLA_OBS_EXPORT_HH

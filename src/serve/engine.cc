@@ -85,6 +85,24 @@ ServeStats::parkEvents() const
 }
 
 uint64_t
+ServeStats::parkEventsDecrypt() const
+{
+    uint64_t n = 0;
+    for (const auto &w : perWorker)
+        n += w.parkEventsDecrypt;
+    return n;
+}
+
+uint64_t
+ServeStats::parkEventsSign() const
+{
+    uint64_t n = 0;
+    for (const auto &w : perWorker)
+        n += w.parkEventsSign;
+    return n;
+}
+
+uint64_t
 ServeStats::failedHandshakes() const
 {
     uint64_t n = 0;
@@ -177,6 +195,8 @@ struct ServeEngine::Impl
         size_t bulkSent = 0;
         size_t bulkReceived = 0;
         bool parked = false;           ///< currently counted as parked
+        /** Why the session is parked (valid while parked). */
+        ssl::CryptoWait parkReason = ssl::CryptoWait::None;
         bool hsLatencyRecorded = false;///< handshake histogram done
         uint64_t startSweep = 0;       ///< sweep the conn opened on
         uint64_t lastProgressSweep = 0;///< sweep it last advanced on
@@ -498,14 +518,22 @@ struct ServeEngine::Impl
                         histHandshakeSweeps.record(sweep -
                                                    slot->startSweep + 1);
                     }
-                    if (slot->server->waitingOnCrypto()) {
+                    const ssl::CryptoWait wait =
+                        slot->server->cryptoWait();
+                    if (wait != ssl::CryptoWait::None) {
                         if (!slot->parked) {
                             slot->parked = true;
+                            slot->parkReason = wait;
                             ++stats.parkEvents;
+                            if (wait == ssl::CryptoWait::ServerKxSign)
+                                ++stats.parkEventsSign;
+                            else
+                                ++stats.parkEventsDecrypt;
                             if (slot->trace)
                                 slot->trace->record(
                                     obs::TraceEventKind::Park,
-                                    obs::traceSideEngine, "rsa");
+                                    obs::traceSideEngine,
+                                    ssl::cryptoWaitLabel(wait));
                         }
                         // Parked on the pool is not a stall; deadlines
                         // resume once the result lands.
@@ -517,7 +545,9 @@ struct ServeEngine::Impl
                         if (slot->trace)
                             slot->trace->record(
                                 obs::TraceEventKind::Resume,
-                                obs::traceSideEngine, "rsa");
+                                obs::traceSideEngine,
+                                ssl::cryptoWaitLabel(slot->parkReason));
+                        slot->parkReason = ssl::CryptoWait::None;
                     }
                     if (connFinished(*slot)) {
                         if (slot->server->resumed())
@@ -577,6 +607,8 @@ struct ServeEngine::Impl
         flush("serve.resumed_handshakes", stats.resumedHandshakes);
         flush("serve.bulk_bytes", stats.bulkBytesMoved);
         flush("serve.park_events", stats.parkEvents);
+        flush("serve.park_events_decrypt", stats.parkEventsDecrypt);
+        flush("serve.park_events_sign", stats.parkEventsSign);
         flush("serve.sweeps", stats.sweeps);
         flush("serve.failed_handshakes", stats.failedHandshakes);
         flush("serve.timed_out_sessions", stats.timedOutSessions);

@@ -154,8 +154,12 @@ struct WorkerStats
     uint64_t fullHandshakes = 0;
     uint64_t resumedHandshakes = 0;
     uint64_t bulkBytesMoved = 0;
-    /** Times a session parked on an in-flight RSA decrypt. */
+    /** Times a session parked on in-flight crypto (both reasons). */
     uint64_t parkEvents = 0;
+    /** Parks waiting on the pre-master RSA decrypt (RSA suites). */
+    uint64_t parkEventsDecrypt = 0;
+    /** Parks waiting on the ServerKeyExchange sign (DHE suites). */
+    uint64_t parkEventsSign = 0;
     /** Multiplexer sweeps over the shard. */
     uint64_t sweeps = 0;
     /** Sessions torn down by a fatal alert (either side failed). */
@@ -184,6 +188,8 @@ struct ServeStats
     uint64_t resumedHandshakes() const;
     uint64_t bulkBytesMoved() const;
     uint64_t parkEvents() const;
+    uint64_t parkEventsDecrypt() const;
+    uint64_t parkEventsSign() const;
     uint64_t failedHandshakes() const;
     uint64_t timedOutSessions() const;
     uint64_t evictedSessions() const;

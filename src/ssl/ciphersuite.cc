@@ -27,11 +27,11 @@ const CipherSuite suites[] = {
     {CipherSuiteId::RSA_AES_256_CBC_SHA, "AES256-SHA",
      CipherAlg::Aes256Cbc, DigestAlg::SHA1},
     {CipherSuiteId::DHE_RSA_3DES_EDE_CBC_SHA, "DHE-DES-CBC3-SHA",
-     CipherAlg::Des3Cbc, DigestAlg::SHA1, KeyExchange::DheRsa},
+     CipherAlg::Des3Cbc, DigestAlg::SHA1, KxKind::DheRsa},
     {CipherSuiteId::DHE_RSA_AES_128_CBC_SHA, "DHE-AES128-SHA",
-     CipherAlg::Aes128Cbc, DigestAlg::SHA1, KeyExchange::DheRsa},
+     CipherAlg::Aes128Cbc, DigestAlg::SHA1, KxKind::DheRsa},
     {CipherSuiteId::DHE_RSA_AES_256_CBC_SHA, "DHE-AES256-SHA",
-     CipherAlg::Aes256Cbc, DigestAlg::SHA1, KeyExchange::DheRsa},
+     CipherAlg::Aes256Cbc, DigestAlg::SHA1, KxKind::DheRsa},
 };
 
 } // anonymous namespace

@@ -16,12 +16,20 @@
 namespace ssla::ssl
 {
 
-/** How the pre-master secret is established. */
-enum class KeyExchange
+/**
+ * How the pre-master secret is established. Each kind maps through
+ * kxFactory() to a server/client pair of ssl::KeyExchange objects
+ * (see ssl/kx.hh); suites name only the first two — Resumption is the
+ * kx-free abbreviated handshake the endpoints select at runtime.
+ */
+enum class KxKind
 {
-    Rsa,    ///< client encrypts the pre-master to the server RSA key
-    DheRsa, ///< ephemeral Diffie-Hellman, params RSA-signed
+    Rsa,        ///< client encrypts the pre-master to the server RSA key
+    DheRsa,     ///< ephemeral Diffie-Hellman, params RSA-signed
+    Resumption, ///< abbreviated handshake, cached master secret
 };
+
+struct KxFactory;
 
 /** Standard cipher-suite code points. */
 enum class CipherSuiteId : uint16_t
@@ -45,7 +53,13 @@ struct CipherSuite
     const char *name;
     crypto::CipherAlg cipher;
     crypto::DigestAlg mac;
-    KeyExchange kx = KeyExchange::Rsa;
+    KxKind kx = KxKind::Rsa;
+
+    /**
+     * The key-exchange factory for this suite (defined in kx.cc).
+     * @throws std::invalid_argument if kx has no registered factory
+     */
+    const KxFactory &kxFactory() const;
 
     size_t macLen() const { return crypto::Digest::digestSize(mac); }
     size_t keyLen() const { return crypto::cipherInfo(cipher).keyLen; }

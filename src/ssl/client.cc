@@ -9,6 +9,8 @@
 namespace ssla::ssl
 {
 
+SslClient::~SslClient() = default;
+
 SslClient::SslClient(ClientConfig config, BioEndpoint bio)
     : SslEndpoint(bio, config.randomPool, config.provider),
       config_(std::move(config))
@@ -132,6 +134,9 @@ SslClient::stepGetServerHello()
     resuming_ = config_.resumeSession &&
                 config_.resumeSession->valid() &&
                 hello.sessionId == config_.resumeSession->id;
+    // Suite and resumption are now fixed — instantiate the
+    // key-exchange method.
+    kx_ = makeClientKx(*suite_, resuming_);
     if (resuming_) {
         if (config_.resumeSession->suiteId != hello.cipherSuite ||
             config_.resumeSession->version != version_) {
@@ -197,7 +202,7 @@ SslClient::stepGetServerCert()
         fail(AlertDescription::CertificateExpired,
              "certificate outside its validity window");
 
-    state_ = suite_->kx == KeyExchange::DheRsa
+    state_ = kx_->expectsServerKeyExchange()
                  ? State::GetServerKeyExchange
                  : State::GetServerDone;
     return true;
@@ -212,22 +217,12 @@ SslClient::stepGetServerKeyExchange()
     if (msg->type != HandshakeType::ServerKeyExchange)
         fail(AlertDescription::UnexpectedMessage,
              "expected ServerKeyExchange");
-    ServerKeyExchangeMsg skx = ServerKeyExchangeMsg::parse(msg->body);
-
-    // The ephemeral parameters are only trustworthy if the signature
-    // under the certificate key checks out.
-    if (!verifyServerKeyExchange(cert_.info().publicKey, clientRandom_,
-                                 serverRandom_, skx.signedParams(),
-                                 skx.signature)) {
-        fail(AlertDescription::HandshakeFailure,
-             "ServerKeyExchange signature check failed");
-    }
-    dhGroup_.p = bn::BigNum::fromBytesBE(skx.p);
-    dhGroup_.g = bn::BigNum::fromBytesBE(skx.g);
-    dhServerPublic_ = bn::BigNum::fromBytesBE(skx.publicValue);
-    if (dhGroup_.p.bitLength() < 512 || dhGroup_.g < bn::BigNum(2))
-        fail(AlertDescription::IllegalParameter,
-             "implausible DH group");
+    // The kx object verifies the signature under the certificate key
+    // and vets the ephemeral parameters; protocol failures surface as
+    // SslError and take the one-fatal-alert path through advance().
+    KxContext ctx{provider(), pool(), clientRandom_, serverRandom_};
+    kx_->processServerKeyExchange(ctx, cert_.info().publicKey,
+                                  msg->body);
 
     state_ = State::GetServerDone;
     return true;
@@ -268,37 +263,16 @@ SslClient::stepSendClientKeyExchange()
         sendHandshake(HandshakeType::Certificate, cm.encode());
     }
 
+    // The kx object builds the ClientKeyExchange body — DHE generates
+    // the ephemeral value and agrees on the secret, RSA encrypts a
+    // fresh 48-byte pre-master to the certificate key
+    // (rsa_public_encryption) — and hands back the pre-master.
     Bytes premaster;
-    if (suite_->kx == KeyExchange::DheRsa) {
-        // DHE: generate our ephemeral value and agree on the secret.
-        crypto::DhKeyPair mine = crypto::dhGenerateKey(dhGroup_, pool());
-        try {
-            premaster = crypto::dhComputeShared(dhGroup_,
-                                                dhServerPublic_,
-                                                mine.priv);
-        } catch (const std::exception &) {
-            fail(AlertDescription::IllegalParameter,
-                 "degenerate server DH value");
-        }
-        sendHandshake(
-            HandshakeType::ClientKeyExchange,
-            ClientKeyExchangeMsg::encodeDhe(mine.pub.toBytesBE()));
-    } else {
-        // 48-byte pre-master: the OFFERED client version, then 46
-        // random bytes (rollback protection, RFC 2246 7.4.7.1).
-        premaster.resize(48);
-        premaster[0] = static_cast<uint8_t>(config_.maxVersion >> 8);
-        premaster[1] = static_cast<uint8_t>(config_.maxVersion);
-        pool().generate(premaster.data() + 2, 46);
-
-        ClientKeyExchangeMsg ckx;
-        {
-            perf::FuncProbe probe("rsa_public_encryption");
-            ckx.encryptedPreMaster = crypto::rsaPublicEncrypt(
-                cert_.info().publicKey, premaster, pool());
-        }
-        sendHandshake(HandshakeType::ClientKeyExchange, ckx.encode());
-    }
+    KxContext ctx{provider(), pool(), clientRandom_, serverRandom_};
+    sendHandshake(HandshakeType::ClientKeyExchange,
+                  kx_->makeClientKeyExchange(ctx, cert_.info().publicKey,
+                                             config_.maxVersion,
+                                             premaster));
 
     master_ = deriveMasterSecret(version_, premaster, clientRandom_,
                                  serverRandom_);

@@ -11,15 +11,17 @@
 #ifndef SSLA_SSL_CLIENT_HH
 #define SSLA_SSL_CLIENT_HH
 
+#include <memory>
 #include <optional>
 #include <string>
 
-#include "crypto/dh.hh"
 #include "pki/cert.hh"
 #include "ssl/endpoint.hh"
 
 namespace ssla::ssl
 {
+
+class ClientKx;
 
 /** Client-side configuration. */
 struct ClientConfig
@@ -61,6 +63,7 @@ class SslClient : public SslEndpoint
 {
   public:
     SslClient(ClientConfig config, BioEndpoint bio);
+    ~SslClient() override;
 
     /** The server certificate received during the handshake. */
     const pki::Certificate &serverCertificate() const { return cert_; }
@@ -104,8 +107,9 @@ class SslClient : public SslEndpoint
     State state_ = State::SendClientHello;
     pki::Certificate cert_;
     bool resuming_ = false;
-    crypto::DhParams dhGroup_;      ///< server-announced DHE group
-    bn::BigNum dhServerPublic_;     ///< server's ephemeral value
+    /** The negotiated suite's key-exchange object (see ssl/kx.hh),
+     *  created once the ServerHello fixes suite and resumption. */
+    std::unique_ptr<ClientKx> kx_;
     bool certificateRequested_ = false;
 };
 

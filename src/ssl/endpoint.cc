@@ -7,6 +7,20 @@
 namespace ssla::ssl
 {
 
+const char *
+cryptoWaitLabel(CryptoWait wait)
+{
+    switch (wait) {
+    case CryptoWait::PreMasterDecrypt:
+        return "rsa_decrypt";
+    case CryptoWait::ServerKxSign:
+        return "rsa_sign";
+    case CryptoWait::None:
+        break;
+    }
+    return "none";
+}
+
 SslEndpoint::SslEndpoint(BioEndpoint bio, crypto::RandomPool *pool,
                          crypto::Provider *provider)
     : record_(bio, provider),

@@ -52,6 +52,22 @@ struct EndpointObsBinding
     uint8_t side = obs::traceSideServer;
 };
 
+/**
+ * Why an endpoint is parked on asynchronous crypto. The server parks
+ * in two places: waiting for the offloaded pre-master RSA decryption
+ * (RSA key transport) and waiting for the offloaded ServerKeyExchange
+ * RSA signature (DHE suites).
+ */
+enum class CryptoWait : uint8_t
+{
+    None,             ///< not parked
+    PreMasterDecrypt, ///< AwaitPreMaster: rsa_decrypt job in flight
+    ServerKxSign,     ///< AwaitKxSign: rsa_sign job in flight
+};
+
+/** Trace/metric label for a park reason ("rsa_decrypt", "rsa_sign"). */
+const char *cryptoWaitLabel(CryptoWait wait);
+
 /** Common base of SslClient and SslServer. */
 class SslEndpoint
 {
@@ -105,13 +121,19 @@ class SslEndpoint
     bool resumed() const { return resumed_; }
 
     /**
-     * True while the state machine is parked on an asynchronous crypto
-     * operation (e.g. the server's offloaded pre-master RSA decrypt).
-     * A parked endpoint makes no progress from advance() until the
-     * operation lands, but is not waiting on peer input — a serving
-     * worker should revisit it rather than treat it as stalled.
+     * Why the state machine is parked on an asynchronous crypto
+     * operation (CryptoWait::None when it isn't). A parked endpoint
+     * makes no progress from advance() until the operation lands, but
+     * is not waiting on peer input — a serving worker should revisit
+     * it rather than treat it as stalled.
      */
-    virtual bool waitingOnCrypto() const { return false; }
+    virtual CryptoWait cryptoWait() const { return CryptoWait::None; }
+
+    /** True while parked on asynchronous crypto (either reason). */
+    bool waitingOnCrypto() const
+    {
+        return cryptoWait() != CryptoWait::None;
+    }
 
     /** Negotiated protocol version (ssl3Version or tls1Version). */
     uint16_t negotiatedVersion() const { return version_; }

@@ -1,8 +1,14 @@
 #include "ssl/kx.hh"
 
+#include <stdexcept>
+#include <utility>
+
+#include "crypto/dh.hh"
 #include "crypto/md5.hh"
 #include "crypto/sha1.hh"
 #include "perf/probe.hh"
+#include "ssl/alert.hh"
+#include "ssl/messages.hh"
 #include "util/bytes.hh"
 
 namespace ssla::ssl
@@ -26,26 +32,323 @@ serverKxDigest(const Bytes &client_random, const Bytes &server_random,
     return digest;
 }
 
-Bytes
-signServerKeyExchange(crypto::Provider &provider,
-                      const crypto::RsaPrivateKey &key,
-                      const Bytes &client_random,
-                      const Bytes &server_random, const Bytes &params)
+KeyExchange::~KeyExchange() { job_.cancel(); }
+
+KxStatus
+ServerKx::startServerKeyExchange(KxContext &, const crypto::RsaPrivateKey &)
 {
-    // The provider's sign op self-probes as rsa_private_encryption.
-    return provider.rsaSign(
-        key, serverKxDigest(client_random, server_random, params));
+    throw std::logic_error("this key exchange sends no ServerKeyExchange");
 }
 
-bool
-verifyServerKeyExchange(const crypto::RsaPublicKey &key,
-                        const Bytes &client_random,
-                        const Bytes &server_random, const Bytes &params,
-                        const Bytes &signature)
+Bytes
+ServerKx::finishServerKeyExchange()
 {
-    return crypto::rsaVerify(
-        key, serverKxDigest(client_random, server_random, params),
-        signature);
+    throw std::logic_error("this key exchange sends no ServerKeyExchange");
+}
+
+void
+ClientKx::processServerKeyExchange(KxContext &,
+                                   const crypto::RsaPublicKey &,
+                                   const Bytes &)
+{
+    throw std::logic_error("this key exchange expects no ServerKeyExchange");
+}
+
+namespace
+{
+
+/**
+ * RSA key transport: the certificate key carries the key exchange.
+ * The only asymmetric operation is the server-side pre-master
+ * decryption, which goes through the provider as an async job.
+ */
+class RsaServerKx final : public ServerKx
+{
+  public:
+    const char *name() const override { return "rsa"; }
+    KxKind kind() const override { return KxKind::Rsa; }
+    bool premasterCarriesVersion() const override { return true; }
+
+    KxStatus
+    processClientKeyExchange(KxContext &ctx,
+                             const crypto::RsaPrivateKey &key,
+                             const Bytes &body) override
+    {
+        // (rsa_private_decryption) Submit through the provider. A
+        // synchronous provider resolves before returning, so the
+        // parked state falls straight through in the same advance()
+        // loop; a pool-backed provider leaves the job in flight.
+        ClientKeyExchangeMsg ckx = ClientKeyExchangeMsg::parse(body);
+        jobLabel_ = "rsa_decrypt";
+        job_ = ctx.provider.submitRsaDecrypt(
+            key, std::move(ckx.encryptedPreMaster));
+        return KxStatus::Parked;
+    }
+
+    Bytes
+    finishClientKeyExchange() override
+    {
+        try {
+            Bytes premaster = job_.wait();
+            job_.reset();
+            return premaster;
+        } catch (...) {
+            // Drop the failed job so fatal teardown doesn't re-cancel.
+            job_.reset();
+            throw;
+        }
+    }
+};
+
+class RsaClientKx final : public ClientKx
+{
+  public:
+    const char *name() const override { return "rsa"; }
+    KxKind kind() const override { return KxKind::Rsa; }
+
+    Bytes
+    makeClientKeyExchange(KxContext &ctx,
+                          const crypto::RsaPublicKey &server_key,
+                          uint16_t offered_version,
+                          Bytes &premaster_out) override
+    {
+        // 48-byte pre-master: the OFFERED client version, then 46
+        // random bytes (rollback protection, RFC 2246 7.4.7.1).
+        premaster_out.resize(48);
+        premaster_out[0] = static_cast<uint8_t>(offered_version >> 8);
+        premaster_out[1] = static_cast<uint8_t>(offered_version);
+        ctx.pool.generate(premaster_out.data() + 2, 46);
+
+        ClientKeyExchangeMsg ckx;
+        {
+            perf::FuncProbe probe("rsa_public_encryption");
+            ckx.encryptedPreMaster = crypto::rsaPublicEncrypt(
+                server_key, premaster_out, ctx.pool);
+        }
+        return ckx.encode();
+    }
+};
+
+/**
+ * Ephemeral Diffie-Hellman signed with RSA. The server pays a modexp
+ * pair *plus* an RSA signature; the signature is the async job so a
+ * pool can absorb it exactly like the RSA-transport decryption.
+ */
+class DheRsaServerKx final : public ServerKx
+{
+  public:
+    const char *name() const override { return "dhe_rsa"; }
+    KxKind kind() const override { return KxKind::DheRsa; }
+    bool sendsServerKeyExchange() const override { return true; }
+
+    KxStatus
+    startServerKeyExchange(KxContext &ctx,
+                           const crypto::RsaPrivateKey &key) override
+    {
+        const crypto::DhParams &group = crypto::oakleyGroup2();
+        key_ = crypto::dhGenerateKey(group, ctx.pool);
+
+        msg_.p = group.p.toBytesBE();
+        msg_.g = group.g.toBytesBE();
+        msg_.publicValue = key_.pub.toBytesBE();
+        // The provider's sign op self-probes as rsa_private_encryption.
+        jobLabel_ = "rsa_sign";
+        job_ = ctx.provider.submitRsaSign(
+            key, serverKxDigest(ctx.clientRandom, ctx.serverRandom,
+                                msg_.signedParams()));
+        return KxStatus::Parked;
+    }
+
+    Bytes
+    finishServerKeyExchange() override
+    {
+        try {
+            msg_.signature = job_.wait();
+            job_.reset();
+        } catch (...) {
+            job_.reset();
+            throw;
+        }
+        return msg_.encode();
+    }
+
+    KxStatus
+    processClientKeyExchange(KxContext &, const crypto::RsaPrivateKey &,
+                             const Bytes &body) override
+    {
+        // DHE: the body is the client's public value; the shared
+        // secret is the pre-master (dh_compute_key).
+        try {
+            Bytes yc = ClientKeyExchangeMsg::parseDhe(body);
+            premaster_ = crypto::dhComputeShared(
+                crypto::oakleyGroup2(), bn::BigNum::fromBytesBE(yc),
+                key_.priv);
+        } catch (const SslError &) {
+            throw;
+        } catch (const std::exception &) {
+            throw SslError(AlertDescription::HandshakeFailure,
+                           "DH key agreement failed");
+        }
+        return KxStatus::Done;
+    }
+
+    Bytes
+    finishClientKeyExchange() override
+    {
+        return std::move(premaster_);
+    }
+
+  private:
+    crypto::DhKeyPair key_;
+    ServerKeyExchangeMsg msg_;
+    Bytes premaster_;
+};
+
+class DheRsaClientKx final : public ClientKx
+{
+  public:
+    const char *name() const override { return "dhe_rsa"; }
+    KxKind kind() const override { return KxKind::DheRsa; }
+    bool expectsServerKeyExchange() const override { return true; }
+
+    void
+    processServerKeyExchange(KxContext &ctx,
+                             const crypto::RsaPublicKey &server_key,
+                             const Bytes &body) override
+    {
+        ServerKeyExchangeMsg skx = ServerKeyExchangeMsg::parse(body);
+
+        // The ephemeral parameters are only trustworthy if the
+        // signature under the certificate key checks out.
+        if (!crypto::rsaVerify(
+                server_key,
+                serverKxDigest(ctx.clientRandom, ctx.serverRandom,
+                               skx.signedParams()),
+                skx.signature)) {
+            throw SslError(AlertDescription::HandshakeFailure,
+                           "ServerKeyExchange signature check failed");
+        }
+        group_.p = bn::BigNum::fromBytesBE(skx.p);
+        group_.g = bn::BigNum::fromBytesBE(skx.g);
+        serverPublic_ = bn::BigNum::fromBytesBE(skx.publicValue);
+        if (group_.p.bitLength() < 512 || group_.g < bn::BigNum(2))
+            throw SslError(AlertDescription::IllegalParameter,
+                           "implausible DH group");
+    }
+
+    Bytes
+    makeClientKeyExchange(KxContext &ctx, const crypto::RsaPublicKey &,
+                          uint16_t, Bytes &premaster_out) override
+    {
+        // DHE: generate our ephemeral value and agree on the secret.
+        crypto::DhKeyPair mine = crypto::dhGenerateKey(group_, ctx.pool);
+        try {
+            premaster_out = crypto::dhComputeShared(group_, serverPublic_,
+                                                    mine.priv);
+        } catch (const std::exception &) {
+            throw SslError(AlertDescription::IllegalParameter,
+                           "degenerate server DH value");
+        }
+        return ClientKeyExchangeMsg::encodeDhe(mine.pub.toBytesBE());
+    }
+
+  private:
+    crypto::DhParams group_;
+    bn::BigNum serverPublic_;
+};
+
+/**
+ * Session resumption: the abbreviated handshake reuses the cached
+ * master secret, so no key-exchange messages flow at all. The methods
+ * that would exchange keys are defensive errors — the state machines
+ * never reach them on the resume path.
+ */
+class ResumptionServerKx final : public ServerKx
+{
+  public:
+    const char *name() const override { return "resume"; }
+    KxKind kind() const override { return KxKind::Resumption; }
+
+    KxStatus
+    processClientKeyExchange(KxContext &, const crypto::RsaPrivateKey &,
+                             const Bytes &) override
+    {
+        throw std::logic_error("resumption exchanges no keys");
+    }
+
+    Bytes
+    finishClientKeyExchange() override
+    {
+        throw std::logic_error("resumption exchanges no keys");
+    }
+};
+
+class ResumptionClientKx final : public ClientKx
+{
+  public:
+    const char *name() const override { return "resume"; }
+    KxKind kind() const override { return KxKind::Resumption; }
+
+    Bytes
+    makeClientKeyExchange(KxContext &, const crypto::RsaPublicKey &,
+                          uint16_t, Bytes &) override
+    {
+        throw std::logic_error("resumption exchanges no keys");
+    }
+};
+
+template <typename T>
+std::unique_ptr<ServerKx>
+makeServer()
+{
+    return std::make_unique<T>();
+}
+
+template <typename T>
+std::unique_ptr<ClientKx>
+makeClient()
+{
+    return std::make_unique<T>();
+}
+
+const KxFactory kxFactories[] = {
+    {KxKind::Rsa, "rsa", makeServer<RsaServerKx>,
+     makeClient<RsaClientKx>},
+    {KxKind::DheRsa, "dhe_rsa", makeServer<DheRsaServerKx>,
+     makeClient<DheRsaClientKx>},
+    {KxKind::Resumption, "resume", makeServer<ResumptionServerKx>,
+     makeClient<ResumptionClientKx>},
+};
+
+} // namespace
+
+const KxFactory &
+kxFactory(KxKind kind)
+{
+    for (const KxFactory &f : kxFactories)
+        if (f.kind == kind)
+            return f;
+    throw std::invalid_argument("kxFactory: unknown key-exchange kind");
+}
+
+std::unique_ptr<ServerKx>
+makeServerKx(const CipherSuite &suite, bool resuming)
+{
+    return (resuming ? kxFactory(KxKind::Resumption) : suite.kxFactory())
+        .makeServer();
+}
+
+std::unique_ptr<ClientKx>
+makeClientKx(const CipherSuite &suite, bool resuming)
+{
+    return (resuming ? kxFactory(KxKind::Resumption) : suite.kxFactory())
+        .makeClient();
+}
+
+const KxFactory &
+CipherSuite::kxFactory() const
+{
+    return ssl::kxFactory(kx);
 }
 
 } // namespace ssla::ssl

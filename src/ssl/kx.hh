@@ -1,16 +1,43 @@
 /**
  * @file
- * Key-exchange helpers for the DHE_RSA suites: the RSA signature over
- * the ephemeral parameters (SSLv3/TLS1.0 style — MD5 || SHA1 of
- * client_random || server_random || params, PKCS#1 type 1, no
- * DigestInfo).
+ * The pluggable key-exchange layer.
+ *
+ * The paper's central finding is that handshake cost is dominated by
+ * the key-exchange crypto (Tables 2/3: RSA is 92–95% of a full
+ * handshake), yet which crypto runs is a per-suite decision. This
+ * module puts that decision behind an interface: each cipher suite's
+ * KxKind maps through a factory to a server-role and a client-role
+ * KeyExchange object, and the handshake state machines drive whichever
+ * pair the negotiated suite names. Resumption — the kx-free
+ * abbreviated handshake — is a first-class (null) implementation, so a
+ * cost matrix over {RSA, DHE_RSA, resumption} falls out of one seam.
+ *
+ * The server-role API is asynchronous: operations that involve the
+ * server's RSA private key (the DHE ServerKeyExchange signature, the
+ * RSA pre-master decryption) are submitted through the endpoint's
+ * crypto provider and reported as KxStatus::Parked while in flight.
+ * A pool-backed provider (serve::PooledProvider) completes them on a
+ * crypto thread while the serving worker multiplexes its other
+ * sessions; a synchronous provider resolves at submit time so the
+ * parked state is never observed and the wire transcript is identical.
+ *
+ * Failure contract: KeyExchange methods throw SslError for protocol
+ * failures (bad signature, implausible group); the endpoint's advance()
+ * funnel turns an escaped SslError into exactly one fatal alert, the
+ * same as a fail() call. Job completion errors (decrypt/sign failures,
+ * pool overload) surface from the finish*() calls and are mapped to
+ * alerts by the server state machine.
  */
 
 #ifndef SSLA_SSL_KX_HH
 #define SSLA_SSL_KX_HH
 
+#include <memory>
+
 #include "crypto/provider.hh"
+#include "crypto/rand.hh"
 #include "crypto/rsa.hh"
+#include "ssl/ciphersuite.hh"
 #include "util/types.hh"
 
 namespace ssla::ssl
@@ -20,22 +47,190 @@ namespace ssla::ssl
 Bytes serverKxDigest(const Bytes &client_random,
                      const Bytes &server_random, const Bytes &params);
 
-/**
- * Sign ephemeral parameters with the server's RSA key, dispatched
- * through @p provider (probed as rsa_private_encryption — the signing
- * counterpart of Table 2's rsa_private_decryption).
- */
-Bytes signServerKeyExchange(crypto::Provider &provider,
-                            const crypto::RsaPrivateKey &key,
-                            const Bytes &client_random,
-                            const Bytes &server_random,
-                            const Bytes &params);
+/** Outcome of an async-capable key-exchange operation. */
+enum class KxStatus
+{
+    Done,   ///< result available; call the matching finish*()
+    Parked, ///< crypto job in flight; poll jobPending(), then finish*()
+};
 
-/** Verify a ServerKeyExchange signature against the certificate key. */
-bool verifyServerKeyExchange(const crypto::RsaPublicKey &key,
-                             const Bytes &client_random,
-                             const Bytes &server_random,
-                             const Bytes &params, const Bytes &signature);
+/** What the surrounding handshake lends a KeyExchange implementation. */
+struct KxContext
+{
+    crypto::Provider &provider; ///< crypto engine (async submits)
+    crypto::RandomPool &pool;   ///< randomness source
+    const Bytes &clientRandom;  ///< 32-byte hello random
+    const Bytes &serverRandom;  ///< 32-byte hello random
+};
+
+/**
+ * Common base of the per-suite key-exchange objects: identity plus the
+ * in-flight crypto job that realizes the parking protocol. One
+ * KeyExchange instance serves one handshake — it accumulates ephemeral
+ * state (DH keys, a pre-master in transit) and is discarded with the
+ * connection. Destruction cancels any in-flight job so a pool never
+ * runs work against freed session state.
+ */
+class KeyExchange
+{
+  public:
+    virtual ~KeyExchange();
+
+    KeyExchange(const KeyExchange &) = delete;
+    KeyExchange &operator=(const KeyExchange &) = delete;
+
+    /** Static label ("rsa", "dhe_rsa", "resume"). */
+    virtual const char *name() const = 0;
+
+    virtual KxKind kind() const = 0;
+
+    /** True while a submitted crypto job exists (resolved or not). */
+    bool jobValid() const { return job_.valid(); }
+
+    /** The parking predicate: a job is in flight and not yet done. */
+    bool jobPending() const { return job_.valid() && !job_.ready(); }
+
+    /**
+     * Trace label of the current/last crypto job ("rsa_decrypt",
+     * "rsa_sign"); null when this kx never submitted one.
+     */
+    const char *jobLabel() const { return jobLabel_; }
+
+    /** Cancel and drop the in-flight job (fatal teardown path). */
+    void
+    cancelJob()
+    {
+        job_.cancel();
+        job_.reset();
+    }
+
+  protected:
+    KeyExchange() = default;
+
+    crypto::RsaJob job_;
+    const char *jobLabel_ = nullptr;
+};
+
+/**
+ * Server role. Call sequence on the full handshake path:
+ *
+ *   if (sendsServerKeyExchange()):
+ *     startServerKeyExchange()     -> Parked (signature submitted)
+ *     ... poll jobPending() ...
+ *     finishServerKeyExchange()    -> encoded ServerKeyExchange body
+ *   processClientKeyExchange()     -> Done | Parked (decrypt submitted)
+ *   ... poll jobPending() when Parked ...
+ *   finishClientKeyExchange()      -> pre-master secret
+ */
+class ServerKx : public KeyExchange
+{
+  public:
+    /** True when this suite sends a ServerKeyExchange message. */
+    virtual bool sendsServerKeyExchange() const { return false; }
+
+    /**
+     * Generate the ephemeral parameters and submit the RSA signature
+     * over them through ctx.provider (probed as
+     * rsa_private_encryption). Always returns Parked: the caller polls
+     * jobPending() — with a synchronous provider the job is already
+     * resolved and the poll falls straight through.
+     * @throws std::logic_error when !sendsServerKeyExchange()
+     */
+    virtual KxStatus startServerKeyExchange(KxContext &ctx,
+                                            const crypto::RsaPrivateKey &key);
+
+    /**
+     * Complete the signature and return the encoded ServerKeyExchange
+     * body. Rethrows the job's error (e.g. ProviderOverloadError from
+     * a saturated pool) — the server maps it to an alert.
+     */
+    virtual Bytes finishServerKeyExchange();
+
+    /**
+     * Consume the ClientKeyExchange body. Done: the pre-master is
+     * available from finishClientKeyExchange() immediately. Parked: an
+     * RSA decrypt was submitted; poll jobPending().
+     * @throws SslError on malformed bodies / failed agreement
+     */
+    virtual KxStatus
+    processClientKeyExchange(KxContext &ctx,
+                             const crypto::RsaPrivateKey &key,
+                             const Bytes &body) = 0;
+
+    /**
+     * Return the pre-master secret. Rethrows the decrypt job's error
+     * on the RSA path (ProviderOverloadError, bad-PKCS#1 failures).
+     */
+    virtual Bytes finishClientKeyExchange() = 0;
+
+    /**
+     * True when the pre-master embeds the client's offered protocol
+     * version (RSA key transport; the rollback defence the server
+     * must enforce).
+     */
+    virtual bool premasterCarriesVersion() const { return false; }
+};
+
+/**
+ * Client role: verify/consume the server's key-exchange flight and
+ * produce the ClientKeyExchange body plus the pre-master secret.
+ */
+class ClientKx : public KeyExchange
+{
+  public:
+    /** True when this suite requires a ServerKeyExchange message. */
+    virtual bool expectsServerKeyExchange() const { return false; }
+
+    /**
+     * Verify and absorb the ServerKeyExchange body against the
+     * certificate key.
+     * @throws SslError (handshake_failure on a bad signature,
+     *         illegal_parameter on an implausible group)
+     * @throws std::logic_error when !expectsServerKeyExchange()
+     */
+    virtual void
+    processServerKeyExchange(KxContext &ctx,
+                             const crypto::RsaPublicKey &server_key,
+                             const Bytes &body);
+
+    /**
+     * Produce the ClientKeyExchange body and write the pre-master
+     * secret to @p premaster_out (the caller derives the master secret
+     * and wipes it). @p offered_version is the version from our
+     * ClientHello — the RSA pre-master embeds it (RFC 2246 7.4.7.1).
+     */
+    virtual Bytes
+    makeClientKeyExchange(KxContext &ctx,
+                          const crypto::RsaPublicKey &server_key,
+                          uint16_t offered_version,
+                          Bytes &premaster_out) = 0;
+};
+
+/**
+ * One row of the suite→KX registry: constructors for both roles of a
+ * key-exchange method.
+ */
+struct KxFactory
+{
+    KxKind kind;
+    const char *name;
+    std::unique_ptr<ServerKx> (*makeServer)();
+    std::unique_ptr<ClientKx> (*makeClient)();
+};
+
+/**
+ * Look up the factory for a key-exchange kind.
+ * @throws std::invalid_argument for kinds with no registered factory
+ */
+const KxFactory &kxFactory(KxKind kind);
+
+/** Server-role kx for @p suite (resumption when @p resuming). */
+std::unique_ptr<ServerKx> makeServerKx(const CipherSuite &suite,
+                                       bool resuming = false);
+
+/** Client-role kx for @p suite (resumption when @p resuming). */
+std::unique_ptr<ClientKx> makeClientKx(const CipherSuite &suite,
+                                       bool resuming = false);
 
 } // namespace ssla::ssl
 

@@ -28,16 +28,19 @@ SslServer::SslServer(ServerConfig config, BioEndpoint bio)
 
 SslServer::~SslServer()
 {
-    kxJob_.cancel();
+    if (kx_)
+        kx_->cancelJob();
 }
 
 void
 SslServer::onFatal()
 {
-    if (kxJob_.valid())
-        traceEvent(obs::TraceEventKind::CryptoCancel, "rsa_decrypt");
-    kxJob_.cancel();
-    kxJob_.reset();
+    if (kx_) {
+        if (kx_->jobValid())
+            traceEvent(obs::TraceEventKind::CryptoCancel,
+                       kx_->jobLabel());
+        kx_->cancelJob();
+    }
     if (config_.sessionCache && !session_.id.empty())
         config_.sessionCache->remove(session_.id);
 }
@@ -53,6 +56,7 @@ serverStateName(int state)
         "SendServerHello",
         "SendServerCert",
         "SendServerKeyExchange",
+        "AwaitKxSign",
         "SendCertificateRequest",
         "SendServerDone",
         "GetClientCertificate",
@@ -98,6 +102,8 @@ SslServer::dispatch()
         return stepSendServerCert();
       case State::SendServerKeyExchange:
         return stepSendServerKeyExchange();
+      case State::AwaitKxSign:
+        return stepAwaitKxSign();
       case State::SendCertificateRequest:
         return stepSendCertificateRequest();
       case State::SendServerDone:
@@ -199,6 +205,10 @@ SslServer::stepGetClientHello()
         session_.version = version_;
     }
 
+    // The ClientHello fixed the suite and the resumption decision, so
+    // the key-exchange method is now known — instantiate it.
+    kx_ = makeServerKx(*suite_, resuming_);
+
     state_ = State::SendServerHello;
     return true;
 }
@@ -235,7 +245,7 @@ SslServer::stepSendServerCert()
     // ServerKeyExchange and CertificateRequest are skipped — exactly
     // the "skip server_kx / skip cert_req" rows of Table 2. The DHE
     // suites take the extra step.
-    state_ = suite_->kx == KeyExchange::DheRsa
+    state_ = kx_->sendsServerKeyExchange()
                  ? State::SendServerKeyExchange
                  : (config_.requestClientCertificate
                         ? State::SendCertificateRequest
@@ -247,17 +257,40 @@ bool
 SslServer::stepSendServerKeyExchange()
 {
     perf::FuncProbe probe("step3b_send_server_kx");
-    const crypto::DhParams &group = crypto::oakleyGroup2();
-    dhKey_ = crypto::dhGenerateKey(group, pool());
+    // Generate the ephemeral parameters and submit the RSA signature
+    // through the provider. As with the pre-master decrypt, a
+    // synchronous provider resolves before returning and AwaitKxSign
+    // falls straight through; a pool-backed provider parks this
+    // connection while a crypto thread signs.
+    KxContext ctx{provider(), pool(), clientRandom_, serverRandom_};
+    kx_->startServerKeyExchange(ctx, *config_.privateKey);
+    traceEvent(obs::TraceEventKind::CryptoSubmit, kx_->jobLabel());
+    state_ = State::AwaitKxSign;
+    return true;
+}
 
-    ServerKeyExchangeMsg msg;
-    msg.p = group.p.toBytesBE();
-    msg.g = group.g.toBytesBE();
-    msg.publicValue = dhKey_.pub.toBytesBE();
-    msg.signature = signServerKeyExchange(
-        provider(), *config_.privateKey, clientRandom_, serverRandom_,
-        msg.signedParams());
-    sendHandshake(HandshakeType::ServerKeyExchange, msg.encode());
+bool
+SslServer::stepAwaitKxSign()
+{
+    // Still attributed to the paper's step 3b: the poll and the
+    // message send are part of send_server_kx whichever thread signs.
+    perf::FuncProbe probe("step3b_send_server_kx");
+    if (kx_->jobPending())
+        return false; // parked; cryptoWait() reports why
+    Bytes body;
+    try {
+        body = kx_->finishServerKeyExchange();
+    } catch (const crypto::ProviderOverloadError &) {
+        // A saturated crypto pool rejected the sign: our overload,
+        // not the peer's fault — internal_error.
+        fail(AlertDescription::InternalError,
+             "crypto engine saturated, handshake rejected");
+    } catch (const std::exception &) {
+        fail(AlertDescription::InternalError,
+             "ServerKeyExchange signing failed");
+    }
+    traceEvent(obs::TraceEventKind::CryptoComplete, kx_->jobLabel());
+    sendHandshake(HandshakeType::ServerKeyExchange, body);
     state_ = config_.requestClientCertificate
                  ? State::SendCertificateRequest
                  : State::SendServerDone;
@@ -335,38 +368,23 @@ SslServer::stepGetClientKeyExchange()
     if (msg->type != HandshakeType::ClientKeyExchange)
         fail(AlertDescription::UnexpectedMessage,
              "expected ClientKeyExchange");
-    if (suite_->kx == KeyExchange::DheRsa) {
-        // DHE: the body is the client's public value; the shared
-        // secret is the pre-master (dh_compute_key).
-        Bytes premaster;
-        try {
-            Bytes yc = ClientKeyExchangeMsg::parseDhe(msg->body);
-            premaster = crypto::dhComputeShared(
-                crypto::oakleyGroup2(), bn::BigNum::fromBytesBE(yc),
-                dhKey_.priv);
-        } catch (const SslError &) {
-            throw;
-        } catch (const std::exception &) {
-            fail(AlertDescription::HandshakeFailure,
-                 "DH key agreement failed");
-        }
-        return finishKeyExchange(std::move(premaster),
-                                 /*check_version=*/false);
+    // Hand the body to the key-exchange object. DHE computes the
+    // shared secret inline (dh_compute_key) and reports Done; RSA
+    // submits the pre-master decrypt (rsa_private_decryption) through
+    // the provider and reports Parked. A synchronous provider resolves
+    // before returning, so the AwaitPreMaster state falls straight
+    // through in the same advance() loop; a pool-backed provider
+    // leaves this connection parked — the ~10M-cycle decrypt runs on
+    // a crypto thread while the worker multiplexes its other sessions
+    // (Section 6.2's "other useful work", applied across connections).
+    KxContext ctx{provider(), pool(), clientRandom_, serverRandom_};
+    if (kx_->processClientKeyExchange(ctx, *config_.privateKey,
+                                      msg->body) == KxStatus::Parked) {
+        traceEvent(obs::TraceEventKind::CryptoSubmit, kx_->jobLabel());
+        state_ = State::AwaitPreMaster;
+        return true;
     }
-
-    // RSA path (rsa_private_decryption): submit the decrypt through
-    // the provider. A synchronous provider resolves before returning,
-    // so the AwaitPreMaster state falls straight through in the same
-    // advance() loop; a pool-backed provider leaves this connection
-    // parked — the ~10M-cycle decrypt runs on a crypto thread while
-    // the worker multiplexes its other sessions (Section 6.2's "other
-    // useful work", applied across connections).
-    auto ckx = ClientKeyExchangeMsg::parse(msg->body);
-    kxJob_ = provider().submitRsaDecrypt(
-        *config_.privateKey, std::move(ckx.encryptedPreMaster));
-    traceEvent(obs::TraceEventKind::CryptoSubmit, "rsa_decrypt");
-    state_ = State::AwaitPreMaster;
-    return true;
+    return finishKeyExchange(kx_->finishClientKeyExchange());
 }
 
 bool
@@ -375,35 +393,31 @@ SslServer::stepAwaitPreMaster()
     // Still attributed to the paper's step 5: the poll and the master
     // derivation are part of get_client_kx whichever thread decrypts.
     perf::FuncProbe probe("step5_get_client_kx");
-    if (!kxJob_.ready())
-        return false; // parked; waitingOnCrypto() reports why
+    if (kx_->jobPending())
+        return false; // parked; cryptoWait() reports why
     Bytes premaster;
     try {
-        premaster = kxJob_.wait();
+        premaster = kx_->finishClientKeyExchange();
     } catch (const crypto::ProviderOverloadError &) {
         // A saturated crypto pool rejected the decrypt: our overload,
         // not the peer's fault — internal_error, never
         // handshake_failure (which would blame the client).
-        kxJob_.reset();
         fail(AlertDescription::InternalError,
              "crypto engine saturated, handshake rejected");
     } catch (const std::exception &) {
-        kxJob_.reset();
         fail(AlertDescription::HandshakeFailure,
              "pre-master decryption failed");
     }
-    kxJob_.reset();
-    traceEvent(obs::TraceEventKind::CryptoComplete, "rsa_decrypt");
-    return finishKeyExchange(std::move(premaster),
-                             /*check_version=*/true);
+    traceEvent(obs::TraceEventKind::CryptoComplete, kx_->jobLabel());
+    return finishKeyExchange(std::move(premaster));
 }
 
 bool
-SslServer::finishKeyExchange(Bytes premaster, bool check_version)
+SslServer::finishKeyExchange(Bytes premaster)
 {
     // The embedded version must echo what the client OFFERED
     // (the classic version-rollback defence). RSA path only.
-    if (check_version) {
+    if (kx_->premasterCarriesVersion()) {
         if (premaster.size() != 48 ||
             premaster[0] !=
                 static_cast<uint8_t>(clientOfferedVersion_ >> 8) ||
@@ -425,11 +439,16 @@ SslServer::finishKeyExchange(Bytes premaster, bool check_version)
     return true;
 }
 
-bool
-SslServer::waitingOnCrypto() const
+CryptoWait
+SslServer::cryptoWait() const
 {
-    return state_ == State::AwaitPreMaster && kxJob_.valid() &&
-           !kxJob_.ready();
+    if (!kx_ || !kx_->jobPending())
+        return CryptoWait::None;
+    if (state_ == State::AwaitPreMaster)
+        return CryptoWait::PreMasterDecrypt;
+    if (state_ == State::AwaitKxSign)
+        return CryptoWait::ServerKxSign;
+    return CryptoWait::None;
 }
 
 bool

@@ -12,13 +12,14 @@
 
 #include <memory>
 
-#include "crypto/dh.hh"
 #include "crypto/provider.hh"
 #include "pki/cert.hh"
 #include "ssl/endpoint.hh"
 
 namespace ssla::ssl
 {
+
+class ServerKx;
 
 /** Server-side configuration. */
 struct ServerConfig
@@ -74,13 +75,14 @@ class SslServer : public SslEndpoint
     ~SslServer() override;
 
     /**
-     * True while parked at ClientKeyExchange waiting for an offloaded
-     * RSA pre-master decrypt (paper Section 6.2, applied across
-     * sessions: the worker services other connections meanwhile).
-     * Always false with synchronous providers, whose submit resolves
-     * before the parking state is ever observed.
+     * Parked on an offloaded private-key operation: PreMasterDecrypt
+     * while at AwaitPreMaster (RSA key transport, paper Section 6.2
+     * applied across sessions), ServerKxSign while at AwaitKxSign (the
+     * DHE ServerKeyExchange signature). Always None with synchronous
+     * providers, whose submit resolves before the parking state is
+     * ever observed.
      */
-    bool waitingOnCrypto() const override;
+    CryptoWait cryptoWait() const override;
 
   protected:
     bool step() override;
@@ -101,6 +103,7 @@ class SslServer : public SslEndpoint
         SendServerHello,
         SendServerCert,
         SendServerKeyExchange,
+        AwaitKxSign, ///< parked on the async ServerKeyExchange sign
         SendCertificateRequest,
         SendServerDone,
         GetClientCertificate,
@@ -124,6 +127,7 @@ class SslServer : public SslEndpoint
     bool stepSendServerHello();
     bool stepSendServerCert();
     bool stepSendServerKeyExchange();
+    bool stepAwaitKxSign();
     bool stepSendCertificateRequest();
     bool stepSendServerDone();
     bool stepGetClientCertificate();
@@ -133,7 +137,7 @@ class SslServer : public SslEndpoint
 
     /** Common tail of the key exchange: validate the pre-master (RSA
      *  path), derive the master secret and pick the next state. */
-    bool finishKeyExchange(Bytes premaster, bool check_version);
+    bool finishKeyExchange(Bytes premaster);
     bool stepGetFinished();
     bool stepSendCipherSpec();
     bool stepSendFinished();
@@ -145,8 +149,9 @@ class SslServer : public SslEndpoint
     State state_ = State::GetClientHello;
     bool resuming_ = false;
     uint16_t clientOfferedVersion_ = 0;
-    crypto::DhKeyPair dhKey_; ///< ephemeral key for DHE suites
-    crypto::RsaJob kxJob_;    ///< in-flight pre-master decrypt
+    /** The negotiated suite's key-exchange object (see ssl/kx.hh),
+     *  created once the ClientHello fixes suite and resumption. */
+    std::unique_ptr<ServerKx> kx_;
     pki::Certificate clientCert_; ///< received client certificate
     bool clientCertPresent_ = false;
 };

@@ -1,5 +1,6 @@
 #include "web/httpsim.hh"
 
+#include "obs/export.hh"
 #include "perf/probe.hh"
 #include "util/rng.hh"
 
@@ -96,12 +97,93 @@ const std::vector<std::string> otherCryptoProbes = {
     "x509_issue",
 };
 
+/**
+ * Route one parsed request: /metrics serves the Prometheus text
+ * exposition of the configured registry, anything else serves
+ * @p file_size bytes of page data.
+ */
+HttpResponse
+serveRequest(const WebSimConfig &config, const HttpRequest &request,
+             size_t file_size)
+{
+    HttpResponse resp;
+    resp.headers["Server"] = "ssl-anatomy-sim/1.0";
+    if (request.path == "/metrics") {
+        obs::MetricsRegistry &reg =
+            config.metricsRegistry ? *config.metricsRegistry
+                                   : obs::MetricsRegistry::global();
+        const std::string text = obs::prometheusText(reg.snapshot());
+        resp.headers["Content-Type"] = "text/plain; version=0.0.4";
+        resp.body.assign(text.begin(), text.end());
+    } else {
+        resp.body.assign(file_size, 'a');
+    }
+    return resp;
+}
+
 } // anonymous namespace
 
 TransactionStats
 WebSimulator::runTransaction(size_t file_size, bool resume_session)
 {
     return runSession(1, file_size, resume_session);
+}
+
+HttpResponse
+WebSimulator::fetch(const std::string &path, size_t file_size)
+{
+    Impl &im = *impl_;
+    ssl::BioPair wires;
+
+    ssl::ServerConfig scfg;
+    scfg.certificate = im.certificate;
+    scfg.privateKey = im.serverKey.priv;
+    scfg.suites = {im.config.suite};
+    scfg.sessionCache = &im.sessionCache;
+    scfg.randomPool = &im.pool;
+    scfg.provider = im.provider.get();
+
+    ssl::ClientConfig ccfg;
+    ccfg.suites = {im.config.suite};
+    ccfg.randomPool = &im.pool;
+    ccfg.provider = im.provider.get();
+
+    ssl::SslServer server(scfg, wires.serverEnd());
+    ssl::SslClient client(ccfg, wires.clientEnd());
+    ssl::runLockstep(client, server);
+
+    HttpRequest req;
+    req.path = path;
+    req.headers["Host"] = "www.sslanatomy.test";
+    client.writeApplicationData(req.encode());
+
+    auto data = server.readApplicationData();
+    if (!data)
+        throw std::runtime_error("web sim: request lost");
+    HttpResponse resp = serveRequest(im.config,
+                                     HttpRequest::parse(*data),
+                                     file_size);
+    server.writeApplicationData(resp.encode());
+    server.close();
+
+    // Client side: drain until the response parses completely.
+    Bytes response_wire;
+    HttpResponse parsed;
+    for (;;) {
+        auto chunk = client.readApplicationData();
+        if (chunk)
+            append(response_wire, *chunk);
+        try {
+            parsed = HttpResponse::parse(response_wire);
+            break;
+        } catch (const std::runtime_error &) {
+            if (!chunk)
+                throw; // transport drained, response still short
+        }
+    }
+    client.close();
+    server.readApplicationData(); // observe the close_notify
+    return parsed;
 }
 
 TransactionStats
@@ -173,11 +255,8 @@ WebSimulator::runSession(size_t requests, size_t file_size,
             if (!data)
                 throw std::runtime_error("web sim: request lost");
             HttpRequest parsed = HttpRequest::parse(*data);
-            (void)parsed;
-
-            HttpResponse resp;
-            resp.headers["Server"] = "ssl-anatomy-sim/1.0";
-            resp.body.assign(file_size, 'a');
+            HttpResponse resp = serveRequest(im.config, parsed,
+                                             file_size);
             server->writeApplicationData(resp.encode());
             if (r + 1 == requests)
                 server->close();

@@ -73,6 +73,12 @@ struct WebSimConfig
      * probes the Table 1 / Figure 2 breakdowns aggregate.
      */
     std::string provider = "instrumented";
+    /**
+     * Registry the server's /metrics route exposes in Prometheus text
+     * format (see obs::writePrometheusText); null scrapes the global
+     * registry.
+     */
+    obs::MetricsRegistry *metricsRegistry = nullptr;
 };
 
 /**
@@ -107,6 +113,14 @@ class WebSimulator
      */
     TransactionStats runSession(size_t requests, size_t file_size,
                                 bool resume_session = false);
+
+    /**
+     * One complete HTTPS GET of @p path over a fresh connection,
+     * returning the server's parsed response. "/metrics" hits the
+     * Prometheus text endpoint (metrics of the configured registry);
+     * any other path serves @p file_size bytes of page data.
+     */
+    HttpResponse fetch(const std::string &path, size_t file_size = 0);
 
     const crypto::RsaPublicKey &serverPublicKey() const;
 

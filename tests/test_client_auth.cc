@@ -219,7 +219,7 @@ TEST(ClientAuth, MutualWithDheSuite)
     SslClient client(h.ccfg, h.wires.clientEnd());
     runLockstep(client, server);
     EXPECT_TRUE(server.handshakeDone());
-    EXPECT_EQ(server.suite().kx, KeyExchange::DheRsa);
+    EXPECT_EQ(server.suite().kx, KxKind::DheRsa);
 }
 
 } // anonymous namespace

@@ -133,7 +133,7 @@ TEST_P(DheSuites, HandshakeAndTransfer)
     runLockstep(client, server);
 
     EXPECT_EQ(client.suite().id, suite);
-    EXPECT_EQ(client.suite().kx, ssl::KeyExchange::DheRsa);
+    EXPECT_EQ(client.suite().kx, ssl::KxKind::DheRsa);
     EXPECT_EQ(client.negotiatedVersion(), version);
 
     client.writeApplicationData(toBytes("dhe data"));

@@ -589,17 +589,60 @@ TEST(Cancellation, TornDownSessionsJobSkipsFreedKey)
     EXPECT_EQ(cp.cancelledJobs(), 1u);
 }
 
+TEST(Cancellation, TornDownSessionsSignJobSkipsFreedKey)
+{
+    // The same use-after-free trap for the *other* parked operation:
+    // a DHE server torn down while its ServerKeyExchange signature is
+    // still queued behind the gate. The KeyExchange destructor must
+    // cancel the sign job so the pool never touches the freed key.
+    serve::CryptoPool cp(1);
+    PoolGate gate(cp);
+    serve::PooledProvider pooled(cp);
+
+    const crypto::RsaPrivateKey &k = *test::testKey512().priv;
+    auto key = std::make_shared<crypto::RsaPrivateKey>(
+        k.publicKey().n, k.publicKey().e, k.d(), k.p(), k.q());
+
+    ssl::BioPair wires;
+    ssl::ServerConfig scfg;
+    scfg.certificate = test::testServerCert512();
+    scfg.privateKey = key;
+    scfg.suites = {ssl::CipherSuiteId::DHE_RSA_3DES_EDE_CBC_SHA};
+    scfg.provider = &pooled;
+    auto server = std::make_unique<ssl::SslServer>(
+        std::move(scfg), wires.serverEnd());
+    ssl::ClientConfig ccfg;
+    ccfg.suites = {ssl::CipherSuiteId::DHE_RSA_3DES_EDE_CBC_SHA};
+    ssl::SslClient client(std::move(ccfg), wires.clientEnd());
+
+    // Drive to the park: the sign is queued behind the gate.
+    while (client.advance() || server->advance())
+        ;
+    ASSERT_TRUE(server->waitingOnCrypto());
+    ASSERT_EQ(server->cryptoWait(), ssl::CryptoWait::ServerKxSign);
+
+    server.reset();
+    key.reset();
+    gate.release();
+    while (cp.cancelledJobs() == 0)
+        std::this_thread::yield();
+    EXPECT_EQ(cp.cancelledJobs(), 1u);
+}
+
 // ---------------------------------------------------------------------
 // ServeEngine chaos
 
 serve::ServeStats
 runEngineChaos(size_t workers, size_t conns_per_worker, double rate,
-               uint64_t seed)
+               uint64_t seed,
+               ssl::CipherSuiteId suite =
+                   ssl::CipherSuiteId::RSA_3DES_EDE_CBC_SHA)
 {
     ssl::FaultPlan plan = ssl::FaultPlan::mixed(seed, rate);
     serve::ServeConfig cfg;
     cfg.certificate = &test::testServerCert512();
     cfg.privateKey = test::testKey512().priv;
+    cfg.suite = suite;
     cfg.workers = workers;
     cfg.connectionsPerWorker = conns_per_worker;
     cfg.concurrentPerWorker = 8;
@@ -612,13 +655,15 @@ runEngineChaos(size_t workers, size_t conns_per_worker, double rate,
 }
 
 void
-checkEngineChaos(size_t workers, size_t conns_per_worker, double rate)
+checkEngineChaos(size_t workers, size_t conns_per_worker, double rate,
+                 ssl::CipherSuiteId suite =
+                     ssl::CipherSuiteId::RSA_3DES_EDE_CBC_SHA)
 {
     const uint64_t seed = chaosSeed() ^ (workers * 0x9e3779b9ull);
     std::cout << "[chaos] engine workers=" << workers << " seed=0x"
               << std::hex << seed << std::dec << "\n";
     serve::ServeStats stats =
-        runEngineChaos(workers, conns_per_worker, rate, seed);
+        runEngineChaos(workers, conns_per_worker, rate, seed, suite);
     // The invariant: every session reached a terminal outcome.
     EXPECT_EQ(stats.terminatedSessions(),
               static_cast<uint64_t>(workers * conns_per_worker));
@@ -645,6 +690,17 @@ TEST(ChaosEngine, TwoWorkersEverySessionTerminates)
 TEST(ChaosEngine, FourWorkersEverySessionTerminates)
 {
     checkEngineChaos(4, 600, 0.05);
+}
+
+TEST(ChaosEngine, DheSuiteEverySessionTerminates)
+{
+    // The chaos invariant over the DHE_RSA handshake shape: faults
+    // landing on ServerKeyExchange (a flight RSA suites never send,
+    // carrying a signature worth corrupting) must still leave every
+    // session terminated. Fewer connections than the RSA runs — each
+    // full handshake pays two modular exponentiations plus the sign.
+    checkEngineChaos(2, 80, 0.05,
+                     ssl::CipherSuiteId::DHE_RSA_3DES_EDE_CBC_SHA);
 }
 
 TEST(ChaosEngine, FaultsWithSaturatedPoolStillTerminate)

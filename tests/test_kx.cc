@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Key-exchange layer tests: the suite→factory registry, role objects
+ * driven directly (outside any handshake), and the negative paths —
+ * a tampered ServerKeyExchange signature, an implausible DH group,
+ * unknown factory lookups, and the resumption null object's refusal
+ * to exchange keys.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "crypto/provider.hh"
+#include "ssl/alert.hh"
+#include "ssl/kx.hh"
+#include "ssl/messages.hh"
+#include "testkeys.hh"
+#include "util/bytes.hh"
+
+namespace
+{
+
+using namespace ssla;
+
+/** A context over the scalar provider with fixed hello randoms. */
+struct KxRig
+{
+    crypto::RandomPool pool{toBytes("kx-unit-tests")};
+    Bytes clientRandom = pool.bytes(32);
+    Bytes serverRandom = pool.bytes(32);
+    ssl::KxContext ctx{crypto::scalarProvider(), pool, clientRandom,
+                       serverRandom};
+
+    const ssl::CipherSuite &
+    suite(ssl::CipherSuiteId id) const
+    {
+        return ssl::cipherSuite(id);
+    }
+};
+
+// ---------------------------------------------------------------------
+// Factory registry
+
+TEST(KxFactory, EveryKindHasARegisteredRow)
+{
+    for (ssl::KxKind kind :
+         {ssl::KxKind::Rsa, ssl::KxKind::DheRsa,
+          ssl::KxKind::Resumption}) {
+        const ssl::KxFactory &f = ssl::kxFactory(kind);
+        EXPECT_EQ(f.kind, kind);
+        ASSERT_NE(f.name, nullptr);
+        ASSERT_NE(f.makeServer, nullptr);
+        ASSERT_NE(f.makeClient, nullptr);
+        auto server = f.makeServer();
+        auto client = f.makeClient();
+        ASSERT_TRUE(server);
+        ASSERT_TRUE(client);
+        EXPECT_EQ(server->kind(), kind);
+        EXPECT_EQ(client->kind(), kind);
+        EXPECT_STREQ(server->name(), f.name);
+        EXPECT_STREQ(client->name(), f.name);
+    }
+}
+
+TEST(KxFactory, UnknownKindThrows)
+{
+    EXPECT_THROW(ssl::kxFactory(static_cast<ssl::KxKind>(0x7f)),
+                 std::invalid_argument);
+}
+
+TEST(KxFactory, SuiteLookupMatchesSuiteKind)
+{
+    const auto &rsa = ssl::cipherSuite(
+        ssl::CipherSuiteId::RSA_3DES_EDE_CBC_SHA);
+    const auto &dhe = ssl::cipherSuite(
+        ssl::CipherSuiteId::DHE_RSA_3DES_EDE_CBC_SHA);
+    EXPECT_EQ(rsa.kxFactory().kind, ssl::KxKind::Rsa);
+    EXPECT_EQ(dhe.kxFactory().kind, ssl::KxKind::DheRsa);
+
+    // makeServerKx/makeClientKx honor the resuming flag by swapping in
+    // the resumption row regardless of the negotiated suite.
+    EXPECT_EQ(ssl::makeServerKx(rsa)->kind(), ssl::KxKind::Rsa);
+    EXPECT_EQ(ssl::makeServerKx(rsa, true)->kind(),
+              ssl::KxKind::Resumption);
+    EXPECT_EQ(ssl::makeClientKx(dhe, true)->kind(),
+              ssl::KxKind::Resumption);
+}
+
+TEST(KxFactory, RoleTraitsMatchTheProtocol)
+{
+    auto rsa_s = ssl::kxFactory(ssl::KxKind::Rsa).makeServer();
+    auto dhe_s = ssl::kxFactory(ssl::KxKind::DheRsa).makeServer();
+    auto rsa_c = ssl::kxFactory(ssl::KxKind::Rsa).makeClient();
+    auto dhe_c = ssl::kxFactory(ssl::KxKind::DheRsa).makeClient();
+
+    // Only DHE sends/expects a ServerKeyExchange flight; only RSA key
+    // transport embeds the offered version in the pre-master (the
+    // rollback defence).
+    EXPECT_FALSE(rsa_s->sendsServerKeyExchange());
+    EXPECT_TRUE(dhe_s->sendsServerKeyExchange());
+    EXPECT_FALSE(rsa_c->expectsServerKeyExchange());
+    EXPECT_TRUE(dhe_c->expectsServerKeyExchange());
+    EXPECT_TRUE(rsa_s->premasterCarriesVersion());
+    EXPECT_FALSE(dhe_s->premasterCarriesVersion());
+}
+
+// ---------------------------------------------------------------------
+// Role objects driven directly
+
+TEST(KxRoles, RsaRoundTripRecoversThePremaster)
+{
+    KxRig rig;
+    const auto &kp = test::testKey1024();
+    auto client = ssl::kxFactory(ssl::KxKind::Rsa).makeClient();
+    auto server = ssl::kxFactory(ssl::KxKind::Rsa).makeServer();
+
+    Bytes premaster;
+    Bytes ckx = client->makeClientKeyExchange(rig.ctx, kp.pub, 0x0300,
+                                              premaster);
+    ASSERT_EQ(premaster.size(), 48u);
+    EXPECT_EQ(premaster[0], 0x03);
+    EXPECT_EQ(premaster[1], 0x00);
+
+    // Synchronous provider: Parked resolves at submit time.
+    ASSERT_EQ(server->processClientKeyExchange(rig.ctx, *kp.priv, ckx),
+              ssl::KxStatus::Parked);
+    EXPECT_FALSE(server->jobPending());
+    EXPECT_STREQ(server->jobLabel(), "rsa_decrypt");
+    EXPECT_EQ(server->finishClientKeyExchange(), premaster);
+}
+
+TEST(KxRoles, DheRoundTripAgreesOnThePremaster)
+{
+    KxRig rig;
+    const auto &kp = test::testKey1024();
+    auto server = ssl::kxFactory(ssl::KxKind::DheRsa).makeServer();
+    auto client = ssl::kxFactory(ssl::KxKind::DheRsa).makeClient();
+
+    ASSERT_EQ(server->startServerKeyExchange(rig.ctx, *kp.priv),
+              ssl::KxStatus::Parked);
+    EXPECT_FALSE(server->jobPending());
+    EXPECT_STREQ(server->jobLabel(), "rsa_sign");
+    Bytes skx = server->finishServerKeyExchange();
+
+    client->processServerKeyExchange(rig.ctx, kp.pub, skx);
+    Bytes client_premaster;
+    Bytes ckx = client->makeClientKeyExchange(rig.ctx, kp.pub, 0x0300,
+                                              client_premaster);
+    ASSERT_FALSE(client_premaster.empty());
+
+    ASSERT_EQ(server->processClientKeyExchange(rig.ctx, *kp.priv, ckx),
+              ssl::KxStatus::Done);
+    EXPECT_EQ(server->finishClientKeyExchange(), client_premaster);
+}
+
+// ---------------------------------------------------------------------
+// Negative paths
+
+TEST(KxNegative, TamperedServerKeyExchangeSignatureIsRejected)
+{
+    KxRig rig;
+    const auto &kp = test::testKey1024();
+    auto server = ssl::kxFactory(ssl::KxKind::DheRsa).makeServer();
+    server->startServerKeyExchange(rig.ctx, *kp.priv);
+    Bytes skx = server->finishServerKeyExchange();
+
+    // Flip one bit inside the signature (the tail of the body).
+    Bytes tampered = skx;
+    tampered.back() ^= 0x01;
+
+    auto client = ssl::kxFactory(ssl::KxKind::DheRsa).makeClient();
+    try {
+        client->processServerKeyExchange(rig.ctx, kp.pub, tampered);
+        FAIL() << "tampered signature accepted";
+    } catch (const ssl::SslError &e) {
+        EXPECT_EQ(e.alert(),
+                  ssl::AlertDescription::HandshakeFailure);
+    }
+}
+
+TEST(KxNegative, WrongCertificateKeyFailsVerification)
+{
+    // A valid, untampered flight signed by a *different* key than the
+    // one in the certificate the client checks against.
+    KxRig rig;
+    auto server = ssl::kxFactory(ssl::KxKind::DheRsa).makeServer();
+    server->startServerKeyExchange(rig.ctx, *test::testKey512().priv);
+    Bytes skx = server->finishServerKeyExchange();
+
+    auto client = ssl::kxFactory(ssl::KxKind::DheRsa).makeClient();
+    EXPECT_THROW(client->processServerKeyExchange(
+                     rig.ctx, test::testKey1024().pub, skx),
+                 ssl::SslError);
+}
+
+TEST(KxNegative, ImplausibleDhGroupIsRejected)
+{
+    // A correctly signed ServerKeyExchange advertising a tiny prime:
+    // the signature verifies, the group must still be refused with
+    // illegal_parameter.
+    KxRig rig;
+    const auto &kp = test::testKey1024();
+
+    ssl::ServerKeyExchangeMsg msg;
+    msg.p = {0x01, 0x01}; // 257: trivially breakable "group"
+    msg.g = {0x02};
+    msg.publicValue = {0x02};
+    msg.signature = crypto::rsaSign(
+        *kp.priv, ssl::serverKxDigest(rig.clientRandom,
+                                      rig.serverRandom,
+                                      msg.signedParams()));
+
+    auto client = ssl::kxFactory(ssl::KxKind::DheRsa).makeClient();
+    try {
+        client->processServerKeyExchange(rig.ctx, kp.pub,
+                                         msg.encode());
+        FAIL() << "implausible group accepted";
+    } catch (const ssl::SslError &e) {
+        EXPECT_EQ(e.alert(),
+                  ssl::AlertDescription::IllegalParameter);
+    }
+}
+
+TEST(KxNegative, ResumptionExchangesNoKeys)
+{
+    // The resumption row is a deliberate null object: an abbreviated
+    // handshake that reaches any key-exchange step is a state-machine
+    // bug, reported as logic_error rather than an alert.
+    KxRig rig;
+    const auto &kp = test::testKey1024();
+    auto server =
+        ssl::kxFactory(ssl::KxKind::Resumption).makeServer();
+    auto client =
+        ssl::kxFactory(ssl::KxKind::Resumption).makeClient();
+
+    EXPECT_FALSE(server->sendsServerKeyExchange());
+    EXPECT_FALSE(client->expectsServerKeyExchange());
+    EXPECT_THROW(server->startServerKeyExchange(rig.ctx, *kp.priv),
+                 std::logic_error);
+    EXPECT_THROW(
+        server->processClientKeyExchange(rig.ctx, *kp.priv, Bytes()),
+        std::logic_error);
+    Bytes premaster;
+    EXPECT_THROW(client->makeClientKeyExchange(rig.ctx, kp.pub, 0x0300,
+                                               premaster),
+                 std::logic_error);
+}
+
+} // anonymous namespace

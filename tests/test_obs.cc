@@ -361,6 +361,51 @@ TEST(ObsExport, ChromeTraceDocumentShape)
     EXPECT_EQ(doc[doc.size() - 2], '}'); // trailing newline after root
 }
 
+TEST(ObsExport, PrometheusTextExposition)
+{
+    MetricsRegistry reg;
+    reg.counter("serve.park_events").inc(3);
+    reg.gauge("pool.queue-depth").set(7);
+    obs::Histogram h = reg.histogram("serve.handshake_cycles");
+    for (uint64_t i = 1; i <= 100; ++i)
+        h.record(i);
+
+    const std::string text = obs::prometheusText(reg.snapshot());
+    const auto npos = std::string::npos;
+
+    // Counters: dots sanitized to underscores, _total suffix, typed.
+    EXPECT_NE(text.find("# TYPE serve_park_events_total counter\n"),
+              npos);
+    EXPECT_NE(text.find("serve_park_events_total 3\n"), npos);
+    // Gauges: dashes sanitized too, value verbatim.
+    EXPECT_NE(text.find("# TYPE pool_queue_depth gauge\n"), npos);
+    EXPECT_NE(text.find("pool_queue_depth 7\n"), npos);
+    // Histograms render as summaries: three quantiles + sum + count.
+    EXPECT_NE(text.find("# TYPE serve_handshake_cycles summary\n"),
+              npos);
+    EXPECT_NE(text.find("serve_handshake_cycles{quantile=\"0.5\"} "),
+              npos);
+    EXPECT_NE(text.find("serve_handshake_cycles{quantile=\"0.9\"} "),
+              npos);
+    EXPECT_NE(text.find("serve_handshake_cycles{quantile=\"0.99\"} "),
+              npos);
+    EXPECT_NE(text.find("serve_handshake_cycles_sum 5050\n"), npos);
+    EXPECT_NE(text.find("serve_handshake_cycles_count 100\n"), npos);
+    // Every original (dotted) name must be gone.
+    EXPECT_EQ(text.find("serve.park_events"), npos);
+    EXPECT_EQ(text.find("pool.queue-depth"), npos);
+
+    // writePrometheusText streams the identical document.
+    char *buf = nullptr;
+    size_t len = 0;
+    FILE *mem = open_memstream(&buf, &len);
+    ASSERT_NE(mem, nullptr);
+    obs::writePrometheusText(mem, reg.snapshot());
+    std::fclose(mem);
+    EXPECT_EQ(std::string(buf, len), text);
+    std::free(buf);
+}
+
 // ---------------------------------------------------------------------
 // Flight recorder under chaos
 
