@@ -34,6 +34,14 @@ Hmac::update(const uint8_t *data, size_t len)
 Bytes
 Hmac::final()
 {
+    Bytes tag(tagSize());
+    final(tag.data());
+    return tag;
+}
+
+void
+Hmac::final(uint8_t *out)
+{
     Bytes inner_digest = inner_->final();
     auto outer = Digest::create(alg_);
     Bytes opad(keyBlock_.size());
@@ -41,7 +49,7 @@ Hmac::final()
         opad[i] = keyBlock_[i] ^ 0x5c;
     outer->update(opad);
     outer->update(inner_digest);
-    return outer->final();
+    outer->final(out);
 }
 
 Bytes

@@ -32,6 +32,9 @@ class Hmac
     /** Finish and return the tag. */
     Bytes final();
 
+    /** Finish into caller storage of at least tagSize() bytes. */
+    void final(uint8_t *out);
+
     size_t tagSize() const { return inner_->digestSize(); }
 
     /** One-shot convenience. */

@@ -17,26 +17,27 @@ namespace ssla::crypto
 struct MacJob::State
 {
     // Job inputs (spec copied so the job is self-contained; the data
-    // pointer is the caller's responsibility until wait() returns).
+    // view and the output slot are the caller's responsibility until
+    // wait() returns).
     RecordMacSpec spec;
     uint64_t seq = 0;
     uint8_t type = 0;
-    const uint8_t *data = nullptr;
-    size_t len = 0;
+    ConstSpan data;
+    uint8_t *out = nullptr;
 
     // Result rendezvous.
     std::mutex m;
     std::condition_variable cv;
     bool ready = false;
-    Bytes mac;
+    size_t macLen = 0;
     std::exception_ptr error;
 
     void
-    finish(Bytes result, std::exception_ptr err)
+    finish(size_t len, std::exception_ptr err)
     {
         {
             std::lock_guard<std::mutex> lock(m);
-            mac = std::move(result);
+            macLen = len;
             error = std::move(err);
             ready = true;
         }
@@ -44,7 +45,7 @@ struct MacJob::State
     }
 };
 
-Bytes
+size_t
 MacJob::wait()
 {
     if (!state_)
@@ -53,7 +54,7 @@ MacJob::wait()
     state_->cv.wait(lock, [&] { return state_->ready; });
     if (state_->error)
         std::rethrow_exception(state_->error);
-    return state_->mac;
+    return state_->macLen;
 }
 
 // ---------------------------------------------------------------------
@@ -88,11 +89,12 @@ macPadLen(DigestAlg alg)
 
 /**
  * hash(secret || pad2 || hash(secret || pad1 || seq || type || len ||
- * data)) — the SSLv3 record MAC, built from @p p 's digests.
+ * data)) — the SSLv3 record MAC, built from @p p 's digests, written
+ * into @p mac_out.
  */
-Bytes
+size_t
 ssl3RecordMac(Provider &p, const RecordMacSpec &spec, uint64_t seq,
-              uint8_t type, const uint8_t *data, size_t len)
+              uint8_t type, ConstSpan data, uint8_t *mac_out)
 {
     size_t pad_len = macPadLen(spec.alg);
 
@@ -100,29 +102,31 @@ ssl3RecordMac(Provider &p, const RecordMacSpec &spec, uint64_t seq,
     for (int i = 7; i >= 0; --i)
         header[7 - i] = static_cast<uint8_t>(seq >> (8 * i));
     header[8] = type;
-    header[9] = static_cast<uint8_t>(len >> 8);
-    header[10] = static_cast<uint8_t>(len);
+    header[9] = static_cast<uint8_t>(data.size() >> 8);
+    header[10] = static_cast<uint8_t>(data.size());
 
     auto inner = p.createDigest(spec.alg);
     inner->update(spec.secret);
     Bytes pad1(pad_len, 0x36);
     inner->update(pad1);
     inner->update(header, sizeof(header));
-    inner->update(data, len);
-    Bytes inner_digest = inner->final();
+    inner->update(data.data(), data.size());
+    uint8_t inner_digest[maxRecordMacLen];
+    inner->final(inner_digest);
 
     auto outer = p.createDigest(spec.alg);
     outer->update(spec.secret);
     Bytes pad2(pad_len, 0x5c);
     outer->update(pad2);
-    outer->update(inner_digest);
-    return outer->final();
+    outer->update(inner_digest, inner->digestSize());
+    outer->final(mac_out);
+    return outer->digestSize();
 }
 
 /** HMAC(secret, seq || type || version || length || data) — TLS 1.0. */
-Bytes
+size_t
 tls1RecordMac(Provider &p, const RecordMacSpec &spec, uint64_t seq,
-              uint8_t type, const uint8_t *data, size_t len)
+              uint8_t type, ConstSpan data, uint8_t *mac_out)
 {
     uint8_t header[13];
     for (int i = 7; i >= 0; --i)
@@ -130,35 +134,37 @@ tls1RecordMac(Provider &p, const RecordMacSpec &spec, uint64_t seq,
     header[8] = type;
     header[9] = static_cast<uint8_t>(spec.version >> 8);
     header[10] = static_cast<uint8_t>(spec.version);
-    header[11] = static_cast<uint8_t>(len >> 8);
-    header[12] = static_cast<uint8_t>(len);
+    header[11] = static_cast<uint8_t>(data.size() >> 8);
+    header[12] = static_cast<uint8_t>(data.size());
 
     auto hmac = p.createHmac(spec.alg, spec.secret);
     hmac->update(header, sizeof(header));
-    hmac->update(data, len);
-    return hmac->final();
+    hmac->update(data.data(), data.size());
+    hmac->final(mac_out);
+    return hmac->tagSize();
 }
 
-Bytes
+size_t
 computeRecordMacWith(Provider &p, const RecordMacSpec &spec,
-                     uint64_t seq, uint8_t type, const uint8_t *data,
-                     size_t len)
+                     uint64_t seq, uint8_t type, ConstSpan data,
+                     uint8_t *mac_out)
 {
     if (spec.version >= 0x0301)
-        return tls1RecordMac(p, spec, seq, type, data, len);
-    return ssl3RecordMac(p, spec, seq, type, data, len);
+        return tls1RecordMac(p, spec, seq, type, data, mac_out);
+    return ssl3RecordMac(p, spec, seq, type, data, mac_out);
 }
 
 } // anonymous namespace
 
 MacJob
 Provider::submitRecordMac(const RecordMacSpec &spec, uint64_t seq,
-                          uint8_t type, const uint8_t *data, size_t len)
+                          uint8_t type, ConstSpan data,
+                          uint8_t *mac_out)
 {
     // Synchronous providers resolve at submit time.
     auto state = std::make_shared<MacJob::State>();
     try {
-        state->mac = recordMac(spec, seq, type, data, len);
+        state->macLen = recordMac(spec, seq, type, data, mac_out);
     } catch (...) {
         state->error = std::current_exception();
     }
@@ -219,11 +225,12 @@ ScalarProvider::createHmac(DigestAlg alg, const Bytes &key)
     return std::make_unique<Hmac>(alg, key);
 }
 
-Bytes
+size_t
 ScalarProvider::recordMac(const RecordMacSpec &spec, uint64_t seq,
-                          uint8_t type, const uint8_t *data, size_t len)
+                          uint8_t type, ConstSpan data,
+                          uint8_t *mac_out)
 {
-    return computeRecordMacWith(*this, spec, seq, type, data, len);
+    return computeRecordMacWith(*this, spec, seq, type, data, mac_out);
 }
 
 Bytes
@@ -290,13 +297,13 @@ InstrumentedProvider::createHmac(DigestAlg alg, const Bytes &key)
     return inner_.createHmac(alg, key);
 }
 
-Bytes
+size_t
 InstrumentedProvider::recordMac(const RecordMacSpec &spec, uint64_t seq,
-                                uint8_t type, const uint8_t *data,
-                                size_t len)
+                                uint8_t type, ConstSpan data,
+                                uint8_t *mac_out)
 {
     perf::FuncProbe probe("mac");
-    return inner_.recordMac(spec, seq, type, data, len);
+    return inner_.recordMac(spec, seq, type, data, mac_out);
 }
 
 Bytes
@@ -359,16 +366,16 @@ struct PipelinedProvider::Engine
                 job = std::move(queue.front());
                 queue.pop_front();
             }
-            Bytes mac;
+            size_t mac_len = 0;
             std::exception_ptr err;
             try {
-                mac = computeRecordMacWith(scalar, job->spec, job->seq,
-                                           job->type, job->data,
-                                           job->len);
+                mac_len = computeRecordMacWith(scalar, job->spec,
+                                               job->seq, job->type,
+                                               job->data, job->out);
             } catch (...) {
                 err = std::current_exception();
             }
-            job->finish(std::move(mac), std::move(err));
+            job->finish(mac_len, std::move(err));
         }
     }
 
@@ -406,25 +413,26 @@ PipelinedProvider::createHmac(DigestAlg alg, const Bytes &key)
     return scalar_.createHmac(alg, key);
 }
 
-Bytes
+size_t
 PipelinedProvider::recordMac(const RecordMacSpec &spec, uint64_t seq,
-                             uint8_t type, const uint8_t *data,
-                             size_t len)
+                             uint8_t type, ConstSpan data,
+                             uint8_t *mac_out)
 {
-    return computeRecordMacWith(scalar_, spec, seq, type, data, len);
+    return computeRecordMacWith(scalar_, spec, seq, type, data,
+                                mac_out);
 }
 
 MacJob
 PipelinedProvider::submitRecordMac(const RecordMacSpec &spec,
                                    uint64_t seq, uint8_t type,
-                                   const uint8_t *data, size_t len)
+                                   ConstSpan data, uint8_t *mac_out)
 {
     auto state = std::make_shared<MacJob::State>();
     state->spec = spec;
     state->seq = seq;
     state->type = type;
     state->data = data;
-    state->len = len;
+    state->out = mac_out;
     engine_->submit(state);
     return MacJob(std::move(state));
 }

@@ -39,9 +39,16 @@
 #include "crypto/digest.hh"
 #include "crypto/hmac.hh"
 #include "crypto/rsa.hh"
+#include "util/iovec.hh"
 
 namespace ssla::crypto
 {
+
+/**
+ * Upper bound on any record MAC length (SHA-1, 20 bytes). Callers of
+ * the span-based MAC surface size stack/arena storage with this.
+ */
+constexpr size_t maxRecordMacLen = 20;
 
 /**
  * Immutable parameters of one direction's record MAC: which digest,
@@ -56,11 +63,14 @@ struct RecordMacSpec
 };
 
 /**
- * Handle to a (possibly asynchronous) record-MAC computation.
+ * Handle to a (possibly asynchronous) record-MAC computation that
+ * writes its result into caller-owned storage (span discipline: the
+ * engine fills the MAC slot of the staged wire image directly, no
+ * intermediate Bytes).
  *
  * Synchronous providers resolve the job at submit time; the pipelined
  * provider resolves it on its worker thread. wait() blocks until the
- * MAC is available and rethrows any exception the job raised.
+ * MAC has been written and rethrows any exception the job raised.
  */
 class MacJob
 {
@@ -72,8 +82,11 @@ class MacJob
         : state_(std::move(state))
     {}
 
-    /** Block until the MAC is ready and return it. */
-    Bytes wait();
+    /**
+     * Block until the MAC is in the submit-time output slot; returns
+     * the MAC length written there.
+     */
+    size_t wait();
 
     bool valid() const { return state_ != nullptr; }
 
@@ -204,20 +217,24 @@ class Provider
 
     /**
      * Compute the record MAC for one fragment (construction selected
-     * by spec.version; see RecordMacSpec).
+     * by spec.version; see RecordMacSpec) into @p mac_out, which must
+     * hold at least maxRecordMacLen bytes. Returns the MAC length
+     * written. @p data and @p mac_out may belong to the same backing
+     * buffer (MAC appended behind the payload) but must not overlap.
      */
-    virtual Bytes recordMac(const RecordMacSpec &spec, uint64_t seq,
-                            uint8_t type, const uint8_t *data,
-                            size_t len) = 0;
+    virtual size_t recordMac(const RecordMacSpec &spec, uint64_t seq,
+                             uint8_t type, ConstSpan data,
+                             uint8_t *mac_out) = 0;
 
     /**
-     * Submit a record MAC for (possibly asynchronous) computation.
-     * @p data must stay valid until the returned job's wait() returns.
+     * Submit a record MAC for (possibly asynchronous) computation into
+     * @p mac_out. Both @p data and @p mac_out must stay valid (and the
+     * output slot untouched) until the returned job's wait() returns.
      * The base implementation computes inline.
      */
     virtual MacJob submitRecordMac(const RecordMacSpec &spec,
                                    uint64_t seq, uint8_t type,
-                                   const uint8_t *data, size_t len);
+                                   ConstSpan data, uint8_t *mac_out);
 
     /** RSA private-key decryption (PKCS#1 v1.5). */
     virtual Bytes rsaDecrypt(const RsaPrivateKey &key,
@@ -262,9 +279,9 @@ class ScalarProvider final : public Provider
     std::unique_ptr<Digest> createDigest(DigestAlg alg) override;
     std::unique_ptr<Hmac> createHmac(DigestAlg alg,
                                      const Bytes &key) override;
-    Bytes recordMac(const RecordMacSpec &spec, uint64_t seq,
-                    uint8_t type, const uint8_t *data,
-                    size_t len) override;
+    size_t recordMac(const RecordMacSpec &spec, uint64_t seq,
+                     uint8_t type, ConstSpan data,
+                     uint8_t *mac_out) override;
     Bytes rsaDecrypt(const RsaPrivateKey &key,
                      const Bytes &cipher) override;
     Bytes rsaSign(const RsaPrivateKey &key,
@@ -291,9 +308,9 @@ class InstrumentedProvider final : public Provider
     std::unique_ptr<Digest> createDigest(DigestAlg alg) override;
     std::unique_ptr<Hmac> createHmac(DigestAlg alg,
                                      const Bytes &key) override;
-    Bytes recordMac(const RecordMacSpec &spec, uint64_t seq,
-                    uint8_t type, const uint8_t *data,
-                    size_t len) override;
+    size_t recordMac(const RecordMacSpec &spec, uint64_t seq,
+                     uint8_t type, ConstSpan data,
+                     uint8_t *mac_out) override;
     Bytes rsaDecrypt(const RsaPrivateKey &key,
                      const Bytes &cipher) override;
     Bytes rsaSign(const RsaPrivateKey &key,
@@ -326,12 +343,12 @@ class PipelinedProvider final : public Provider
     std::unique_ptr<Digest> createDigest(DigestAlg alg) override;
     std::unique_ptr<Hmac> createHmac(DigestAlg alg,
                                      const Bytes &key) override;
-    Bytes recordMac(const RecordMacSpec &spec, uint64_t seq,
-                    uint8_t type, const uint8_t *data,
-                    size_t len) override;
+    size_t recordMac(const RecordMacSpec &spec, uint64_t seq,
+                     uint8_t type, ConstSpan data,
+                     uint8_t *mac_out) override;
     MacJob submitRecordMac(const RecordMacSpec &spec, uint64_t seq,
-                           uint8_t type, const uint8_t *data,
-                           size_t len) override;
+                           uint8_t type, ConstSpan data,
+                           uint8_t *mac_out) override;
     Bytes rsaDecrypt(const RsaPrivateKey &key,
                      const Bytes &cipher) override;
     Bytes rsaSign(const RsaPrivateKey &key,

@@ -258,11 +258,11 @@ PooledProvider::createHmac(crypto::DigestAlg alg, const Bytes &key)
     return inner_.createHmac(alg, key);
 }
 
-Bytes
+size_t
 PooledProvider::recordMac(const crypto::RecordMacSpec &spec, uint64_t seq,
-                          uint8_t type, const uint8_t *data, size_t len)
+                          uint8_t type, ConstSpan data, uint8_t *mac_out)
 {
-    return inner_.recordMac(spec, seq, type, data, len);
+    return inner_.recordMac(spec, seq, type, data, mac_out);
 }
 
 Bytes

@@ -229,9 +229,9 @@ class PooledProvider final : public crypto::Provider
     createDigest(crypto::DigestAlg alg) override;
     std::unique_ptr<crypto::Hmac> createHmac(crypto::DigestAlg alg,
                                              const Bytes &key) override;
-    Bytes recordMac(const crypto::RecordMacSpec &spec, uint64_t seq,
-                    uint8_t type, const uint8_t *data,
-                    size_t len) override;
+    size_t recordMac(const crypto::RecordMacSpec &spec, uint64_t seq,
+                     uint8_t type, ConstSpan data,
+                     uint8_t *mac_out) override;
     Bytes rsaDecrypt(const crypto::RsaPrivateKey &key,
                      const Bytes &cipher) override;
     Bytes rsaSign(const crypto::RsaPrivateKey &key,

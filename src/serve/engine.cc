@@ -139,6 +139,24 @@ ServeStats::faultsInjected() const
 }
 
 uint64_t
+ServeStats::dataPlaneFlushes() const
+{
+    uint64_t n = 0;
+    for (const auto &w : perWorker)
+        n += w.dataPlaneFlushes;
+    return n;
+}
+
+uint64_t
+ServeStats::dataPlaneRecords() const
+{
+    uint64_t n = 0;
+    for (const auto &w : perWorker)
+        n += w.dataPlaneRecords;
+    return n;
+}
+
+uint64_t
 ServeStats::terminatedSessions() const
 {
     return fullHandshakes() + resumedHandshakes() +
@@ -275,8 +293,12 @@ struct ServeEngine::Impl
             // from (engine seed, plan seed) alone.
             ssl::FaultPlan plan = *cfg.faultPlan;
             plan.seed = mix64(plan.seed ^ cseed);
+            ssl::FaultPlan reverse =
+                cfg.faultPlanReverse ? *cfg.faultPlanReverse : plan;
+            if (cfg.faultPlanReverse)
+                reverse.seed = mix64(reverse.seed ^ cseed);
             conn->faultyWires =
-                std::make_unique<ssl::FaultyBioPair>(plan);
+                std::make_unique<ssl::FaultyBioPair>(plan, reverse);
             client_end = conn->faultyWires->clientEnd();
             server_end = conn->faultyWires->serverEnd();
         } else {
@@ -344,7 +366,8 @@ struct ServeEngine::Impl
 
     /** Drive one connection as far as it can go without blocking. */
     bool
-    pumpConn(Conn &c, const Bytes &payload, WorkerStats &stats)
+    pumpConn(Conn &c, const Bytes &payload,
+             std::vector<ConstSpan> &iov, WorkerStats &stats)
     {
         bool progress = false;
         for (;;) {
@@ -352,11 +375,35 @@ struct ServeEngine::Impl
             p |= c.server->advance();
             if (c.client->handshakeDone() && c.server->handshakeDone()) {
                 if (c.bulkSent < cfg.bulkBytes) {
-                    size_t n = std::min(cfg.recordBytes,
-                                        cfg.bulkBytes - c.bulkSent);
-                    c.client->writeApplicationData(
-                        Bytes(payload.begin(), payload.begin() + n));
-                    c.bulkSent += n;
+                    if (cfg.bulkBatchRecords > 0) {
+                        // Data-plane mode: one gather-send of up to
+                        // bulkBatchRecords record-sized spans straight
+                        // off the shared payload buffer — no per-record
+                        // Bytes copy, and sweeping the shard flushes
+                        // every streaming session back to back.
+                        iov.clear();
+                        size_t remaining = cfg.bulkBytes - c.bulkSent;
+                        size_t batched = 0;
+                        while (iov.size() < cfg.bulkBatchRecords &&
+                               remaining) {
+                            size_t n = std::min(cfg.recordBytes,
+                                                remaining);
+                            iov.emplace_back(payload.data(), n);
+                            remaining -= n;
+                            batched += n;
+                        }
+                        c.client->writeApplicationData(iov.data(),
+                                                       iov.size());
+                        c.bulkSent += batched;
+                        ++stats.dataPlaneFlushes;
+                        stats.dataPlaneRecords += iov.size();
+                    } else {
+                        size_t n = std::min(cfg.recordBytes,
+                                            cfg.bulkBytes - c.bulkSent);
+                        c.client->writeApplicationData(
+                            Bytes(payload.begin(), payload.begin() + n));
+                        c.bulkSent += n;
+                    }
                     p = true;
                 }
                 while (auto data = c.server->readApplicationData()) {
@@ -456,6 +503,7 @@ struct ServeEngine::Impl
                 cfg.tolerateFailures || cfg.faultPlan != nullptr;
             const auto worker_key = cloneKey();
             const Bytes payload(cfg.recordBytes, 0xab);
+            std::vector<ConstSpan> iovScratch; // reused across pumps
             std::vector<std::unique_ptr<Conn>> slots(
                 cfg.concurrentPerWorker);
             size_t started = 0;
@@ -490,7 +538,8 @@ struct ServeEngine::Impl
                     bool p = false;
                     t_activeTrace = slot->trace.get();
                     try {
-                        p = pumpConn(*slot, payload, stats);
+                        p = pumpConn(*slot, payload, iovScratch,
+                                     stats);
                     } catch (const ssl::SslError &) {
                         t_activeTrace = nullptr;
                         if (!tolerate)
@@ -614,6 +663,8 @@ struct ServeEngine::Impl
         flush("serve.timed_out_sessions", stats.timedOutSessions);
         flush("serve.evicted_sessions", stats.evictedSessions);
         flush("serve.faults_injected", stats.faultsInjected);
+        flush("serve.dataplane_flushes", stats.dataPlaneFlushes);
+        flush("serve.dataplane_records", stats.dataPlaneRecords);
     }
 };
 

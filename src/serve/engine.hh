@@ -57,6 +57,15 @@ struct ServeConfig
     size_t bulkBytes = 0;
     /** Bytes per application-data write during the bulk phase. */
     size_t recordBytes = 4096;
+    /**
+     * Data-plane session mode: when > 0, the bulk phase batches up to
+     * this many record-sized spans into ONE gather-send per session per
+     * sweep (writev-backed sendMany), instead of one copying write per
+     * record. Sweeping the shard then flushes every streaming session
+     * back to back — the cross-session batched flush. 0 = legacy
+     * per-record writes.
+     */
+    size_t bulkBatchRecords = 0;
     ssl::CipherSuiteId suite = ssl::CipherSuiteId::RSA_3DES_EDE_CBC_SHA;
     /**
      * Crypto pool for asynchronous RSA offload; null keeps the
@@ -86,6 +95,13 @@ struct ServeConfig
      * (failed/timed out) and frees the slot instead of aborting.
      */
     const ssl::FaultPlan *faultPlan = nullptr;
+    /**
+     * Optional distinct plan for the server→client direction. Ignored
+     * unless faultPlan is also set; when given, client→server records
+     * fault under faultPlan and the reverse direction under this plan
+     * (e.g. a lossy upstream against a clean downstream).
+     */
+    const ssl::FaultPlan *faultPlanReverse = nullptr;
     /**
      * Virtual-tick handshake deadline: sweeps a connection may exist
      * before both sides reach handshakeDone (0 = no deadline; set to a
@@ -170,6 +186,10 @@ struct WorkerStats
     uint64_t evictedSessions = 0;
     /** FaultyBio mutations injected across this worker's channels. */
     uint64_t faultsInjected = 0;
+    /** Batched data-plane gather-sends issued (bulkBatchRecords > 0). */
+    uint64_t dataPlaneFlushes = 0;
+    /** Record-sized spans moved through those batched sends. */
+    uint64_t dataPlaneRecords = 0;
 };
 
 /** Aggregate results of a run. */
@@ -194,6 +214,8 @@ struct ServeStats
     uint64_t timedOutSessions() const;
     uint64_t evictedSessions() const;
     uint64_t faultsInjected() const;
+    uint64_t dataPlaneFlushes() const;
+    uint64_t dataPlaneRecords() const;
 
     /**
      * Every session's terminal outcome, summed: completed (full or

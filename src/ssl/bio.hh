@@ -17,6 +17,7 @@
 
 #include <cstdint>
 
+#include "util/iovec.hh"
 #include "util/types.hh"
 
 namespace ssla::ssl
@@ -38,6 +39,14 @@ class MemBio
      */
     virtual bool write(const uint8_t *data, size_t len);
     bool write(const Bytes &data) { return write(data.data(), data.size()); }
+
+    /**
+     * Gather-write a scatter list in one call. The vector is accepted
+     * or refused *whole* against maxBuffered() — a record handed down
+     * as header+payload slices is never split across a would-block, the
+     * same whole-record refusal write() gives a contiguous record.
+     */
+    virtual bool writev(const ConstSpan *iov, size_t iovcnt);
 
     /** Consume up to @p len bytes; returns the number read. */
     virtual size_t read(uint8_t *out, size_t len);
@@ -85,6 +94,9 @@ class BioEndpoint
     /** Write to the outbound queue; false = would-block (cap hit). */
     bool write(const uint8_t *data, size_t len);
     bool write(const Bytes &data) { return write(data.data(), data.size()); }
+
+    /** Gather-write; whole-vector accept-or-refuse (see MemBio). */
+    bool writev(const ConstSpan *iov, size_t iovcnt);
     size_t read(uint8_t *out, size_t len) { return in_->read(out, len); }
     size_t peek(uint8_t *out, size_t len) const
     {

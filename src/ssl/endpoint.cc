@@ -287,6 +287,14 @@ SslEndpoint::writeApplicationData(const Bytes &data)
     record_.send(ContentType::ApplicationData, data);
 }
 
+void
+SslEndpoint::writeApplicationData(const ConstSpan *iov, size_t iovcnt)
+{
+    if (!done_)
+        throw std::logic_error("writeApplicationData before handshake");
+    record_.sendMany(ContentType::ApplicationData, iov, iovcnt);
+}
+
 std::optional<Bytes>
 SslEndpoint::readApplicationData()
 {

@@ -142,6 +142,13 @@ class SslEndpoint
     void writeApplicationData(const Bytes &data);
 
     /**
+     * Gather-send application data: the concatenation of @p iov goes
+     * out as one fragmented record stream with no caller-side
+     * concatenation (the zero-copy data-plane entry point).
+     */
+    void writeApplicationData(const ConstSpan *iov, size_t iovcnt);
+
+    /**
      * Fetch decrypted application data. Returns nullopt when no
      * complete record is available; check peerClosed() for clean EOF.
      */

@@ -52,6 +52,17 @@ FaultyBio::write(const uint8_t *data, size_t len)
     return true;
 }
 
+bool
+FaultyBio::writev(const ConstSpan *iov, size_t iovcnt)
+{
+    for (size_t i = 0; i < iovcnt; ++i)
+        assembly_.insert(assembly_.end(), iov[i].data(),
+                         iov[i].data() + iov[i].size());
+    frameRecords();
+    drain();
+    return true;
+}
+
 void
 FaultyBio::frameRecords()
 {
@@ -199,8 +210,13 @@ FaultyBio::consume(size_t len)
 // FaultyBioPair
 
 FaultyBioPair::FaultyBioPair(const FaultPlan &plan)
-    : clientToServer_(plan, /*seed_mix=*/0xc25ull),
-      serverToClient_(plan, /*seed_mix=*/0x52cull)
+    : FaultyBioPair(plan, plan)
+{
+}
+
+FaultyBioPair::FaultyBioPair(const FaultPlan &c2s, const FaultPlan &s2c)
+    : clientToServer_(c2s, /*seed_mix=*/0xc25ull),
+      serverToClient_(s2c, /*seed_mix=*/0x52cull)
 {
 }
 

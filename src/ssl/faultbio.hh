@@ -105,6 +105,14 @@ class FaultyBio : public MemBio
     /** Frame, mutate and stage @p len bytes; always accepts. */
     bool write(const uint8_t *data, size_t len) override;
 
+    /**
+     * Gather-writes funnel through the same fault framing. Without
+     * this override the base writev would append slices directly —
+     * bypassing record reassembly and wrongly applying the
+     * delivery-side cap to the adversary's always-accepting side.
+     */
+    bool writev(const ConstSpan *iov, size_t iovcnt) override;
+
     /** Advance virtual time one step and deliver due records. */
     void tick();
 
@@ -156,14 +164,20 @@ class FaultyBio : public MemBio
 };
 
 /**
- * A BioPair with a FaultyBio in each direction. Both directions share
- * the plan but draw from independently seeded PRNGs, so client→server
- * and server→client fault sequences are uncorrelated.
+ * A BioPair with a FaultyBio in each direction. With one plan both
+ * directions share it but draw from independently seeded PRNGs, so
+ * client→server and server→client fault sequences are uncorrelated;
+ * the two-plan form faults each direction under its own plan (e.g. a
+ * lossy upstream against a clean downstream).
  */
 class FaultyBioPair
 {
   public:
     explicit FaultyBioPair(const FaultPlan &plan);
+
+    /** Asymmetric pair: @p c2s governs client→server, @p s2c the
+     *  reverse direction. */
+    FaultyBioPair(const FaultPlan &c2s, const FaultPlan &s2c);
 
     BioEndpoint
     clientEnd()

@@ -1,5 +1,7 @@
 #include "ssl/record.hh"
 
+#include <cstring>
+
 #include "util/bytes.hh"
 
 namespace ssla::ssl
@@ -13,6 +15,8 @@ RecordCounters::resolve(obs::MetricsRegistry &reg)
     c.bytesOut = reg.counter("record.bytes_out");
     c.recordsIn = reg.counter("record.records_in");
     c.bytesIn = reg.counter("record.bytes_in");
+    c.scratchGrows = reg.counter("record.scratch_grows");
+    c.pendingSpills = reg.counter("record.pending_spills");
     return c;
 }
 
@@ -29,8 +33,10 @@ ssl3Mac(crypto::DigestAlg alg, const Bytes &secret, uint64_t seq,
         uint8_t type, const uint8_t *data, size_t len)
 {
     crypto::RecordMacSpec spec{alg, secret, ssl3Version};
-    return crypto::defaultProvider().recordMac(spec, seq, type, data,
-                                               len);
+    Bytes mac(crypto::maxRecordMacLen);
+    mac.resize(crypto::defaultProvider().recordMac(
+        spec, seq, type, ConstSpan{data, len}, mac.data()));
+    return mac;
 }
 
 Bytes
@@ -38,8 +44,10 @@ tls1Mac(crypto::DigestAlg alg, const Bytes &secret, uint64_t seq,
         uint8_t type, uint16_t version, const uint8_t *data, size_t len)
 {
     crypto::RecordMacSpec spec{alg, secret, version};
-    return crypto::defaultProvider().recordMac(spec, seq, type, data,
-                                               len);
+    Bytes mac(crypto::maxRecordMacLen);
+    mac.resize(crypto::defaultProvider().recordMac(
+        spec, seq, type, ConstSpan{data, len}, mac.data()));
+    return mac;
 }
 
 void
@@ -52,12 +60,12 @@ RecordLayer::setVersion(uint16_t version)
     versionLocked_ = true;
 }
 
-Bytes
+size_t
 RecordLayer::computeMac(const RecordCipherState &dir, uint8_t type,
-                        const uint8_t *data, size_t len,
-                        uint64_t seq) const
+                        ConstSpan data, uint64_t seq,
+                        uint8_t *out) const
 {
-    return dir.provider->recordMac(dir.macSpec, seq, type, data, len);
+    return dir.provider->recordMac(dir.macSpec, seq, type, data, out);
 }
 
 void
@@ -113,9 +121,7 @@ void
 RecordLayer::sendMany(ContentType type,
                       const std::span<const uint8_t> *iov, size_t iovcnt)
 {
-    size_t total = 0;
-    for (size_t i = 0; i < iovcnt; ++i)
-        total += iov[i].size();
+    size_t total = iovTotalBytes(iov, iovcnt);
 
     if (send_.active() && provider_->pipelined() && total > maxFragment) {
         sendPipelined(type, iov, iovcnt);
@@ -123,55 +129,45 @@ RecordLayer::sendMany(ContentType type,
     }
 
     // Synchronous path: one fragment at a time, exactly the classic
-    // MAC(n) -> encrypt(n) -> MAC(n+1) -> ... sequence. Fragments that
-    // lie within a single buffer are sent in place; a fragment
-    // straddling buffers is gathered into scratch first.
-    Bytes scratch;
-    size_t buf = 0, off = 0, sent = 0;
+    // MAC(n) -> encrypt(n) -> MAC(n+1) -> ... sequence, with each
+    // record laid out and sealed in the reusable arena (cipher on) or
+    // gather-written straight from the caller's spans (plaintext).
+    IoVecCursor cur(iov, iovcnt);
+    size_t sent = 0;
     do {
         size_t chunk = std::min(total - sent, maxFragment);
-        while (buf < iovcnt && off == iov[buf].size()) {
-            ++buf;
-            off = 0;
-        }
-        if (buf < iovcnt && iov[buf].size() - off >= chunk) {
-            sendOne(type, iov[buf].data() + off, chunk);
-            off += chunk;
-        } else {
-            scratch.clear();
-            size_t need = chunk;
-            while (need) {
-                size_t take =
-                    std::min(need, iov[buf].size() - off);
-                append(scratch, iov[buf].data() + off, take);
-                off += take;
-                need -= take;
-                if (off == iov[buf].size() && need) {
-                    ++buf;
-                    off = 0;
-                }
-            }
-            sendOne(type, scratch.data(), chunk);
-        }
+        if (send_.active())
+            sendCipherRecord(type, cur, chunk);
+        else
+            sendPlainRecord(type, cur, chunk);
         sent += chunk;
     } while (sent < total);
 }
 
 void
-RecordLayer::sealFragment(Bytes &fragment, const Bytes &mac)
+RecordLayer::fillHeader(uint8_t *hdr, ContentType type,
+                        size_t frag_len) const
 {
-    append(fragment, mac);
+    hdr[0] = static_cast<uint8_t>(type);
+    hdr[1] = static_cast<uint8_t>(version_ >> 8);
+    hdr[2] = static_cast<uint8_t>(version_);
+    hdr[3] = static_cast<uint8_t>(frag_len >> 8);
+    hdr[4] = static_cast<uint8_t>(frag_len);
+}
+
+size_t
+RecordLayer::padAndEncrypt(uint8_t *frag, size_t len)
+{
     size_t block = send_.suite->blockLen();
     if (block > 1) {
         // SSLv3 padding: fill to a block multiple; the final byte
         // counts the padding bytes before it.
-        size_t total = fragment.size() + 1;
-        size_t pad = (block - total % block) % block;
-        fragment.insert(fragment.end(), pad + 1,
-                        static_cast<uint8_t>(pad));
+        size_t pad = (block - (len + 1) % block) % block;
+        std::memset(frag + len, static_cast<int>(pad), pad + 1);
+        len += pad + 1;
     }
-    send_.cipher->process(fragment.data(), fragment.data(),
-                          fragment.size());
+    send_.cipher->process(frag, frag, len);
+    return len;
 }
 
 bool
@@ -189,24 +185,22 @@ RecordLayer::flushPendingOutput()
 }
 
 void
-RecordLayer::writeRecord(ContentType type, const Bytes &fragment,
-                         size_t payload_len)
+RecordLayer::deliver(const ConstSpan *iov, size_t iovcnt,
+                     size_t payload_len)
 {
-    // One contiguous wire image per record: the transport either takes
-    // the whole record or none of it, so a capped bio can never hold a
-    // torn record, and a refused record queues for in-order retry.
-    Bytes wire;
-    wire.reserve(5 + fragment.size());
-    wire.push_back(static_cast<uint8_t>(type));
-    wire.push_back(static_cast<uint8_t>(version_ >> 8));
-    wire.push_back(static_cast<uint8_t>(version_));
-    wire.push_back(static_cast<uint8_t>(fragment.size() >> 8));
-    wire.push_back(static_cast<uint8_t>(fragment.size()));
-    wire.insert(wire.end(), fragment.begin(), fragment.end());
-
+    // The transport takes the whole record or none of it: a capped bio
+    // can never hold a torn record, and a refused record flattens into
+    // the in-order retry queue (sequence numbers are already burned).
     flushPendingOutput();
-    if (!pendingOut_.empty() || !bio_.write(wire.data(), wire.size()))
+    if (!pendingOut_.empty() || !bio_.writev(iov, iovcnt)) {
+        Bytes wire;
+        wire.reserve(iovTotalBytes(iov, iovcnt));
+        for (size_t i = 0; i < iovcnt; ++i)
+            wire.insert(wire.end(), iov[i].data(),
+                        iov[i].data() + iov[i].size());
         pendingOut_.push_back(std::move(wire));
+        obs_->pendingSpills.inc();
+    }
     bytesSent_ += payload_len;
     ++recordsSent_;
     obs_->recordsOut.inc();
@@ -214,21 +208,53 @@ RecordLayer::writeRecord(ContentType type, const Bytes &fragment,
 }
 
 void
-RecordLayer::sendOne(ContentType type, const uint8_t *data, size_t len)
+RecordLayer::noteArenaGrowth()
 {
-    Bytes fragment;
-    if (send_.active()) {
-        // fragment = data || MAC || padding.
-        fragment.reserve(len + send_.suite->macLen() +
-                         send_.suite->blockLen());
-        fragment.assign(data, data + len);
-        Bytes mac = computeMac(send_, static_cast<uint8_t>(type), data,
-                               len, send_.seq++);
-        sealFragment(fragment, mac);
-    } else {
-        fragment.assign(data, data + len);
+    while (arenaGrowsSeen_ < arena_.grows()) {
+        ++arenaGrowsSeen_;
+        obs_->scratchGrows.inc();
     }
-    writeRecord(type, fragment, len);
+}
+
+void
+RecordLayer::sendPlainRecord(ContentType type, IoVecCursor &cur,
+                             size_t chunk)
+{
+    // Zero-copy: header on the stack, payload borrowed slice by slice
+    // from the caller's buffers, one gather-write for the record.
+    uint8_t hdr[5];
+    fillHeader(hdr, type, chunk);
+    iovScratch_.clear();
+    iovScratch_.emplace_back(hdr, 5);
+    size_t need = chunk;
+    while (need) {
+        ConstSpan piece = cur.takeUpTo(need);
+        iovScratch_.push_back(piece);
+        need -= piece.size();
+    }
+    deliver(iovScratch_.data(), iovScratch_.size(), chunk);
+}
+
+void
+RecordLayer::sendCipherRecord(ContentType type, IoVecCursor &cur,
+                              size_t chunk)
+{
+    // One arena image per record: header | payload | MAC | padding,
+    // MACed and encrypted in place. After warm-up the arena never
+    // reallocates, so the steady-state send path is heap-silent.
+    size_t mac_max = send_.suite->macLen();
+    size_t block = send_.suite->blockLen();
+    MutSpan wire = arena_.acquire(5 + chunk + mac_max + block);
+    noteArenaGrowth();
+    uint8_t *frag = wire.data() + 5;
+    cur.gather(frag, chunk);
+    size_t mac_len =
+        computeMac(send_, static_cast<uint8_t>(type),
+                   ConstSpan{frag, chunk}, send_.seq++, frag + chunk);
+    size_t frag_len = padAndEncrypt(frag, chunk + mac_len);
+    fillHeader(wire.data(), type, frag_len);
+    ConstSpan one{wire.data(), 5 + frag_len};
+    deliver(&one, 1, chunk);
 }
 
 void
@@ -239,51 +265,57 @@ RecordLayer::sendPipelined(ContentType type,
     // Stage every fragment, submit all MAC jobs to the engine, then
     // encrypt in record order: while record n is CBC-encrypted here,
     // the engine worker is already hashing record n+1 (Section 6.2).
+    // Staging buffers hold the full wire image (the engine writes the
+    // MAC directly into its slot) and are recycled through stagePool_,
+    // so steady-state bulk sends do not allocate either.
     struct Staged
     {
-        Bytes buf;
-        size_t len = 0;
+        Bytes buf;          ///< header | payload | MAC | pad image
+        size_t payload = 0;
         crypto::MacJob job;
     };
 
-    size_t total = 0;
-    for (size_t i = 0; i < iovcnt; ++i)
-        total += iov[i].size();
+    size_t total = iovTotalBytes(iov, iovcnt);
+    size_t mac_max = send_.suite->macLen();
+    size_t block = send_.suite->blockLen();
 
     std::vector<Staged> staged;
     staged.reserve((total + maxFragment - 1) / maxFragment);
 
-    size_t buf = 0, off = 0, sent = 0;
-    size_t mac_len = send_.suite->macLen();
-    size_t block = send_.suite->blockLen();
+    IoVecCursor cur(iov, iovcnt);
+    size_t sent = 0;
     while (sent < total) {
         size_t chunk = std::min(total - sent, maxFragment);
         Staged s;
-        s.len = chunk;
-        s.buf.reserve(chunk + mac_len + block);
-        size_t need = chunk;
-        while (need) {
-            while (off == iov[buf].size()) {
-                ++buf;
-                off = 0;
-            }
-            size_t take = std::min(need, iov[buf].size() - off);
-            append(s.buf, iov[buf].data() + off, take);
-            off += take;
-            need -= take;
+        if (!stagePool_.empty()) {
+            s.buf = std::move(stagePool_.back());
+            stagePool_.pop_back();
         }
+        size_t cap_before = s.buf.capacity();
+        // Full final size up front: the buffer must not move between
+        // submit and wait (the engine holds raw data/MAC pointers).
+        s.buf.resize(5 + chunk + mac_max + block);
+        if (s.buf.capacity() != cap_before)
+            obs_->scratchGrows.inc();
+        s.payload = chunk;
+        cur.gather(s.buf.data() + 5, chunk);
         staged.push_back(std::move(s));
         Staged &back = staged.back();
         back.job = provider_->submitRecordMac(
             send_.macSpec, send_.seq++, static_cast<uint8_t>(type),
-            back.buf.data(), back.len);
+            ConstSpan{back.buf.data() + 5, chunk},
+            back.buf.data() + 5 + chunk);
         sent += chunk;
     }
 
     for (Staged &s : staged) {
-        Bytes mac = s.job.wait();
-        sealFragment(s.buf, mac);
-        writeRecord(type, s.buf, s.len);
+        size_t mac_len = s.job.wait();
+        size_t frag_len =
+            padAndEncrypt(s.buf.data() + 5, s.payload + mac_len);
+        fillHeader(s.buf.data(), type, frag_len);
+        ConstSpan one{s.buf.data(), 5 + frag_len};
+        deliver(&one, 1, s.payload);
+        stagePool_.push_back(std::move(s.buf));
     }
 }
 
@@ -370,10 +402,12 @@ RecordLayer::receive()
                        "record: bad record MAC");
     data_len -= mac_len;
 
-    Bytes expect = computeMac(recv_, static_cast<uint8_t>(type),
-                              fragment.data(), data_len, recv_.seq++);
+    uint8_t expect[crypto::maxRecordMacLen];
+    computeMac(recv_, static_cast<uint8_t>(type),
+               ConstSpan{fragment.data(), data_len}, recv_.seq++,
+               expect);
     size_t mac_valid = static_cast<size_t>(constantTimeEquals(
-        expect.data(), fragment.data() + data_len, mac_len));
+        expect, fragment.data() + data_len, mac_len));
     if (!(pad_valid & mac_valid))
         throw SslError(AlertDescription::BadRecordMac,
                        "record: bad record MAC");

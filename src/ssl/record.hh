@@ -27,6 +27,7 @@
 #include "ssl/alert.hh"
 #include "ssl/bio.hh"
 #include "ssl/ciphersuite.hh"
+#include "util/iovec.hh"
 
 namespace ssla::ssl
 {
@@ -85,6 +86,14 @@ struct RecordCounters
     obs::Counter bytesOut;
     obs::Counter recordsIn;
     obs::Counter bytesIn;
+    /**
+     * Data-plane allocation events on the send path: scratch-arena /
+     * staging-buffer reallocations and whole-record spills into the
+     * would-block retry queue. Both must read zero over a steady-state
+     * window — the gate bench_serve_throughput asserts.
+     */
+    obs::Counter scratchGrows;
+    obs::Counter pendingSpills;
 
     /** Resolve the standard record.* names from @p reg. */
     static RecordCounters resolve(obs::MetricsRegistry &reg);
@@ -214,30 +223,56 @@ class RecordLayer
     uint64_t bytesSent() const { return bytesSent_; }
     uint64_t recordsSent() const { return recordsSent_; }
 
+    /** Send-side scratch-arena reallocations (0 once warmed up). */
+    uint64_t scratchGrows() const { return arena_.grows(); }
+
   private:
-    void sendOne(ContentType type, const uint8_t *data, size_t len);
+    /** Seal one cipher-protected record in the arena and deliver it:
+     *  gather payload at offset 5, MAC and pad behind it, encrypt in
+     *  place — one wire image, zero heap traffic once warm. */
+    void sendCipherRecord(ContentType type, IoVecCursor &cur,
+                          size_t chunk);
+
+    /** Deliver one plaintext record straight off the caller's spans
+     *  (stack header + borrowed payload slices, no copy at all). */
+    void sendPlainRecord(ContentType type, IoVecCursor &cur,
+                         size_t chunk);
 
     /** The overlapped multi-record path (pipelined providers). */
     void sendPipelined(ContentType type,
                        const std::span<const uint8_t> *iov,
                        size_t iovcnt);
 
-    /** Append MAC + padding to a staged fragment and encrypt it. */
-    void sealFragment(Bytes &fragment, const Bytes &mac);
+    /** Fill a 5-byte record header in place. */
+    void fillHeader(uint8_t *hdr, ContentType type,
+                    size_t frag_len) const;
 
-    /** Write the 5-byte header and the (sealed) fragment. */
-    void writeRecord(ContentType type, const Bytes &fragment,
-                     size_t payload_len);
+    /** Pad (CBC suites) and encrypt a fragment in place; @p len is
+     *  payload+MAC bytes at @p frag. Returns the sealed length. */
+    size_t padAndEncrypt(uint8_t *frag, size_t len);
 
-    /** MAC dispatch on the direction's provider and spec. */
-    Bytes computeMac(const RecordCipherState &dir, uint8_t type,
-                     const uint8_t *data, size_t len, uint64_t seq) const;
+    /** Hand one sealed record (as slices) to the transport; a refusal
+     *  flattens it into the in-order retry queue (a counted spill). */
+    void deliver(const ConstSpan *iov, size_t iovcnt,
+                 size_t payload_len);
+
+    /** MAC dispatch on the direction's provider and spec; writes into
+     *  @p out (≥ crypto::maxRecordMacLen) and returns the length. */
+    size_t computeMac(const RecordCipherState &dir, uint8_t type,
+                      ConstSpan data, uint64_t seq, uint8_t *out) const;
+
+    /** Mirror arena reallocations into the scratch-grows counter. */
+    void noteArenaGrowth();
 
     BioEndpoint bio_;
     crypto::Provider *provider_;
     RecordCipherState send_;
     RecordCipherState recv_;
     std::deque<Bytes> pendingOut_; ///< sealed records the bio refused
+    ScratchArena arena_;           ///< reusable wire image (sync path)
+    uint64_t arenaGrowsSeen_ = 0;  ///< grows already counted
+    std::vector<Bytes> stagePool_; ///< recycled pipelined staging bufs
+    std::vector<ConstSpan> iovScratch_; ///< reused plaintext slice list
     uint16_t version_ = ssl3Version;
     bool versionLocked_ = false;
     uint64_t bytesSent_ = 0;

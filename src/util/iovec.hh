@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Span vocabulary for the zero-copy data plane.
+ *
+ * The record send path moves bytes from application buffers onto the
+ * wire; every intermediate Bytes it materializes is a memcpy plus a
+ * heap allocation that the paper's Figure 2 charges against bulk
+ * transfer throughput. These types let the layers hand each other
+ * *views* instead of copies:
+ *
+ *  - ConstSpan / MutSpan: the basic currency (std::span aliases).
+ *  - IoVecCursor: walks a scatter list of ConstSpans in order, so the
+ *    record layer can fragment a gather-send without first
+ *    concatenating the buffers.
+ *  - ScratchArena: a per-session reusable flat buffer. Steady-state
+ *    records are laid out (header + payload + MAC + pad) and encrypted
+ *    in place inside the arena; after warm-up no send allocates. The
+ *    arena counts its growths so a bench can assert exactly that.
+ */
+
+#ifndef SSLA_UTIL_IOVEC_HH
+#define SSLA_UTIL_IOVEC_HH
+
+#include <cstring>
+#include <span>
+
+#include "util/types.hh"
+
+namespace ssla
+{
+
+/** A read-only view of raw bytes (the send path's input currency). */
+using ConstSpan = std::span<const uint8_t>;
+
+/** A writable view of raw bytes (arena-backed wire images). */
+using MutSpan = std::span<uint8_t>;
+
+/** Total byte count of a scatter list. */
+inline size_t
+iovTotalBytes(const ConstSpan *iov, size_t iovcnt)
+{
+    size_t total = 0;
+    for (size_t i = 0; i < iovcnt; ++i)
+        total += iov[i].size();
+    return total;
+}
+
+/**
+ * Forward-only cursor over a scatter list.
+ *
+ * contiguous(n) answers "do the next n bytes lie inside one slice?" —
+ * the zero-copy question; take()/gather() consume them either as a
+ * borrowed view or copied into caller storage.
+ */
+class IoVecCursor
+{
+  public:
+    IoVecCursor(const ConstSpan *iov, size_t iovcnt)
+        : iov_(iov), iovcnt_(iovcnt)
+    {
+        skipEmpty();
+    }
+
+    /** Bytes not yet consumed. */
+    size_t
+    remaining() const
+    {
+        size_t total = buf_ < iovcnt_ ? iov_[buf_].size() - off_ : 0;
+        for (size_t i = buf_ + 1; i < iovcnt_; ++i)
+            total += iov_[i].size();
+        return total;
+    }
+
+    /** True when the next @p n bytes lie within a single slice. */
+    bool
+    contiguous(size_t n) const
+    {
+        return buf_ < iovcnt_ && iov_[buf_].size() - off_ >= n;
+    }
+
+    /**
+     * Borrow the next @p n bytes as one view (requires
+     * contiguous(n)) and advance past them.
+     */
+    ConstSpan
+    take(size_t n)
+    {
+        ConstSpan view = iov_[buf_].subspan(off_, n);
+        off_ += n;
+        skipEmpty();
+        return view;
+    }
+
+    /**
+     * Borrow up to @p n bytes, bounded by the current slice — the
+     * largest view available without copying — and advance past them.
+     * Returns an empty view only when the cursor is exhausted.
+     */
+    ConstSpan
+    takeUpTo(size_t n)
+    {
+        if (buf_ >= iovcnt_)
+            return {};
+        return take(std::min(n, iov_[buf_].size() - off_));
+    }
+
+    /** Copy the next @p n bytes into @p dst and advance past them. */
+    void
+    gather(uint8_t *dst, size_t n)
+    {
+        while (n) {
+            size_t take = std::min(n, iov_[buf_].size() - off_);
+            std::memcpy(dst, iov_[buf_].data() + off_, take);
+            dst += take;
+            off_ += take;
+            n -= take;
+            skipEmpty();
+        }
+    }
+
+  private:
+    void
+    skipEmpty()
+    {
+        while (buf_ < iovcnt_ && off_ == iov_[buf_].size()) {
+            ++buf_;
+            off_ = 0;
+        }
+    }
+
+    const ConstSpan *iov_;
+    size_t iovcnt_;
+    size_t buf_ = 0;
+    size_t off_ = 0;
+};
+
+/**
+ * A reusable flat buffer with geometric growth and no shrinking.
+ *
+ * acquire(n) hands out a writable view of n bytes backed by storage
+ * that persists across calls; once the high-water mark is reached no
+ * further acquire allocates. grows() counts reallocations — the
+ * steady-state-zero gate of bench_serve_throughput.
+ */
+class ScratchArena
+{
+  public:
+    /** A writable view of @p n bytes (contents unspecified). */
+    MutSpan
+    acquire(size_t n)
+    {
+        if (buf_.size() < n) {
+            // Geometric growth so k distinct sizes cost O(log) grows.
+            size_t cap = buf_.size() ? buf_.size() : 256;
+            while (cap < n)
+                cap *= 2;
+            buf_.resize(cap);
+            ++grows_;
+        }
+        return MutSpan{buf_.data(), n};
+    }
+
+    /** Bytes of backing storage currently held. */
+    size_t capacity() const { return buf_.size(); }
+
+    /** Reallocations since construction (0 in steady state). */
+    uint64_t grows() const { return grows_; }
+
+  private:
+    Bytes buf_;
+    uint64_t grows_ = 0;
+};
+
+} // namespace ssla
+
+#endif // SSLA_UTIL_IOVEC_HH

@@ -318,6 +318,112 @@ WebSimulator::runSession(size_t requests, size_t file_size,
 }
 
 TransactionStats
+WebSimulator::runTunnel(size_t total_bytes, size_t chunk_bytes)
+{
+    Impl &im = *impl_;
+    if (chunk_bytes == 0)
+        throw std::invalid_argument("web sim: chunk_bytes == 0");
+    TransactionStats stats;
+    stats.transactions = 1;
+
+    ssl::BioPair wires;
+
+    ssl::ServerConfig scfg;
+    scfg.certificate = im.certificate;
+    scfg.privateKey = im.serverKey.priv;
+    scfg.suites = {im.config.suite};
+    scfg.sessionCache = &im.sessionCache;
+    scfg.randomPool = &im.pool;
+    scfg.provider = im.provider.get();
+
+    ssl::ClientConfig ccfg;
+    ccfg.suites = {im.config.suite};
+    ccfg.randomPool = &im.pool;
+    ccfg.provider = im.provider.get();
+
+    perf::PerfContext ctx;
+    uint64_t server_cycles = 0;
+
+    std::unique_ptr<ssl::SslServer> server;
+    {
+        perf::ContextScope scope(&ctx);
+        uint64_t t0 = rdcycles();
+        server = std::make_unique<ssl::SslServer>(scfg,
+                                                  wires.serverEnd());
+        server_cycles += rdcycles() - t0;
+    }
+    ssl::SslClient client(ccfg, wires.clientEnd());
+
+    while (!client.handshakeDone() || !server->handshakeDone()) {
+        bool progress = client.advance();
+        {
+            perf::ContextScope scope(&ctx);
+            uint64_t t0 = rdcycles();
+            progress |= server->advance();
+            server_cycles += rdcycles() - t0;
+        }
+        if (!progress)
+            throw std::runtime_error("web sim: handshake deadlock");
+    }
+
+    // Server -> client streaming: each chunk is handed down as two
+    // scattered spans of one shared payload buffer (no per-chunk
+    // assembly), the tunnel data plane in its zero-copy shape.
+    const Bytes payload(chunk_bytes, 0xd7);
+    uint64_t streamed = 0, received = 0;
+    while (streamed < total_bytes || received < total_bytes) {
+        if (streamed < total_bytes) {
+            size_t n = std::min<uint64_t>(chunk_bytes,
+                                          total_bytes - streamed);
+            perf::ContextScope scope(&ctx);
+            uint64_t t0 = rdcycles();
+            size_t half = n / 2;
+            ConstSpan iov[2] = {
+                ConstSpan{payload.data(), half},
+                ConstSpan{payload.data() + half, n - half}};
+            server->writeApplicationData(iov, 2);
+            server_cycles += rdcycles() - t0;
+            streamed += n;
+        }
+        while (auto chunk = client.readApplicationData())
+            received += chunk->size();
+        if (received > total_bytes)
+            throw std::runtime_error("web sim: tunnel over-delivered");
+    }
+
+    client.close();
+    {
+        perf::ContextScope scope(&ctx);
+        uint64_t t0 = rdcycles();
+        server->readApplicationData(); // observe the close_notify
+        server_cycles += rdcycles() - t0;
+    }
+
+    stats.sslTotal = server_cycles;
+    stats.cryptoPublic = ctx.cyclesFor(publicKeyProbes);
+    stats.cryptoPrivate = ctx.cyclesFor(privateKeyProbes);
+    stats.cryptoHash = ctx.cyclesFor(hashProbes);
+    stats.cryptoOther = ctx.cyclesFor(otherCryptoProbes);
+    stats.cryptoTotal = stats.cryptoPublic + stats.cryptoPrivate +
+                        stats.cryptoHash + stats.cryptoOther;
+
+    TrafficShape traffic;
+    traffic.wireBytes =
+        wires.clientBytesSent() + wires.serverBytesSent();
+    traffic.packets = estimatePackets(traffic.wireBytes,
+                                      im.config.model);
+    traffic.connections = 1;
+    traffic.requests = 1;
+    ModeledCycles modeled = modelNonSslCycles(traffic, im.config.model);
+    stats.kernelCycles = modeled.kernel;
+    stats.httpdCycles = modeled.httpd;
+    stats.otherCycles = modeled.other;
+    stats.wireBytes = traffic.wireBytes;
+    stats.packets = traffic.packets;
+    return stats;
+}
+
+TransactionStats
 WebSimulator::runWorkload(size_t count, size_t file_size,
                           double resume_fraction)
 {

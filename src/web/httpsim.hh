@@ -115,6 +115,17 @@ class WebSimulator
                                 bool resume_session = false);
 
     /**
+     * Execute one streaming tunnel: a single handshake, then the
+     * server pushes @p total_bytes of opaque payload to the client in
+     * gather-writes of @p chunk_bytes (a VPN-over-TLS / long download
+     * shape, where per-record data-plane overhead — not the handshake
+     * — bounds throughput). Each chunk goes out as scattered spans
+     * through the zero-copy send path. Cycle accounting as in
+     * runSession.
+     */
+    TransactionStats runTunnel(size_t total_bytes, size_t chunk_bytes);
+
+    /**
      * One complete HTTPS GET of @p path over a fresh connection,
      * returning the server's parsed response. "/metrics" hits the
      * Prometheus text endpoint (metrics of the configured registry);

@@ -143,6 +143,62 @@ TEST(FaultyBio, CapDefersDeliveryUntilReaderDrains)
     EXPECT_EQ(bio.stagedRecords(), 0u);
 }
 
+TEST(FaultyBio, AsymmetricPlansFaultOnlyTheLossyDirection)
+{
+    // Two-plan pair: a fully corrupting upstream against a clean
+    // downstream. Faults must land only on the configured direction
+    // and the clean side must deliver verbatim.
+    ssl::FaultPlan lossy;
+    lossy.corruptRate = 1.0;
+    lossy.seed = 21;
+    ssl::FaultPlan clean; // zero rates
+    clean.seed = 22;
+    ssl::FaultyBioPair wires(lossy, clean);
+
+    Bytes rec = {23, 3, 0, 0, 3, 0x11, 0x22, 0x33};
+    wires.clientEnd().write(rec);  // client→server: lossy plan
+    wires.serverEnd().write(rec);  // server→client: clean plan
+
+    EXPECT_GT(wires.clientToServerCounts().corrupted, 0u);
+    EXPECT_EQ(wires.serverToClientCounts().injected(), 0u);
+
+    Bytes down(rec.size());
+    wires.clientEnd().read(down.data(), down.size());
+    EXPECT_EQ(down, rec); // downstream untouched
+
+    Bytes up(rec.size());
+    wires.serverEnd().read(up.data(), up.size());
+    EXPECT_NE(up, rec); // upstream corrupted
+}
+
+TEST(FaultyBio, WritevFunnelsThroughFaultFraming)
+{
+    // Gather writes must hit the same record framing as scalar writes:
+    // a record delivered across two slices is still one fault unit.
+    ssl::FaultPlan plan;
+    plan.corruptRate = 1.0;
+    plan.seed = 31;
+    ssl::FaultyBio bio(plan);
+
+    Bytes head = {23, 3, 0, 0, 4};
+    Bytes body = {0xa1, 0xa2, 0xa3, 0xa4};
+    ConstSpan iov[] = {ConstSpan{head.data(), head.size()},
+                       ConstSpan{body.data(), body.size()}};
+    EXPECT_TRUE(bio.writev(iov, 2)); // adversary always accepts
+    EXPECT_EQ(bio.counts().records, 1u);
+    EXPECT_EQ(bio.counts().corrupted, 1u);
+
+    Bytes out(head.size() + body.size());
+    EXPECT_EQ(bio.read(out.data(), out.size()), out.size());
+    Bytes sent = head;
+    append(sent, body);
+    EXPECT_NE(out, sent); // exactly one byte differs
+    size_t diffs = 0;
+    for (size_t i = 0; i < out.size(); ++i)
+        diffs += out[i] != sent[i];
+    EXPECT_EQ(diffs, 1u);
+}
+
 // ---------------------------------------------------------------------
 // MemBio backpressure (the bounded receive window)
 
@@ -724,6 +780,35 @@ TEST(ChaosEngine, FaultsWithSaturatedPoolStillTerminate)
     serve::ServeEngine engine(std::move(cfg));
     serve::ServeStats stats = engine.run();
     EXPECT_EQ(stats.terminatedSessions(), 300u);
+}
+
+TEST(ChaosEngine, AsymmetricPlansEverySessionTerminates)
+{
+    // Chaos-matrix row: a lossy upstream (client→server under the
+    // mixed plan) against a clean downstream (faultPlanReverse with
+    // zero rates). Every injected fault therefore lands on the
+    // client→server direction, the session invariant still holds, and
+    // a clean-downstream run must complete at least as often as not —
+    // the asymmetric shape a real lossy uplink presents.
+    const uint64_t seed = chaosSeed() ^ 0xa57e;
+    ssl::FaultPlan lossy = ssl::FaultPlan::mixed(seed, 0.05);
+    ssl::FaultPlan clean;
+    clean.seed = seed ^ 1;
+    serve::ServeConfig cfg;
+    cfg.certificate = &test::testServerCert512();
+    cfg.privateKey = test::testKey512().priv;
+    cfg.workers = 2;
+    cfg.connectionsPerWorker = 400;
+    cfg.concurrentPerWorker = 8;
+    cfg.resumeFraction = 0.25;
+    cfg.seed = seed;
+    cfg.faultPlan = &lossy;
+    cfg.faultPlanReverse = &clean;
+    serve::ServeEngine engine(std::move(cfg));
+    serve::ServeStats stats = engine.run();
+    EXPECT_EQ(stats.terminatedSessions(), 800u);
+    EXPECT_GT(stats.fullHandshakes() + stats.resumedHandshakes(), 0u);
+    EXPECT_GT(stats.faultsInjected(), 0u);
 }
 
 TEST(ChaosEngine, CleanRunWithDeadlinesLosesNothing)

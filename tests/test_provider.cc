@@ -90,9 +90,9 @@ TEST(InstrumentedProvider, ProbeCountsMatchOperations)
         for (int i = 0; i < 3; ++i)
             enc->process(data.data(), data.data(), data.size());
         dec->process(data.data(), data.data(), data.size());
+        uint8_t mac[crypto::maxRecordMacLen];
         for (int i = 0; i < 5; ++i)
-            instrumented->recordMac(spec, i, 23, data.data(),
-                                    data.size());
+            instrumented->recordMac(spec, i, 23, ConstSpan{data}, mac);
     }
 
     const auto &counters = ctx.counters();
@@ -125,10 +125,14 @@ TEST(InstrumentedProvider, OutputsMatchScalarKernels)
     for (uint16_t version : {ssl3Version, tls1Version}) {
         crypto::RecordMacSpec spec{crypto::DigestAlg::SHA1,
                                    Bytes(20, 0x5c), version};
-        EXPECT_EQ(instrumented->recordMac(spec, 7, 23, data.data(),
-                                          data.size()),
-                  scalar.recordMac(spec, 7, 23, data.data(),
-                                   data.size()))
+        uint8_t mac_a[crypto::maxRecordMacLen];
+        uint8_t mac_b[crypto::maxRecordMacLen];
+        size_t len_a =
+            instrumented->recordMac(spec, 7, 23, ConstSpan{data}, mac_a);
+        size_t len_b =
+            scalar.recordMac(spec, 7, 23, ConstSpan{data}, mac_b);
+        ASSERT_EQ(len_a, len_b) << "version " << version;
+        EXPECT_EQ(Bytes(mac_a, mac_a + len_a), Bytes(mac_b, mac_b + len_b))
             << "version " << version;
     }
 }
@@ -141,14 +145,22 @@ TEST(PipelinedProvider, SubmittedMacMatchesSynchronous)
     for (uint16_t version : {ssl3Version, tls1Version}) {
         crypto::RecordMacSpec spec{crypto::DigestAlg::SHA1,
                                    rng.bytes(20), version};
-        Bytes sync = engine.recordMac(spec, 3, 23, data.data(),
-                                      data.size());
-        crypto::MacJob job = engine.submitRecordMac(spec, 3, 23,
-                                                    data.data(),
-                                                    data.size());
-        EXPECT_EQ(job.wait(), sync) << "version " << version;
-        EXPECT_EQ(sync, crypto::scalarProvider().recordMac(
-                            spec, 3, 23, data.data(), data.size()));
+        uint8_t sync[crypto::maxRecordMacLen];
+        size_t sync_len =
+            engine.recordMac(spec, 3, 23, ConstSpan{data}, sync);
+        uint8_t async_mac[crypto::maxRecordMacLen];
+        crypto::MacJob job = engine.submitRecordMac(
+            spec, 3, 23, ConstSpan{data}, async_mac);
+        size_t async_len = job.wait();
+        ASSERT_EQ(async_len, sync_len) << "version " << version;
+        EXPECT_EQ(Bytes(async_mac, async_mac + async_len),
+                  Bytes(sync, sync + sync_len))
+            << "version " << version;
+        uint8_t ref[crypto::maxRecordMacLen];
+        size_t ref_len = crypto::scalarProvider().recordMac(
+            spec, 3, 23, ConstSpan{data}, ref);
+        ASSERT_EQ(ref_len, sync_len);
+        EXPECT_EQ(Bytes(ref, ref + ref_len), Bytes(sync, sync + sync_len));
     }
 }
 

@@ -232,6 +232,106 @@ TEST(Record, EmptyPayloadStillProducesRecord)
     EXPECT_TRUE(rec->payload.empty());
 }
 
+/** Split @p data into three uneven spans for the gather entry. */
+size_t
+threeSpans(const Bytes &data, ConstSpan *iov)
+{
+    size_t a = data.size() / 3, b = data.size() / 2;
+    iov[0] = ConstSpan{data.data(), a};
+    iov[1] = ConstSpan{data.data() + a, b - a};
+    iov[2] = ConstSpan{data.data() + b, data.size() - b};
+    return 3;
+}
+
+TEST(Record, SpanPathFragmentationBoundary)
+{
+    // The gather entry must fragment the *concatenation* of the spans:
+    // 16384 bytes is exactly one record, 16385 is two (the second
+    // carrying the single spilled byte) — regardless of where the
+    // slice boundaries fall. Checked both encrypted and in plaintext
+    // (the plaintext path borrows the caller's slices via writev).
+    for (bool armed : {true, false}) {
+        for (size_t total : {maxFragment, maxFragment + 1}) {
+            RecordHarness h;
+            if (armed)
+                h.arm(CipherSuiteId::RSA_AES_128_CBC_SHA, total);
+            Xoshiro256 rng(total * 7 + armed);
+            Bytes payload = rng.bytes(total);
+            ConstSpan iov[3];
+            h.client.sendMany(ContentType::ApplicationData, iov,
+                              threeSpans(payload, iov));
+            Bytes got;
+            std::vector<size_t> sizes;
+            while (auto rec = h.server.receive()) {
+                sizes.push_back(rec->payload.size());
+                append(got, rec->payload);
+            }
+            EXPECT_EQ(got, payload) << "total=" << total;
+            if (total == maxFragment) {
+                ASSERT_EQ(sizes.size(), 1u);
+                EXPECT_EQ(sizes[0], maxFragment);
+            } else {
+                ASSERT_EQ(sizes.size(), 2u);
+                EXPECT_EQ(sizes[0], maxFragment);
+                EXPECT_EQ(sizes[1], 1u);
+            }
+        }
+    }
+}
+
+TEST(Record, SendManyWouldBlockMidVectorQueuesWholeRecords)
+{
+    // Bulk gather-send against a capped transport: when maxBuffered
+    // trips mid-vector, every refused record must spill *whole* into
+    // the retry queue (writev is accept-or-refuse), keep wire order,
+    // and drain losslessly once the reader frees space.
+    MemBio c2s, s2c;
+    c2s.setMaxBuffered(20000); // one ~16.4 KB wire record fits, not two
+    RecordLayer sender{BioEndpoint(&s2c, &c2s)};
+    RecordLayer receiver{BioEndpoint(&c2s, &s2c)};
+    const CipherSuite &suite =
+        cipherSuite(CipherSuiteId::RSA_AES_128_CBC_SHA);
+    Xoshiro256 rng(0x5117);
+    Bytes mac = rng.bytes(suite.macLen());
+    Bytes key = rng.bytes(suite.keyLen());
+    Bytes iv = rng.bytes(suite.ivLen());
+    sender.enableSendCipher(suite, mac, key, iv);
+    receiver.enableRecvCipher(suite, mac, key, iv);
+
+    obs::MetricsRegistry registry;
+    RecordCounters counters = RecordCounters::resolve(registry);
+    sender.bindCounters(&counters);
+
+    Bytes payload = rng.bytes(40000); // fragments into 3 records
+    ConstSpan iov[3];
+    sender.sendMany(ContentType::ApplicationData, iov,
+                    threeSpans(payload, iov));
+
+    // Record 1 fit under the cap; records 2 and 3 spilled whole.
+    EXPECT_TRUE(sender.outputBlocked());
+    EXPECT_EQ(sender.pendingOutputRecords(), 2u);
+    EXPECT_EQ(registry.snapshot().counter("record.pending_spills"),
+              2u);
+    EXPECT_GT(c2s.blockedWrites(), 0u);
+
+    Bytes got;
+    for (int sweep = 0; sweep < 100 && got.size() < payload.size();
+         ++sweep) {
+        while (auto rec = receiver.receive())
+            append(got, rec->payload);
+        sender.flushPendingOutput();
+    }
+    EXPECT_EQ(got, payload);
+    EXPECT_FALSE(sender.outputBlocked());
+    // Sends while blocked must queue behind the backlog, never jump
+    // the sequence-number order.
+    Bytes tail = rng.bytes(100);
+    sender.send(ContentType::ApplicationData, tail);
+    auto rec = receiver.receive();
+    ASSERT_TRUE(rec);
+    EXPECT_EQ(rec->payload, tail);
+}
+
 /**
  * Hand-build an encrypted AES-CBC record whose decrypted fragment is
  * exactly @p plaintext, and feed it to a fresh receiver armed with the

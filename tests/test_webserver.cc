@@ -171,6 +171,19 @@ TEST_F(WebSimTest, LongSessionIsBulkDominated)
     EXPECT_GT(s.cryptoPrivate, s.cryptoPublic);
 }
 
+TEST_F(WebSimTest, TunnelStreamsAllBytesThroughGatherSends)
+{
+    // The streaming-tunnel workload: one handshake, then the server
+    // pushes the whole volume in scattered chunk writes. A non-chunk-
+    // multiple total exercises the short final gather.
+    TransactionStats s = sim().runTunnel(100000, 8192);
+    EXPECT_EQ(s.transactions, 1u);
+    EXPECT_GT(s.wireBytes, 100000u); // payload + record + hs overhead
+    EXPECT_GT(s.cryptoPrivate, s.cryptoPublic); // bulk dominated
+    EXPECT_GT(s.kernelCycles, 0.0);
+    EXPECT_THROW(sim().runTunnel(1024, 0), std::invalid_argument);
+}
+
 TEST(WebSim, DifferentSuitesWork)
 {
     WebSimConfig cfg;

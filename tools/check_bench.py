@@ -1,0 +1,169 @@
+#!/usr/bin/env python3
+"""Validate BENCH_*.json artifacts emitted by the bench binaries.
+
+Every bench that writes a JSON document carries one or more *gate*
+fields — the booleans its own exit code is derived from — plus numeric
+results CI archives. A refactor that breaks a JsonWriter call site (or
+a gate that silently becomes NaN through a zero-division) should fail
+the smoke job even when the binary's exit code still reads 0, so this
+checker re-validates the artifacts from the outside:
+
+  * the file parses as strict JSON (no NaN/Infinity literals anywhere);
+  * the document's "bench" field selects a known schema;
+  * every gate field for that schema is present, bool-typed and true;
+  * every required field path exists and numeric leaves are finite.
+
+Usage: check_bench.py FILE [FILE...]
+Exit status: 0 when every artifact passes, 1 otherwise.
+"""
+
+import json
+import math
+import sys
+
+# Per-bench schema: gate fields must be present, bool and True; the
+# required paths must merely exist (with finite numeric leaves). A path
+# component of "*" fans out over every element of a list, which must be
+# non-empty.
+SCHEMAS = {
+    "engine_pipeline": {
+        "gates": ["all_wire_identical", "overlap_win_demonstrated"],
+        "required": [
+            "cycle_hz",
+            "results.*.cpu_ratio",
+            "results.*.scalar.cpu_cycles_per_byte",
+            "results.*.pipelined.cpu_cycles_per_byte",
+        ],
+    },
+    "serve_scale": {
+        "gates": ["all_completed"],
+        "required": [
+            "results.*.full_handshakes",
+            "results.*.elapsed_sec",
+            "results.*.bulk_mb_per_sec",
+            "metrics_overhead.overhead_ratio",
+        ],
+    },
+    "serve_degradation": {
+        "gates": ["all_accounted", "clean_baseline_ok"],
+        # The results array mixes per-rate cells with per-mode summary
+        # rows (monotone_goodput), so only the shared key is required.
+        "required": [
+            "results.*.pool_mode",
+        ],
+    },
+    "kx_matrix": {
+        # The kx bench gates via its exit code on wire identity per
+        # cell; the artifact exposes the per-cell flag.
+        "gates": [],
+        "required": [
+            "cells.*.wire_identical",
+            "cells.*.layers_kc.total",
+        ],
+    },
+    "serve_throughput": {
+        "gates": [
+            "gate.pass",
+            "gate.wire_identical",
+            "gate.steady_state_zero",
+            "gate.engine_completed",
+        ],
+        "required": [
+            "results.*.record_layer.records_per_sec",
+            "results.*.record_layer.mb_per_sec",
+            "results.*.serve_engine.records_per_sec_per_worker",
+            "results.*.serve_engine.mb_per_sec_per_worker",
+            "steady_state.*.scratch_grows",
+            "steady_state.*.pending_spills",
+            "wire_identity.*.identical",
+        ],
+    },
+}
+
+
+def resolve(doc, path):
+    """Yield every value at dotted @p path, fanning out over '*'."""
+    nodes = [doc]
+    for part in path.split("."):
+        nxt = []
+        for node in nodes:
+            if part == "*":
+                if not isinstance(node, list) or not node:
+                    raise KeyError(f"{path}: expected non-empty list")
+                nxt.extend(node)
+            else:
+                if not isinstance(node, dict) or part not in node:
+                    raise KeyError(f"{path}: missing '{part}'")
+                nxt.append(node[part])
+        nodes = nxt
+    return nodes
+
+
+def reject_nonfinite(value, where):
+    if isinstance(value, float) and not math.isfinite(value):
+        raise ValueError(f"{where}: non-finite number {value!r}")
+
+
+def check_file(path):
+    errors = []
+    try:
+        with open(path) as fh:
+            # Strict parse: the C++ JsonWriter must never have emitted
+            # a bare nan/inf token (json would accept NaN by default).
+            doc = json.load(
+                fh,
+                parse_constant=lambda c: (_ for _ in ()).throw(
+                    ValueError(f"non-finite literal {c}")
+                ),
+            )
+    except (OSError, ValueError) as e:
+        return [f"{path}: unreadable or invalid JSON: {e}"]
+
+    bench = doc.get("bench")
+    schema = SCHEMAS.get(bench)
+    if schema is None:
+        return [f"{path}: unknown bench id {bench!r}"]
+
+    for gate in schema["gates"]:
+        try:
+            values = resolve(doc, gate)
+        except KeyError as e:
+            errors.append(f"{path}: gate {e}")
+            continue
+        for v in values:
+            if not isinstance(v, bool):
+                errors.append(
+                    f"{path}: gate {gate} is {type(v).__name__}, "
+                    "expected bool"
+                )
+            elif not v:
+                errors.append(f"{path}: gate {gate} is false")
+
+    for req in schema["required"]:
+        try:
+            for v in resolve(doc, req):
+                reject_nonfinite(v, f"{path}: {req}")
+        except (KeyError, ValueError) as e:
+            errors.append(f"{path}: {e}")
+
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv[1:]:
+        errors = check_file(path)
+        if errors:
+            failed = True
+            for e in errors:
+                print(f"FAIL {e}", file=sys.stderr)
+        else:
+            print(f"OK   {path}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
