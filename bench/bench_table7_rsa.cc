@@ -61,6 +61,11 @@ int
 main()
 {
     constexpr int runs = 100;
+    // The profile is only comparable against the paper on the paper-era
+    // core; say which backend ran so an A/B rerun is unambiguous.
+    const bn::Engine &engine = bench::benchKey(512).priv->bnEngine();
+    std::printf("bn backend: %s (%u-bit limbs)\n", engine.name(),
+                engine.limbBits());
     perf::PerfContext ctx512 = profile(512, runs);
     perf::PerfContext ctx1024 = profile(1024, runs);
 

@@ -22,6 +22,12 @@ main()
 {
     constexpr int runs = 30;
     const auto &kp = bench::benchKey(1024);
+    // Table 8's function names only exist on the paper-era core; a
+    // bn64 key would profile bn64_* rows instead (see
+    // bench_bn_backend for the side-by-side).
+    std::printf("bn backend: %s (%u-bit limbs)\n",
+                kp.priv->bnEngine().name(),
+                kp.priv->bnEngine().limbBits());
     RandomPool pool(Bytes{9});
     Bytes cipher = rsaPublicEncrypt(kp.pub, Bytes(48, 0x17), pool);
     rsaPrivateDecrypt(*kp.priv, cipher); // warm-up

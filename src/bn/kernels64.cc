@@ -1,0 +1,192 @@
+#include "bn/kernels64.hh"
+
+#include <algorithm>
+
+#include "perf/probe.hh"
+
+namespace ssla::bn
+{
+
+namespace
+{
+perf::NullMeter nullMeter;
+} // anonymous namespace
+
+Limb64
+bn64_mul_add_words(Limb64 *r, const Limb64 *a, size_t n, Limb64 w)
+{
+    perf::FuncProbe probe("bn64_mul_add_words", perf::ProbeLevel::Fine);
+    return bn64MulAddWordsT(r, a, n, w, nullMeter);
+}
+
+Limb64
+bn64_mul_words(Limb64 *r, const Limb64 *a, size_t n, Limb64 w)
+{
+    perf::FuncProbe probe("bn64_mul_words", perf::ProbeLevel::Fine);
+    return bn64MulWordsT(r, a, n, w, nullMeter);
+}
+
+Limb64
+bn64_add_words(Limb64 *r, const Limb64 *a, const Limb64 *b, size_t n)
+{
+    perf::FuncProbe probe("bn64_add_words", perf::ProbeLevel::Fine);
+    return bn64AddWordsT(r, a, b, n, nullMeter);
+}
+
+Limb64
+bn64_sub_words(Limb64 *r, const Limb64 *a, const Limb64 *b, size_t n)
+{
+    perf::FuncProbe probe("bn64_sub_words", perf::ProbeLevel::Fine);
+    return bn64SubWordsT(r, a, b, n, nullMeter);
+}
+
+namespace
+{
+
+/** Schoolbook r[0..2n) = a * b, one mul-add row per limb of b. */
+void
+mulSchoolbook(Limb64 *r, const Limb64 *a, const Limb64 *b, size_t n)
+{
+    std::fill(r, r + 2 * n, 0);
+    for (size_t i = 0; i < n; ++i)
+        r[i + n] = bn64_mul_add_words(r + i, a, n, b[i]);
+}
+
+/**
+ * s[0..hi+1) = lo[0..h) + hip[0..hi), h <= hi. The extra limb absorbs
+ * the carry, so the sum always fits — the "a0 + a1" operand of the
+ * Karatsuba middle product.
+ */
+void
+sumHalves(Limb64 *s, const Limb64 *lo, size_t h, const Limb64 *hip,
+          size_t hi)
+{
+    std::copy(hip, hip + hi, s);
+    s[hi] = 0;
+    Limb64 carry = bn64_add_words(s, s, lo, h);
+    for (size_t k = h; carry; ++k) {
+        Limb64 cur = s[k];
+        s[k] = cur + carry;
+        carry = s[k] < cur ? 1 : 0;
+    }
+}
+
+/** dst[0..dst_n) -= src[0..src_n); the difference is non-negative. */
+void
+subFrom(Limb64 *dst, size_t dst_n, const Limb64 *src, size_t src_n)
+{
+    Limb64 borrow = bn64_sub_words(dst, dst, src, src_n);
+    for (size_t k = src_n; borrow && k < dst_n; ++k) {
+        Limb64 cur = dst[k];
+        dst[k] = cur - 1;
+        borrow = cur == 0 ? 1 : 0;
+    }
+}
+
+/** dst[0..dst_n) += src[0..src_n); the sum fits in dst_n limbs. */
+void
+addInto(Limb64 *dst, size_t dst_n, const Limb64 *src, size_t src_n)
+{
+    Limb64 carry = bn64_add_words(dst, dst, src, src_n);
+    for (size_t k = src_n; carry && k < dst_n; ++k) {
+        ++dst[k];
+        carry = dst[k] == 0 ? 1 : 0;
+    }
+}
+
+/**
+ * Karatsuba: split a = a1*B^h + a0, b likewise; then
+ *   a*b = z2*B^2h + (z1 - z0 - z2)*B^h + z0
+ * with z0 = a0*b0, z2 = a1*b1, z1 = (a0+a1)*(b0+b1) — three half-size
+ * products instead of four. z0 and z2 land directly in disjoint halves
+ * of r; only the middle term needs a temporary.
+ */
+void
+mulKaratsuba(Limb64 *r, const Limb64 *a, const Limb64 *b, size_t n)
+{
+    if (n < karatsubaThreshold) {
+        mulSchoolbook(r, a, b, n);
+        return;
+    }
+    size_t h = n / 2;
+    size_t hi = n - h;
+    mulKaratsuba(r, a, b, h);                 // z0 -> r[0..2h)
+    mulKaratsuba(r + 2 * h, a + h, b + h, hi); // z2 -> r[2h..2n)
+
+    std::vector<Limb64> sa(hi + 1);
+    std::vector<Limb64> sb(hi + 1);
+    std::vector<Limb64> z1(2 * (hi + 1));
+    sumHalves(sa.data(), a, h, a + h, hi);
+    sumHalves(sb.data(), b, h, b + h, hi);
+    mulKaratsuba(z1.data(), sa.data(), sb.data(), hi + 1);
+
+    subFrom(z1.data(), z1.size(), r, 2 * h);           // z1 -= z0
+    subFrom(z1.data(), z1.size(), r + 2 * h, 2 * hi);  // z1 -= z2
+    addInto(r + h, 2 * n - h, z1.data(), z1.size());
+}
+
+/** Karatsuba squaring: z1 = (a0+a1)^2 - z0 - z2 = 2*a0*a1. */
+void
+sqrKaratsuba(Limb64 *r, const Limb64 *a, size_t n)
+{
+    if (n < karatsubaThreshold) {
+        std::fill(r, r + 2 * n, 0);
+        for (size_t i = 0; i < n; ++i)
+            r[i + n] = bn64_mul_add_words(r + i, a, n, a[i]);
+        return;
+    }
+    size_t h = n / 2;
+    size_t hi = n - h;
+    sqrKaratsuba(r, a, h);
+    sqrKaratsuba(r + 2 * h, a + h, hi);
+
+    std::vector<Limb64> sa(hi + 1);
+    std::vector<Limb64> z1(2 * (hi + 1));
+    sumHalves(sa.data(), a, h, a + h, hi);
+    sqrKaratsuba(z1.data(), sa.data(), hi + 1);
+
+    subFrom(z1.data(), z1.size(), r, 2 * h);
+    subFrom(z1.data(), z1.size(), r + 2 * h, 2 * hi);
+    addInto(r + h, 2 * n - h, z1.data(), z1.size());
+}
+
+} // anonymous namespace
+
+void
+bn64Mul(Limb64 *r, const Limb64 *a, const Limb64 *b, size_t n)
+{
+    mulKaratsuba(r, a, b, n);
+}
+
+void
+bn64Sqr(Limb64 *r, const Limb64 *a, size_t n)
+{
+    sqrKaratsuba(r, a, n);
+}
+
+std::vector<Limb64>
+limbs64From32(const std::vector<uint32_t> &a)
+{
+    std::vector<Limb64> out((a.size() + 1) / 2, 0);
+    for (size_t i = 0; i < a.size(); ++i)
+        out[i / 2] |= static_cast<Limb64>(a[i]) << (32 * (i % 2));
+    while (!out.empty() && out.back() == 0)
+        out.pop_back();
+    return out;
+}
+
+std::vector<uint32_t>
+limbs32From64(const std::vector<Limb64> &a)
+{
+    std::vector<uint32_t> out;
+    out.reserve(a.size() * 2);
+    for (Limb64 w : a) {
+        out.push_back(static_cast<uint32_t>(w));
+        out.push_back(static_cast<uint32_t>(w >> 32));
+    }
+    while (!out.empty() && out.back() == 0)
+        out.pop_back();
+    return out;
+}
+
+} // namespace ssla::bn

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * 64-bit-limb bignum kernels — the modern counterpart to kernels.hh.
+ *
+ * The paper's core (kernels.hh) deliberately uses 32-bit limbs with
+ * 64-bit intermediates, matching OpenSSL 0.9.7d on the Pentium 4 so
+ * the Table 8/9 anatomy reproduces. This file is the other arm of the
+ * A/B: 64-bit limbs with 128-bit intermediates (`unsigned __int128`),
+ * the configuration every x86-64/aarch64 OpenSSL build has used since.
+ * Each doubling of the limb width quarters the number of widening
+ * multiplies in an n-bit product, so the same RSA-1024 operation runs
+ * the bn_mul_add_words body 4x fewer times — before Karatsuba.
+ *
+ * Above `karatsubaThreshold` limbs, bn64Mul/bn64Sqr switch from the
+ * schoolbook product to Karatsuba recursion (3 half-size products
+ * instead of 4), which the 32-bit paper core intentionally omits.
+ *
+ * Kernels exist in two forms, mirroring kernels.hh: a Meter-policy
+ * template (for the instruction-mix study — the OpClass counts here
+ * describe the x86-64 movq/mulq/addq/adcq body, one op per 64-bit
+ * word) and a plain probed production function. Probe names carry a
+ * "bn64_" prefix so the paper-era Table 8 rows stay uncontaminated.
+ */
+
+#ifndef SSLA_BN_KERNELS64_HH
+#define SSLA_BN_KERNELS64_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "perf/opcount.hh"
+
+namespace ssla::bn
+{
+
+/** One machine word of the 64-bit engine (x86-64 BN_ULONG). */
+using Limb64 = uint64_t;
+/** Double-width intermediate (no BN_ULLONG in 0.9.7d — gcc __int128). */
+using DLimb64 = unsigned __int128;
+
+constexpr unsigned limb64Bits = 64;
+
+/**
+ * Schoolbook/Karatsuba crossover, in 64-bit limbs (16 limbs = 1024
+ * bits). Below this the O(n^2) inner loop wins on carry locality; at
+ * and above it the 3-multiplies-of-half-size recursion wins. RSA-1024
+ * CRT halves (8 limbs) stay schoolbook; RSA-2048 modexp (32 limbs)
+ * recurses one level. Tuned on the container's x86-64; test_bn64
+ * exercises n, n-1 and n+1 around this value so a retune cannot
+ * silently break the seam.
+ */
+constexpr size_t karatsubaThreshold = 16;
+
+/**
+ * r[0..n) += a[0..n) * w; returns the carry limb.
+ *
+ * Same shape as the paper's hot loop (Table 9), one op per 64-bit
+ * word: movq a[i] / mulq w / addq carry / adcq $0 / addq r[i] /
+ * adcq $0 / movq ->r[i] / movq rdx->carry.
+ */
+template <class Meter>
+Limb64
+bn64MulAddWordsT(Limb64 *r, const Limb64 *a, size_t n, Limb64 w, Meter &m)
+{
+    Limb64 carry = 0;
+    for (size_t i = 0; i < n; ++i) {
+        DLimb64 t = static_cast<DLimb64>(a[i]) * w + carry + r[i];
+        r[i] = static_cast<Limb64>(t);
+        carry = static_cast<Limb64>(t >> limb64Bits);
+        if constexpr (Meter::counting) {
+            // Same mnemonic classes as the 32-bit body; each op is the
+            // 64-bit form and retires 64 bits of work instead of 32.
+            m.count(perf::OpClass::MovL, 4);
+            m.count(perf::OpClass::MulL, 1);
+            m.count(perf::OpClass::AddL, 2);
+            m.count(perf::OpClass::AdcL, 2);
+        }
+    }
+    if constexpr (Meter::counting) {
+        // 4x-unrolled loop: control overhead amortized over 4 words.
+        m.count(perf::OpClass::AddL, (n + 3) / 4);
+        m.count(perf::OpClass::CmpL, (n + 3) / 4);
+        m.count(perf::OpClass::Jcc, (n + 3) / 4);
+    }
+    return carry;
+}
+
+/** r[0..n) = a[0..n) * w; returns the carry limb. */
+template <class Meter>
+Limb64
+bn64MulWordsT(Limb64 *r, const Limb64 *a, size_t n, Limb64 w, Meter &m)
+{
+    Limb64 carry = 0;
+    for (size_t i = 0; i < n; ++i) {
+        DLimb64 t = static_cast<DLimb64>(a[i]) * w + carry;
+        r[i] = static_cast<Limb64>(t);
+        carry = static_cast<Limb64>(t >> limb64Bits);
+        if constexpr (Meter::counting) {
+            m.count(perf::OpClass::MovL, 3);
+            m.count(perf::OpClass::MulL, 1);
+            m.count(perf::OpClass::AddL, 1);
+            m.count(perf::OpClass::AdcL, 1);
+        }
+    }
+    if constexpr (Meter::counting) {
+        m.count(perf::OpClass::AddL, (n + 3) / 4);
+        m.count(perf::OpClass::CmpL, (n + 3) / 4);
+        m.count(perf::OpClass::Jcc, (n + 3) / 4);
+    }
+    return carry;
+}
+
+/** r[0..n) = a[0..n) + b[0..n); returns the carry bit. r may alias a. */
+template <class Meter>
+Limb64
+bn64AddWordsT(Limb64 *r, const Limb64 *a, const Limb64 *b, size_t n,
+              Meter &m)
+{
+    Limb64 carry = 0;
+    for (size_t i = 0; i < n; ++i) {
+        DLimb64 t = static_cast<DLimb64>(a[i]) + b[i] + carry;
+        r[i] = static_cast<Limb64>(t);
+        carry = static_cast<Limb64>(t >> limb64Bits);
+        if constexpr (Meter::counting) {
+            m.count(perf::OpClass::MovL, 3);
+            m.count(perf::OpClass::AddL, 1);
+            m.count(perf::OpClass::AdcL, 1);
+        }
+    }
+    if constexpr (Meter::counting) {
+        m.count(perf::OpClass::AddL, (n + 3) / 4);
+        m.count(perf::OpClass::CmpL, (n + 3) / 4);
+        m.count(perf::OpClass::Jcc, (n + 3) / 4);
+    }
+    return carry;
+}
+
+/** r[0..n) = a[0..n) - b[0..n); returns the borrow bit. r may alias a. */
+template <class Meter>
+Limb64
+bn64SubWordsT(Limb64 *r, const Limb64 *a, const Limb64 *b, size_t n,
+              Meter &m)
+{
+    Limb64 borrow = 0;
+    for (size_t i = 0; i < n; ++i) {
+        DLimb64 t = static_cast<DLimb64>(a[i]) - b[i] - borrow;
+        r[i] = static_cast<Limb64>(t);
+        borrow = static_cast<Limb64>((t >> limb64Bits) & 1);
+        if constexpr (Meter::counting) {
+            m.count(perf::OpClass::MovL, 3);
+            m.count(perf::OpClass::SubL, 1);
+            m.count(perf::OpClass::SbbL, 1);
+        }
+    }
+    if constexpr (Meter::counting) {
+        m.count(perf::OpClass::AddL, (n + 3) / 4);
+        m.count(perf::OpClass::CmpL, (n + 3) / 4);
+        m.count(perf::OpClass::Jcc, (n + 3) / 4);
+    }
+    return borrow;
+}
+
+// Production entry points (NullMeter instantiations with Fine probes;
+// probe names carry the bn64_ prefix to keep Table 8 rows separate).
+
+/** r += a * w over n words; see bn64MulAddWordsT. */
+Limb64 bn64_mul_add_words(Limb64 *r, const Limb64 *a, size_t n, Limb64 w);
+/** r = a * w over n words. */
+Limb64 bn64_mul_words(Limb64 *r, const Limb64 *a, size_t n, Limb64 w);
+/** r = a + b over n words; returns carry. r may alias a. */
+Limb64 bn64_add_words(Limb64 *r, const Limb64 *a, const Limb64 *b,
+                      size_t n);
+/** r = a - b over n words; returns borrow. r may alias a. */
+Limb64 bn64_sub_words(Limb64 *r, const Limb64 *a, const Limb64 *b,
+                      size_t n);
+
+// Multi-word products (the Karatsuba layer; the 32-bit core has no
+// equivalent — BigNum::operator* is schoolbook-only by design).
+
+/**
+ * Full product r[0..2n) = a[0..n) * b[0..n); equal-width operands.
+ * Schoolbook below karatsubaThreshold, Karatsuba recursion at and
+ * above it. r may not alias a or b.
+ */
+void bn64Mul(Limb64 *r, const Limb64 *a, const Limb64 *b, size_t n);
+
+/**
+ * Full square r[0..2n) = a[0..n)^2, with the same threshold split.
+ * r may not alias a.
+ */
+void bn64Sqr(Limb64 *r, const Limb64 *a, size_t n);
+
+// Limb-width conversions between the two engines' representations.
+// Both sides are little-endian; a 64-bit limb packs two 32-bit limbs.
+
+/** Repack 32-bit limbs into 64-bit limbs (minimal length, no pad). */
+std::vector<Limb64> limbs64From32(const std::vector<uint32_t> &a);
+
+/** Repack 64-bit limbs into 32-bit limbs (minimal length, no pad). */
+std::vector<uint32_t> limbs32From64(const std::vector<Limb64> &a);
+
+} // namespace ssla::bn
+
+#endif // SSLA_BN_KERNELS64_HH

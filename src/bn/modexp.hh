@@ -16,13 +16,16 @@ namespace ssla::bn
 /**
  * base^exp mod m via 4-bit fixed-window Montgomery exponentiation
  * (odd m), falling back to square-and-multiply with division for even
- * moduli. @p exp must be non-negative.
+ * moduli. @p exp must be non-negative. The Montgomery context is built
+ * on the calling thread's bn::activeEngine(), which is how DHE and PKI
+ * inherit a provider's backend without call-site changes.
  */
 BigNum modExp(const BigNum &base, const BigNum &exp, const BigNum &m);
 
 /**
  * base^exp mod m reusing a prebuilt Montgomery context (RSA keeps one
- * context per modulus across all private-key operations).
+ * context per modulus across all private-key operations). Runs on
+ * whichever engine @p ctx was bound to at construction.
  */
 BigNum modExpMont(const BigNum &base, const BigNum &exp,
                   const MontgomeryCtx &ctx);

@@ -188,6 +188,12 @@ Provider::submitRsaDecrypt(const RsaPrivateKey &key, Bytes cipher)
     return RsaJob(std::move(state));
 }
 
+const bn::Engine &
+Provider::bnEngine() const
+{
+    return bn::bn32Engine();
+}
+
 RsaJob
 Provider::submitRsaSign(const RsaPrivateKey &key, Bytes digest_data)
 {
@@ -452,6 +458,95 @@ PipelinedProvider::rsaSign(const RsaPrivateKey &key,
 }
 
 // ---------------------------------------------------------------------
+// FastProvider
+
+std::unique_ptr<Cipher>
+FastProvider::createCipher(CipherAlg alg, const Bytes &key,
+                           const Bytes &iv, bool encrypt)
+{
+    return scalar_.createCipher(alg, key, iv, encrypt);
+}
+
+std::unique_ptr<Digest>
+FastProvider::createDigest(DigestAlg alg)
+{
+    return scalar_.createDigest(alg);
+}
+
+std::unique_ptr<Hmac>
+FastProvider::createHmac(DigestAlg alg, const Bytes &key)
+{
+    return scalar_.createHmac(alg, key);
+}
+
+size_t
+FastProvider::recordMac(const RecordMacSpec &spec, uint64_t seq,
+                        uint8_t type, ConstSpan data, uint8_t *mac_out)
+{
+    return computeRecordMacWith(scalar_, spec, seq, type, data,
+                                mac_out);
+}
+
+const bn::Engine &
+FastProvider::bnEngine() const
+{
+    return bn::bn64Engine();
+}
+
+const RsaPrivateKey &
+FastProvider::fastKey(const RsaPrivateKey &key)
+{
+    if (key.bnEngine().backend() == bn::BnBackend::Bn64)
+        return key;
+
+    // Per-thread bn64 replicas of bn32-built keys, the CryptoPool's
+    // replication idea applied at the provider seam: each thread owns
+    // its replica outright, so the Montgomery scratch and the mutable
+    // blinding pair never see two threads. Keyed by source address
+    // with an n/e identity check (an allocator may reuse a freed key's
+    // address for a different key). Bounded: servers hold a handful of
+    // long-lived identity keys, so eviction is a correctness valve,
+    // not a hot path.
+    struct Entry
+    {
+        const RsaPrivateKey *src;
+        std::unique_ptr<RsaPrivateKey> replica;
+    };
+    constexpr size_t max_entries = 8;
+    static thread_local std::vector<Entry> cache;
+
+    for (auto it = cache.begin(); it != cache.end(); ++it) {
+        if (it->src != &key)
+            continue;
+        if (it->replica->publicKey().n == key.publicKey().n &&
+            it->replica->publicKey().e == key.publicKey().e)
+            return *it->replica;
+        cache.erase(it); // stale: address reused by a different key
+        break;
+    }
+
+    if (cache.size() >= max_entries)
+        cache.erase(cache.begin());
+    cache.push_back(
+        {&key, std::make_unique<RsaPrivateKey>(
+                   key.publicKey().n, key.publicKey().e, key.d(),
+                   key.p(), key.q(), &bn::bn64Engine())});
+    return *cache.back().replica;
+}
+
+Bytes
+FastProvider::rsaDecrypt(const RsaPrivateKey &key, const Bytes &cipher)
+{
+    return rsaPrivateDecrypt(fastKey(key), cipher);
+}
+
+Bytes
+FastProvider::rsaSign(const RsaPrivateKey &key, const Bytes &digest_data)
+{
+    return crypto::rsaSign(fastKey(key), digest_data);
+}
+
+// ---------------------------------------------------------------------
 // Registry
 
 Provider &
@@ -477,6 +572,8 @@ createProvider(const std::string &name)
         return std::make_unique<InstrumentedProvider>(scalarProvider());
     if (name == "pipelined")
         return std::make_unique<PipelinedProvider>();
+    if (name == "fast")
+        return std::make_unique<FastProvider>();
     throw std::invalid_argument("createProvider: unknown provider '" +
                                 name + "'");
 }
@@ -485,7 +582,7 @@ const std::vector<std::string> &
 providerNames()
 {
     static const std::vector<std::string> names = {
-        "scalar", "instrumented", "pipelined"};
+        "scalar", "instrumented", "pipelined", "fast"};
     return names;
 }
 

@@ -18,6 +18,13 @@
  *    paper's Section 6.2 optimization — the record MAC of record n+1
  *    is computed while record n is being CBC-encrypted (see
  *    RecordLayer::sendMany()).
+ *  - FastProvider: scalar record path, but all RSA private-key math on
+ *    the bn64 engine (64-bit limbs + Karatsuba) — the modern backend
+ *    A/B'd against the paper-era core by bench_bn_backend.
+ *
+ * Each provider also names the bignum backend its public-key math runs
+ * on (bnEngine()); the paper-era providers pin bn32 so the Table 7/8
+ * profiles stay anchored.
  *
  * The record MAC is a first-class provider operation (rather than a
  * digest-level composition at the call site) because it is the unit a
@@ -199,7 +206,7 @@ class Provider
   public:
     virtual ~Provider() = default;
 
-    /** Registry name ("scalar", "instrumented", "pipelined"). */
+    /** Registry name ("scalar", "instrumented", "pipelined", "fast"). */
     virtual const char *name() const = 0;
 
     /** Create a bulk-cipher instance (see Cipher). */
@@ -266,6 +273,17 @@ class Provider
      * overlap.
      */
     virtual bool pipelined() const { return false; }
+
+    /**
+     * The bignum backend this provider's public-key math runs on. The
+     * base (and every paper-era provider: scalar, instrumented,
+     * pipelined) reports bn32 — keeping the Table 7/8 profiling anchor
+     * bit-for-bit unchanged; the fast provider reports bn64. Callers
+     * driving engine-sensitive work outside the provider surface (DHE
+     * key agreement, PKI verification via the free bn::modExp) wrap it
+     * in bn::EngineScope(provider.bnEngine()).
+     */
+    virtual const bn::Engine &bnEngine() const;
 };
 
 /** The plain synchronous scalar-kernel provider. */
@@ -361,6 +379,41 @@ class PipelinedProvider final : public Provider
     std::unique_ptr<Engine> engine_;
 };
 
+/**
+ * The modern-backend provider ("fast"): scalar kernels for the bulk
+ * cipher/digest/MAC path, bn64 (64-bit limbs, __int128 intermediates,
+ * Karatsuba) for all RSA private-key math. Keys already built on bn64
+ * are used directly; keys built on bn32 are transparently replicated
+ * onto bn64 once per thread (mirroring the CryptoPool's per-thread key
+ * replicas), so the single-owner Montgomery scratch and blinding
+ * contracts hold without locks.
+ */
+class FastProvider final : public Provider
+{
+  public:
+    const char *name() const override { return "fast"; }
+    std::unique_ptr<Cipher> createCipher(CipherAlg alg, const Bytes &key,
+                                         const Bytes &iv,
+                                         bool encrypt) override;
+    std::unique_ptr<Digest> createDigest(DigestAlg alg) override;
+    std::unique_ptr<Hmac> createHmac(DigestAlg alg,
+                                     const Bytes &key) override;
+    size_t recordMac(const RecordMacSpec &spec, uint64_t seq,
+                     uint8_t type, ConstSpan data,
+                     uint8_t *mac_out) override;
+    Bytes rsaDecrypt(const RsaPrivateKey &key,
+                     const Bytes &cipher) override;
+    Bytes rsaSign(const RsaPrivateKey &key,
+                  const Bytes &digest_data) override;
+    const bn::Engine &bnEngine() const override;
+
+  private:
+    /** @p key itself when bn64-bound, else this thread's bn64 replica. */
+    const RsaPrivateKey &fastKey(const RsaPrivateKey &key);
+
+    ScalarProvider scalar_;
+};
+
 /** The process-wide scalar provider singleton. */
 Provider &scalarProvider();
 
@@ -373,7 +426,7 @@ Provider &defaultProvider();
 
 /**
  * Create an owned provider by registry name: "scalar", "instrumented"
- * (wrapping the scalar singleton) or "pipelined".
+ * (wrapping the scalar singleton), "pipelined" or "fast".
  * @throws std::invalid_argument for unknown names
  */
 std::unique_ptr<Provider> createProvider(const std::string &name);

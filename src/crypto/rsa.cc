@@ -4,6 +4,7 @@
 
 #include "bn/modexp.hh"
 #include "crypto/pkcs1.hh"
+#include "obs/metrics.hh"
 #include "perf/probe.hh"
 #include "util/bytes.hh"
 
@@ -13,8 +14,9 @@ namespace ssla::crypto
 using bn::BigNum;
 
 RsaPrivateKey::RsaPrivateKey(BigNum n, BigNum e, BigNum d, BigNum p,
-                             BigNum q)
-    : d_(std::move(d)), p_(std::move(p)), q_(std::move(q))
+                             BigNum q, const bn::Engine *engine)
+    : engine_(engine ? engine : &bn::activeEngine()), d_(std::move(d)),
+      p_(std::move(p)), q_(std::move(q))
 {
     pub_.n = std::move(n);
     pub_.e = std::move(e);
@@ -28,9 +30,15 @@ RsaPrivateKey::RsaPrivateKey(BigNum n, BigNum e, BigNum d, BigNum p,
     dq_ = d_.mod(q1);
     qinv_ = BigNum::modInverse(q_, p_);
 
-    montN_ = std::make_unique<bn::MontgomeryCtx>(pub_.n);
-    montP_ = std::make_unique<bn::MontgomeryCtx>(p_);
-    montQ_ = std::make_unique<bn::MontgomeryCtx>(q_);
+    montN_ = std::make_unique<bn::MontgomeryCtx>(pub_.n, engine_);
+    montP_ = std::make_unique<bn::MontgomeryCtx>(p_, engine_);
+    montQ_ = std::make_unique<bn::MontgomeryCtx>(q_, engine_);
+
+    static obs::Counter keys32 =
+        obs::MetricsRegistry::global().counter("bn.keys.bn32");
+    static obs::Counter keys64 =
+        obs::MetricsRegistry::global().counter("bn.keys.bn64");
+    (engine_->backend() == bn::BnBackend::Bn64 ? keys64 : keys32).inc();
 }
 
 void

@@ -19,6 +19,7 @@
 #include <memory>
 
 #include "bn/bignum.hh"
+#include "bn/engine.hh"
 #include "bn/montgomery.hh"
 #include "bn/prime.hh"
 #include "crypto/rand.hh"
@@ -50,9 +51,19 @@ struct RsaPublicKey
 class RsaPrivateKey
 {
   public:
-    /** Assemble from components (validates basic consistency). */
+    /**
+     * Assemble from components (validates basic consistency). All
+     * Montgomery contexts bind to @p engine — nullptr selects the
+     * calling thread's bn::activeEngine() (bn32 unless overridden), so
+     * existing call sites keep the paper-era core. Thread replicas
+     * (CryptoPool, FastProvider) clone with the source key's engine so
+     * the backend survives replication.
+     */
     RsaPrivateKey(bn::BigNum n, bn::BigNum e, bn::BigNum d, bn::BigNum p,
-                  bn::BigNum q);
+                  bn::BigNum q, const bn::Engine *engine = nullptr);
+
+    /** The bignum backend this key's Montgomery contexts run on. */
+    const bn::Engine &bnEngine() const { return *engine_; }
 
     const RsaPublicKey &publicKey() const { return pub_; }
     const bn::BigNum &d() const { return d_; }
@@ -73,6 +84,7 @@ class RsaPrivateKey
     void refreshBlinding() const;
 
     RsaPublicKey pub_;
+    const bn::Engine *engine_; ///< backend singleton, never null
     bn::BigNum d_, p_, q_;
     bn::BigNum dp_, dq_, qinv_; ///< CRT exponents and coefficient
     std::unique_ptr<bn::MontgomeryCtx> montN_, montP_, montQ_;

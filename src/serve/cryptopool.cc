@@ -157,9 +157,12 @@ CryptoPool::workerLoop(size_t index)
         [&](const crypto::RsaPrivateKey *key) -> crypto::RsaPrivateKey & {
         auto it = replicas.find(key);
         if (it == replicas.end()) {
+            // Replicas inherit the source key's bn engine, so a bn64
+            // (fast-provider) key stays bn64 across the pool and a
+            // paper-era bn32 key keeps its profiling anchor.
             auto clone = std::make_unique<crypto::RsaPrivateKey>(
                 key->publicKey().n, key->publicKey().e, key->d(),
-                key->p(), key->q());
+                key->p(), key->q(), &key->bnEngine());
             it = replicas.emplace(key, std::move(clone)).first;
         }
         return *it->second;

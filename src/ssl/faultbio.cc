@@ -30,8 +30,22 @@ FaultPlan::mixed(uint64_t seed, double rate, uint64_t stall_ticks)
     plan.duplicateRate = rate;
     plan.reorderRate = rate;
     plan.stallRate = rate;
+    plan.bitflipCiphertextRate = rate;
+    plan.bitflipHeaderRate = rate;
     plan.stallTicks = stall_ticks;
     plan.seed = seed;
+    return plan;
+}
+
+FaultPlan
+FaultPlan::bitflip(uint64_t seed, FaultKind kind, double rate)
+{
+    FaultPlan plan;
+    plan.seed = seed;
+    if (kind == FaultKind::BitflipCiphertext)
+        plan.bitflipCiphertextRate = rate;
+    else
+        plan.bitflipHeaderRate = rate;
     return plan;
 }
 
@@ -116,7 +130,22 @@ FaultyBio::applyFaults(Bytes record)
 
     bool duplicate = false;
     bool reorder = false;
-    if (rng_.nextDouble() < plan_.truncateRate && record.size() > 1) {
+    // Bit-level kinds draw only when armed, so plans without them
+    // replay historical per-seed fault sequences unchanged.
+    if (plan_.bitflipCiphertextRate > 0 && record.size() > 5 &&
+        rng_.nextDouble() < plan_.bitflipCiphertextRate) {
+        size_t bit = rng_.nextBelow((record.size() - 5) * 8);
+        record[5 + bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+        ++counts_.bitflippedCiphertext;
+        traceFault("bitflip_ciphertext");
+    } else if (plan_.bitflipHeaderRate > 0 &&
+               rng_.nextDouble() < plan_.bitflipHeaderRate) {
+        size_t bit = rng_.nextBelow(5 * 8);
+        record[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+        ++counts_.bitflippedHeader;
+        traceFault("bitflip_header");
+    } else if (rng_.nextDouble() < plan_.truncateRate &&
+               record.size() > 1) {
         size_t cut = 1 + rng_.nextBelow(record.size() - 1);
         record.resize(record.size() - cut);
         ++counts_.truncated;

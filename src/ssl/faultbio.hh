@@ -33,10 +33,32 @@ namespace ssla::ssl
 {
 
 /**
+ * Target of a bit-level fault — corruption below record granularity.
+ * A record-granular fault (drop, truncate, whole-byte corrupt) can
+ * make a record unparseable or vanish, but only a flip confined to
+ * the ciphertext body DETERMINISTICALLY drives the decrypt-then-verify
+ * path: the record still frames, decrypts and pad-checks, and dies on
+ * the MAC/pad comparison (bad_record_mac) on every seed. A flip
+ * confined to the 5-byte header instead scatters: version bits die
+ * pre-decrypt (illegal_parameter), length bits stall the parser or
+ * truncate the ciphertext (which the geometry check maps to
+ * bad_record_mac by design), type bits survive to the MAC, which
+ * covers the type.
+ */
+enum class FaultKind : uint8_t
+{
+    BitflipCiphertext, ///< one bit inside the fragment (bytes 5..N)
+    BitflipHeader,     ///< one bit inside the 5-byte record header
+};
+
+/**
  * Per-record fault probabilities and parameters. Rates are independent
  * Bernoulli draws in [0,1]; a record can suffer at most one mutating
- * fault (first match in the order drop, truncate, corrupt, duplicate,
- * reorder) plus an optional stall, so outcomes stay interpretable.
+ * fault (first match in the order drop, bitflip-ciphertext,
+ * bitflip-header, truncate, corrupt, duplicate, reorder) plus an
+ * optional stall, so outcomes stay interpretable. The bitflip draws
+ * are only taken when their rate is nonzero, so plans that leave them
+ * unset replay the exact pre-bitflip fault sequences for a given seed.
  */
 struct FaultPlan
 {
@@ -46,6 +68,12 @@ struct FaultPlan
     double duplicateRate = 0.0; ///< record delivered twice
     double reorderRate = 0.0;   ///< swapped with the next record
     double stallRate = 0.0;     ///< held for stallTicks virtual ticks
+    /** One seeded bit flipped inside the fragment body (FaultKind::
+     *  BitflipCiphertext). */
+    double bitflipCiphertextRate = 0.0;
+    /** One seeded bit flipped inside the 5-byte header (FaultKind::
+     *  BitflipHeader). */
+    double bitflipHeaderRate = 0.0;
     uint64_t stallTicks = 4;    ///< hold time of a stalled record
     /**
      * Delivery-queue cap in bytes (0 = unlimited): undelivered records
@@ -55,15 +83,21 @@ struct FaultPlan
     size_t maxBuffered = 0;
     uint64_t seed = 1; ///< base PRNG seed (mixed per direction)
 
-    /** All fault types at a common @p rate — the chaos-sweep knob. */
+    /** All fault types at a common @p rate — the chaos-sweep knob.
+     *  Includes the bit-level kinds. */
     static FaultPlan mixed(uint64_t seed, double rate,
                            uint64_t stall_ticks = 4);
+
+    /** A single-kind bit-level plan: flip one seeded bit per selected
+     *  record, in the region @p kind names. */
+    static FaultPlan bitflip(uint64_t seed, FaultKind kind, double rate);
 
     bool
     any() const
     {
         return dropRate > 0 || truncateRate > 0 || corruptRate > 0 ||
                duplicateRate > 0 || reorderRate > 0 || stallRate > 0 ||
+               bitflipCiphertextRate > 0 || bitflipHeaderRate > 0 ||
                maxBuffered > 0;
     }
 };
@@ -78,13 +112,16 @@ struct FaultCounts
     uint64_t duplicated = 0;
     uint64_t reordered = 0;
     uint64_t stalled = 0;
+    uint64_t bitflippedCiphertext = 0; ///< FaultKind::BitflipCiphertext
+    uint64_t bitflippedHeader = 0;     ///< FaultKind::BitflipHeader
     uint64_t capDeferrals = 0; ///< delivery retries forced by the cap
 
     uint64_t
     injected() const
     {
         return dropped + truncated + corrupted + duplicated +
-               reordered + stalled;
+               reordered + stalled + bitflippedCiphertext +
+               bitflippedHeader;
     }
 };
 

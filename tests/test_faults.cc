@@ -199,6 +199,46 @@ TEST(FaultyBio, WritevFunnelsThroughFaultFraming)
     EXPECT_EQ(diffs, 1u);
 }
 
+TEST(FaultyBio, BitflipTargetsSelectedRegion)
+{
+    // FaultKind picks the region; the seed picks the bit. Exactly one
+    // bit may differ, and it must land inside the selected region —
+    // ciphertext flips never touch the 5-byte header and vice versa.
+    for (ssl::FaultKind kind : {ssl::FaultKind::BitflipCiphertext,
+                                ssl::FaultKind::BitflipHeader}) {
+        for (uint64_t seed = 1; seed <= 32; ++seed) {
+            ssl::FaultPlan plan = ssl::FaultPlan::bitflip(seed, kind, 1.0);
+            ssl::FaultyBio bio(plan);
+            Bytes rec = {23, 3, 0, 0, 8, 1, 2, 3, 4, 5, 6, 7, 8};
+            ASSERT_TRUE(bio.write(rec.data(), rec.size()));
+            Bytes out(rec.size());
+            ASSERT_EQ(bio.read(out.data(), out.size()), rec.size());
+
+            size_t bit_diffs = 0;
+            size_t diff_byte = rec.size();
+            for (size_t i = 0; i < rec.size(); ++i) {
+                uint8_t x = static_cast<uint8_t>(out[i] ^ rec[i]);
+                for (; x; x = static_cast<uint8_t>(x & (x - 1)))
+                    ++bit_diffs;
+                if (out[i] != rec[i])
+                    diff_byte = i;
+            }
+            ASSERT_EQ(bit_diffs, 1u)
+                << "kind " << static_cast<int>(kind) << " seed " << seed;
+            if (kind == ssl::FaultKind::BitflipCiphertext) {
+                EXPECT_GE(diff_byte, 5u) << "seed " << seed;
+                EXPECT_EQ(bio.counts().bitflippedCiphertext, 1u);
+                EXPECT_EQ(bio.counts().bitflippedHeader, 0u);
+            } else {
+                EXPECT_LT(diff_byte, 5u) << "seed " << seed;
+                EXPECT_EQ(bio.counts().bitflippedHeader, 1u);
+                EXPECT_EQ(bio.counts().bitflippedCiphertext, 0u);
+            }
+            EXPECT_EQ(bio.counts().injected(), 1u);
+        }
+    }
+}
+
 // ---------------------------------------------------------------------
 // MemBio backpressure (the bounded receive window)
 
@@ -420,6 +460,123 @@ TEST(ChaosSingleThreaded, ZeroRateAlwaysCompletes)
                   static_cast<int>(Outcome::Completed));
         EXPECT_EQ(r.faults, 0u);
     }
+}
+
+// ---------------------------------------------------------------------
+// Chaos matrix: bit-level faults vs record-granular faults
+
+/** Pass @p wire through a standalone FaultyBio under @p plan. */
+Bytes
+mutateThrough(const ssl::FaultPlan &plan, const Bytes &wire)
+{
+    ssl::FaultyBio bio(plan);
+    bio.write(wire.data(), wire.size());
+    Bytes out(bio.available());
+    bio.read(out.data(), out.size());
+    return out;
+}
+
+/**
+ * Handshake cleanly, mutate ONE encrypted application-data record
+ * under @p plan, deliver it, and report the alert the server dies
+ * with (nullopt when the mutation stalls it pre-decrypt instead —
+ * e.g. a header length flip that leaves it waiting for more bytes).
+ */
+std::optional<ssl::AlertDescription>
+alertAfterMutatedRecord(const ssl::FaultPlan &plan, uint64_t seed)
+{
+    ssl::MemBio c2s, s2c;
+    crypto::RandomPool client_pool{poolSeed(seed, 'c')};
+    crypto::RandomPool server_pool{poolSeed(seed, 's')};
+
+    ssl::ServerConfig scfg;
+    scfg.certificate = test::testServerCert512();
+    scfg.privateKey = test::testKey512().priv;
+    scfg.randomPool = &server_pool;
+    ssl::SslServer server(std::move(scfg),
+                          ssl::BioEndpoint(&c2s, &s2c));
+    ssl::ClientConfig ccfg;
+    ccfg.randomPool = &client_pool;
+    ssl::SslClient client(std::move(ccfg),
+                          ssl::BioEndpoint(&s2c, &c2s));
+    ssl::runLockstep(client, server);
+
+    client.writeApplicationData(Bytes(64, 0x42));
+    Bytes wire(c2s.available());
+    c2s.read(wire.data(), wire.size());
+    c2s.write(mutateThrough(plan, wire));
+    try {
+        while (server.readApplicationData())
+            ;
+    } catch (const ssl::SslError &) {
+    }
+    return server.failureAlert();
+}
+
+TEST(ChaosMatrix, CiphertextBitflipAlwaysDiesOnBadRecordMac)
+{
+    // The matrix row record-granular faults cannot fill: EVERY seed
+    // lands in the decrypt-then-verify failure path. The record still
+    // frames and decrypts; the flipped bit only surfaces when the MAC
+    // (or CBC pad) check runs, i.e. bad_record_mac by construction.
+    for (uint64_t seed = 1; seed <= 24; ++seed) {
+        auto alert = alertAfterMutatedRecord(
+            ssl::FaultPlan::bitflip(
+                seed, ssl::FaultKind::BitflipCiphertext, 1.0),
+            seed);
+        ASSERT_TRUE(alert.has_value()) << "seed " << seed;
+        EXPECT_EQ(*alert, ssl::AlertDescription::BadRecordMac)
+            << "seed " << seed;
+    }
+}
+
+TEST(ChaosMatrix, HeaderBitflipScattersAcrossAlertPaths)
+{
+    // The complementary row: a header flip cannot be pinned to one
+    // path. Version bits die pre-decrypt on illegal_parameter; length
+    // bits either stall the parser (record looks longer) or truncate
+    // the ciphertext, which the geometry check deliberately maps to
+    // bad_record_mac; type bits survive to the MAC (which covers the
+    // type). Both BadRecordMac and non-BadRecordMac outcomes must
+    // occur — the deterministic seed scan stops once it has seen both.
+    size_t bad_mac = 0, other = 0;
+    for (uint64_t seed = 1; seed <= 512 && (bad_mac == 0 || other == 0);
+         ++seed) {
+        auto alert = alertAfterMutatedRecord(
+            ssl::FaultPlan::bitflip(seed, ssl::FaultKind::BitflipHeader,
+                                    1.0),
+            seed);
+        if (alert && *alert == ssl::AlertDescription::BadRecordMac)
+            ++bad_mac;
+        else
+            ++other;
+    }
+    EXPECT_GT(bad_mac, 0u);
+    EXPECT_GT(other, 0u);
+}
+
+TEST(ChaosMatrix, RecordGranularCorruptionCannotPinBadRecordMac)
+{
+    // Contrast row: the pre-existing whole-byte corrupt fault XORs a
+    // byte anywhere in the record — header included — so across seeds
+    // it scatters between bad_record_mac and pre-decrypt outcomes.
+    // Only the bit-level kinds can steer the fault to one path. The
+    // seed scan is deterministic (seeded PRNG per plan) and stops as
+    // soon as both outcomes appear.
+    size_t bad_mac = 0, other = 0;
+    for (uint64_t seed = 1; seed <= 512 && (bad_mac == 0 || other == 0);
+         ++seed) {
+        ssl::FaultPlan plan;
+        plan.corruptRate = 1.0;
+        plan.seed = seed;
+        auto alert = alertAfterMutatedRecord(plan, seed);
+        if (alert && *alert == ssl::AlertDescription::BadRecordMac)
+            ++bad_mac;
+        else
+            ++other;
+    }
+    EXPECT_GT(bad_mac, 0u);
+    EXPECT_GT(other, 0u);
 }
 
 // ---------------------------------------------------------------------

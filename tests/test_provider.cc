@@ -38,16 +38,33 @@ TEST(ProviderRegistry, CreatesEveryListedProvider)
     }
 }
 
-TEST(ProviderRegistry, ListsAllThreeEngines)
+TEST(ProviderRegistry, ListsAllFourEngines)
 {
     const auto &names = crypto::providerNames();
-    EXPECT_EQ(names.size(), 3u);
+    EXPECT_EQ(names.size(), 4u);
     EXPECT_NE(std::find(names.begin(), names.end(), "scalar"),
               names.end());
     EXPECT_NE(std::find(names.begin(), names.end(), "instrumented"),
               names.end());
     EXPECT_NE(std::find(names.begin(), names.end(), "pipelined"),
               names.end());
+    EXPECT_NE(std::find(names.begin(), names.end(), "fast"),
+              names.end());
+}
+
+TEST(ProviderRegistry, BnEnginePerProvider)
+{
+    // Paper-era providers pin the bn32 profiling anchor; only the fast
+    // provider switches the public-key math to bn64.
+    EXPECT_EQ(crypto::createProvider("scalar")->bnEngine().limbBits(),
+              32u);
+    EXPECT_EQ(
+        crypto::createProvider("instrumented")->bnEngine().limbBits(),
+        32u);
+    EXPECT_EQ(
+        crypto::createProvider("pipelined")->bnEngine().limbBits(), 32u);
+    EXPECT_EQ(crypto::createProvider("fast")->bnEngine().limbBits(),
+              64u);
 }
 
 TEST(ProviderRegistry, UnknownNameThrows)

@@ -61,6 +61,25 @@ SCHEMAS = {
             "cells.*.layers_kc.total",
         ],
     },
+    "bn_backend": {
+        "gates": [
+            "gate.pass",
+            "gate.rsa_identical",
+            "gate.dh_identical",
+            "gate.modexp_identical",
+            "gate.bn64_faster",
+        ],
+        "required": [
+            "cycle_hz",
+            "modexp.*.bits",
+            "modexp.*.bn32_ms",
+            "modexp.*.bn64_ms",
+            "modexp.*.speedup",
+            "profiles.*.backend",
+            "profiles.*.rows.*.function",
+            "profiles.*.rows.*.pct",
+        ],
+    },
     "serve_throughput": {
         "gates": [
             "gate.pass",
