@@ -114,6 +114,31 @@ class ProviderOverloadError : public std::runtime_error
 };
 
 /**
+ * Thrown (as a job error) when deadline-aware admission sheds a queued
+ * job whose queue wait already exceeded its deadline budget — the RSA
+ * cycles it would burn cannot save its handshake, so the engine fails
+ * it before touching a Montgomery context. A species of overload, so
+ * it maps to the same internal_error alert.
+ */
+class ProviderDeadlineError : public ProviderOverloadError
+{
+  public:
+    using ProviderOverloadError::ProviderOverloadError;
+};
+
+/**
+ * Thrown (as a job error) when the crypto engine itself failed — a
+ * supervisor declared the executing thread dead and failed the
+ * in-flight job so the parked session terminates instead of hanging.
+ * Maps to internal_error: the fault is local, not the peer's.
+ */
+class ProviderFailureError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/**
  * Handle to a (possibly asynchronous) RSA private-key operation.
  *
  * Unlike MacJob, an RsaJob owns its input bytes, so the submitting
@@ -133,13 +158,26 @@ class RsaJob
         std::condition_variable cv;
         std::atomic<bool> ready{false};
         std::atomic<bool> cancelled{false};
+        /** First-wins resolution guard (see finish()). */
+        std::atomic<bool> resolved{false};
         Bytes result;
         std::exception_ptr error;
 
-        /** Publish the result (or error) and wake any waiter. */
+        /**
+         * Publish the result (or error) and wake any waiter.
+         *
+         * First writer wins: a job can legitimately be resolved from
+         * two sides at once — the crypto thread completing it versus a
+         * supervisor failing it after declaring that thread stalled,
+         * or a cancel-path resolution racing the worker's own — and
+         * the loser's outcome must not clobber what a waiter already
+         * observed. Late calls are silently dropped.
+         */
         void
         finish(Bytes value, std::exception_ptr err)
         {
+            if (resolved.exchange(true, std::memory_order_acq_rel))
+                return;
             {
                 std::lock_guard<std::mutex> lock(m);
                 result = std::move(value);

@@ -36,6 +36,9 @@ namespace ssla::obs
 /** Track offset for crypto-pool threads (worker tracks start at 0). */
 constexpr uint32_t cryptoTrackBase = 1000;
 
+/** Track for the Supervisor's control-plane events (restarts). */
+constexpr uint32_t supervisorTrack = 999;
+
 /**
  * Escape a string for embedding in a JSON string literal: quotes,
  * backslashes and all control characters (the latter as \u00XX).

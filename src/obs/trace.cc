@@ -28,6 +28,8 @@ traceEventKindName(TraceEventKind kind)
     case TraceEventKind::Complete: return "Complete";
     case TraceEventKind::Teardown: return "Teardown";
     case TraceEventKind::LogMessage: return "LogMessage";
+    case TraceEventKind::ThreadRestart: return "ThreadRestart";
+    case TraceEventKind::BreakerTransition: return "BreakerTransition";
     }
     return "Unknown";
 }

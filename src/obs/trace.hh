@@ -55,6 +55,8 @@ enum class TraceEventKind : uint8_t
     Complete,       ///< session reached its configured workload
     Teardown,       ///< session torn down (label = why)
     LogMessage,     ///< captured warn()/inform() text
+    ThreadRestart,  ///< supervisor reaped + respawned a crypto thread
+    BreakerTransition, ///< accept-gate breaker changed state (label)
 };
 
 /** Static name of an event kind (for exporters). */

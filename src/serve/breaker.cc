@@ -1,0 +1,135 @@
+#include "serve/breaker.hh"
+
+#include "util/cycles.hh"
+
+namespace ssla::serve
+{
+
+const char *
+breakerStateName(BreakerState state)
+{
+    switch (state) {
+      case BreakerState::Closed: return "closed";
+      case BreakerState::Open: return "open";
+      case BreakerState::HalfOpen: return "half_open";
+    }
+    return "unknown";
+}
+
+CircuitBreaker::CircuitBreaker(BreakerConfig cfg) : cfg_(cfg)
+{
+    if (cfg_.openHoldCycles == 0)
+        cfg_.openHoldCycles =
+            static_cast<uint64_t>(cycleHz() / 100.0); // ~10 ms
+    if (cfg_.tripThreshold == 0)
+        cfg_.tripThreshold = 1;
+    if (cfg_.closeThreshold == 0)
+        cfg_.closeThreshold = 1;
+    bindMetrics(nullptr);
+}
+
+void
+CircuitBreaker::bindMetrics(obs::MetricsRegistry *reg)
+{
+    obs::MetricsRegistry &r =
+        reg ? *reg : obs::MetricsRegistry::global();
+    gaugeState_ = r.gauge("serve.breaker_state");
+    ctrTrips_ = r.counter("serve.breaker_trips");
+    ctrRefusals_ = r.counter("serve.breaker_refusals");
+}
+
+void
+CircuitBreaker::transitionLocked(BreakerState next, uint64_t now)
+{
+    if (state_ == next)
+        return;
+    state_ = next;
+    stateCache_.store(static_cast<uint8_t>(next),
+                      std::memory_order_release);
+    transitions_.fetch_add(1, std::memory_order_relaxed);
+    gaugeState_.set(static_cast<int64_t>(next));
+    switch (next) {
+      case BreakerState::Open:
+        openedCycles_ = now;
+        trips_.fetch_add(1, std::memory_order_relaxed);
+        ctrTrips_.inc();
+        break;
+      case BreakerState::HalfOpen:
+        probesIssued_ = 0;
+        probeSuccesses_ = 0;
+        break;
+      case BreakerState::Closed:
+        failStreak_ = 0;
+        break;
+    }
+}
+
+bool
+CircuitBreaker::admitFull()
+{
+    // Fast path: a closed breaker admits without taking the lock.
+    if (state() == BreakerState::Closed)
+        return true;
+    std::lock_guard<std::mutex> lock(m_);
+    const uint64_t now = rdcycles();
+    if (state_ == BreakerState::Closed)
+        return true;
+    if (state_ == BreakerState::Open) {
+        if (now - openedCycles_ < cfg_.openHoldCycles) {
+            refusals_.fetch_add(1, std::memory_order_relaxed);
+            ctrRefusals_.inc();
+            return false;
+        }
+        transitionLocked(BreakerState::HalfOpen, now);
+    }
+    // HalfOpen: admit up to the probe budget, refuse the rest until
+    // the probes resolve one way or the other.
+    if (probesIssued_ < cfg_.halfOpenProbes) {
+        ++probesIssued_;
+        return true;
+    }
+    refusals_.fetch_add(1, std::memory_order_relaxed);
+    ctrRefusals_.inc();
+    return false;
+}
+
+void
+CircuitBreaker::noteOverloadFailure()
+{
+    std::lock_guard<std::mutex> lock(m_);
+    const uint64_t now = rdcycles();
+    switch (state_) {
+      case BreakerState::Closed:
+        if (++failStreak_ >= cfg_.tripThreshold)
+            transitionLocked(BreakerState::Open, now);
+        break;
+      case BreakerState::HalfOpen:
+        // A probe died: the overload is not over. Re-open (and
+        // restart the hold-off clock).
+        transitionLocked(BreakerState::Open, now);
+        break;
+      case BreakerState::Open:
+        break;
+    }
+}
+
+void
+CircuitBreaker::noteFullHandshakeSuccess()
+{
+    std::lock_guard<std::mutex> lock(m_);
+    switch (state_) {
+      case BreakerState::Closed:
+        failStreak_ = 0;
+        break;
+      case BreakerState::HalfOpen:
+        if (++probeSuccesses_ >= cfg_.closeThreshold)
+            transitionLocked(BreakerState::Closed, rdcycles());
+        break;
+      case BreakerState::Open:
+        // A full handshake admitted before the trip finishing late;
+        // no state change.
+        break;
+    }
+}
+
+} // namespace ssla::serve

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Accept-gate circuit breaker: the cheapest point to refuse a
+ * handshake is before any of it runs.
+ *
+ * Admission control in the CryptoPool sheds a handshake after the
+ * ClientHello is parsed and the pre-master has been sent — cheap, but
+ * not free. When overload failures become a streak, the breaker trips
+ * and the serving engine refuses *new full handshakes at accept*,
+ * while resumption handshakes (no RSA private-key op; Table 2's ~1/8
+ * cost) stay admitted — the same preferential dispatch the admission
+ * classes encode, applied one layer earlier. After a hold-off the
+ * breaker goes half-open and admits a bounded number of probe
+ * handshakes; enough successes close it, one failure re-opens it.
+ *
+ * Thread safety: all entry points are internally synchronized; state
+ * reads are lock-free. One breaker instance is shared by all engine
+ * workers.
+ */
+
+#ifndef SSLA_SERVE_BREAKER_HH
+#define SSLA_SERVE_BREAKER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include "obs/metrics.hh"
+
+namespace ssla::serve
+{
+
+enum class BreakerState : uint8_t
+{
+    Closed = 0,   ///< normal operation, everything admitted
+    Open = 1,     ///< only resumption handshakes admitted
+    HalfOpen = 2, ///< bounded full-handshake probes admitted
+};
+
+/** Display name of a breaker state ("closed", "open", "half_open"). */
+const char *breakerStateName(BreakerState state);
+
+struct BreakerConfig
+{
+    /** Consecutive overload failures that trip Closed -> Open. */
+    uint32_t tripThreshold = 8;
+    /** Cycles to hold Open before probing (0 = ~10 ms). */
+    uint64_t openHoldCycles = 0;
+    /** Full handshakes admitted per HalfOpen episode. */
+    uint32_t halfOpenProbes = 4;
+    /** Probe successes needed to close from HalfOpen. */
+    uint32_t closeThreshold = 2;
+};
+
+class CircuitBreaker
+{
+  public:
+    explicit CircuitBreaker(BreakerConfig cfg = {});
+
+    CircuitBreaker(const CircuitBreaker &) = delete;
+    CircuitBreaker &operator=(const CircuitBreaker &) = delete;
+
+    /**
+     * Gate for a NEW FULL handshake at accept. Returns false when the
+     * engine must refuse it (breaker Open, or HalfOpen with the probe
+     * budget spent). Resumption handshakes are never gated — callers
+     * simply don't ask. Handles the Open -> HalfOpen hold-off
+     * transition internally.
+     */
+    bool admitFull();
+
+    /**
+     * Feed: a session died from overload (fatal internal_error). A
+     * streak of these trips the breaker; any one re-opens HalfOpen.
+     */
+    void noteOverloadFailure();
+
+    /** Feed: a full (non-resumed) handshake completed. */
+    void noteFullHandshakeSuccess();
+
+    BreakerState
+    state() const
+    {
+        return static_cast<BreakerState>(
+            stateCache_.load(std::memory_order_acquire));
+    }
+
+    uint64_t trips() const
+    {
+        return trips_.load(std::memory_order_relaxed);
+    }
+
+    uint64_t refusals() const
+    {
+        return refusals_.load(std::memory_order_relaxed);
+    }
+
+    uint64_t transitions() const
+    {
+        return transitions_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Re-point serve.breaker_* metrics (state gauge, trip/refusal
+     * counters) at @p reg; bind before traffic flows.
+     */
+    void bindMetrics(obs::MetricsRegistry *reg);
+
+  private:
+    /** Transition to @p next; caller holds m_. */
+    void transitionLocked(BreakerState next, uint64_t now);
+
+    BreakerConfig cfg_;
+    mutable std::mutex m_;
+    BreakerState state_ = BreakerState::Closed;
+    uint32_t failStreak_ = 0;
+    uint32_t probesIssued_ = 0;
+    uint32_t probeSuccesses_ = 0;
+    uint64_t openedCycles_ = 0;
+
+    std::atomic<uint8_t> stateCache_{0};
+    std::atomic<uint64_t> trips_{0};
+    std::atomic<uint64_t> refusals_{0};
+    std::atomic<uint64_t> transitions_{0};
+    obs::Gauge gaugeState_;
+    obs::Counter ctrTrips_;
+    obs::Counter ctrRefusals_;
+};
+
+} // namespace ssla::serve
+
+#endif // SSLA_SERVE_BREAKER_HH

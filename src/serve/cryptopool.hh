@@ -10,12 +10,24 @@
  * other connections; pool threads complete the jobs and the parked
  * sessions resume on the worker's next visit.
  *
+ * Beyond the queue itself, the pool is the admission point of the
+ * overload control loop (DESIGN.md §4i): jobs carry a class
+ * (resumption / continuation / new-full-handshake) and an enqueue
+ * stamp, a CoDel-style target queue delay sheds jobs whose wait
+ * already exceeded their deadline budget *before* they burn a
+ * Montgomery context, and the Adaptive overload policy flips per-class
+ * admission from the measured queue-wait p99. A Supervisor (see
+ * serve/supervisor.hh) watches per-thread heartbeats through the
+ * health hooks below and respawns a thread that dies or stalls
+ * mid-job, failing the in-flight job so no session ever hangs.
+ *
  * THREAD OWNERSHIP: RsaPrivateKey (blinding state) and its embedded
  * MontgomeryCtx scratch are single-owner by design (see
  * bn/montgomery.hh). The pool therefore never runs a caller's key
  * object — each pool thread lazily clones a private replica from the
  * key's components and uses only that, so N pool threads give N-way
- * RSA parallelism with no locks in the hot path.
+ * RSA parallelism with no locks in the hot path. Replica caches are
+ * bounded (oldest evicted) so key churn cannot leak scratch.
  */
 
 #ifndef SSLA_SERVE_CRYPTOPOOL_HH
@@ -23,6 +35,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -58,6 +71,129 @@ enum class OverloadPolicy
      * smoothly instead of cliffing.
      */
     Shed,
+    /**
+     * Class-aware control loop: when the measured queue-wait p99
+     * exceeds the CoDel target delay, new-full-handshake jobs are
+     * refused fast (cheapest point to lose a session: before its RSA
+     * cycles are spent) while continuation and resumption jobs stay
+     * admitted — shed-late work is pure waste, so work already
+     * invested in a handshake gets priority. Under extreme pressure
+     * (p99 past twice the target) continuations shed too. The flags
+     * clear with hysteresis once the p99 falls below half the target.
+     */
+    Adaptive,
+};
+
+/**
+ * Priority class of a submitted job — who loses when RSA cycles run
+ * short. Resumption work is cheapest and never shed at admission;
+ * continuation work (a handshake that already consumed crypto cycles)
+ * sheds only under extreme pressure; a brand-new full handshake is the
+ * first to go, because refusing it wastes the least invested work.
+ */
+enum class JobClass : uint8_t
+{
+    Resumption = 0,
+    Continuation = 1,
+    NewFullHandshake = 2,
+};
+
+constexpr size_t jobClassCount = 3;
+
+/** Display label for a job class ("resumption", ...). */
+const char *jobClassLabel(JobClass cls);
+
+/**
+ * Thread-local attribution a submitter attaches to jobs it is about to
+ * submit. The Provider interface cannot carry per-call class info
+ * (endpoints submit through the generic submitRsaDecrypt/submitRsaSign
+ * surface), so the serving engine binds the class for the duration of
+ * one session pump and the pool reads it at enqueue.
+ */
+struct JobBinding
+{
+    JobClass cls = JobClass::NewFullHandshake;
+    /**
+     * Queue-wait budget for jobs submitted under this binding, in
+     * cycles (0 = the pool's AdmissionControl default). A job whose
+     * wait exceeds the budget is shed at dequeue with
+     * crypto::ProviderDeadlineError instead of executed.
+     */
+    uint64_t deadlineBudgetCycles = 0;
+};
+
+/** The calling thread's current binding (defaults apply when unset). */
+JobBinding currentJobBinding();
+
+/** RAII scope setting the calling thread's JobBinding. */
+class JobBindingScope
+{
+  public:
+    explicit JobBindingScope(JobBinding binding);
+    ~JobBindingScope();
+    JobBindingScope(const JobBindingScope &) = delete;
+    JobBindingScope &operator=(const JobBindingScope &) = delete;
+
+  private:
+    JobBinding prev_;
+};
+
+/**
+ * Deadline-aware admission parameters (all in cycles, the pool's
+ * native clock). Zeros select defaults when the policy is Adaptive
+ * and disable the respective mechanism otherwise, preserving the
+ * PR 4 Reject/Shed behavior bit-for-bit unless asked.
+ */
+struct AdmissionControl
+{
+    /**
+     * CoDel-style target queue delay: the admission control loop aims
+     * to keep the queue-wait p99 at or below this. 0 = default
+     * (~2 ms) under Adaptive, control loop off otherwise.
+     */
+    uint64_t targetDelayCycles = 0;
+    /** Observation interval for the p99 estimate (0 = 2x target). */
+    uint64_t intervalCycles = 0;
+    /**
+     * Default per-job queue-wait budget: a job that waited longer is
+     * dead on dequeue (its session's handshake deadline is blown, so
+     * executing it is pure waste) and fails with
+     * crypto::ProviderDeadlineError. 0 = 8x target under Adaptive,
+     * deadline shedding off otherwise. Per-job bindings override.
+     */
+    uint64_t deadlineBudgetCycles = 0;
+};
+
+/**
+ * Seeded crypto-side fault surface, mirroring ssl::FaultPlan for the
+ * wire: per-job Bernoulli draws from a per-thread PRNG make a pool
+ * thread misbehave deterministically, so chaos tests can kill a crypto
+ * thread mid-job and assert the Supervisor heals the pool. All rates
+ * are probabilities in [0,1].
+ */
+struct CryptoFaultPlan
+{
+    /** Job executes only after spinning this many extra cycles. */
+    double slowdownRate = 0.0;
+    uint64_t slowdownCycles = 0;
+    /** Job fails with a runtime_error (engine fault, not overload). */
+    double failRate = 0.0;
+    /**
+     * The executing thread dies mid-job: it exits without resolving
+     * the job, leaving its health record busy — exactly what a crashed
+     * thread leaves behind. Only a Supervisor recovers from this.
+     */
+    double threadDeathRate = 0.0;
+    /** Total thread deaths allowed (deterministic test budget). */
+    uint64_t maxThreadDeaths = UINT64_MAX;
+    uint64_t seed = 0xfa017;
+
+    bool
+    any() const
+    {
+        return slowdownRate > 0.0 || failRate > 0.0 ||
+               threadDeathRate > 0.0;
+    }
 };
 
 /** A pool of crypto threads completing submitted RSA operations. */
@@ -69,11 +205,18 @@ class CryptoPool
      * @param max_queue queued-job bound (0 = unbounded, the pre-hardening
      *        behavior); in-flight jobs do not count against it
      * @param policy what submits do when the queue is at the bound
+     * @param admission deadline/target-delay knobs (see AdmissionControl)
+     * @param faults crypto-side fault injection (tests/chaos only)
      */
     explicit CryptoPool(size_t threads = 1, size_t max_queue = 0,
-                        OverloadPolicy policy = OverloadPolicy::Reject);
+                        OverloadPolicy policy = OverloadPolicy::Reject,
+                        AdmissionControl admission = {},
+                        CryptoFaultPlan faults = {});
 
-    /** Drains nothing: pending jobs are completed before exit. */
+    /**
+     * Drains nothing: pending jobs are completed before exit. A
+     * Supervisor watching this pool must be destroyed first.
+     */
     ~CryptoPool();
 
     CryptoPool(const CryptoPool &) = delete;
@@ -86,7 +229,9 @@ class CryptoPool
      * job is never executed). When the queue is at its bound the
      * overload policy applies: Reject returns a job already failed
      * with ProviderOverloadError; Shed returns an INVALID job and the
-     * caller must compute synchronously.
+     * caller must compute synchronously; Adaptive decides per class
+     * (see OverloadPolicy::Adaptive). The job is attributed to the
+     * calling thread's JobBinding.
      */
     crypto::RsaJob submitDecrypt(const crypto::RsaPrivateKey &key,
                                  Bytes cipher);
@@ -101,9 +246,11 @@ class CryptoPool
      */
     crypto::RsaJob submitRaw(std::function<Bytes()> fn);
 
-    size_t threadCount() const { return workers_.size(); }
+    /** Configured thread count (replacements keep it constant). */
+    size_t threadCount() const { return threads_; }
     size_t maxQueue() const { return maxQueue_; }
     OverloadPolicy policy() const { return policy_; }
+    const AdmissionControl &admission() const { return adm_; }
 
     /** Jobs currently queued (racy snapshot; monitoring only). */
     size_t queueDepth() const;
@@ -137,6 +284,79 @@ class CryptoPool
     {
         return peakQueue_.load(std::memory_order_relaxed);
     }
+
+    /** Jobs shed at dequeue because their queue wait blew the budget. */
+    uint64_t deadlineShedJobs() const
+    {
+        return deadlineShed_.load(std::memory_order_relaxed);
+    }
+
+    /** Admission-refused jobs of @p cls (Adaptive + queue-bound). */
+    uint64_t shedByClass(JobClass cls) const
+    {
+        return shedClass_[static_cast<size_t>(cls)].load(
+            std::memory_order_relaxed);
+    }
+
+    /** True while Adaptive admission refuses new full handshakes. */
+    bool adaptiveShedding() const
+    {
+        return sheddingNewFull_.load(std::memory_order_relaxed);
+    }
+
+    /** Latest windowed queue-wait p99 estimate, in cycles. */
+    uint64_t queueWaitP99Cycles() const
+    {
+        return waitP99_.load(std::memory_order_relaxed);
+    }
+
+    /** Crypto threads respawned by a Supervisor. */
+    uint64_t threadRestarts() const
+    {
+        return threadRestarts_.load(std::memory_order_relaxed);
+    }
+
+    /** In-flight jobs failed by a Supervisor (thread died/stalled). */
+    uint64_t supervisedJobFailures() const
+    {
+        return supervisedFailures_.load(std::memory_order_relaxed);
+    }
+
+    /** Live key replicas across all pool threads (leak monitoring). */
+    uint64_t replicaCount() const
+    {
+        return replicas_.load(std::memory_order_relaxed);
+    }
+
+    // --- Supervisor health surface -------------------------------------
+    // A Supervisor polls these to detect a thread that died or stalled
+    // mid-job and to heal the pool. Not intended for general use.
+
+    /** Racy view of one thread slot's health (see healthSlots()). */
+    struct ThreadHealthView
+    {
+        uint64_t heartbeatCycles = 0; ///< last loop-top rdcycles()
+        uint64_t jobStartCycles = 0;  ///< rdcycles() at job pickup
+        bool busy = false;            ///< a job is (or died) in flight
+        bool retired = false;         ///< already reaped or exiting
+    };
+
+    /** Number of thread slots ever spawned (grows on respawn). */
+    size_t healthSlots() const;
+
+    /** Health snapshot of slot @p index (< healthSlots()). */
+    ThreadHealthView healthView(size_t index) const;
+
+    /**
+     * Declare slot @p index dead: fail its in-flight job with
+     * crypto::ProviderFailureError (first-wins — a slow-but-alive
+     * thread completing concurrently is harmless), retire the thread
+     * (an alive one exits after its current job instead of taking
+     * more), and spawn a replacement that rebuilds fresh key replicas
+     * lazily. Returns false when the slot was already retired.
+     * Called by the Supervisor; safe from any thread.
+     */
+    bool reapThread(size_t index, const char *reason);
 
     /**
      * Re-point the cryptopool.* metrics (queue-wait and service-time
@@ -175,22 +395,70 @@ class CryptoPool
         std::function<Bytes()> fn;
         std::shared_ptr<crypto::RsaJob::State> state;
         uint64_t submitCycles = 0; ///< for the queue-wait histogram
+        JobClass cls = JobClass::NewFullHandshake;
+        uint64_t deadlineCycles = 0; ///< absolute shed point (0 = none)
+    };
+
+    /** One spawned thread's health record (stable address in deque). */
+    struct ThreadRecord
+    {
+        std::atomic<uint64_t> heartbeat{0};
+        std::atomic<uint64_t> jobStart{0};
+        std::atomic<bool> busy{false};
+        std::atomic<bool> retired{false};
+        /** In-flight job, guarded by jobM (lock order: m_ then jobM). */
+        std::mutex jobM;
+        std::shared_ptr<crypto::RsaJob::State> inflight;
+        uint64_t faultSeed = 0;
     };
 
     crypto::RsaJob enqueue(Job job);
     void workerLoop(size_t index);
+    /** Stable pointer to a health slot (locks against deque growth). */
+    ThreadRecord *recordAt(size_t index) const;
+    /** Spawn a worker on a fresh health slot (ctor + respawn). */
+    void spawnWorker();
+    /** Adaptive admission refusal for @p cls (relaxed flag reads). */
+    bool adaptiveRefuses(JobClass cls) const;
+    /** Update the CoDel control state; caller holds m_. */
+    void controlUpdate(uint64_t now, uint64_t wait_cycles);
+    /** Recompute the windowed p99 and flip flags; caller holds m_. */
+    void controlRecompute(uint64_t now);
+    /** Refresh (or decay) the control state from the enqueue side. */
+    void controlTouchIdle(uint64_t now);
+    void countClassShed(JobClass cls);
 
     mutable std::mutex m_;
     std::condition_variable cv_;
     std::deque<Job> queue_;
     bool stopping_ = false;
+    size_t threads_ = 1;
     size_t maxQueue_ = 0;
     OverloadPolicy policy_ = OverloadPolicy::Reject;
+    AdmissionControl adm_;
+    CryptoFaultPlan faults_;
+    std::atomic<uint64_t> deathBudget_{0};
     std::atomic<uint64_t> completed_{0};
     std::atomic<uint64_t> rejected_{0};
     std::atomic<uint64_t> shed_{0};
     std::atomic<uint64_t> cancelled_{0};
     std::atomic<uint64_t> peakQueue_{0};
+    std::atomic<uint64_t> deadlineShed_{0};
+    std::atomic<uint64_t> shedClass_[jobClassCount] = {};
+    std::atomic<uint64_t> threadRestarts_{0};
+    std::atomic<uint64_t> supervisedFailures_{0};
+    std::atomic<uint64_t> replicas_{0};
+    std::atomic<bool> sheddingNewFull_{false};
+    std::atomic<bool> sheddingContinuation_{false};
+    std::atomic<uint64_t> waitP99_{0};
+
+    // CoDel control-loop window (guarded by m_).
+    static constexpr size_t waitWindow = 64;
+    uint64_t waitSamples_[waitWindow] = {};
+    size_t waitSampleCount_ = 0;
+    uint64_t intervalStartCycles_ = 0;
+    size_t intervalSampleMark_ = 0;
+
     std::atomic<obs::TraceSink *> traceSink_{nullptr};
     obs::Histogram histQueueWait_;
     obs::Histogram histService_;
@@ -198,7 +466,16 @@ class CryptoPool
     obs::Counter ctrRejected_;
     obs::Counter ctrShed_;
     obs::Counter ctrCancelled_;
+    obs::Counter ctrDeadlineShed_;
+    obs::Counter ctrShedClass_[jobClassCount];
+    obs::Counter ctrRestarts_;
+    obs::Counter ctrSupervisedFailures_;
     obs::Gauge gaugeDepth_;
+    obs::Gauge gaugeShedding_;
+
+    /** Guards health_ growth and workers_ (never held with jobM). */
+    mutable std::mutex healthM_;
+    std::deque<ThreadRecord> health_;
     std::vector<std::thread> workers_;
 };
 

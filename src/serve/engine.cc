@@ -5,6 +5,8 @@
 #include <thread>
 
 #include "perf/probe.hh"
+#include "serve/breaker.hh"
+#include "serve/supervisor.hh"
 #include "ssl/client.hh"
 #include "ssl/server.hh"
 #include "util/endian.hh"
@@ -121,6 +123,15 @@ ServeStats::timedOutSessions() const
 }
 
 uint64_t
+ServeStats::lateHandshakes() const
+{
+    uint64_t n = 0;
+    for (const auto &w : perWorker)
+        n += w.lateHandshakes;
+    return n;
+}
+
+uint64_t
 ServeStats::evictedSessions() const
 {
     uint64_t n = 0;
@@ -157,10 +168,20 @@ ServeStats::dataPlaneRecords() const
 }
 
 uint64_t
+ServeStats::refusedSessions() const
+{
+    uint64_t n = 0;
+    for (const auto &w : perWorker)
+        n += w.refusedSessions;
+    return n;
+}
+
+uint64_t
 ServeStats::terminatedSessions() const
 {
     return fullHandshakes() + resumedHandshakes() +
-           failedHandshakes() + timedOutSessions();
+           failedHandshakes() + timedOutSessions() +
+           refusedSessions();
 }
 
 double
@@ -215,6 +236,11 @@ struct ServeEngine::Impl
         bool parked = false;           ///< currently counted as parked
         /** Why the session is parked (valid while parked). */
         ssl::CryptoWait parkReason = ssl::CryptoWait::None;
+        /** Drew the resumption branch AND had a session to offer. */
+        bool offeredResumption = false;
+        /** Parked at least once: later submits are Continuation
+         *  class (work already invested in this handshake). */
+        bool everParked = false;
         bool hsLatencyRecorded = false;///< handshake histogram done
         uint64_t startSweep = 0;       ///< sweep the conn opened on
         uint64_t lastProgressSweep = 0;///< sweep it last advanced on
@@ -275,13 +301,32 @@ struct ServeEngine::Impl
             k.publicKey().n, k.publicKey().e, k.d(), k.p(), k.q());
     }
 
+    /** Deterministic per-connection seed: replay from cfg.seed alone. */
+    uint64_t
+    connSeed(size_t worker_id, size_t serial) const
+    {
+        return mix64(cfg.seed ^ mix64((worker_id << 32) | serial));
+    }
+
+    /**
+     * The connection's resumption draw. Shared by makeConn and the
+     * accept-gate pre-check so the breaker judges exactly the
+     * connection that would be built.
+     */
+    bool
+    wantsResumption(uint64_t cseed) const
+    {
+        return cfg.resumeFraction > 0.0 &&
+               static_cast<double>(mix64(cseed) % 1000) <
+                   cfg.resumeFraction * 1000.0;
+    }
+
     std::unique_ptr<Conn>
     makeConn(size_t worker_id, size_t serial,
              const std::shared_ptr<crypto::RsaPrivateKey> &worker_key)
     {
         auto conn = std::make_unique<Conn>();
-        uint64_t cseed =
-            mix64(cfg.seed ^ mix64((worker_id << 32) | serial));
+        uint64_t cseed = connSeed(worker_id, serial);
         conn->clientPool =
             crypto::RandomPool(seedBytes(cseed, /*tag=*/0xc1));
         conn->serverPool =
@@ -321,10 +366,9 @@ struct ServeEngine::Impl
         ccfg.provider = provider;
         // Deterministic per-connection resumption decision; falls back
         // to a full handshake until sessions exist to offer.
-        if (cfg.resumeFraction > 0.0 &&
-            static_cast<double>(mix64(cseed) % 1000) <
-                cfg.resumeFraction * 1000.0) {
+        if (wantsResumption(cseed)) {
             ccfg.resumeSession = pickCompletedSession();
+            conn->offeredResumption = ccfg.resumeSession.has_value();
         }
 
         conn->server = std::make_unique<ssl::SslServer>(
@@ -513,21 +557,67 @@ struct ServeEngine::Impl
             // Per-worker probe context: crypto FuncProbes on this
             // thread report here; bridged into the registry at exit.
             perf::PerfContext perfCtx;
+
+            // Liveness beacon for the Supervisor: stamped once per
+            // sweep so a wedged worker is observable from outside.
+            std::atomic<uint64_t> *heartbeat =
+                cfg.supervisor
+                    ? cfg.supervisor->watch(
+                          "engine-worker-" + std::to_string(worker_id))
+                    : nullptr;
             {
                 perf::ContextScope perfScope(&perfCtx);
 
             while (completed < target) {
                 const uint64_t sweep = ++stats.sweeps;
+                if (heartbeat)
+                    heartbeat->store(rdcycles(),
+                                     std::memory_order_relaxed);
                 bool progress = false;
                 for (auto &slot : slots) {
                     if (!slot) {
                         if (started >= target)
                             continue;
+                        if (cfg.breaker &&
+                            !wantsResumption(
+                                connSeed(worker_id, started)) &&
+                            !cfg.breaker->admitFull()) {
+                            // Accept-gate refusal: the breaker is open
+                            // (or out of half-open probes) and this
+                            // draw is a full handshake — shed it before
+                            // a single byte moves. Resumption draws
+                            // always pass; they cost ~1/8 as much and
+                            // keep established clients served.
+                            ++started;
+                            ++completed;
+                            ++stats.refusedSessions;
+                            progress = true;
+                            continue;
+                        }
                         slot = makeConn(worker_id, started++,
                                         worker_key);
                         slot->startSweep = sweep;
                         slot->lastProgressSweep = sweep;
                         progress = true;
+                    }
+                    // Wall-clock abandonment: a client only waits so
+                    // long for its handshake. Checked BEFORE pumping
+                    // and with no parked exemption — a session stuck
+                    // behind a saturated crypto queue dies here, which
+                    // is exactly the waste deadline-aware admission
+                    // exists to prevent (shed before the RSA op, not
+                    // after).
+                    if (cfg.handshakeAbandonCycles &&
+                        !(slot->client->handshakeDone() &&
+                          slot->server->handshakeDone()) &&
+                        rdcycles() - slot->startCycles >
+                            cfg.handshakeAbandonCycles) {
+                        if (cfg.breaker)
+                            cfg.breaker->noteOverloadFailure();
+                        teardown(slot, stats, /*timed_out=*/true);
+                        ++completed;
+                        progress = true;
+                        continue;
                     }
                     // One sweep = one virtual tick: age stalled
                     // records, retry cap-deferred deliveries.
@@ -537,13 +627,31 @@ struct ServeEngine::Impl
                         slot->trace->setTick(sweep);
                     bool p = false;
                     t_activeTrace = slot->trace.get();
+                    // Attribute crypto submissions from this pump to
+                    // their admission class: a handshake that has
+                    // already parked once has RSA cycles invested
+                    // (Continuation); a fresh one is the first to
+                    // shed (NewFullHandshake). Resumption handshakes
+                    // submit no RSA jobs, so no Resumption binding is
+                    // needed here.
+                    JobBindingScope bindScope(
+                        {slot->everParked ? JobClass::Continuation
+                                          : JobClass::NewFullHandshake,
+                         cfg.cryptoDeadlineBudgetCycles});
                     try {
                         p = pumpConn(*slot, payload, iovScratch,
                                      stats);
-                    } catch (const ssl::SslError &) {
+                    } catch (const ssl::SslError &e) {
                         t_activeTrace = nullptr;
                         if (!tolerate)
                             throw;
+                        // internal_error means OUR side shed or failed
+                        // the session (overload, reaped crypto
+                        // thread): feed the breaker's trip streak.
+                        if (cfg.breaker &&
+                            e.alert() ==
+                                ssl::AlertDescription::InternalError)
+                            cfg.breaker->noteOverloadFailure();
                         // Only SslError is tolerable: the robustness
                         // contract says every malformed-input path
                         // surfaces as exactly one — anything else is a
@@ -562,22 +670,36 @@ struct ServeEngine::Impl
                         slot->client->handshakeDone() &&
                         slot->server->handshakeDone()) {
                         slot->hsLatencyRecorded = true;
-                        histHandshakeCycles.record(rdcycles() -
-                                                   slot->startCycles);
+                        const uint64_t hs_cycles =
+                            rdcycles() - slot->startCycles;
+                        histHandshakeCycles.record(hs_cycles);
                         histHandshakeSweeps.record(sweep -
                                                    slot->startSweep + 1);
+                        // Completed, but past the point the client
+                        // would have abandoned: served too late to be
+                        // goodput (the Shed fallback's failure mode —
+                        // the sync op always finishes its handshake,
+                        // no matter how stale).
+                        if (cfg.handshakeAbandonCycles &&
+                            hs_cycles > cfg.handshakeAbandonCycles)
+                            ++stats.lateHandshakes;
                     }
-                    const ssl::CryptoWait wait =
-                        slot->server->cryptoWait();
+                    // Either endpoint can be parked: the server on the
+                    // pre-master decrypt / SKX sign, the client on the
+                    // CertificateVerify sign (mutual auth).
+                    ssl::CryptoWait wait = slot->server->cryptoWait();
+                    if (wait == ssl::CryptoWait::None)
+                        wait = slot->client->cryptoWait();
                     if (wait != ssl::CryptoWait::None) {
                         if (!slot->parked) {
                             slot->parked = true;
+                            slot->everParked = true;
                             slot->parkReason = wait;
                             ++stats.parkEvents;
-                            if (wait == ssl::CryptoWait::ServerKxSign)
-                                ++stats.parkEventsSign;
-                            else
+                            if (wait == ssl::CryptoWait::PreMasterDecrypt)
                                 ++stats.parkEventsDecrypt;
+                            else
+                                ++stats.parkEventsSign;
                             if (slot->trace)
                                 slot->trace->record(
                                     obs::TraceEventKind::Park,
@@ -599,10 +721,15 @@ struct ServeEngine::Impl
                         slot->parkReason = ssl::CryptoWait::None;
                     }
                     if (connFinished(*slot)) {
-                        if (slot->server->resumed())
+                        if (slot->server->resumed()) {
                             ++stats.resumedHandshakes;
-                        else
+                        } else {
                             ++stats.fullHandshakes;
+                            // Completed full handshakes are the
+                            // breaker's probe successes.
+                            if (cfg.breaker)
+                                cfg.breaker->noteFullHandshakeSuccess();
+                        }
                         offerCompletedSession(slot->server->session());
                         if (slot->trace) {
                             slot->trace->record(
@@ -661,6 +788,8 @@ struct ServeEngine::Impl
         flush("serve.sweeps", stats.sweeps);
         flush("serve.failed_handshakes", stats.failedHandshakes);
         flush("serve.timed_out_sessions", stats.timedOutSessions);
+        flush("serve.late_handshakes", stats.lateHandshakes);
+        flush("serve.refused_sessions", stats.refusedSessions);
         flush("serve.evicted_sessions", stats.evictedSessions);
         flush("serve.faults_injected", stats.faultsInjected);
         flush("serve.dataplane_flushes", stats.dataPlaneFlushes);
@@ -706,6 +835,15 @@ ServeEngine::ServeEngine(ServeConfig config)
         impl_->store = impl_->internalStore.get();
     }
 
+    // Warmed-server arrival mix: seed sessions are resumable from the
+    // very first connection, on the server side (store) and the client
+    // side (the resumption ring the per-connection draws pick from).
+    for (const ssl::Session &s : cfg.resumptionSeed)
+        if (s.valid()) {
+            impl_->store->store(s);
+            impl_->offerCompletedSession(s);
+        }
+
     crypto::Provider *base =
         cfg.provider ? cfg.provider : &crypto::scalarProvider();
     if (cfg.cryptoPool) {
@@ -732,6 +870,13 @@ ServeEngine::ServeEngine(ServeConfig config)
         if (cfg.traceSink)
             cfg.cryptoPool->bindTraceSink(cfg.traceSink);
     }
+    if (cfg.breaker)
+        cfg.breaker->bindMetrics(impl_->reg);
+    if (cfg.supervisor) {
+        cfg.supervisor->bindMetrics(impl_->reg);
+        if (cfg.traceSink)
+            cfg.supervisor->bindTraceSink(cfg.traceSink);
+    }
 }
 
 ServeEngine::~ServeEngine() = default;
@@ -740,6 +885,13 @@ ssl::SessionStore &
 ServeEngine::sessionStore()
 {
     return *impl_->store;
+}
+
+std::vector<ssl::Session>
+ServeEngine::completedSessions() const
+{
+    std::lock_guard<std::mutex> lock(impl_->sessionsM);
+    return impl_->sessions;
 }
 
 ServeStats

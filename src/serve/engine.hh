@@ -37,6 +37,9 @@
 namespace ssla::serve
 {
 
+class CircuitBreaker;
+class Supervisor;
+
 /** Workload and topology of one engine run. */
 struct ServeConfig
 {
@@ -79,6 +82,17 @@ struct ServeConfig
     std::shared_ptr<crypto::RsaPrivateKey> privateKey;
     /** Session store; null = engine-internal ShardedSessionCache. */
     ssl::SessionStore *sessionStore = nullptr;
+    /**
+     * Pre-established sessions injected into the session store and the
+     * resumption ring before workers start — the warmed-server arrival
+     * mix. Without this, resumption draws fall back to full handshakes
+     * until in-run completions seed the ring, which under-counts
+     * resumption traffic in short overload runs (a fast-shedding
+     * policy would burn the whole fixed workload before any session
+     * exists to resume). Harvest from a prior run with
+     * ServeEngine::completedSessions().
+     */
+    std::vector<ssl::Session> resumptionSeed;
     /** Stripe count of the internal store (when sessionStore null). */
     size_t cacheShards = 8;
     /** Seed from which all per-connection randomness derives. */
@@ -121,6 +135,45 @@ struct ServeConfig
      * surface as exactly one SslError, so anything else is a bug.
      */
     bool tolerateFailures = false;
+
+    // --- Overload-control knobs (the self-healing control plane) ---
+
+    /**
+     * Accept-gate circuit breaker (shared across workers; not owned).
+     * When set, a connection whose deterministic draw selects a FULL
+     * handshake must pass CircuitBreaker::admitFull() before its slot
+     * is even built; a refused connection counts as refusedSessions
+     * and consumes its workload slot. Resumption draws always pass
+     * (the gate models ticket-based preferential admission — the
+     * cheapest possible shed point, before any bytes move). The
+     * engine feeds the breaker: internal_error teardowns and
+     * wall-clock abandonments count as overload failures, completed
+     * full handshakes as successes.
+     */
+    CircuitBreaker *breaker = nullptr;
+    /**
+     * Heartbeat supervisor (not owned; must outlive run()). Each
+     * worker registers an external heartbeat slot and stamps it every
+     * sweep, so a wedged worker is at least observable.
+     */
+    Supervisor *supervisor = nullptr;
+    /**
+     * Wall-clock handshake abandonment deadline in cycles (0 = off):
+     * a session still handshaking this many cycles after creation is
+     * torn down as timed out — EVEN while parked on the crypto pool.
+     * This models the client that gives up and leaves; it is what
+     * makes queue delay cost goodput in the overload bench (virtual-
+     * tick deadlines deliberately exempt parked sessions, so without
+     * this a session could wait on a saturated queue forever and
+     * still "complete").
+     */
+    uint64_t handshakeAbandonCycles = 0;
+    /**
+     * Per-job queue-wait budget the workers bind for their crypto
+     * submissions (0 = the pool's AdmissionControl default). Jobs
+     * whose queue wait exceeds it are deadline-shed by the pool.
+     */
+    uint64_t cryptoDeadlineBudgetCycles = 0;
 
     // --- Observability knobs (the telemetry subsystem) ---
 
@@ -182,6 +235,15 @@ struct WorkerStats
     uint64_t failedHandshakes = 0;
     /** Sessions torn down by a handshake or idle deadline. */
     uint64_t timedOutSessions = 0;
+    /**
+     * Handshakes that completed with a wall clock already past
+     * handshakeAbandonCycles (0 when the knob is off). They count as
+     * completed, but a real client had walked away — overload benches
+     * subtract them from goodput as work served too late to matter.
+     */
+    uint64_t lateHandshakes = 0;
+    /** Connections refused at accept by the circuit breaker. */
+    uint64_t refusedSessions = 0;
     /** Cache entries scrubbed during session teardown. */
     uint64_t evictedSessions = 0;
     /** FaultyBio mutations injected across this worker's channels. */
@@ -212,6 +274,8 @@ struct ServeStats
     uint64_t parkEventsSign() const;
     uint64_t failedHandshakes() const;
     uint64_t timedOutSessions() const;
+    uint64_t lateHandshakes() const;
+    uint64_t refusedSessions() const;
     uint64_t evictedSessions() const;
     uint64_t faultsInjected() const;
     uint64_t dataPlaneFlushes() const;
@@ -219,8 +283,9 @@ struct ServeStats
 
     /**
      * Every session's terminal outcome, summed: completed (full or
-     * resumed) + alerted + timed out. The chaos invariant is that this
-     * equals the configured workload — no session just vanishes.
+     * resumed) + alerted + timed out + refused at the accept gate.
+     * The chaos invariant is that this equals the configured workload
+     * — no session just vanishes.
      */
     uint64_t terminatedSessions() const;
 
@@ -253,6 +318,13 @@ class ServeEngine
 
     /** The session store the run used (internal or configured). */
     ssl::SessionStore &sessionStore();
+
+    /**
+     * Snapshot of the resumption ring (sessions completed this run
+     * plus any configured seed), for warming a subsequent engine's
+     * ServeConfig::resumptionSeed. Call after run().
+     */
+    std::vector<ssl::Session> completedSessions() const;
 
   private:
     struct Impl;

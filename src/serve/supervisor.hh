@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Heartbeat supervisor over the crypto pool (and, optionally, engine
+ * workers): the recovery half of the overload control plane.
+ *
+ * A crypto thread that dies or wedges mid-job is the one failure PR 4's
+ * fault harness could not express and the serving engine cannot see:
+ * the session is parked, parking exempts it from the engine's
+ * virtual-tick deadlines (a parked session is *supposed* to be slow),
+ * so nothing ever times it out — a silent, permanent hang. The
+ * Supervisor closes that hole. Every pool thread exposes a heartbeat
+ * and a job-start stamp (CryptoPool::healthView); a thread that is
+ * busy but has made no observable progress past the stall threshold is
+ * declared dead, its in-flight job is failed with
+ * crypto::ProviderFailureError (surfaced by the endpoint as a fatal
+ * internal_error alert — the session terminates instead of hanging),
+ * and a replacement thread is spawned with fresh key replicas
+ * (CryptoPool::reapThread). Detection and resolution are first-wins
+ * against the original thread, so a merely-slow thread completing
+ * concurrently is harmless.
+ *
+ * Engine workers register external heartbeat slots through watch();
+ * stalls there are counted and logged (an engine worker shares the
+ * process — it cannot be respawned, only observed).
+ */
+
+#ifndef SSLA_SERVE_SUPERVISOR_HH
+#define SSLA_SERVE_SUPERVISOR_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "serve/cryptopool.hh"
+
+namespace ssla::serve
+{
+
+struct SupervisorConfig
+{
+    /** Health-poll period in microseconds. */
+    uint64_t pollIntervalUs = 200;
+    /**
+     * A busy thread whose latest progress stamp (heartbeat or
+     * job start) is older than this many cycles is declared dead.
+     * Must comfortably exceed the worst-case legitimate job (an
+     * RSA-2048 decrypt on the bn32 backend); 0 = ~100 ms.
+     */
+    uint64_t stallThresholdCycles = 0;
+    /**
+     * Restart budget: past it the supervisor stops reaping (a pool
+     * that keeps killing threads has a bug, not bad luck) and logs
+     * once. Generous by default.
+     */
+    uint64_t maxRestarts = 1024;
+};
+
+/** Watches a CryptoPool's thread health; reaps and respawns stalls. */
+class Supervisor
+{
+  public:
+    /** @p pool must outlive this supervisor (destroy this first). */
+    explicit Supervisor(CryptoPool &pool, SupervisorConfig cfg = {});
+    ~Supervisor();
+
+    Supervisor(const Supervisor &) = delete;
+    Supervisor &operator=(const Supervisor &) = delete;
+
+    /**
+     * Register an external heartbeat slot (e.g. one per engine
+     * worker): the owner stores rdcycles() into the returned atomic
+     * each sweep; the supervisor counts (and logs once per episode)
+     * slots that go stale. The pointer stays valid for the
+     * supervisor's lifetime. Safe from any thread.
+     */
+    std::atomic<uint64_t> *watch(std::string label);
+
+    /** Crypto threads reaped + respawned by this supervisor. */
+    uint64_t restarts() const
+    {
+        return restarts_.load(std::memory_order_relaxed);
+    }
+
+    /** Stall episodes observed on external (engine-worker) slots. */
+    uint64_t externalStalls() const
+    {
+        return externalStalls_.load(std::memory_order_relaxed);
+    }
+
+    /** Health polls completed (liveness probe for tests). */
+    uint64_t polls() const
+    {
+        return polls_.load(std::memory_order_relaxed);
+    }
+
+    /** Re-point supervisor.* metrics (bind before traffic flows). */
+    void bindMetrics(obs::MetricsRegistry *reg);
+
+    /**
+     * Dump the supervisor's control-plane trace (ThreadRestart events
+     * on obs::supervisorTrack) into @p sink at destruction.
+     */
+    void
+    bindTraceSink(obs::TraceSink *sink)
+    {
+        traceSink_.store(sink, std::memory_order_release);
+    }
+
+  private:
+    struct ExternalWatch
+    {
+        std::string label;
+        std::atomic<uint64_t> heartbeat{0};
+        bool stalledNow = false; ///< supervisor thread only
+    };
+
+    void loop();
+    void poll(obs::SessionTrace &trace);
+
+    CryptoPool &pool_;
+    SupervisorConfig cfg_;
+    std::atomic<uint64_t> restarts_{0};
+    std::atomic<uint64_t> externalStalls_{0};
+    std::atomic<uint64_t> polls_{0};
+    std::atomic<obs::TraceSink *> traceSink_{nullptr};
+    obs::Counter ctrRestarts_;
+    obs::Counter ctrExternalStalls_;
+
+    mutable std::mutex watchM_;
+    std::deque<ExternalWatch> watches_;
+
+    std::mutex stopM_;
+    std::condition_variable stopCv_;
+    bool stopping_ = false;
+    std::thread thread_;
+};
+
+} // namespace ssla::serve
+
+#endif // SSLA_SERVE_SUPERVISOR_HH

@@ -9,7 +9,14 @@
 namespace ssla::ssl
 {
 
-SslClient::~SslClient() = default;
+SslClient::~SslClient()
+{
+    // A queued CertificateVerify job references config_.clientKey;
+    // cancel so the pool never touches it after we are gone (a
+    // cancelled queued job is skipped without dereferencing the key).
+    if (cvJob_.valid())
+        cvJob_.cancel();
+}
 
 SslClient::SslClient(ClientConfig config, BioEndpoint bio)
     : SslEndpoint(bio, config.randomPool, config.provider),
@@ -34,6 +41,7 @@ SslClient::step()
         "GetServerKeyExchange",
         "GetServerDone",
         "SendClientKeyExchange",
+        "AwaitCertVerifySign",
         "SendCcsFinished",
         "GetFinished",
         "ResumeGetFinished",
@@ -66,6 +74,8 @@ SslClient::dispatch()
         return stepGetServerDone();
       case State::SendClientKeyExchange:
         return stepSendClientKeyExchange();
+      case State::AwaitCertVerifySign:
+        return stepAwaitCertVerifySign();
       case State::SendCcsFinished:
         return stepSendCcsFinished();
       case State::GetFinished:
@@ -280,16 +290,77 @@ SslClient::stepSendClientKeyExchange()
     session_.masterSecret = master_;
 
     // Prove possession of the certificate key (CertificateVerify).
+    // The signature is submitted through the provider, mirroring the
+    // server's AwaitKxSign: a synchronous provider resolves before
+    // returning and AwaitCertVerifySign falls straight through, a
+    // pool-backed provider parks this connection while a crypto
+    // thread signs — mutual-auth clients get the same no-sync-RSA
+    // guarantee on the hot path the server has.
     if (sending_client_cert) {
-        CertificateVerifyMsg cv;
-        cv.signature = provider().rsaSign(
+        cvJob_ = provider().submitRsaSign(
             *config_.clientKey,
             hsHash_.certVerifyHash(version_, master_));
-        sendHandshake(HandshakeType::CertificateVerify, cv.encode());
+        traceEvent(obs::TraceEventKind::CryptoSubmit,
+                   "cert_verify_sign");
+        state_ = State::AwaitCertVerifySign;
+        return true;
     }
 
     state_ = State::SendCcsFinished;
     return true;
+}
+
+bool
+SslClient::stepAwaitCertVerifySign()
+{
+    if (cvJob_.valid() && !cvJob_.ready())
+        return false; // parked; cryptoWait() reports why
+    CertificateVerifyMsg cv;
+    try {
+        cv.signature = cvJob_.wait();
+    } catch (const crypto::ProviderOverloadError &) {
+        // A saturated (or deadline-shedding) crypto pool refused the
+        // sign: our overload, not the peer's fault — internal_error.
+        cvJob_ = crypto::RsaJob();
+        fail(AlertDescription::InternalError,
+             "crypto engine saturated, handshake rejected");
+    } catch (const crypto::ProviderFailureError &) {
+        // The supervisor declared the executing crypto thread dead
+        // and failed the job so this session terminates cleanly.
+        cvJob_ = crypto::RsaJob();
+        fail(AlertDescription::InternalError,
+             "crypto engine failed, handshake aborted");
+    } catch (const std::exception &) {
+        cvJob_ = crypto::RsaJob();
+        fail(AlertDescription::InternalError,
+             "CertificateVerify signing failed");
+    }
+    cvJob_ = crypto::RsaJob();
+    traceEvent(obs::TraceEventKind::CryptoComplete, "cert_verify_sign");
+    sendHandshake(HandshakeType::CertificateVerify, cv.encode());
+    state_ = State::SendCcsFinished;
+    return true;
+}
+
+CryptoWait
+SslClient::cryptoWait() const
+{
+    if (state_ == State::AwaitCertVerifySign && cvJob_.valid() &&
+        !cvJob_.ready())
+        return CryptoWait::CertVerifySign;
+    return CryptoWait::None;
+}
+
+void
+SslClient::onFatal()
+{
+    if (cvJob_.valid()) {
+        if (!cvJob_.ready())
+            traceEvent(obs::TraceEventKind::CryptoCancel,
+                       "cert_verify_sign");
+        cvJob_.cancel();
+        cvJob_ = crypto::RsaJob();
+    }
 }
 
 bool

@@ -68,9 +68,13 @@ class SslClient : public SslEndpoint
     /** The server certificate received during the handshake. */
     const pki::Certificate &serverCertificate() const { return cert_; }
 
+    /** Parked on the offloaded CertificateVerify signature? */
+    CryptoWait cryptoWait() const override;
+
   protected:
     bool step() override;
     void onChangeCipherSpec() override;
+    void onFatal() override;
 
   private:
     enum class State
@@ -81,6 +85,7 @@ class SslClient : public SslEndpoint
         GetServerKeyExchange,
         GetServerDone,
         SendClientKeyExchange,
+        AwaitCertVerifySign,
         SendCcsFinished,
         GetFinished,
         // Resumption path.
@@ -98,6 +103,7 @@ class SslClient : public SslEndpoint
     bool stepGetServerKeyExchange();
     bool stepGetServerDone();
     bool stepSendClientKeyExchange();
+    bool stepAwaitCertVerifySign();
     bool stepSendCcsFinished();
     bool stepGetFinished();
     bool stepResumeGetFinished();
@@ -111,6 +117,12 @@ class SslClient : public SslEndpoint
      *  created once the ServerHello fixes suite and resumption. */
     std::unique_ptr<ClientKx> kx_;
     bool certificateRequested_ = false;
+    /** In-flight CertificateVerify signature (mutual auth): the
+     *  client-side analogue of the server's AwaitKxSign parking —
+     *  submitted through the provider so a pool-backed provider runs
+     *  the private-key op on a crypto thread while this connection
+     *  parks, and a synchronous provider falls straight through. */
+    crypto::RsaJob cvJob_;
 };
 
 } // namespace ssla::ssl

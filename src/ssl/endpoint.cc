@@ -15,6 +15,8 @@ cryptoWaitLabel(CryptoWait wait)
         return "rsa_decrypt";
     case CryptoWait::ServerKxSign:
         return "rsa_sign";
+    case CryptoWait::CertVerifySign:
+        return "cert_verify_sign";
     case CryptoWait::None:
         break;
     }

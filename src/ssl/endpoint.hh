@@ -56,13 +56,15 @@ struct EndpointObsBinding
  * Why an endpoint is parked on asynchronous crypto. The server parks
  * in two places: waiting for the offloaded pre-master RSA decryption
  * (RSA key transport) and waiting for the offloaded ServerKeyExchange
- * RSA signature (DHE suites).
+ * RSA signature (DHE suites). The client parks in one: waiting for
+ * the offloaded CertificateVerify signature (mutual auth).
  */
 enum class CryptoWait : uint8_t
 {
     None,             ///< not parked
     PreMasterDecrypt, ///< AwaitPreMaster: rsa_decrypt job in flight
     ServerKxSign,     ///< AwaitKxSign: rsa_sign job in flight
+    CertVerifySign,   ///< client AwaitCertVerifySign: rsa_sign job
 };
 
 /** Trace/metric label for a park reason ("rsa_decrypt", "rsa_sign"). */

@@ -285,6 +285,9 @@ SslServer::stepAwaitKxSign()
         // not the peer's fault — internal_error.
         fail(AlertDescription::InternalError,
              "crypto engine saturated, handshake rejected");
+    } catch (const crypto::ProviderFailureError &) {
+        fail(AlertDescription::InternalError,
+             "crypto engine failed, handshake aborted");
     } catch (const std::exception &) {
         fail(AlertDescription::InternalError,
              "ServerKeyExchange signing failed");
@@ -399,11 +402,17 @@ SslServer::stepAwaitPreMaster()
     try {
         premaster = kx_->finishClientKeyExchange();
     } catch (const crypto::ProviderOverloadError &) {
-        // A saturated crypto pool rejected the decrypt: our overload,
-        // not the peer's fault — internal_error, never
+        // A saturated crypto pool rejected the decrypt (including a
+        // deadline shed: the job waited past its budget): our
+        // overload, not the peer's fault — internal_error, never
         // handshake_failure (which would blame the client).
         fail(AlertDescription::InternalError,
              "crypto engine saturated, handshake rejected");
+    } catch (const crypto::ProviderFailureError &) {
+        // The supervisor declared the executing crypto thread dead and
+        // failed the job: terminate cleanly instead of hanging parked.
+        fail(AlertDescription::InternalError,
+             "crypto engine failed, handshake aborted");
     } catch (const std::exception &) {
         fail(AlertDescription::HandshakeFailure,
              "pre-master decryption failed");

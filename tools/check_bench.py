@@ -80,6 +80,25 @@ SCHEMAS = {
             "profiles.*.rows.*.pct",
         ],
     },
+    "serve_overload": {
+        "gates": [
+            "gate.pass",
+            "gate.adaptive_goodput_wins",
+            "gate.no_hung_sessions",
+            "gate.all_accounted",
+        ],
+        "required": [
+            "rsa_op_ms",
+            "abandon_ms",
+            "results.*.policy",
+            "results.*.goodput_per_sec",
+            "results.*.goodput_fraction",
+            "results.*.hs_p99_us",
+            "results.*.wasted_work_fraction",
+            "chaos.*.thread_restarts",
+            "chaos.*.hung_sessions",
+        ],
+    },
     "serve_throughput": {
         "gates": [
             "gate.pass",
