@@ -18,13 +18,19 @@
  * zero-fault sanity baseline — never absolute rates, so CI is
  * meaningful on any machine shape.
  *
- *   ./bench_serve_degradation [--smoke]
+ *   ./bench_serve_degradation [--smoke] [--trace FILE]
+ *
+ * --trace FILE additionally runs a small fully-sampled faulted
+ * workload with per-session tracing on and writes the Chrome
+ * trace_event JSON — the analyzer's chaos corpus (ssla_analyze, or
+ * tools/validate_trace.py in CI).
  */
 
 #include <cstdio>
 #include <cstring>
 
 #include "common.hh"
+#include "obs/export.hh"
 #include "obs/metrics.hh"
 #include "serve/engine.hh"
 
@@ -130,15 +136,64 @@ runCell(double fault_rate, PoolMode mode, size_t workers,
     return r;
 }
 
+/**
+ * Small fully-sampled traced run under a faulted channel and a
+ * saturated Reject pool, so the trace corpus carries the interesting
+ * events: faults, alerts, park/resume, shed and deadline fires.
+ * Returns the number of captured traces.
+ */
+size_t
+runTraced(const pki::Certificate &cert,
+          const std::shared_ptr<crypto::RsaPrivateKey> &key,
+          const std::string &path)
+{
+    obs::ChromeTraceCollector collector;
+    obs::MetricsRegistry registry;
+    {
+        serve::CryptoPool pool(1, /*max_queue=*/2,
+                               serve::OverloadPolicy::Reject);
+        serve::ServeConfig cfg;
+        cfg.workers = 2;
+        cfg.connectionsPerWorker = 8;
+        cfg.concurrentPerWorker = 8;
+        cfg.resumeFraction = 0.3;
+        cfg.bulkBytes = 0;
+        cfg.certificate = &cert;
+        cfg.privateKey = key;
+        cfg.seed = 0xdeca2;
+        cfg.tolerateFailures = true;
+        cfg.handshakeDeadlineTicks = 256;
+        cfg.idleDeadlineTicks = 256;
+        ssl::FaultPlan plan = ssl::FaultPlan::mixed(cfg.seed, 0.10);
+        cfg.faultPlan = &plan;
+        cfg.cryptoPool = &pool;
+        cfg.metrics = &registry;
+        cfg.traceSampleEvery = 1;
+        cfg.traceSink = &collector;
+        cfg.traceDumpAll = true;
+        serve::ServeEngine engine(std::move(cfg));
+        engine.run();
+        // Pool destruction (scope exit) dumps the crypto threads'
+        // job tracks into the collector before we serialize.
+    }
+    if (!collector.writeFile(path))
+        return 0;
+    return collector.traceCount();
+}
+
 } // anonymous namespace
 
 int
 main(int argc, char **argv)
 {
     bool smoke = false;
-    for (int i = 1; i < argc; ++i)
+    std::string trace_path;
+    for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--smoke"))
             smoke = true;
+        else if (!std::strcmp(argv[i], "--trace") && i + 1 < argc)
+            trace_path = argv[++i];
+    }
 
     warmUpCpu();
 
@@ -246,9 +301,27 @@ main(int argc, char **argv)
     }
     j.endArray();
 
+    bool trace_ok = true;
+    if (!trace_path.empty()) {
+        size_t traced = runTraced(cert, key.priv, trace_path);
+        j.beginObject("trace");
+        j.field("file", trace_path);
+        j.field("sessions", static_cast<uint64_t>(traced));
+        j.endObject();
+        trace_ok = traced != 0;
+    }
+
     j.field("all_accounted", all_accounted);
     j.field("clean_baseline_ok", clean_baseline_ok);
     j.endObject();
+
+    if (!trace_ok) {
+        std::fprintf(stderr,
+                     "FAIL: traced run captured no sessions or could "
+                     "not write %s\n",
+                     trace_path.c_str());
+        return 1;
+    }
 
     if (!all_accounted) {
         std::fprintf(stderr,

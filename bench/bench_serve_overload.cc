@@ -32,7 +32,13 @@
  * chaos cell, and full termination accounting everywhere — never
  * absolute rates, so CI is meaningful on any machine shape.
  *
- *   ./bench_serve_overload [--smoke]
+ *   ./bench_serve_overload [--smoke] [--trace FILE]
+ *
+ * --trace FILE additionally runs a small fully-sampled overloaded
+ * workload (Adaptive admission, saturated pool, abandonment deadline)
+ * with per-session tracing on and writes the Chrome trace_event JSON —
+ * the analyzer's overload corpus (ssla_analyze's queue_delay pass, or
+ * tools/validate_trace.py in CI).
  */
 
 #include <algorithm>
@@ -42,6 +48,7 @@
 #include "common.hh"
 #include "crypto/rand.hh"
 #include "crypto/rsa.hh"
+#include "obs/export.hh"
 #include "obs/metrics.hh"
 #include "serve/breaker.hh"
 #include "serve/engine.hh"
@@ -356,15 +363,66 @@ runChaosCell(uint64_t seed, size_t workers, size_t conns_per_worker,
     return r;
 }
 
+/**
+ * Small fully-sampled traced run of the overload shape itself: one
+ * worker multiplexing more sessions than the single Adaptive pool
+ * thread can serve, under the abandonment deadline — so the trace
+ * carries deep queue waits, deadline sheds and park/resume edges for
+ * the analyzer's queue_delay pass. Returns the captured trace count.
+ */
+size_t
+runTraced(const pki::Certificate &cert,
+          const std::shared_ptr<crypto::RsaPrivateKey> &key,
+          uint64_t op_cycles, const std::string &path)
+{
+    obs::ChromeTraceCollector collector;
+    obs::MetricsRegistry registry;
+    {
+        serve::AdmissionControl adm;
+        adm.targetDelayCycles = 2 * op_cycles;
+        adm.intervalCycles = op_cycles;
+        adm.deadlineBudgetCycles = 3 * op_cycles;
+        serve::CryptoPool pool(1, /*max_queue=*/4,
+                               serve::OverloadPolicy::Adaptive, adm);
+        serve::ServeConfig cfg;
+        cfg.workers = 1;
+        cfg.connectionsPerWorker = 24;
+        cfg.concurrentPerWorker = 12;
+        cfg.resumeFraction = 0.5;
+        cfg.bulkBytes = 0;
+        cfg.certificate = &cert;
+        cfg.privateKey = key;
+        cfg.seed = 0x0afe11;
+        cfg.tolerateFailures = true;
+        cfg.handshakeAbandonCycles = 4 * op_cycles;
+        cfg.cryptoPool = &pool;
+        cfg.metrics = &registry;
+        cfg.traceSampleEvery = 1;
+        cfg.traceSink = &collector;
+        cfg.traceDumpAll = true;
+        serve::ServeEngine engine(std::move(cfg));
+        engine.run();
+        // Pool destruction (scope exit) dumps the crypto thread's job
+        // track into the collector before we serialize.
+    }
+    if (!collector.writeFile(path))
+        return 0;
+    return collector.traceCount();
+}
+
 } // anonymous namespace
 
 int
 main(int argc, char **argv)
 {
     bool smoke = false;
-    for (int i = 1; i < argc; ++i)
+    std::string trace_path;
+    for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--smoke"))
             smoke = true;
+        else if (!std::strcmp(argv[i], "--trace") && i + 1 < argc)
+            trace_path = argv[++i];
+    }
 
     warmUpCpu();
 
@@ -544,6 +602,17 @@ main(int argc, char **argv)
     }
     j.endArray();
 
+    bool trace_ok = true;
+    if (!trace_path.empty()) {
+        size_t traced =
+            runTraced(cert, key.priv, op_cycles, trace_path);
+        j.beginObject("trace");
+        j.field("file", trace_path);
+        j.field("sessions", static_cast<uint64_t>(traced));
+        j.endObject();
+        trace_ok = traced != 0;
+    }
+
     j.beginObject("gate");
     j.field("adaptive_goodput_wins", adaptive_goodput_wins);
     j.field("no_hung_sessions", no_hung_sessions);
@@ -552,6 +621,14 @@ main(int argc, char **argv)
                         all_accounted);
     j.endObject();
     j.endObject();
+
+    if (!trace_ok) {
+        std::fprintf(stderr,
+                     "FAIL: traced run captured no sessions or could "
+                     "not write %s\n",
+                     trace_path.c_str());
+        return 1;
+    }
 
     if (!adaptive_goodput_wins) {
         std::fprintf(stderr,

@@ -1,0 +1,153 @@
+#include "obs/analysis/diff.hh"
+
+#include <cmath>
+
+namespace ssla::obs::analysis
+{
+
+namespace
+{
+
+struct DiffWalk
+{
+    double maxDeltaPct;
+    Report::Section *sec;
+    DiffResult result;
+
+    void
+    note(const std::string &line)
+    {
+        sec->lines.push_back(line);
+    }
+
+    void
+    walk(const std::string &path, const Json &oldV, const Json &newV)
+    {
+        // Type change is handled as a gate/fatal only for bools; for
+        // anything else it reads as an informational mismatch.
+        if (oldV.isBool()) {
+            if (!newV.isBool()) {
+                ++result.informational;
+                note(strf("  CHANGED %s: bool -> non-bool",
+                          path.c_str()));
+                return;
+            }
+            if (oldV.b && !newV.b) {
+                ++result.gateRegressions;
+                note(strf("  GATE REGRESSION %s: true -> false",
+                          path.c_str()));
+            } else if (!oldV.b && newV.b) {
+                ++result.informational;
+                note(strf("  improved %s: false -> true",
+                          path.c_str()));
+            }
+            return;
+        }
+        if (oldV.isNumber()) {
+            if (!newV.isNumber()) {
+                ++result.informational;
+                note(strf("  CHANGED %s: number -> non-number",
+                          path.c_str()));
+                return;
+            }
+            const double a = oldV.number();
+            const double b = newV.number();
+            if (a == b)
+                return;
+            const double delta =
+                a != 0.0 ? 100.0 * (b - a) / std::fabs(a)
+                         : (b > 0 ? 1e9 : -1e9);
+            if (std::fabs(delta) > maxDeltaPct) {
+                ++result.numericDeltas;
+                note(strf("  DELTA %s: %g -> %g (%+.1f%%)",
+                          path.c_str(), a, b, delta));
+            }
+            return;
+        }
+        if (oldV.isString()) {
+            if (!newV.isString() || oldV.str != newV.str) {
+                ++result.informational;
+                note(strf("  changed %s: \"%s\" -> \"%s\"",
+                          path.c_str(), oldV.str.c_str(),
+                          newV.isString() ? newV.str.c_str()
+                                          : "<non-string>"));
+            }
+            return;
+        }
+        if (oldV.isArray()) {
+            if (!newV.isArray()) {
+                ++result.informational;
+                note(strf("  CHANGED %s: array -> non-array",
+                          path.c_str()));
+                return;
+            }
+            if (oldV.arr.size() != newV.arr.size()) {
+                ++result.informational;
+                note(strf("  length %s: %zu -> %zu (comparing common "
+                          "prefix)",
+                          path.c_str(), oldV.arr.size(),
+                          newV.arr.size()));
+            }
+            const size_t n =
+                std::min(oldV.arr.size(), newV.arr.size());
+            for (size_t k = 0; k < n; ++k)
+                walk(strf("%s[%zu]", path.c_str(), k), oldV.arr[k],
+                     newV.arr[k]);
+            return;
+        }
+        if (oldV.isObject()) {
+            if (!newV.isObject()) {
+                ++result.informational;
+                note(strf("  CHANGED %s: object -> non-object",
+                          path.c_str()));
+                return;
+            }
+            for (const auto &[key, val] : oldV.obj) {
+                const std::string sub =
+                    path.empty() ? key : path + "." + key;
+                const Json *other = newV.find(key);
+                if (!other) {
+                    ++result.missingPaths;
+                    note(strf("  MISSING %s: present in old run, "
+                              "absent in new",
+                              sub.c_str()));
+                    continue;
+                }
+                walk(sub, val, *other);
+            }
+            for (const auto &[key, val] : newV.obj) {
+                (void)val;
+                if (!oldV.find(key)) {
+                    ++result.informational;
+                    note(strf("  new field %s.%s",
+                              path.empty() ? "(root)" : path.c_str(),
+                              key.c_str()));
+                }
+            }
+            return;
+        }
+        // Null old value: nothing to compare.
+    }
+};
+
+} // anonymous namespace
+
+DiffResult
+diffBench(const Json &oldDoc, const Json &newDoc, double maxDeltaPct,
+          Report &report)
+{
+    auto &sec = report.section("bench_diff");
+    sec.lines.push_back(
+        strf("numeric threshold: %.1f%%", maxDeltaPct));
+    DiffWalk walk{maxDeltaPct, &sec, {}};
+    walk.walk("", oldDoc, newDoc);
+    sec.lines.push_back(strf(
+        "gate_regressions=%d missing_paths=%d numeric_deltas=%d "
+        "informational=%d => %s",
+        walk.result.gateRegressions, walk.result.missingPaths,
+        walk.result.numericDeltas, walk.result.informational,
+        walk.result.failed() ? "FAIL" : "OK"));
+    return walk.result;
+}
+
+} // namespace ssla::obs::analysis

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Bench regression diff: compare two BENCH_*.json artifacts.
+ *
+ * Rules (shared, by specification, with tools/check_bench.py --diff):
+ *  - a boolean that was true in the old run and false in the new one is
+ *    a GATE REGRESSION (fatal),
+ *  - a path present in the old run but missing from the new one is
+ *    fatal (schemas only grow),
+ *  - a numeric value whose relative delta exceeds the threshold is
+ *    reported (informational — benches are noisy, a human or a tighter
+ *    gate decides),
+ *  - array length changes and new-only paths are informational.
+ */
+
+#ifndef SSLA_OBS_ANALYSIS_DIFF_HH
+#define SSLA_OBS_ANALYSIS_DIFF_HH
+
+#include "obs/analysis/json.hh"
+#include "obs/analysis/pass.hh"
+
+namespace ssla::obs::analysis
+{
+
+struct DiffResult
+{
+    int gateRegressions = 0;  ///< bool true -> false
+    int missingPaths = 0;     ///< old path absent from new doc
+    int numericDeltas = 0;    ///< |relative delta| > threshold
+    int informational = 0;    ///< everything else worth a line
+
+    bool failed() const { return gateRegressions + missingPaths > 0; }
+};
+
+/**
+ * Diff two bench JSON documents into @p report ("bench_diff" section).
+ * @param maxDeltaPct numeric reporting threshold, in percent
+ */
+DiffResult diffBench(const Json &oldDoc, const Json &newDoc,
+                     double maxDeltaPct, Report &report);
+
+} // namespace ssla::obs::analysis
+
+#endif // SSLA_OBS_ANALYSIS_DIFF_HH

@@ -1,0 +1,394 @@
+#include "obs/analysis/model.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ssla::obs::analysis
+{
+
+namespace
+{
+
+const char *
+sideNameFromIndex(uint64_t side)
+{
+    switch (side) {
+    case 0: return "server";
+    case 1: return "client";
+    case 2: return "engine";
+    case 3: return "channel";
+    }
+    return "unknown";
+}
+
+/** Split an exported event name "Kind:label" back into its parts. */
+void
+splitName(const std::string &name, std::string &kind,
+          std::string &label)
+{
+    size_t colon = name.find(':');
+    if (colon == std::string::npos) {
+        kind = name;
+        label.clear();
+    } else {
+        kind = name.substr(0, colon);
+        label = name.substr(colon + 1);
+    }
+}
+
+using SessionKey = std::pair<uint32_t, uint64_t>; // (track, serial)
+
+Corpus
+finalize(std::map<SessionKey, SessionRecord> &records,
+         const char *format, const char *unit)
+{
+    Corpus corpus;
+    corpus.format = format;
+    corpus.timeUnit = unit;
+    corpus.sessions.reserve(records.size());
+    for (auto &[key, rec] : records) {
+        std::stable_sort(rec.events.begin(), rec.events.end(),
+                         [](const AnalysisEvent &a,
+                            const AnalysisEvent &b) { return a.t < b.t; });
+        corpus.sessions.push_back(std::move(rec));
+    }
+    return corpus;
+}
+
+} // anonymous namespace
+
+std::string
+readFileOrThrow(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        throw IngestError(path + ": cannot open file");
+    std::string out;
+    char buf[1 << 16];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        out.append(buf, n);
+    const bool bad = std::ferror(f) != 0;
+    std::fclose(f);
+    if (bad)
+        throw IngestError(path + ": read error");
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// JSONL ingest
+
+Corpus
+ingestJsonl(std::string_view text)
+{
+    std::map<SessionKey, SessionRecord> records;
+
+    size_t lineNo = 0;
+    size_t pos = 0;
+    while (pos <= text.size()) {
+        size_t eol = text.find('\n', pos);
+        std::string_view line = text.substr(
+            pos, eol == std::string_view::npos ? std::string_view::npos
+                                               : eol - pos);
+        ++lineNo;
+        pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+        if (line.find_first_not_of(" \t\r") == std::string_view::npos)
+            continue;
+
+        Json obj;
+        try {
+            obj = parseJson(line, lineNo - 1);
+        } catch (const JsonError &e) {
+            throw IngestError("jsonl " + std::string(e.what()));
+        }
+        if (!obj.isObject())
+            throw IngestError("jsonl line " + std::to_string(lineNo) +
+                              ": expected an object per line");
+
+        const Json *serialV = obj.find("serial");
+        if (!serialV || !serialV->isNumber())
+            throw IngestError("jsonl line " + std::to_string(lineNo) +
+                              ": missing numeric 'serial'");
+        const uint64_t serial = serialV->asU64();
+
+        const Json *summary = obj.find("summary");
+        if (summary && summary->isBool() && summary->b) {
+            // Trailer line: outcome + accounting for the trace whose
+            // events preceded it. The serial alone can be ambiguous
+            // (worker-0 session n vs crypto track n), so it attaches
+            // to the still-open record with that serial.
+            SessionRecord *target = nullptr;
+            for (auto &[key, rec] : records)
+                if (key.second == serial &&
+                    (!target || rec.outcome == "open"))
+                    if (rec.outcome == "open" || !target)
+                        target = &rec;
+            if (!target)
+                throw IngestError(
+                    "jsonl line " + std::to_string(lineNo) +
+                    ": summary for serial " + std::to_string(serial) +
+                    " with no preceding events");
+            if (const std::string *oc = obj.findString("outcome"))
+                target->outcome = *oc;
+            target->dropped = obj.findU64("dropped");
+            continue;
+        }
+
+        const Json *trackV = obj.find("track");
+        const std::string *kind = obj.findString("kind");
+        const std::string *side = obj.findString("side");
+        const Json *cyclesV = obj.find("cycles");
+        if (!trackV || !trackV->isNumber())
+            throw IngestError("jsonl line " + std::to_string(lineNo) +
+                              ": missing numeric 'track'");
+        if (!kind)
+            throw IngestError("jsonl line " + std::to_string(lineNo) +
+                              ": missing 'kind'");
+        if (!side)
+            throw IngestError("jsonl line " + std::to_string(lineNo) +
+                              ": missing 'side'");
+        if (!cyclesV || !cyclesV->isNumber())
+            throw IngestError("jsonl line " + std::to_string(lineNo) +
+                              ": missing numeric 'cycles'");
+
+        const uint32_t track =
+            static_cast<uint32_t>(trackV->asU64());
+        SessionRecord &rec = records[{track, serial}];
+        rec.serial = serial;
+        rec.track = track;
+
+        AnalysisEvent ev;
+        ev.t = static_cast<double>(cyclesV->asU64());
+        ev.tick = obj.findU64("tick");
+        ev.kind = *kind;
+        ev.side = *side;
+        ev.code = static_cast<uint16_t>(obj.findU64("code"));
+        ev.arg = obj.findU64("arg");
+        ev.argT = static_cast<double>(ev.arg);
+        if (const std::string *label = obj.findString("label"))
+            ev.label = *label;
+        if (const std::string *txt = obj.findString("text"))
+            ev.text = *txt;
+        rec.events.push_back(std::move(ev));
+    }
+
+    return finalize(records, "jsonl", "cycles");
+}
+
+// ---------------------------------------------------------------------
+// Chrome trace ingest
+
+Corpus
+ingestChrome(const Json &doc)
+{
+    const Json *events = doc.find("traceEvents");
+    if (!doc.isObject() || !events || !events->isArray())
+        throw IngestError(
+            "chrome trace: root must be an object with a "
+            "'traceEvents' array");
+
+    std::map<SessionKey, SessionRecord> records;
+
+    auto recordFor = [&](const Json &ev, const Json *args,
+                         size_t index) -> SessionRecord & {
+        const Json *tidV = ev.find("tid");
+        if (!tidV || !tidV->isNumber())
+            throw IngestError("chrome trace event " +
+                              std::to_string(index) +
+                              ": missing numeric 'tid'");
+        const uint64_t tid = tidV->asU64();
+        const uint32_t track = static_cast<uint32_t>(tid / 8);
+        uint64_t serial;
+        if (args && args->find("serial") &&
+            args->find("serial")->isNumber()) {
+            serial = args->findU64("serial");
+        } else {
+            // Pre-serial-stamp exporter: fall back to one synthetic
+            // session per export track (bit 63 marks it synthetic so
+            // it can never collide with an engine serial).
+            serial = (1ull << 63) | tid;
+        }
+        SessionRecord &rec = records[{track, serial}];
+        rec.serial = serial;
+        rec.track = track;
+        return rec;
+    };
+
+    size_t index = 0;
+    for (const Json &ev : events->arr) {
+        const size_t where = index++;
+        if (!ev.isObject())
+            throw IngestError("chrome trace event " +
+                              std::to_string(where) +
+                              ": not an object");
+        const std::string *ph = ev.findString("ph");
+        if (!ph)
+            throw IngestError("chrome trace event " +
+                              std::to_string(where) +
+                              ": missing 'ph'");
+        if (*ph == "M")
+            continue;
+
+        const Json *tsV = ev.find("ts");
+        const std::string *name = ev.findString("name");
+        if (!tsV || !tsV->isNumber())
+            throw IngestError("chrome trace event " +
+                              std::to_string(where) +
+                              ": missing numeric 'ts'");
+        if (!name)
+            throw IngestError("chrome trace event " +
+                              std::to_string(where) +
+                              ": missing 'name'");
+        const double ts = tsV->number();
+        const Json *args = ev.find("args");
+
+        if (*ph == "e")
+            continue; // carries no args; "b" opened the session
+        if (*ph == "b") {
+            SessionRecord &rec = recordFor(ev, args, where);
+            if (args) {
+                if (const std::string *oc = args->findString("outcome"))
+                    rec.outcome = *oc;
+                rec.dropped = args->findU64("dropped");
+            }
+            continue;
+        }
+        if (*ph != "X" && *ph != "i")
+            throw IngestError("chrome trace event " +
+                              std::to_string(where) +
+                              ": unsupported phase '" + *ph + "'");
+
+        SessionRecord &rec = recordFor(ev, args, where);
+        const uint64_t tid = ev.find("tid")->asU64();
+
+        AnalysisEvent out;
+        out.t = ts;
+        out.side = sideNameFromIndex(tid % 8);
+        splitName(*name, out.kind, out.label);
+        if (args) {
+            out.tick = args->findU64("tick");
+            out.code = static_cast<uint16_t>(args->findU64("code"));
+            out.arg = args->findU64("arg");
+            out.argT = args->findNumber(
+                "wait_us", static_cast<double>(out.arg));
+            if (const std::string *txt = args->findString("text"))
+                out.text = *txt;
+        }
+
+        if (*ph == "X") {
+            const Json *durV = ev.find("dur");
+            if (!durV || !durV->isNumber())
+                throw IngestError("chrome trace event " +
+                                  std::to_string(where) +
+                                  ": X span missing 'dur'");
+            const double dur = durV->number();
+            if (out.kind == "JobStart") {
+                // Re-split the service span into the begin/end pair
+                // the JSONL stream carries natively. An "unfinished"
+                // span (trace ended mid-job) gets no end event —
+                // matching the JSONL stream, which has no JobEnd
+                // either.
+                const std::string *oc0 =
+                    args ? args->findString("outcome") : nullptr;
+                if (oc0 && *oc0 == "unfinished") {
+                    rec.events.push_back(std::move(out));
+                    continue;
+                }
+                AnalysisEvent end;
+                end.t = ts + dur;
+                end.tick = out.tick;
+                end.kind = "JobEnd";
+                end.label = out.label;
+                end.side = out.side;
+                const std::string *oc =
+                    args ? args->findString("outcome") : nullptr;
+                end.code = (oc && *oc == "error") ? 1 : 0;
+                end.argT = dur;
+                rec.events.push_back(out);
+                rec.events.push_back(std::move(end));
+                continue;
+            }
+            // StateEnter residency spans: the begin instant is the
+            // original event; the end was the next state, which has
+            // its own span.
+        }
+        rec.events.push_back(std::move(out));
+    }
+
+    return finalize(records, "chrome", "us");
+}
+
+Corpus
+ingestTraceFile(const std::string &path)
+{
+    const std::string text = readFileOrThrow(path);
+    // Sniff: a Chrome export is one JSON document whose root carries
+    // traceEvents; JSONL never parses as a single document (unless it
+    // is a single line, which then lacks traceEvents).
+    try {
+        Json doc = parseJson(text);
+        if (doc.isObject() && doc.find("traceEvents"))
+            return ingestChrome(doc);
+    } catch (const JsonError &) {
+        // Not one document: treat as JSONL below.
+    }
+    try {
+        return ingestJsonl(text);
+    } catch (const IngestError &e) {
+        throw IngestError(path + ": " + e.what());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Prometheus text snapshot
+
+void
+ingestPrometheus(std::string_view text, Corpus &corpus)
+{
+    size_t lineNo = 0;
+    size_t pos = 0;
+    while (pos < text.size()) {
+        size_t eol = text.find('\n', pos);
+        std::string line(text.substr(
+            pos, eol == std::string_view::npos ? std::string_view::npos
+                                               : eol - pos));
+        ++lineNo;
+        pos = eol == std::string_view::npos ? text.size() : eol + 1;
+        if (line.empty() || line[0] == '#')
+            continue;
+
+        size_t space = line.rfind(' ');
+        if (space == std::string::npos || space == 0)
+            throw IngestError("metrics line " + std::to_string(lineNo) +
+                              ": expected '<name> <value>'");
+        std::string name = line.substr(0, space);
+        const std::string valueText = line.substr(space + 1);
+        char *end = nullptr;
+        double value = std::strtod(valueText.c_str(), &end);
+        if (end == valueText.c_str())
+            throw IngestError("metrics line " + std::to_string(lineNo) +
+                              ": bad value '" + valueText + "'");
+
+        size_t brace = name.find('{');
+        if (brace != std::string::npos) {
+            // name{quantile="0.99"} -> metricQuantiles["name{0.99}"]
+            std::string base = name.substr(0, brace);
+            std::string labels = name.substr(brace);
+            size_t q = labels.find("quantile=\"");
+            if (q == std::string::npos)
+                throw IngestError("metrics line " +
+                                  std::to_string(lineNo) +
+                                  ": unsupported label set " + labels);
+            size_t vstart = q + 10;
+            size_t vend = labels.find('"', vstart);
+            corpus.metricQuantiles[base + "{" +
+                                   labels.substr(vstart, vend - vstart) +
+                                   "}"] = value;
+        } else {
+            corpus.metrics[name] = value;
+        }
+    }
+}
+
+} // namespace ssla::obs::analysis

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Composable analysis-pass framework (the PerFlow-style layer).
+ *
+ * A Pass is a pure function over the ingested Corpus: it inspects the
+ * event graph and appends preformatted lines to its Report section.
+ * Passes never mutate the corpus and hold no state between runs, so
+ * running the same pass twice over the same input yields byte-identical
+ * output — CI leans on that to diff two analyzer runs.
+ *
+ * Pass API contract (see DESIGN.md §4j):
+ *  - name(): stable CLI identifier ("critical_path"),
+ *  - description(): one-line help text,
+ *  - run(corpus, report): read-only walk; all iteration must be over
+ *    deterministically ordered containers (the corpus sorts sessions
+ *    by (track, serial); passes use std::map for aggregation).
+ */
+
+#ifndef SSLA_OBS_ANALYSIS_PASS_HH
+#define SSLA_OBS_ANALYSIS_PASS_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/analysis/model.hh"
+
+namespace ssla::obs::analysis
+{
+
+/** Ordered, preformatted analysis output. */
+class Report
+{
+  public:
+    struct Section
+    {
+        std::string title;
+        std::vector<std::string> lines;
+    };
+
+    /** Append (or reopen) a titled section. */
+    Section &
+    section(const std::string &title)
+    {
+        for (auto &s : sections_)
+            if (s.title == title)
+                return s;
+        sections_.push_back({title, {}});
+        return sections_.back();
+    }
+
+    const std::vector<Section> &sections() const { return sections_; }
+
+    /** Render the whole report as stable plain text. */
+    std::string render() const;
+
+  private:
+    std::vector<Section> sections_;
+};
+
+/** printf-style formatting into a std::string (report lines). */
+std::string strf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** One registered analysis. */
+class Pass
+{
+  public:
+    virtual ~Pass() = default;
+    virtual const char *name() const = 0;
+    virtual const char *description() const = 0;
+    virtual void run(const Corpus &corpus, Report &report) const = 0;
+};
+
+/** Registration-ordered pass collection. */
+class PassRegistry
+{
+  public:
+    void
+    add(std::unique_ptr<Pass> pass)
+    {
+        passes_.push_back(std::move(pass));
+    }
+
+    const Pass *
+    find(std::string_view name) const
+    {
+        for (const auto &p : passes_)
+            if (name == p->name())
+                return p.get();
+        return nullptr;
+    }
+
+    std::vector<const Pass *>
+    all() const
+    {
+        std::vector<const Pass *> out;
+        out.reserve(passes_.size());
+        for (const auto &p : passes_)
+            out.push_back(p.get());
+        return out;
+    }
+
+  private:
+    std::vector<std::unique_ptr<Pass>> passes_;
+};
+
+/** Registry holding the built-in trace passes, registration order:
+ *  summary, critical_path, worker_imbalance, queue_delay,
+ *  outcome_clusters. */
+PassRegistry makeBuiltinRegistry();
+
+} // namespace ssla::obs::analysis
+
+#endif // SSLA_OBS_ANALYSIS_PASS_HH

@@ -80,16 +80,25 @@ exportTid(uint32_t track, uint8_t side)
     return static_cast<uint64_t>(track) * 8 + side;
 }
 
+/**
+ * Event args. Every event carries the owning trace's serial so a
+ * consumer (ssla_analyze's Chrome ingest) can regroup the flat event
+ * stream back into sessions; @p extra appends pre-rendered members
+ * (span outcome, scaled queue wait).
+ */
 std::string
-eventArgs(const TraceEvent &e)
+eventArgs(const TraceEvent &e, uint64_t serial,
+          const std::string &extra = {})
 {
-    std::string args = "{\"tick\":" + std::to_string(e.tick);
+    std::string args = "{\"serial\":" + std::to_string(serial) +
+                       ",\"tick\":" + std::to_string(e.tick);
     if (e.code)
         args += ",\"code\":" + std::to_string(e.code);
     if (e.arg)
         args += ",\"arg\":" + std::to_string(e.arg);
     if (!e.text.empty())
         args += ",\"text\":\"" + jsonEscape(e.text) + "\"";
+    args += extra;
     args += "}";
     return args;
 }
@@ -200,6 +209,7 @@ ChromeTraceCollector::write(std::FILE *out) const
                 // side (JobStart pairs with its JobEnd), or the end
                 // of the trace.
                 uint64_t endCycles = lastCycles;
+                const TraceEvent *endEvent = nullptr;
                 for (size_t j = i + 1; j < t.events.size(); ++j) {
                     const TraceEvent &n = t.events[j];
                     if (n.side != e.side)
@@ -211,9 +221,24 @@ ChromeTraceCollector::write(std::FILE *out) const
                         n.kind != TraceEventKind::JobEnd)
                         continue;
                     endCycles = n.cycles;
+                    endEvent = &n;
                     break;
                 }
                 double dur = std::max(toUs(endCycles) - ts, 0.0);
+                std::string extra;
+                if (e.kind == TraceEventKind::JobStart) {
+                    // Job-span verdict from the matched JobEnd, plus
+                    // the queue wait rescaled to export time units so
+                    // the analyzer needs no cycle-rate knowledge.
+                    const char *outcome =
+                        !endEvent ? "unfinished"
+                        : endEvent->code ? "error"
+                                         : "ok";
+                    extra = std::string(",\"outcome\":\"") + outcome +
+                            "\",\"wait_us\":" +
+                            fmtTs(static_cast<double>(e.arg) / hz *
+                                  1e6);
+                }
                 events.push_back(
                     {ts,
                      "{\"ph\":\"X\",\"ts\":" + fmtTs(ts) +
@@ -222,19 +247,27 @@ ChromeTraceCollector::write(std::FILE *out) const
                          std::string(traceEventKindName(e.kind)) +
                          "\",\"name\":\"" + jsonEscape(eventName(e)) +
                          "\",\"pid\":1,\"tid\":" + std::to_string(tid) +
-                         ",\"args\":" + eventArgs(e) + "}"});
+                         ",\"args\":" + eventArgs(e, t.serial, extra) +
+                         "}"});
                 continue;
             }
             if (e.kind == TraceEventKind::JobEnd)
                 continue; // rendered as its JobStart's span end
 
+            std::string extra;
+            if (e.kind == TraceEventKind::DeadlineFired && e.arg)
+                // A deadline fire's arg is the queue wait it wasted,
+                // in cycles; rescale for cycle-rate-blind consumers.
+                extra = ",\"wait_us\":" +
+                        fmtTs(static_cast<double>(e.arg) / hz * 1e6);
             events.push_back(
                 {ts, "{\"ph\":\"i\",\"ts\":" + fmtTs(ts) +
                          ",\"s\":\"t\",\"cat\":\"" +
                          std::string(traceEventKindName(e.kind)) +
                          "\",\"name\":\"" + jsonEscape(eventName(e)) +
                          "\",\"pid\":1,\"tid\":" + std::to_string(tid) +
-                         ",\"args\":" + eventArgs(e) + "}"});
+                         ",\"args\":" + eventArgs(e, t.serial, extra) +
+                         "}"});
         }
     }
 

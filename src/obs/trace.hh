@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/cycles.hh"
@@ -82,6 +83,50 @@ struct TraceEvent
     uint64_t arg = 0;  ///< size, record index, job id...
     const char *label = nullptr; ///< static string; may be null
     std::string text;            ///< dynamic payload (log capture)
+};
+
+/**
+ * Outcome-keyed trace retention policy.
+ *
+ * Plain 1-in-N sampling decides at session OPEN which sessions are
+ * observable — so under low failure rates the interesting tail (fatal
+ * alerts, timeouts, shed sessions) is almost never in the sample. This
+ * policy splits the decision: with keepFailures set, every session
+ * records into a ring (recording is cheap), and the 1-in-N decay is
+ * applied at DUMP time to completed sessions only; any session whose
+ * terminal outcome is a failure always reaches the sink.
+ */
+struct TraceSampling
+{
+    /** 1-in-N retention for completed sessions (0 = tracing off). */
+    uint32_t sampleEvery = 0;
+    /** Record every session; failures bypass the 1-in-N decay. */
+    bool keepFailures = false;
+
+    /** Should this session get a flight-recorder ring at all? */
+    bool
+    shouldRecord(uint64_t serial) const
+    {
+        if (sampleEvery == 0)
+            return false;
+        return keepFailures || serial % sampleEvery == 0;
+    }
+
+    /** Terminal outcomes that always dump (the interesting tail). */
+    static bool
+    isFailure(std::string_view outcome)
+    {
+        return outcome != "completed" && outcome != "open";
+    }
+
+    /** Should a finished session's trace reach the sink? */
+    bool
+    shouldDump(uint64_t serial, std::string_view outcome) const
+    {
+        if (isFailure(outcome))
+            return true;
+        return sampleEvery != 0 && serial % sampleEvery == 0;
+    }
 };
 
 /**

@@ -548,7 +548,9 @@ CryptoPool::workerLoop(size_t index)
             ctrDeadlineShed_.inc();
             countClassShed(job.cls);
             trace.record(obs::TraceEventKind::DeadlineFired,
-                         obs::traceSideEngine, jobClassLabel(job.cls), 0,
+                         obs::traceSideEngine, jobClassLabel(job.cls),
+                         static_cast<uint16_t>(
+                             static_cast<uint8_t>(job.cls) + 1),
                          startCycles - job.submitCycles);
             job.state->finish(
                 Bytes(),
@@ -590,9 +592,14 @@ CryptoPool::workerLoop(size_t index)
                     ;
             }
         }
+        // code carries the admission class (JobClass + 1, 0 = unknown)
+        // so the queue-delay analysis pass can split wait/service per
+        // class without joining back to the submitting session.
         trace.record(obs::TraceEventKind::JobStart,
                      obs::traceSideEngine,
-                     jobKindLabel(static_cast<int>(job.kind)), 0,
+                     jobKindLabel(static_cast<int>(job.kind)),
+                     static_cast<uint16_t>(
+                         static_cast<uint8_t>(job.cls) + 1),
                      startCycles - job.submitCycles);
         Bytes result;
         if (!err) {

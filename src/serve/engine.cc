@@ -236,6 +236,9 @@ struct ServeEngine::Impl
         bool parked = false;           ///< currently counted as parked
         /** Why the session is parked (valid while parked). */
         ssl::CryptoWait parkReason = ssl::CryptoWait::None;
+        /** JobClass + 1 stamped on the Park event, replayed on the
+         *  matching Resume (0 = never parked). */
+        uint16_t parkClassCode = 0;
         /** Drew the resumption branch AND had a session to offer. */
         bool offeredResumption = false;
         /** Parked at least once: later submits are Continuation
@@ -378,9 +381,12 @@ struct ServeEngine::Impl
         conn->startCycles = rdcycles();
 
         // Sampled flight recorder: 1-in-N connections share one ring
-        // between client, server, channel and engine events.
-        if (cfg.traceSampleEvery &&
-            serial % cfg.traceSampleEvery == 0) {
+        // between client, server, channel and engine events. With
+        // traceKeepFailures every connection records; the 1-in-N decay
+        // moves to dump time so failures always survive.
+        const obs::TraceSampling sampling{cfg.traceSampleEvery,
+                                          cfg.traceKeepFailures};
+        if (sampling.shouldRecord(serial)) {
             conn->trace = std::make_unique<obs::SessionTrace>(
                 (static_cast<uint64_t>(worker_id) << 32) | serial,
                 static_cast<uint32_t>(worker_id), cfg.traceCapacity);
@@ -634,10 +640,11 @@ struct ServeEngine::Impl
                     // shed (NewFullHandshake). Resumption handshakes
                     // submit no RSA jobs, so no Resumption binding is
                     // needed here.
+                    const JobClass pumpCls =
+                        slot->everParked ? JobClass::Continuation
+                                         : JobClass::NewFullHandshake;
                     JobBindingScope bindScope(
-                        {slot->everParked ? JobClass::Continuation
-                                          : JobClass::NewFullHandshake,
-                         cfg.cryptoDeadlineBudgetCycles});
+                        {pumpCls, cfg.cryptoDeadlineBudgetCycles});
                     try {
                         p = pumpConn(*slot, payload, iovScratch,
                                      stats);
@@ -700,11 +707,16 @@ struct ServeEngine::Impl
                                 ++stats.parkEventsDecrypt;
                             else
                                 ++stats.parkEventsSign;
+                            // Stamp the admission class the parked
+                            // job was submitted under (JobClass + 1).
+                            slot->parkClassCode = static_cast<uint16_t>(
+                                static_cast<uint8_t>(pumpCls) + 1);
                             if (slot->trace)
                                 slot->trace->record(
                                     obs::TraceEventKind::Park,
                                     obs::traceSideEngine,
-                                    ssl::cryptoWaitLabel(wait));
+                                    ssl::cryptoWaitLabel(wait),
+                                    slot->parkClassCode);
                         }
                         // Parked on the pool is not a stall; deadlines
                         // resume once the result lands.
@@ -717,7 +729,8 @@ struct ServeEngine::Impl
                             slot->trace->record(
                                 obs::TraceEventKind::Resume,
                                 obs::traceSideEngine,
-                                ssl::cryptoWaitLabel(slot->parkReason));
+                                ssl::cryptoWaitLabel(slot->parkReason),
+                                slot->parkClassCode);
                         slot->parkReason = ssl::CryptoWait::None;
                     }
                     if (connFinished(*slot)) {
@@ -738,7 +751,17 @@ struct ServeEngine::Impl
                                 slot->server->resumed() ? "resumed"
                                                         : "full");
                             slot->trace->noteOutcome("completed");
-                            if (cfg.traceDumpAll)
+                            // Decay completed traces to the sample
+                            // rate; failures dump in teardown().
+                            const obs::TraceSampling sampling{
+                                cfg.traceSampleEvery,
+                                cfg.traceKeepFailures};
+                            if (cfg.traceDumpAll ||
+                                (cfg.traceKeepFailures &&
+                                 sampling.shouldDump(
+                                     static_cast<uint32_t>(
+                                         slot->trace->serial()),
+                                     "completed")))
                                 dumpTrace(*slot);
                         }
                         retireWires(*slot, stats);

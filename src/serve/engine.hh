@@ -203,6 +203,13 @@ struct ServeConfig
      */
     bool traceDumpAll = false;
     /**
+     * Outcome-keyed retention (obs::TraceSampling): every connection
+     * records into a ring, failed/timed-out/fatal sessions always
+     * dump, and completed ones decay to the 1-in-traceSampleEvery
+     * rate. Keeps the interesting tail observable under sampling.
+     */
+    bool traceKeepFailures = false;
+    /**
      * Capture warn()/inform() text into the active session's trace for
      * the duration of run() (installs a process-wide log sink and
      * restores the previous one on exit).

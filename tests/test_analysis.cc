@@ -1,0 +1,392 @@
+/**
+ * @file
+ * Trace-analysis framework tests: the strict JSON parser (exact
+ * integers, rejection with line/column), JSONL and Chrome ingest into
+ * the event graph, the exporter round trip (JSONL and Chrome renderings
+ * of the same trace ingest to the same session history), pass
+ * determinism (byte-identical reports on the same corpus), the bench
+ * regression diff failing closed on an injected gate regression, and
+ * the outcome-keyed sampling policy (failed sessions survive 1-in-N
+ * sampling end to end through a faulted engine run).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#include "obs/analysis/diff.hh"
+#include "obs/analysis/model.hh"
+#include "obs/analysis/pass.hh"
+#include "obs/export.hh"
+#include "obs/trace.hh"
+#include "serve/engine.hh"
+#include "ssl/faultbio.hh"
+#include "testkeys.hh"
+
+namespace
+{
+
+using namespace ssla;
+using namespace ssla::obs::analysis;
+using obs::SessionTrace;
+using obs::TraceEventKind;
+using obs::TraceSampling;
+
+// ---------------------------------------------------------------------
+// JSON parser
+
+TEST(AnalysisJson, ParsesExactIntegersBeyondDoubleMantissa)
+{
+    // 2^63 + 3 would round under a double; the parser must keep it.
+    Json v = parseJson("{\"cycles\":9223372036854775811}");
+    const Json *c = v.find("cycles");
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->type, Json::Type::Uint);
+    EXPECT_EQ(c->asU64(), 9223372036854775811ull);
+
+    Json neg = parseJson("-42");
+    EXPECT_EQ(neg.type, Json::Type::Int);
+    EXPECT_EQ(neg.i, -42);
+
+    Json d = parseJson("2.5e3");
+    EXPECT_EQ(d.type, Json::Type::Double);
+    EXPECT_DOUBLE_EQ(d.number(), 2500.0);
+}
+
+TEST(AnalysisJson, RejectsMalformedInputWithPosition)
+{
+    EXPECT_THROW(parseJson("{\"a\":NaN}"), JsonError);
+    EXPECT_THROW(parseJson("{\"a\":1,}"), JsonError);
+    EXPECT_THROW(parseJson("{\"a\":1} trailing"), JsonError);
+    try {
+        parseJson("{\n\"a\": nope\n}");
+        FAIL() << "expected JsonError";
+    } catch (const JsonError &e) {
+        EXPECT_EQ(e.line(), 2u);
+        EXPECT_NE(std::string(e.what()).find("line 2"),
+                  std::string::npos);
+    }
+}
+
+TEST(AnalysisJson, PreservesObjectMemberOrder)
+{
+    Json v = parseJson("{\"z\":1,\"a\":2,\"m\":3}");
+    ASSERT_EQ(v.obj.size(), 3u);
+    EXPECT_EQ(v.obj[0].first, "z");
+    EXPECT_EQ(v.obj[1].first, "a");
+    EXPECT_EQ(v.obj[2].first, "m");
+}
+
+// ---------------------------------------------------------------------
+// JSONL ingest
+
+const char *kJsonlFixture =
+    "{\"serial\":7,\"track\":0,\"cycles\":100,\"tick\":0,"
+    "\"kind\":\"ConnOpen\",\"side\":\"engine\",\"label\":\"clean\"}\n"
+    "{\"serial\":7,\"track\":0,\"cycles\":150,\"tick\":1,"
+    "\"kind\":\"StateEnter\",\"side\":\"server\","
+    "\"label\":\"GetClientHello\"}\n"
+    "{\"serial\":7,\"track\":0,\"cycles\":400,\"tick\":2,"
+    "\"kind\":\"Park\",\"side\":\"engine\",\"code\":3,"
+    "\"label\":\"rsa_decrypt\"}\n"
+    "{\"serial\":7,\"track\":0,\"cycles\":900,\"tick\":5,"
+    "\"kind\":\"Resume\",\"side\":\"engine\",\"code\":3,"
+    "\"label\":\"rsa_decrypt\"}\n"
+    "{\"serial\":7,\"track\":0,\"cycles\":950,\"tick\":5,"
+    "\"kind\":\"AlertSend\",\"side\":\"server\",\"code\":40,"
+    "\"label\":\"handshake_failure\"}\n"
+    "{\"serial\":7,\"summary\":true,\"outcome\":\"fatal\","
+    "\"events\":5,\"dropped\":0}\n"
+    "{\"serial\":1000,\"track\":1000,\"cycles\":120,\"tick\":0,"
+    "\"kind\":\"JobStart\",\"side\":\"engine\",\"code\":3,"
+    "\"arg\":50,\"label\":\"decrypt\"}\n"
+    "{\"serial\":1000,\"track\":1000,\"cycles\":300,\"tick\":0,"
+    "\"kind\":\"JobEnd\",\"side\":\"engine\",\"arg\":180,"
+    "\"label\":\"decrypt\"}\n"
+    "{\"serial\":1000,\"summary\":true,\"outcome\":\"pool-exit\","
+    "\"events\":2,\"dropped\":0}\n";
+
+TEST(AnalysisIngest, JsonlGroupsSessionsAndAppliesSummaries)
+{
+    Corpus corpus = ingestJsonl(kJsonlFixture);
+    EXPECT_EQ(corpus.format, "jsonl");
+    EXPECT_EQ(corpus.timeUnit, "cycles");
+    ASSERT_EQ(corpus.sessions.size(), 2u);
+    EXPECT_EQ(corpus.sessionCount(), 1u); // crypto track excluded
+
+    const SessionRecord &s = corpus.sessions[0];
+    EXPECT_EQ(s.serial, 7u);
+    EXPECT_EQ(s.outcome, "fatal");
+    ASSERT_EQ(s.events.size(), 5u);
+    EXPECT_EQ(s.events[0].kind, "ConnOpen");
+    EXPECT_EQ(s.events[2].kind, "Park");
+    EXPECT_EQ(s.events[2].code, 3u); // JobClass stamp survives
+    EXPECT_EQ(s.events[4].kind, "AlertSend");
+
+    const SessionRecord &c = corpus.sessions[1];
+    EXPECT_TRUE(c.isCryptoTrack());
+    EXPECT_EQ(c.outcome, "pool-exit");
+    ASSERT_EQ(c.events.size(), 2u);
+    EXPECT_EQ(c.events[0].kind, "JobStart");
+    EXPECT_EQ(c.events[0].arg, 50u); // queue wait
+}
+
+TEST(AnalysisIngest, MalformedLineRejectsWithLineNumber)
+{
+    const char *bad =
+        "{\"serial\":1,\"track\":0,\"cycles\":1,\"tick\":0,"
+        "\"kind\":\"ConnOpen\",\"side\":\"engine\"}\n"
+        "this is not json\n";
+    try {
+        ingestJsonl(bad);
+        FAIL() << "expected IngestError";
+    } catch (const IngestError &e) {
+        EXPECT_NE(std::string(e.what()).find("line 2"),
+                  std::string::npos)
+            << e.what();
+    }
+
+    // A structurally valid line missing a required key also names it.
+    try {
+        ingestJsonl("{\"serial\":1,\"track\":0}\n");
+        FAIL() << "expected IngestError";
+    } catch (const IngestError &e) {
+        EXPECT_NE(std::string(e.what()).find("kind"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Exporter round trip
+
+/** Build one deterministic session + one crypto track. */
+void
+fillTraces(SessionTrace &session, SessionTrace &crypto)
+{
+    session.record(TraceEventKind::ConnOpen, obs::traceSideEngine,
+                   "clean", 0, 7);
+    session.setTick(1);
+    session.record(TraceEventKind::StateEnter, obs::traceSideServer,
+                   "GetClientHello");
+    session.setTick(2);
+    session.record(TraceEventKind::Park, obs::traceSideEngine,
+                   "rsa_decrypt", 3);
+    session.setTick(5);
+    session.record(TraceEventKind::Resume, obs::traceSideEngine,
+                   "rsa_decrypt", 3);
+    session.record(TraceEventKind::Complete, obs::traceSideEngine,
+                   "full");
+    session.noteOutcome("completed");
+
+    crypto.record(TraceEventKind::JobStart, obs::traceSideEngine,
+                  "decrypt", 3, 50);
+    crypto.record(TraceEventKind::JobEnd, obs::traceSideEngine,
+                  "decrypt", 0, 180);
+    crypto.noteOutcome("pool-exit");
+}
+
+TEST(AnalysisRoundTrip, JsonlAndChromeIngestToSameHistory)
+{
+    SessionTrace session(7, 0, 64);
+    SessionTrace crypto(1000, obs::cryptoTrackBase, 64);
+    fillTraces(session, crypto);
+
+    // JSONL rendering -> ingest.
+    char *buf = nullptr;
+    size_t len = 0;
+    FILE *mem = open_memstream(&buf, &len);
+    ASSERT_NE(mem, nullptr);
+    {
+        obs::JsonlTraceSink sink(mem);
+        sink.dump(session);
+        sink.dump(crypto);
+    }
+    std::fclose(mem);
+    Corpus fromJsonl = ingestJsonl(std::string_view(buf, len));
+    std::free(buf);
+
+    // Chrome rendering -> ingest.
+    obs::ChromeTraceCollector collector;
+    collector.dump(session);
+    collector.dump(crypto);
+    buf = nullptr;
+    mem = open_memstream(&buf, &len);
+    ASSERT_NE(mem, nullptr);
+    collector.write(mem);
+    std::fclose(mem);
+    Corpus fromChrome = ingestChrome(parseJson({buf, len}));
+    std::free(buf);
+
+    // Same sessions, same outcomes, same event count and ordering.
+    ASSERT_EQ(fromJsonl.sessions.size(), fromChrome.sessions.size());
+    EXPECT_EQ(fromJsonl.totalEvents(), fromChrome.totalEvents());
+    for (size_t s = 0; s < fromJsonl.sessions.size(); ++s) {
+        const SessionRecord &a = fromJsonl.sessions[s];
+        const SessionRecord &b = fromChrome.sessions[s];
+        EXPECT_EQ(a.serial, b.serial);
+        EXPECT_EQ(a.track, b.track);
+        EXPECT_EQ(a.outcome, b.outcome);
+        ASSERT_EQ(a.events.size(), b.events.size());
+        for (size_t k = 0; k < a.events.size(); ++k) {
+            EXPECT_EQ(a.events[k].kind, b.events[k].kind)
+                << "session " << s << " event " << k;
+            EXPECT_EQ(a.events[k].label, b.events[k].label);
+            EXPECT_EQ(a.events[k].code, b.events[k].code)
+                << "session " << s << " event " << k << " ("
+                << a.events[k].kind << ")";
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pass determinism
+
+TEST(AnalysisPasses, SameCorpusSameReport)
+{
+    Corpus corpus = ingestJsonl(kJsonlFixture);
+    PassRegistry registry = makeBuiltinRegistry();
+    ASSERT_GE(registry.all().size(), 5u);
+
+    auto render = [&] {
+        Report report;
+        for (const Pass *p : registry.all())
+            p->run(corpus, report);
+        return report.render();
+    };
+    const std::string first = render();
+    EXPECT_FALSE(first.empty());
+    EXPECT_EQ(first, render());
+
+    // The interesting attributions actually appear.
+    EXPECT_NE(first.find("park:rsa_decrypt"), std::string::npos);
+    EXPECT_NE(first.find("class new_full"), std::string::npos);
+    EXPECT_NE(first.find("outcome=fatal"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Bench regression diff
+
+TEST(AnalysisDiff, FlagsInjectedGateRegression)
+{
+    Json oldDoc = parseJson(
+        "{\"gate\":{\"pass\":true,\"all_accounted\":true},"
+        "\"results\":[{\"goodput\":100.0},{\"goodput\":90.0}]}");
+    Json newDoc = parseJson(
+        "{\"gate\":{\"pass\":false},"
+        "\"results\":[{\"goodput\":40.0},{\"goodput\":89.0}]}");
+
+    Report report;
+    DiffResult r = diffBench(oldDoc, newDoc, 25.0, report);
+    EXPECT_EQ(r.gateRegressions, 1); // pass true -> false
+    EXPECT_EQ(r.missingPaths, 1);    // all_accounted vanished
+    EXPECT_EQ(r.numericDeltas, 1);   // -60% goodput; -1.1% is below
+    EXPECT_TRUE(r.failed());
+    const std::string text = report.render();
+    EXPECT_NE(text.find("GATE REGRESSION gate.pass"),
+              std::string::npos);
+    EXPECT_NE(text.find("MISSING gate.all_accounted"),
+              std::string::npos);
+
+    // Identical docs diff clean.
+    Report clean;
+    DiffResult same = diffBench(oldDoc, oldDoc, 25.0, clean);
+    EXPECT_FALSE(same.failed());
+    EXPECT_EQ(same.numericDeltas, 0);
+}
+
+// ---------------------------------------------------------------------
+// Outcome-keyed sampling
+
+TEST(AnalysisSampling, PolicyKeepsFailuresDecaysCompleted)
+{
+    TraceSampling off{0, false};
+    EXPECT_FALSE(off.shouldRecord(0));
+
+    TraceSampling plain{4, false};
+    EXPECT_TRUE(plain.shouldRecord(0));
+    EXPECT_FALSE(plain.shouldRecord(1));
+
+    TraceSampling keyed{4, true};
+    for (uint64_t s = 0; s < 16; ++s) {
+        EXPECT_TRUE(keyed.shouldRecord(s));
+        EXPECT_TRUE(keyed.shouldDump(s, "fatal"));
+        EXPECT_TRUE(keyed.shouldDump(s, "timeout"));
+        EXPECT_EQ(keyed.shouldDump(s, "completed"), s % 4 == 0);
+    }
+    EXPECT_TRUE(TraceSampling::isFailure("peer-fatal"));
+    EXPECT_FALSE(TraceSampling::isFailure("completed"));
+}
+
+/** Counts dumped traces by outcome. */
+struct OutcomeSink final : obs::TraceSink
+{
+    std::mutex m;
+    std::vector<std::pair<uint64_t, std::string>> dumps;
+
+    void
+    dump(const SessionTrace &trace) override
+    {
+        std::lock_guard<std::mutex> lock(m);
+        dumps.emplace_back(trace.serial(), trace.outcome());
+    }
+};
+
+TEST(AnalysisSampling, FailedSessionsSurviveOneInNSampling)
+{
+    // Half the records corrupted: most sessions die. Under plain 1-in-8
+    // sampling nearly all of those deaths would be unobserved; with
+    // traceKeepFailures every failure must reach the sink.
+    const uint64_t seed = 0xfa11ed;
+    ssl::FaultPlan plan;
+    plan.corruptRate = 0.5;
+    plan.seed = seed;
+
+    OutcomeSink sink;
+    serve::ServeConfig cfg;
+    cfg.workers = 1;
+    cfg.connectionsPerWorker = 32;
+    cfg.concurrentPerWorker = 4;
+    cfg.certificate = &test::testServerCert();
+    cfg.privateKey = test::testKey1024().priv;
+    cfg.seed = seed;
+    cfg.faultPlan = &plan;
+    cfg.tolerateFailures = true;
+    cfg.handshakeDeadlineTicks = 256;
+    cfg.idleDeadlineTicks = 256;
+    cfg.traceSampleEvery = 8;
+    cfg.traceKeepFailures = true;
+    cfg.traceSink = &sink;
+    serve::ServeEngine engine(std::move(cfg));
+    serve::ServeStats stats = engine.run();
+
+    const uint64_t failures =
+        stats.failedHandshakes() + stats.timedOutSessions();
+    const uint64_t completed =
+        stats.fullHandshakes() + stats.resumedHandshakes();
+    ASSERT_GT(failures, 0u) << "fault plan produced no failures";
+
+    uint64_t dumpedFailures = 0, dumpedCompleted = 0;
+    for (const auto &[serial, outcome] : sink.dumps) {
+        if (outcome == "completed")
+            ++dumpedCompleted;
+        else if (obs::TraceSampling::isFailure(outcome))
+            ++dumpedFailures;
+    }
+    // EVERY failure dumped a trace...
+    EXPECT_EQ(dumpedFailures, failures);
+    // ...while completed sessions decayed to the 1-in-8 rate (the
+    // exact count depends on which serials completed; it can only be
+    // a strict subset once more than 8 sessions complete).
+    if (completed > 8)
+        EXPECT_LT(dumpedCompleted, completed);
+    for (const auto &[serial, outcome] : sink.dumps)
+        if (outcome == "completed")
+            EXPECT_EQ(serial % 8, 0u)
+                << "completed serial " << serial
+                << " escaped the decay";
+}
+
+} // namespace

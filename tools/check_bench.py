@@ -13,7 +13,19 @@ checker re-validates the artifacts from the outside:
   * every gate field for that schema is present, bool-typed and true;
   * every required field path exists and numeric leaves are finite.
 
+A second mode compares two runs of the same bench (the regression-diff
+rules shared with ssla_analyze --diff):
+
+  * a gate that was true in the old run and false in the new one is a
+    regression (fatal);
+  * a path present in the old run but missing from the new one is fatal
+    (schemas only grow);
+  * a numeric value whose relative delta exceeds --max-delta percent
+    (default 25) is reported but not fatal — benches are noisy;
+  * array length changes and new-only fields are informational.
+
 Usage: check_bench.py FILE [FILE...]
+       check_bench.py --diff OLD.json NEW.json [--max-delta PCT]
 Exit status: 0 when every artifact passes, 1 otherwise.
 """
 
@@ -187,7 +199,116 @@ def check_file(path):
     return errors
 
 
+def diff_values(path, old, new, max_delta, lines):
+    """Walk old/new in parallel; return (fatal, reported) counts."""
+    fatal = reported = 0
+    # bool before int/float: bool is an int subclass in Python.
+    if isinstance(old, bool):
+        if not isinstance(new, bool):
+            reported += 1
+            lines.append(f"CHANGED {path}: bool -> {type(new).__name__}")
+        elif old and not new:
+            fatal += 1
+            lines.append(f"GATE REGRESSION {path}: true -> false")
+        elif new and not old:
+            reported += 1
+            lines.append(f"improved {path}: false -> true")
+    elif isinstance(old, (int, float)):
+        if not isinstance(new, (int, float)) or isinstance(new, bool):
+            reported += 1
+            lines.append(
+                f"CHANGED {path}: number -> {type(new).__name__}"
+            )
+        elif old != new:
+            delta = (
+                100.0 * (new - old) / abs(old) if old != 0
+                else math.inf * (1 if new > 0 else -1)
+            )
+            if abs(delta) > max_delta:
+                reported += 1
+                lines.append(
+                    f"DELTA {path}: {old} -> {new} ({delta:+.1f}%)"
+                )
+    elif isinstance(old, str):
+        if old != new:
+            reported += 1
+            lines.append(f"changed {path}: {old!r} -> {new!r}")
+    elif isinstance(old, list):
+        if not isinstance(new, list):
+            reported += 1
+            lines.append(f"CHANGED {path}: list -> {type(new).__name__}")
+            return fatal, reported
+        if len(old) != len(new):
+            reported += 1
+            lines.append(
+                f"length {path}: {len(old)} -> {len(new)} "
+                "(comparing common prefix)"
+            )
+        for i in range(min(len(old), len(new))):
+            f, r = diff_values(
+                f"{path}[{i}]", old[i], new[i], max_delta, lines
+            )
+            fatal += f
+            reported += r
+    elif isinstance(old, dict):
+        if not isinstance(new, dict):
+            reported += 1
+            lines.append(f"CHANGED {path}: dict -> {type(new).__name__}")
+            return fatal, reported
+        for key, val in old.items():
+            sub = f"{path}.{key}" if path else key
+            if key not in new:
+                fatal += 1
+                lines.append(
+                    f"MISSING {sub}: present in old run, absent in new"
+                )
+                continue
+            f, r = diff_values(sub, val, new[key], max_delta, lines)
+            fatal += f
+            reported += r
+        for key in new:
+            if key not in old:
+                reported += 1
+                lines.append(f"new field {path or '(root)'}.{key}")
+    return fatal, reported
+
+
+def diff_files(old_path, new_path, max_delta):
+    try:
+        with open(old_path) as fh:
+            old = json.load(fh)
+        with open(new_path) as fh:
+            new = json.load(fh)
+    except (OSError, ValueError) as e:
+        print(f"FAIL unreadable or invalid JSON: {e}", file=sys.stderr)
+        return 1
+    lines = []
+    fatal, reported = diff_values("", old, new, max_delta, lines)
+    for line in lines:
+        print(f"  {line}")
+    verdict = "FAIL" if fatal else "OK"
+    print(
+        f"{verdict} diff {old_path} -> {new_path}: "
+        f"fatal={fatal} reported={reported} threshold={max_delta:.1f}%"
+    )
+    return 1 if fatal else 0
+
+
 def main(argv):
+    if len(argv) >= 2 and argv[1] == "--diff":
+        args = argv[2:]
+        max_delta = 25.0
+        if "--max-delta" in args:
+            i = args.index("--max-delta")
+            if i + 1 >= len(args):
+                print("--max-delta needs a value", file=sys.stderr)
+                return 2
+            max_delta = float(args[i + 1])
+            del args[i : i + 2]
+        if len(args) != 2:
+            print(__doc__.strip(), file=sys.stderr)
+            return 2
+        return diff_files(args[0], args[1], max_delta)
     if len(argv) < 2:
         print(__doc__.strip(), file=sys.stderr)
         return 2

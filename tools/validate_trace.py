@@ -9,6 +9,10 @@ Checks, in order:
      the exporter stable-sorts by ts, so any inversion means a bug.
   4. Every async "b" (session-open) is closed by a matching "e" with
      the same (pid, cat, id), and no "e" arrives without its "b".
+  5. Outcome args: every session async "b" carries a string
+     args.outcome, and every crypto-track job span (cat "JobStart")
+     carries args.outcome in {ok, error, unfinished} plus a numeric
+     args.serial -- the fields ssla_analyze's ingest keys on.
 
 Exit status 0 when the trace is well-formed, 1 otherwise, with one
 line per defect on stderr. Stdlib only; used by CI after
@@ -82,6 +86,23 @@ def main(argv):
             if not isinstance(dur, (int, float)) or dur < 0:
                 errors += fail("%s: X span needs dur >= 0, got %r" %
                                (where, dur))
+            if ev.get("cat") == "JobStart":
+                # Crypto-track job span: the analyzer rebuilds the
+                # JobEnd from these args, so they are load-bearing.
+                args = ev.get("args")
+                if not isinstance(args, dict):
+                    errors += fail("%s: job span needs args" % where)
+                    continue
+                outcome = args.get("outcome")
+                if outcome not in ("ok", "error", "unfinished"):
+                    errors += fail(
+                        "%s: job span needs args.outcome in "
+                        "{ok,error,unfinished}, got %r" %
+                        (where, outcome))
+                if not isinstance(args.get("serial"), int):
+                    errors += fail(
+                        "%s: job span needs integer args.serial" %
+                        where)
         elif ph in ("b", "e"):
             if "id" not in ev:
                 errors += fail("%s: async event needs id" % where)
@@ -89,6 +110,14 @@ def main(argv):
             key = (ev["pid"], ev.get("cat", ""), ev["id"])
             if ph == "b":
                 open_async[key] = open_async.get(key, 0) + 1
+                if ev.get("cat") == "session":
+                    args = ev.get("args")
+                    outcome = (args.get("outcome")
+                               if isinstance(args, dict) else None)
+                    if not isinstance(outcome, str) or not outcome:
+                        errors += fail(
+                            "%s: session open needs string "
+                            "args.outcome, got %r" % (where, outcome))
             else:
                 if open_async.get(key, 0) <= 0:
                     errors += fail("%s: 'e' with no open 'b' for id %s"
